@@ -1,0 +1,59 @@
+// Ablation: effect of data inhomogeneity on the frameworks — the study the
+// paper leans on in §4.2 ("We performed a detailed study of the performance
+// of Hadoop and DryadLINQ in the face of inhomogeneous data in one of our
+// previous studies [13]. In this study, we noticed better natural load
+// balancing in Hadoop than in DryadLINQ due to Hadoop's dynamic global
+// level scheduling as opposed to DryadLINQ's static task partitioning.")
+//
+// We sweep the coefficient of variation of per-file BLAST work and measure
+// the makespan of the dynamic-queue (Hadoop / Classic Cloud) and static
+// (Dryad) schedulers on the same node layout. The paper also "assume[s]
+// that cloud frameworks will be able [to] perform better load balancing
+// similar to Hadoop because they share the same dynamic scheduling global
+// queue-based architecture" — the Classic Cloud column tests that
+// assumption directly.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/drivers.h"
+
+using namespace ppc;
+using namespace ppc::core;
+
+int main() {
+  std::puts("== Ablation: data inhomogeneity vs scheduling policy (§4.2 / [13]) ==");
+  std::puts("Workload: 256 BLAST query files on 8 nodes x 8 cores; per-file work CV swept\n");
+
+  const Deployment bare = make_deployment(cloud::bare_metal_idataplex_node(), 8, 8);
+  const Deployment cloud_d = make_deployment(cloud::ec2_hcxl(), 8, 8);
+  const ExecutionModel model(AppKind::kBlast);
+
+  Table table("Makespan (and efficiency) vs inhomogeneity");
+  table.set_header({"Work CV", "Hadoop (dynamic)", "Dryad (static RR)", "Dryad (static LPT)",
+                    "ClassicCloud-EC2 (dynamic)"});
+  for (double cv : {0.0, 0.15, 0.3, 0.45, 0.6}) {
+    const Workload w = make_blast_workload(256, 100, /*seed=*/17, 128, cv);
+    SimRunParams params;
+    params.seed = 9;
+    params.provider_variability = false;
+
+    const RunResult hadoop = run_mapreduce_sim(w, bare, model, params);
+    const RunResult dryad_rr = run_dryad_sim(w, bare, model, params);
+    SimRunParams lpt = params;
+    lpt.dryad_partition_by_size = true;
+    const RunResult dryad_lpt = run_dryad_sim(w, bare, model, lpt);
+    const RunResult classic = run_classic_cloud_sim(w, cloud_d, model, params);
+
+    auto cell = [](const RunResult& r) {
+      return format_duration(r.makespan) + " (" + Table::num(r.parallel_efficiency, 2) + ")";
+    };
+    table.add_row({Table::num(cv, 2), cell(hadoop), cell(dryad_rr), cell(dryad_lpt),
+                   cell(classic)});
+  }
+  table.print();
+  std::puts("\nExpected: at CV=0 all schedulers tie; as inhomogeneity grows, the static");
+  std::puts("partitions fall behind the dynamic global queues, and the Classic Cloud");
+  std::puts("framework tracks Hadoop (same dynamic-queue architecture, §4.2).");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation: dynamic global-queue scheduling vs static partitioning on
+// inhomogeneous data — the mechanism behind §4.2's observation ("better
+// natural load balancing in Hadoop than in DryadLINQ due to Hadoop's
+// dynamic global level scheduling as opposed to DryadLINQ's static task
+// partitioning"), plus the effect of speculative execution on stragglers
+// and of the static partitioning policy (round-robin vs size-balanced LPT).
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/drivers.h"
+
+using namespace ppc;
+using namespace ppc::core;
+
+int main() {
+  std::puts("== Ablation: dynamic vs static scheduling on inhomogeneous BLAST data ==");
+  std::puts("Workload: 192 query files (inhomogeneous base x1.5) on 8 nodes x 8 cores;");
+  std::puts("3% of executions become 8x stragglers (tail-dominated regime)\n");
+
+  const Workload workload = make_blast_workload(192, 100, 11);
+  const Deployment d = make_deployment(cloud::bare_metal_idataplex_node(), 8, 8);
+  const ExecutionModel model(AppKind::kBlast);
+
+  auto base_params = [] {
+    SimRunParams p;
+    p.seed = 3;
+    p.provider_variability = false;
+    p.straggler_prob = 0.03;
+    p.straggler_factor = 8.0;
+    return p;
+  };
+
+  Table table("Scheduling policy comparison");
+  table.set_header({"Scheduler", "Makespan", "Efficiency (Eq 1)", "Duplicates/wasted"});
+
+  {
+    SimRunParams params = base_params();
+    const RunResult r = run_mapreduce_sim(workload, d, model, params);
+    table.add_row({"Dynamic global queue + speculation (Hadoop)", format_duration(r.makespan),
+                   Table::num(r.parallel_efficiency, 3),
+                   std::to_string(r.scheduler_stats.wasted_attempts)});
+  }
+  {
+    SimRunParams params = base_params();
+    params.scheduler.speculative_execution = false;
+    const RunResult r = run_mapreduce_sim(workload, d, model, params);
+    table.add_row({"Dynamic global queue, no speculation", format_duration(r.makespan),
+                   Table::num(r.parallel_efficiency, 3), "0"});
+  }
+  {
+    SimRunParams params = base_params();
+    const RunResult r = run_dryad_sim(workload, d, model, params);
+    table.add_row({"Static round-robin partitions (DryadLINQ)", format_duration(r.makespan),
+                   Table::num(r.parallel_efficiency, 3), "0"});
+  }
+  {
+    SimRunParams params = base_params();
+    params.dryad_partition_by_size = true;
+    const RunResult r = run_dryad_sim(workload, d, model, params);
+    table.add_row({"Static size-balanced (LPT) partitions", format_duration(r.makespan),
+                   Table::num(r.parallel_efficiency, 3), "0"});
+  }
+  table.print();
+
+  std::puts("\n== Task granularity sweep (§6.2: GTM tasks are finer-grained) ==");
+  std::puts("Same total GTM work (26.4M points) split into varying file counts, 8 x HCXL\n");
+  Table gran("Task granularity vs overhead and balance");
+  gran.set_header({"Files", "Points/file", "Makespan", "Efficiency (Eq 1)"});
+  const ExecutionModel gtm_model(AppKind::kGtm);
+  const Deployment gtm_d = make_deployment(cloud::ec2_hcxl(), 8, 8);
+  for (int files : {66, 132, 264, 528, 1056, 2112, 4224, 8448}) {
+    const double points = 26.4e6 / files;
+    const Workload w = make_gtm_workload(files, points);
+    SimRunParams params;
+    params.seed = 5;
+    params.provider_variability = false;
+    const RunResult r = run_classic_cloud_sim(w, gtm_d, gtm_model, params);
+    gran.add_row({std::to_string(files), Table::num(points, 0), format_duration(r.makespan),
+                  Table::num(r.parallel_efficiency, 3)});
+  }
+  gran.print();
+  std::puts("\nExpected: coarse tasks leave cores idle at the tail; very fine tasks pay");
+  std::puts("per-task transfer/queue overhead — \"sufficiently coarser grain task");
+  std::puts("decompositions\" (§8) sit in the middle.");
+  return 0;
+}

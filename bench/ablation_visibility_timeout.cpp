@@ -1,0 +1,43 @@
+// Ablation: the visibility timeout (§2.1.3).
+//
+// The paper's fault tolerance hinges on "the configurable visibility
+// timeout feature": too short and healthy tasks get double-processed
+// (wasted compute, extra cost); long enough and only genuine failures
+// re-run. This sweep quantifies that trade-off on the Cap3 workload, where
+// a task takes ~105 s.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/drivers.h"
+
+using namespace ppc;
+using namespace ppc::core;
+
+int main() {
+  std::puts("== Ablation: SQS/Azure Queue visibility timeout vs duplicate work ==");
+  std::puts("Workload: 256 Cap3 files x 458 reads on 2 x HCXL (16 workers), task ~105 s\n");
+
+  const Workload workload = make_cap3_workload(256, 458);
+  const Deployment d = make_deployment(cloud::ec2_hcxl(), 2, 8);
+  const ExecutionModel model(AppKind::kCap3);
+
+  Table table("Visibility timeout sweep");
+  table.set_header({"Visibility timeout s", "Makespan", "Duplicate executions",
+                    "Amortized compute $"});
+  for (double timeout : {30.0, 60.0, 90.0, 120.0, 240.0, 600.0, 3600.0}) {
+    SimRunParams params;
+    params.seed = 42;
+    params.provider_variability = false;
+    params.visibility_timeout = timeout;
+    const RunResult r = run_classic_cloud_sim(workload, d, model, params);
+    table.add_row({Table::num(timeout, 0), format_duration(r.makespan),
+                   std::to_string(r.duplicate_executions),
+                   Table::num(r.compute_cost_amortized, 2)});
+  }
+  table.print();
+  std::puts("\nExpected: timeouts below the ~105 s task time trigger redeliveries and");
+  std::puts("duplicate executions; generous timeouts eliminate them at no cost. All runs");
+  std::puts("complete every task — at-least-once delivery never loses work.");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Shared table-printing helpers for the figure-reproduction benches.
+//
+// Set PPC_CSV_DIR=<dir> to additionally dump every printed series as a CSV
+// file named after its title — handy for regenerating the figures with an
+// external plotting tool.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/experiments.h"
+
+namespace ppc::bench {
+
+/// "Cap3 compute time (Fig 4)" -> "cap3_compute_time_fig_4".
+inline std::string csv_slug(const std::string& title) {
+  std::string slug;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+/// Writes header + rows to $PPC_CSV_DIR/<slug>.csv when the env var is set.
+inline void maybe_write_csv(const std::string& title, const std::string& header,
+                            const std::vector<std::string>& rows) {
+  const char* dir = std::getenv("PPC_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + csv_slug(title) + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << header << '\n';
+  for (const auto& row : rows) out << row << '\n';
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
+inline void print_instance_type_rows(const std::string& title,
+                                     const std::vector<core::InstanceTypeRow>& rows) {
+  Table table(title);
+  table.set_header({"Deployment", "Compute time", "Cost (hour units) $", "Amortized cost $"});
+  std::vector<std::string> csv_rows;
+  for (const auto& r : rows) {
+    table.add_row({r.label, format_duration(r.compute_time), Table::num(r.cost_hour_units, 2),
+                   Table::num(r.cost_amortized, 2)});
+    csv_rows.push_back(r.label + "," + Table::num(r.compute_time, 1) + "," +
+                       Table::num(r.cost_hour_units, 4) + "," + Table::num(r.cost_amortized, 4));
+  }
+  table.print();
+  maybe_write_csv(title, "deployment,compute_time_s,cost_hour_units,cost_amortized", csv_rows);
+}
+
+inline void print_scaling_points(const std::string& title,
+                                 const std::vector<core::ScalingPoint>& points) {
+  Table table(title);
+  table.set_header({"Framework", "Deployment", "Files", "Parallel efficiency (Eq 1)",
+                    "Per-core time per file s (Eq 2)", "Makespan"});
+  std::vector<std::string> csv_rows;
+  for (const auto& p : points) {
+    table.add_row({p.framework, p.deployment, std::to_string(p.files),
+                   Table::num(p.efficiency, 3), Table::num(p.per_core_task_seconds, 1),
+                   format_duration(p.makespan)});
+    csv_rows.push_back(p.framework + "," + p.deployment + "," + std::to_string(p.files) + "," +
+                       Table::num(p.efficiency, 4) + "," +
+                       Table::num(p.per_core_task_seconds, 2) + "," +
+                       Table::num(p.makespan, 1));
+  }
+  table.print();
+  maybe_write_csv(title, "framework,deployment,files,efficiency,per_core_task_s,makespan_s",
+                  csv_rows);
+}
+
+}  // namespace ppc::bench

@@ -1,0 +1,21 @@
+// Figures 10 & 11: BLAST parallel efficiency and average time per query
+// file, scaling the inhomogeneous 128-file base set by 1-6x (§5.2).
+//
+// Deployments: EC2 = 16 HCXL, Azure = 16 Large, Hadoop on iDataplex 8-core
+// nodes, DryadLINQ on 16-core HPCS nodes.
+//
+// Paper shape: near-linear scalability, all within ~20%; Windows
+// environments lead; EC2 HCXL trails (less than 1 GB of memory per core
+// shared across 8 workers).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  std::puts("== Figures 10 & 11: BLAST scalability across frameworks ==\n");
+  const auto points = ppc::core::run_blast_scaling_study(42);
+  ppc::bench::print_scaling_points(
+      "BLAST parallel efficiency (Fig 10) / per-core query-file time (Fig 11)", points);
+  std::puts("\nExpected shape: rising, near-linear efficiency; Azure leads, EC2 trails.");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figures 12 & 13: GTM Interpolation cost and time across EC2 instance
+// types. Workload: 264 files x 100k PubChem-like points on 16 cores (§6.1).
+//
+// Paper shape: memory (size and bandwidth) is the bottleneck; HM4XL best
+// performance; HCXL still the most economical.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  std::puts("== Figures 12 & 13: GTM Interpolation on EC2 instance types ==");
+  std::puts("Workload: 264 files x 100k points (26.4M points, 166-d), 16 cores\n");
+  const auto rows = ppc::core::run_gtm_ec2_instance_study(42);
+  ppc::bench::print_instance_type_rows("GTM compute time (Fig 13) and cost (Fig 12)", rows);
+  std::puts("\nExpected shape: HM4XL fastest; Large beats HCXL/XL (fewer cores per memory");
+  std::puts("bus); HCXL remains the economical choice.");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figures 14 & 15: GTM Interpolation parallel efficiency and per-core
+// per-file time across frameworks, sweeping the PubChem subset size (§6.2).
+//
+// Deployments (~64 busy cores each): EC2 Large / HCXL / HM4XL fleets, 64
+// Azure Small instances, Hadoop on 48 GB nodes (8 cores used), DryadLINQ on
+// 16-core HPCS nodes.
+//
+// Paper shape: efficiencies lower than Cap3/BLAST (memory-bandwidth bound);
+// Azure Small best overall; EC2 Large best among EC2; 16-core Dryad nodes
+// worst.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  std::puts("== Figures 14 & 15: GTM Interpolation scalability across frameworks ==\n");
+  const auto points = ppc::core::run_gtm_scaling_study(42);
+  ppc::bench::print_scaling_points(
+      "GTM parallel efficiency (Fig 14) / per-core file time (Fig 15)", points);
+  std::puts("\nExpected shape: Azure Small leads, DryadLINQ's 16-core nodes trail,");
+  std::puts("EC2 Large is the best EC2 choice; overall efficiencies below Cap3's.");
+  return 0;
+}

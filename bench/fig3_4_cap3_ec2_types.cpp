@@ -1,0 +1,17 @@
+// Figures 3 & 4: Cap3 cost and compute time across EC2 instance types.
+// Workload: 200 FASTA files x 200 reads on 16 cores (§4.1).
+//
+// Paper shape: HM4XL fastest (3.25 GHz); HCXL most cost-effective; L and XL
+// tie (same clock); memory is not a Cap3 bottleneck.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  std::puts("== Figures 3 & 4: Cap3 on EC2 instance types ==");
+  std::puts("Workload: 200 files x 200 reads, 16 cores, Classic Cloud (simulated)\n");
+  const auto rows = ppc::core::run_cap3_ec2_instance_study(42);
+  ppc::bench::print_instance_type_rows("Cap3 compute time (Fig 4) and cost (Fig 3)", rows);
+  std::puts("\nExpected shape: HM4XL fastest; HCXL cheapest; L ≈ XL (memory no bottleneck).");
+  return 0;
+}

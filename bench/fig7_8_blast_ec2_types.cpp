@@ -1,0 +1,18 @@
+// Figures 7 & 8: BLAST cost and time across EC2 instance types.
+// Workload: 64 query files x 100 sequences, 16 cores (§5.1).
+//
+// Paper shape: XL ≈ HCXL despite the clock gap (memory compensates); HM4XL
+// fastest but expensive; HCXL most cost-effective.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  std::puts("== Figures 7 & 8: BLAST on EC2 instance types ==");
+  std::puts("Workload: 64 query files x 100 queries, 16 cores, NR-like 8.7 GB database\n");
+  const auto rows = ppc::core::run_blast_ec2_instance_study(42);
+  ppc::bench::print_instance_type_rows("BLAST compute time (Fig 8) and cost (Fig 7)", rows);
+  std::puts("\nExpected shape: XL ≈ HCXL; HM4XL fastest (clock + full DB residency);");
+  std::puts("HCXL again the most cost-effective choice.");
+  return 0;
+}

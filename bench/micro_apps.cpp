@@ -1,0 +1,106 @@
+// Microbenchmarks of the three application kernels (google-benchmark): the
+// actual compute the real-thread frameworks execute per task.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "apps/blast/aligner.h"
+#include "apps/cap3/assembler.h"
+#include "apps/cap3/read_simulator.h"
+#include "apps/gtm/data_gen.h"
+#include "apps/gtm/gtm.h"
+#include "common/rng.h"
+
+using namespace ppc;
+
+namespace {
+
+void BM_Cap3Assemble(benchmark::State& state) {
+  Rng rng(1);
+  const std::string input =
+      apps::cap3::make_cap3_input(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::cap3::assemble_fasta_file(input));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Cap3Assemble)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_BlastIndexBuild(benchmark::State& state) {
+  Rng rng(2);
+  apps::blast::DbGenConfig config;
+  config.num_sequences = static_cast<std::size_t>(state.range(0));
+  const auto db = apps::blast::SequenceDb::generate(config, rng);
+  for (auto _ : state) {
+    apps::blast::BlastIndex index(db);
+    benchmark::DoNotOptimize(index.indexed_kmers());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BlastIndexBuild)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_BlastSearchQueryFile(benchmark::State& state) {
+  Rng rng(3);
+  apps::blast::DbGenConfig config;
+  config.num_sequences = 300;
+  const auto db = apps::blast::SequenceDb::generate(config, rng);
+  const apps::blast::BlastIndex index(db);
+  const std::string queries =
+      apps::blast::make_query_file(db, static_cast<std::size_t>(state.range(0)), 0.5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.search_file(queries));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BlastSearchQueryFile)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_GtmTrain(benchmark::State& state) {
+  Rng rng(4);
+  apps::gtm::ClusterDataConfig data;
+  data.num_points = static_cast<std::size_t>(state.range(0));
+  data.dims = 32;
+  const auto samples = apps::gtm::generate_clustered(data, rng);
+  apps::gtm::GtmConfig config;
+  config.em_iterations = 10;
+  for (auto _ : state) {
+    Rng train_rng(5);
+    benchmark::DoNotOptimize(apps::gtm::GtmModel::train(samples, config, train_rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GtmTrain)->Arg(200)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_GtmInterpolate(benchmark::State& state) {
+  Rng rng(6);
+  apps::gtm::ClusterDataConfig data;
+  data.num_points = 300;
+  data.dims = 32;
+  const auto samples = apps::gtm::generate_clustered(data, rng);
+  apps::gtm::GtmConfig config;
+  config.em_iterations = 8;
+  const auto model = apps::gtm::GtmModel::train(samples, config, rng);
+  data.num_points = static_cast<std::size_t>(state.range(0));
+  const auto points = apps::gtm::generate_clustered(data, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.interpolate(points));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GtmInterpolate)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  apps::gtm::Matrix a(n, n), b(n, n);
+  for (auto& v : a.data()) v = rng.uniform(-1, 1);
+  for (auto& v : b.data()) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.multiply(b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

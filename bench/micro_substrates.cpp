@@ -1,0 +1,121 @@
+// Microbenchmarks of the substrate services (google-benchmark): message
+// queue operations, blob store transfers, discrete-event throughput, and
+// scheduler decisions. These establish that the in-process services are
+// cheap enough that framework comparisons measure *policy*, not substrate
+// overhead.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "blobstore/blob_store.h"
+#include "cloudq/message_queue.h"
+#include "common/clock.h"
+#include "mapreduce/scheduler.h"
+#include "minihdfs/mini_hdfs.h"
+#include "sim/simulator.h"
+
+using namespace ppc;
+
+namespace {
+
+void BM_QueueSendReceiveDelete(benchmark::State& state) {
+  auto clock = std::make_shared<ManualClock>();
+  cloudq::MessageQueue queue("q", clock);
+  for (auto _ : state) {
+    queue.send("task=1;in=input/f;out=output/f");
+    const auto msg = queue.receive(30.0);
+    benchmark::DoNotOptimize(msg);
+    queue.delete_message(msg->receipt_handle);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueueSendReceiveDelete);
+
+void BM_QueueReceiveFromBacklog(benchmark::State& state) {
+  auto clock = std::make_shared<ManualClock>();
+  cloudq::MessageQueue queue("q", clock);
+  for (int i = 0; i < state.range(0); ++i) queue.send("m");
+  for (auto _ : state) {
+    const auto msg = queue.receive(1e9);
+    benchmark::DoNotOptimize(msg);
+    if (!msg) {
+      state.SkipWithError("queue drained; raise the backlog");
+      break;
+    }
+    queue.delete_message(msg->receipt_handle);
+    queue.send("m");  // keep the backlog level
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueueReceiveFromBacklog)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_BlobPutGet(benchmark::State& state) {
+  auto clock = std::make_shared<ManualClock>();
+  blobstore::BlobStore store(clock);
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  int i = 0;
+  for (auto _ : state) {
+    const std::string key = "k" + std::to_string(i++ % 64);
+    store.put("b", key, payload);
+    benchmark::DoNotOptimize(store.get("b", key));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_BlobPutGet)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    std::function<void()> tick = [&] {
+      if (++fired < 10000) sim.after(1.0, tick);
+    };
+    sim.after(0.0, tick);
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_SchedulerNextTask(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<mapreduce::TaskInfo> tasks;
+    tasks.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      mapreduce::TaskInfo t;
+      t.task_id = i;
+      t.path = "/in/t" + std::to_string(i);
+      t.preferred = {i % 8, (i + 1) % 8, (i + 2) % 8};
+      tasks.push_back(std::move(t));
+    }
+    mapreduce::TaskScheduler sched(std::move(tasks), {});
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) {
+      const auto a = sched.next_task(i % 8, 0.0);
+      benchmark::DoNotOptimize(a);
+      sched.report_completed(*a, 1.0);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerNextTask)->Arg(128)->Arg(1024);
+
+void BM_HdfsWriteRead(benchmark::State& state) {
+  minihdfs::MiniHdfs hdfs(8);
+  const std::string payload(256 * 1024, 'g');
+  int i = 0;
+  for (auto _ : state) {
+    const std::string path = "/f" + std::to_string(i++ % 64);
+    hdfs.write(path, payload);
+    benchmark::DoNotOptimize(hdfs.read_from(path, i % 8));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HdfsWriteRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

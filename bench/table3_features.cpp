@@ -1,0 +1,8 @@
+// Table 3: the qualitative framework comparison, printed from the same
+// structured data the behavioural tests check against the engines.
+#include "core/feature_matrix.h"
+
+int main() {
+  ppc::core::feature_matrix_table().print();
+  return 0;
+}

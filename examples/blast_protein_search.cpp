@@ -1,0 +1,107 @@
+// BLAST sequence-similarity search (§5) on the Hadoop-analog engine.
+//
+// Mirrors the paper's deployment detail: every worker preloads the BLAST
+// database *before* task processing starts ("All of the implementations
+// download and extract the compressed BLAST database to a local disk
+// partition of each worker prior to beginning processing") — here the
+// serialized database FASTA is written to HDFS once and every node indexes
+// it on first use, exactly like Hadoop's distributed cache.
+#include <cstdio>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "apps/blast/aligner.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "mapreduce/job.h"
+
+using namespace ppc;
+using namespace ppc::apps;
+
+int main() {
+  Rng rng(4242);
+
+  // Build the NR-like database and plant homologs in the queries.
+  blast::DbGenConfig db_config;
+  db_config.num_sequences = 400;
+  const auto db = blast::SequenceDb::generate(db_config, rng);
+  std::printf("database: %zu protein sequences, %zu residues\n", db.size(),
+              db.total_residues());
+
+  minihdfs::MiniHdfs hdfs(4);
+  hdfs.write("/cache/nr.fa", db.to_fasta());  // the distributed-cache analog
+
+  std::vector<std::string> query_paths;
+  for (int i = 0; i < 8; ++i) {
+    const std::string path = "/queries/q" + std::to_string(i) + ".fa";
+    hdfs.write(path, blast::make_query_file(db, 25, /*planted_frac=*/0.6, rng));
+    query_paths.push_back(path);
+  }
+
+  // Per-node lazy database indexing (each node pays the "database
+  // extraction" once, not per task).
+  std::mutex cache_mu;
+  std::map<int, std::shared_ptr<blast::BlastIndex>> node_cache;
+  std::atomic<int> indexes_built{0};
+  auto index_for_node = [&](int node) {
+    std::lock_guard lock(cache_mu);
+    auto& slot = node_cache[node];
+    if (!slot) {
+      const auto fasta = hdfs.read_from("/cache/nr.fa", node);
+      slot = std::make_shared<blast::BlastIndex>(blast::SequenceDb::from_fasta(*fasta));
+      indexes_built.fetch_add(1);
+    }
+    return slot;
+  };
+
+  mapreduce::LocalJobRunner runner(hdfs);
+  mapreduce::JobConfig config;
+  config.num_nodes = 4;
+  config.slots_per_node = 2;
+  config.output_dir = "/hits";
+  const auto result = runner.run(
+      query_paths,
+      [&](const mapreduce::FileRecord& rec, const std::string& contents) {
+        // The paper's map task: file name is the key, content the queries.
+        const int node = static_cast<int>(rec.name.back() - '0') % 4;  // illustrative
+        return index_for_node(node)->search_file(contents);
+      },
+      config);
+
+  if (!result.succeeded) {
+    std::puts("job failed");
+    return 1;
+  }
+  std::printf("map-only job done in %.2fs wall; %d database indexes built across nodes\n\n",
+              result.elapsed, indexes_built.load());
+
+  // A planted query "query-i-planted-T" should report subject "nr|T" as its
+  // top hit (the first line for that query; hits are score-sorted).
+  int total_hits = 0, planted_found = 0, planted_total = 0;
+  for (const auto& [name, path] : result.outputs) {
+    const auto report = hdfs.read(path).value_or("");
+    std::set<std::string> seen_queries;
+    int hits = 0;
+    for (const auto& line : split(report, '\n')) {
+      if (line.empty()) continue;
+      ++hits;
+      const auto fields = split(line, '\t');
+      const std::string& query = fields[0];
+      if (!seen_queries.insert(query).second) continue;  // not the top hit
+      const auto planted_pos = query.find("-planted-");
+      if (planted_pos == std::string::npos) continue;
+      ++planted_total;
+      const std::string target = query.substr(planted_pos + 9);
+      if (fields[1] == "nr|" + target) ++planted_found;
+    }
+    total_hits += hits;
+    std::printf("%-8s %4d hit lines\n", name.c_str(), hits);
+  }
+  std::printf("\ntotal hit lines: %d; planted homolog recovered as top subject: %d/%d\n",
+              total_hits, planted_found, planted_total);
+  return 0;
+}

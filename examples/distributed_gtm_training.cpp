@@ -1,0 +1,85 @@
+// The full §8 vision: GTM *training* as iterative MapReduce on cloud
+// services, then GTM *interpolation* as pleasingly parallel tasks — both
+// stages of the paper's dimension-reduction pipeline distributed.
+//
+// Training: each EM iteration broadcasts the model, maps per-chunk
+// sufficient statistics, reduces them, and solves the M-step client-side.
+// Interpolation: the trained model ships to workers like the BLAST
+// database, and each out-of-sample file maps independently.
+#include <cstdio>
+
+#include "apps/gtm/data_gen.h"
+#include "apps/gtm_dist/distributed_train.h"
+#include "common/clock.h"
+#include "common/rng.h"
+
+using namespace ppc;
+using namespace ppc::apps::gtm;
+
+int main() {
+  auto clock = std::make_shared<SystemClock>();
+  blobstore::BlobStore store(clock);
+  cloudq::QueueService queues(clock);
+
+  // Sample set: 600 compound descriptors (24-d, 4 structural families),
+  // split into 6 chunks as it would arrive from a preprocessing job.
+  Rng rng(31337);
+  ClusterDataConfig data_config;
+  data_config.num_points = 600;
+  data_config.dims = 24;
+  data_config.clusters = 4;
+  std::vector<int> labels;
+  const Matrix samples = generate_clustered(data_config, rng, &labels);
+  std::vector<Matrix> chunks;
+  for (int c = 0; c < 6; ++c) {
+    Matrix chunk(100, data_config.dims);
+    for (std::size_t i = 0; i < 100; ++i) {
+      for (std::size_t j = 0; j < data_config.dims; ++j) {
+        chunk(i, j) = samples(static_cast<std::size_t>(c) * 100 + i, j);
+      }
+    }
+    chunks.push_back(std::move(chunk));
+  }
+
+  // Distributed EM.
+  DistributedTrainOptions options;
+  options.gtm.latent_grid = 8;
+  options.gtm.rbf_grid = 4;
+  options.max_iterations = 30;
+  options.tolerance = 1e-3;
+  azuremr::AzureMapReduce runtime(store, queues, /*num_workers=*/4);
+  std::puts("training GTM via iterative MapReduce (6 chunks x 100 samples, 4 workers)...");
+  const auto result = distributed_gtm_train(runtime, chunks, options);
+  std::printf("converged=%s after %d EM iterations\n", result.converged ? "yes" : "no",
+              result.iterations);
+  for (std::size_t i = 0; i < result.log_likelihood_history.size(); ++i) {
+    if (i % 5 == 0 || i + 1 == result.log_likelihood_history.size()) {
+      std::printf("  iteration %2zu: log-likelihood %.1f\n", i,
+                  result.log_likelihood_history[i]);
+    }
+  }
+
+  // Check the embedding separates the families.
+  const Matrix mapped = result.model.interpolate(samples);
+  double within = 0, across = 0;
+  int nw = 0, na = 0;
+  for (std::size_t i = 0; i < mapped.rows(); i += 7) {
+    for (std::size_t j = i + 1; j < mapped.rows(); j += 7) {
+      const double dist = squared_distance({mapped(i, 0), mapped(i, 1)},
+                                           {mapped(j, 0), mapped(j, 1)});
+      if (labels[i] == labels[j]) {
+        within += dist;
+        ++nw;
+      } else {
+        across += dist;
+        ++na;
+      }
+    }
+  }
+  std::printf("\nlatent-space separation: within-family %.4f vs across-family %.4f\n",
+              within / nw, across / na);
+  std::puts("(a smaller within-family spread means the distributed model organizes the");
+  std::puts(" chemical families exactly as the locally trained GTM would — the tests");
+  std::puts(" verify the two trainers follow the same EM trajectory)");
+  return (within / nw < across / na) ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+// Pairwise sequence distances (SW-G) on the azuremr framework — the §7
+// companion application ("distributed pairwise sequence alignment
+// applications using MapReduce") as a runnable program.
+//
+// Decomposition: the N x N symmetric distance matrix is tiled into blocks;
+// each *map task is one block* (a different pleasingly-parallel shape than
+// the file-per-task apps); reducers pass block payloads through; the client
+// merges blocks and mirrors the lower triangle.
+#include <cstdio>
+
+#include "apps/cap3/read_simulator.h"
+#include "apps/swg/blocks.h"
+#include "azuremr/runtime.h"
+#include "common/clock.h"
+#include "common/rng.h"
+
+using namespace ppc;
+using namespace ppc::apps;
+
+int main() {
+  // Two gene families: sequences within a family share a common ancestor
+  // (mutated copies), across families they are unrelated.
+  Rng rng(555);
+  const std::string ancestor_a = cap3::random_genome(160, rng);
+  const std::string ancestor_b = cap3::random_genome(160, rng);
+  std::vector<FastaRecord> seqs;
+  auto mutate = [&rng](std::string s, double rate) {
+    for (char& c : s) {
+      if (rng.bernoulli(rate)) {
+        static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+        c = kBases[rng.index(4)];
+      }
+    }
+    return s;
+  };
+  for (int i = 0; i < 12; ++i) {
+    seqs.push_back({"famA-" + std::to_string(i), mutate(ancestor_a, 0.06)});
+  }
+  for (int i = 0; i < 12; ++i) {
+    seqs.push_back({"famB-" + std::to_string(i), mutate(ancestor_b, 0.06)});
+  }
+  const std::size_t n = seqs.size();
+  const std::string fasta = write_fasta(seqs);
+
+  // Each map task = one matrix block. The sequence set itself is the cached
+  // static input; the block list travels in the broadcast.
+  const auto blocks = swg::partition_blocks(n, /*block_size=*/6);
+  std::printf("computing %zux%zu SW-G distance matrix as %zu block tasks...\n", n, n,
+              blocks.size());
+
+  auto clock = std::make_shared<SystemClock>();
+  blobstore::BlobStore store(clock);
+  cloudq::QueueService queues(clock);
+
+  azuremr::JobSpec spec;
+  spec.job_id = "swg";
+  spec.num_reduce_tasks = 2;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    // One tiny input per block naming its extent; the FASTA rides along in
+    // every chunk's broadcast instead (shared read-only data).
+    const auto& blk = blocks[b];
+    spec.inputs.emplace_back("block" + std::to_string(b),
+                             std::to_string(blk.row_begin) + " " + std::to_string(blk.row_end) +
+                                 " " + std::to_string(blk.col_begin) + " " +
+                                 std::to_string(blk.col_end));
+  }
+  spec.initial_broadcast = fasta;
+  spec.map = [](const std::string& name, const std::string& extent,
+                const std::string& broadcast) {
+    const auto all = parse_fasta(broadcast);
+    swg::BlockSpec block;
+    std::sscanf(extent.c_str(), "%zu %zu %zu %zu", &block.row_begin, &block.row_end,
+                &block.col_begin, &block.col_end);
+    const auto values = swg::compute_block(all, block);
+    return std::vector<azuremr::KeyValue>{{name, swg::encode_block_result(block, values)}};
+  };
+  spec.reduce = [](const std::string&, const std::vector<std::string>& values) {
+    return values.front();  // one block result per key
+  };
+
+  azuremr::AzureMapReduce runtime(store, queues, /*num_workers=*/4);
+  const auto result = runtime.run(spec);
+  if (!result.succeeded) {
+    std::puts("job failed");
+    return 1;
+  }
+
+  swg::DistanceMatrix matrix(n);
+  for (const auto& [key, payload] : result.outputs) {
+    const auto [block, values] = swg::decode_block_result(payload);
+    matrix.merge_block(block, values);
+  }
+  if (!matrix.complete()) {
+    std::puts("matrix incomplete!");
+    return 1;
+  }
+
+  // Summarize: mean within-family vs across-family distance.
+  double within = 0, across = 0;
+  int nw = 0, na = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same = (i < 12) == (j < 12);
+      (same ? within : across) += matrix.at(i, j);
+      ++(same ? nw : na);
+    }
+  }
+  std::printf("mean distance within a family : %.3f\n", within / nw);
+  std::printf("mean distance across families : %.3f\n", across / na);
+  std::puts("(a downstream MDS/GTM step would use this matrix for visualization,");
+  std::puts(" which is exactly the pipeline the authors run on PubChem + SW-G)");
+  return (within / nw < across / na) ? 0 : 1;
+}

@@ -1,0 +1,157 @@
+#include "apps/blast/aligner.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "apps/blast/protein.h"
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace ppc::apps::blast {
+
+namespace {
+int kmer_self_score(const std::string& kmer) {
+  int s = 0;
+  for (char c : kmer) s += blosum62(c, c);
+  return s;
+}
+}  // namespace
+
+BlastIndex::BlastIndex(const SequenceDb& db, AlignerConfig config)
+    : db_(db), config_(config) {
+  PPC_REQUIRE(config_.k >= 2 && config_.k <= 6, "k must be in [2, 6]");
+  PPC_REQUIRE(db_.size() >= 1, "database is empty");
+  for (std::size_t s = 0; s < db_.size(); ++s) {
+    const std::string& seq = db_.record(s).seq;
+    if (seq.size() < config_.k) continue;
+    for (std::size_t p = 0; p + config_.k <= seq.size(); ++p) {
+      index_[seq.substr(p, config_.k)].push_back(
+          {static_cast<std::uint32_t>(s), static_cast<std::uint32_t>(p)});
+    }
+  }
+}
+
+std::vector<Hit> BlastIndex::search(const FastaRecord& query) const {
+  struct Best {
+    int score = 0;
+    std::size_t len = 0;
+    std::size_t identical = 0;
+    std::size_t qstart = 0;
+    std::size_t sstart = 0;
+  };
+  std::map<std::uint32_t, Best> best_per_subject;
+
+  const std::string& q = query.seq;
+  if (q.size() < config_.k) return {};
+
+  for (std::size_t qp = 0; qp + config_.k <= q.size(); ++qp) {
+    const std::string kmer = q.substr(qp, config_.k);
+    if (kmer_self_score(kmer) < config_.seed_threshold) continue;
+    const auto it = index_.find(kmer);
+    if (it == index_.end()) continue;
+
+    for (const Posting& posting : it->second) {
+      const std::string& s = db_.record(posting.seq).seq;
+      const std::size_t sp = posting.pos;
+
+      // Seed score.
+      int score = 0;
+      for (std::size_t i = 0; i < config_.k; ++i) {
+        score += blosum62(q[qp + i], s[sp + i]);
+      }
+
+      // Extend right with X-drop.
+      int best_score = score;
+      std::size_t best_right = config_.k;  // residues covered from seed start
+      {
+        int run = score;
+        std::size_t i = config_.k;
+        while (qp + i < q.size() && sp + i < s.size()) {
+          run += blosum62(q[qp + i], s[sp + i]);
+          ++i;
+          if (run > best_score) {
+            best_score = run;
+            best_right = i;
+          } else if (run < best_score - config_.x_drop) {
+            break;
+          }
+        }
+      }
+
+      // Extend left with X-drop.
+      std::size_t best_left = 0;
+      {
+        int run = best_score;
+        int local_best = best_score;
+        std::size_t i = 0;
+        while (qp > i && sp > i) {
+          ++i;
+          run += blosum62(q[qp - i], s[sp - i]);
+          if (run > local_best) {
+            local_best = run;
+            best_left = i;
+          } else if (run < local_best - config_.x_drop) {
+            break;
+          }
+        }
+        best_score = local_best;
+      }
+
+      if (best_score < config_.score_cutoff) continue;
+      const std::size_t align_len = best_left + best_right;
+      const std::size_t qstart = qp - best_left;
+      const std::size_t sstart = sp - best_left;
+
+      Best& cur = best_per_subject[posting.seq];
+      if (best_score > cur.score) {
+        std::size_t identical = 0;
+        for (std::size_t i = 0; i < align_len; ++i) {
+          if (q[qstart + i] == s[sstart + i]) ++identical;
+        }
+        cur = {best_score, align_len, identical, qstart, sstart};
+      }
+    }
+  }
+
+  std::vector<Hit> hits;
+  hits.reserve(best_per_subject.size());
+  for (const auto& [subject, b] : best_per_subject) {
+    Hit h;
+    h.query_id = query.id;
+    h.subject_id = db_.record(subject).id;
+    h.score = b.score;
+    h.align_length = b.len;
+    h.identity = b.len == 0 ? 0.0 : static_cast<double>(b.identical) / static_cast<double>(b.len);
+    h.query_start = b.qstart;
+    h.subject_start = b.sstart;
+    hits.push_back(std::move(h));
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.subject_id < b.subject_id;
+  });
+  if (hits.size() > config_.max_hits) hits.resize(config_.max_hits);
+  return hits;
+}
+
+std::string BlastIndex::search_file(const std::string& query_fasta) const {
+  const auto queries = apps::parse_fasta(query_fasta);
+  std::ostringstream os;
+  for (const auto& query : queries) {
+    os << render_hits(search(query));
+  }
+  return os.str();
+}
+
+std::string render_hits(const std::vector<Hit>& hits) {
+  std::ostringstream os;
+  for (const Hit& h : hits) {
+    os << h.query_id << '\t' << h.subject_id << '\t' << ppc::format_fixed(h.identity * 100.0, 1)
+       << '\t' << h.align_length << '\t' << h.score << '\t' << h.query_start << '\t'
+       << h.subject_start << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ppc::apps::blast

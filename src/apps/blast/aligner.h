@@ -1,0 +1,79 @@
+// Miniature BLAST: k-mer seeded, X-drop extended, BLOSUM62-scored ungapped
+// protein search — the "sequential executable" of the paper's BLAST
+// experiments, with the same file contract (a FASTA query file in, a
+// tabular hit report out).
+//
+// Algorithm (the classic BLAST outline):
+//  * index every k-mer (k = 3) of the database;
+//  * for each query k-mer whose self-score passes the seed threshold, look
+//    up database positions sharing it;
+//  * extend each seed left and right without gaps, abandoning a direction
+//    once the running score falls `x_drop` below the best (X-drop);
+//  * keep the best alignment per database sequence; report hits whose score
+//    meets the cutoff, ranked by score.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/blast/db.h"
+
+namespace ppc::apps::blast {
+
+struct AlignerConfig {
+  std::size_t k = 3;
+  /// Minimum BLOSUM62 self-score of a k-mer to act as a seed (T parameter).
+  int seed_threshold = 11;
+  /// Extension abandons a direction when score drops this far below best.
+  int x_drop = 12;
+  /// Hits below this alignment score are not reported (S parameter).
+  int score_cutoff = 35;
+  /// At most this many hits reported per query.
+  std::size_t max_hits = 10;
+};
+
+struct Hit {
+  std::string query_id;
+  std::string subject_id;
+  int score = 0;
+  std::size_t align_length = 0;
+  double identity = 0.0;       // fraction of identical residues
+  std::size_t query_start = 0;
+  std::size_t subject_start = 0;
+};
+
+class BlastIndex {
+ public:
+  /// Builds the k-mer index over the database (the expensive, shared step —
+  /// the analog of formatdb/makeblastdb).
+  BlastIndex(const SequenceDb& db, AlignerConfig config = {});
+
+  const SequenceDb& db() const { return db_; }
+  const AlignerConfig& config() const { return config_; }
+
+  /// Searches one query; hits sorted by descending score.
+  std::vector<Hit> search(const FastaRecord& query) const;
+
+  /// Searches every query in a FASTA file and renders the tabular report —
+  /// the worker-facing entry point (file in, file out).
+  std::string search_file(const std::string& query_fasta) const;
+
+  std::size_t indexed_kmers() const { return index_.size(); }
+
+ private:
+  struct Posting {
+    std::uint32_t seq = 0;
+    std::uint32_t pos = 0;
+  };
+
+  SequenceDb db_;
+  AlignerConfig config_;
+  std::unordered_map<std::string, std::vector<Posting>> index_;
+};
+
+/// Renders hits in BLAST -outfmt 6 style (tab separated).
+std::string render_hits(const std::vector<Hit>& hits);
+
+}  // namespace ppc::apps::blast

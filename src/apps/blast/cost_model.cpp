@@ -1,0 +1,47 @@
+#include "apps/blast/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ppc::apps::blast {
+
+double BlastCostModel::residency(const cloud::InstanceType& type) const {
+  return std::min(1.0, type.memory_gb / db_size_gb);
+}
+
+double BlastCostModel::thread_speedup(int threads) const {
+  PPC_REQUIRE(threads >= 1, "threads must be >= 1");
+  if (threads == 1) return 1.0;
+  const double doublings = std::log2(static_cast<double>(threads));
+  return static_cast<double>(threads) * std::pow(thread_doubling_efficiency, doublings);
+}
+
+double BlastCostModel::contention_factor(const cloud::InstanceType& type, int busy_cores) const {
+  PPC_REQUIRE(busy_cores >= 1, "busy_cores must be >= 1");
+  if (busy_cores == 1) return 1.0;
+  const double mem_per_busy = type.memory_gb / static_cast<double>(busy_cores);
+  if (mem_per_busy >= contention_floor_gb) return 1.0;
+  return 1.0 + contention_coeff * (contention_floor_gb - mem_per_busy) / contention_floor_gb;
+}
+
+Seconds BlastCostModel::expected_seconds(std::size_t num_queries, double work_factor,
+                                         const cloud::InstanceType& type, int threads,
+                                         int busy_cores) const {
+  PPC_REQUIRE(num_queries >= 1, "file must contain at least one query");
+  PPC_REQUIRE(work_factor > 0.0, "work factor must be positive");
+  const double clock_factor = reference_clock_ghz / type.clock_ghz;
+  const double penalty = 1.0 + miss_penalty * (1.0 - residency(type));
+  return base_seconds_per_query * static_cast<double>(num_queries) * work_factor * clock_factor *
+         penalty * contention_factor(type, busy_cores) / thread_speedup(threads);
+}
+
+Seconds BlastCostModel::sample_seconds(std::size_t num_queries, double work_factor,
+                                       const cloud::InstanceType& type, int threads,
+                                       int busy_cores, ppc::Rng& rng) const {
+  const Seconds expected = expected_seconds(num_queries, work_factor, type, threads, busy_cores);
+  return jitter_cv > 0.0 ? rng.jittered(expected, jitter_cv) : expected;
+}
+
+}  // namespace ppc::apps::blast

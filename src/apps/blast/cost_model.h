@@ -1,0 +1,72 @@
+// Runtime cost model of the BLAST executable — feeds the simulation behind
+// Figures 7-11.
+//
+// §5.1 establishes the shape this model must reproduce:
+//  * BLAST streams a large database (8.7 GB NR); when the instance's memory
+//    can "load and reuse the whole BLAST database" performance improves —
+//    so the penalty is driven by how much of the database fits in the
+//    instance's page cache (shared by all workers on that instance);
+//  * the lower-clocked XL (~2.0 GHz, 15 GB) performs similarly to the
+//    HCXL (~2.5 GHz, 7 GB): more cache compensates for less clock — the
+//    miss penalty below is calibrated to make exactly that trade hold;
+//  * HM4XL (3.25 GHz, 68 GB) is fastest: best clock *and* full residency;
+//  * "Using pure BLAST threads to parallelize inside the instances
+//    delivered slightly lesser performance than using multiple workers
+//    (processes)" — sub-linear thread speedup.
+#pragma once
+
+#include "cloud/instance_types.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ppc::apps::blast {
+
+struct BlastCostModel {
+  /// Seconds per query on a 2.5 GHz core with the database fully resident.
+  double base_seconds_per_query = 4.5;
+  /// Uncompressed NR database size (§5).
+  double db_size_gb = 8.7;
+  /// Runtime multiplier slope for the non-resident database fraction.
+  /// 1.6 makes XL (2.0 GHz, full residency) ≈ HCXL (2.5 GHz, 80%), the
+  /// §5.1 observation.
+  double miss_penalty = 1.6;
+  /// Per-doubling efficiency of intra-worker threads (< 1: threads lose to
+  /// processes).
+  double thread_doubling_efficiency = 0.93;
+  double reference_clock_ghz = 2.5;
+  /// Multi-worker cache interference: when many concurrent workers leave
+  /// less than `contention_floor_gb` of instance memory per busy core, they
+  /// evict each other's database pages. This term hits *parallel* runs but
+  /// not the single-worker T1 baseline, which is §5.2's explanation for the
+  /// EC2 HCXL implementation's "relatively low efficiency" ("the limited
+  /// memory of the HCXL instances shared across 8 workers").
+  double contention_floor_gb = 1.0;
+  double contention_coeff = 0.6;
+  /// Input-content variability: the base 128-file set is inhomogeneous
+  /// (§5.2), so per-file work varies.
+  double jitter_cv = 0.0;  // jitter applied by the workload, not the model
+
+  /// Fraction of the database resident in the instance's memory.
+  double residency(const cloud::InstanceType& type) const;
+
+  /// Speedup of `threads` BLAST threads inside one worker.
+  double thread_speedup(int threads) const;
+
+  /// Cache-interference multiplier when `busy_cores` of the instance's
+  /// cores run BLAST concurrently (1.0 for a single worker).
+  double contention_factor(const cloud::InstanceType& type, int busy_cores) const;
+
+  /// Expected seconds to process a query file of `num_queries` queries with
+  /// `work_factor` content scaling (1.0 = average file) using `threads`
+  /// threads on one worker of the given instance, while `busy_cores` of the
+  /// instance's cores are concurrently active.
+  Seconds expected_seconds(std::size_t num_queries, double work_factor,
+                           const cloud::InstanceType& type, int threads = 1,
+                           int busy_cores = 1) const;
+
+  Seconds sample_seconds(std::size_t num_queries, double work_factor,
+                         const cloud::InstanceType& type, int threads, int busy_cores,
+                         ppc::Rng& rng) const;
+};
+
+}  // namespace ppc::apps::blast

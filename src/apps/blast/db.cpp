@@ -1,0 +1,79 @@
+#include "apps/blast/db.h"
+
+#include <algorithm>
+
+#include "apps/blast/protein.h"
+#include "common/error.h"
+
+namespace ppc::apps::blast {
+
+SequenceDb::SequenceDb(std::vector<FastaRecord> records) : records_(std::move(records)) {}
+
+SequenceDb SequenceDb::generate(const DbGenConfig& config, ppc::Rng& rng) {
+  PPC_REQUIRE(config.num_sequences >= 1, "database needs at least one sequence");
+  std::vector<FastaRecord> records;
+  records.reserve(config.num_sequences);
+  for (std::size_t i = 0; i < config.num_sequences; ++i) {
+    const double draw = rng.normal(static_cast<double>(config.length_mean),
+                                   static_cast<double>(config.length_stddev));
+    const auto length =
+        std::max(config.length_min, static_cast<std::size_t>(std::max(1.0, draw)));
+    records.push_back({"nr|" + std::to_string(i), random_protein(length, rng)});
+  }
+  return SequenceDb(std::move(records));
+}
+
+SequenceDb SequenceDb::from_fasta(const std::string& text) {
+  return SequenceDb(apps::parse_fasta(text));
+}
+
+std::string SequenceDb::to_fasta() const { return apps::write_fasta(records_); }
+
+std::size_t SequenceDb::total_residues() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) n += r.seq.size();
+  return n;
+}
+
+std::string random_protein(std::size_t length, ppc::Rng& rng) {
+  PPC_REQUIRE(length >= 1, "protein length must be >= 1");
+  std::string s(length, 'A');
+  for (char& c : s) c = kAminoAcids[rng.index(kAlphabetSize)];
+  return s;
+}
+
+std::string plant_query(const SequenceDb& db, std::size_t db_index, std::size_t length,
+                        double mutation_rate, ppc::Rng& rng) {
+  PPC_REQUIRE(db_index < db.size(), "db index out of range");
+  const std::string& src = db.record(db_index).seq;
+  const std::size_t len = std::min(length, src.size());
+  const std::size_t start = src.size() == len ? 0 : rng.index(src.size() - len + 1);
+  std::string q = src.substr(start, len);
+  for (char& c : q) {
+    if (rng.bernoulli(mutation_rate)) c = kAminoAcids[rng.index(kAlphabetSize)];
+  }
+  return q;
+}
+
+std::string make_query_file(const SequenceDb& db, std::size_t num_queries, double planted_frac,
+                            ppc::Rng& rng) {
+  PPC_REQUIRE(num_queries >= 1, "need at least one query");
+  PPC_REQUIRE(planted_frac >= 0.0 && planted_frac <= 1.0, "planted_frac must be in [0,1]");
+  std::vector<FastaRecord> queries;
+  queries.reserve(num_queries);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    FastaRecord r;
+    if (rng.bernoulli(planted_frac)) {
+      const std::size_t target = rng.index(db.size());
+      r.id = "query-" + std::to_string(i) + "-planted-" + std::to_string(target);
+      r.seq = plant_query(db, target, 60 + rng.index(120), 0.05, rng);
+    } else {
+      r.id = "query-" + std::to_string(i) + "-random";
+      r.seq = random_protein(60 + rng.index(120), rng);
+    }
+    queries.push_back(std::move(r));
+  }
+  return apps::write_fasta(queries);
+}
+
+}  // namespace ppc::apps::blast

@@ -1,0 +1,64 @@
+// Protein sequence database — the stand-in for NCBI's non-redundant (NR)
+// database (§5: 8.7 GB uncompressed, 2.9 GB compressed, distributed to
+// every worker before processing starts).
+//
+// The synthetic generator produces random protein sequences with NR-like
+// length statistics; "planted" queries copied (with optional mutations)
+// from database entries give the aligner something it must find, which the
+// tests assert. Serialization reuses FASTA so the database travels through
+// the same blob-store / HDFS / file-share plumbing as every other file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/cap3/fasta.h"
+#include "common/rng.h"
+
+namespace ppc::apps::blast {
+
+using apps::FastaRecord;
+
+struct DbGenConfig {
+  std::size_t num_sequences = 500;
+  std::size_t length_mean = 350;  // NR's mean protein length is ~350 aa
+  std::size_t length_stddev = 120;
+  std::size_t length_min = 50;
+};
+
+class SequenceDb {
+ public:
+  SequenceDb() = default;
+  explicit SequenceDb(std::vector<FastaRecord> records);
+
+  static SequenceDb generate(const DbGenConfig& config, ppc::Rng& rng);
+  static SequenceDb from_fasta(const std::string& text);
+
+  std::string to_fasta() const;
+
+  const std::vector<FastaRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  const FastaRecord& record(std::size_t i) const { return records_.at(i); }
+
+  /// Total residues — proportional to the database's memory footprint.
+  std::size_t total_residues() const;
+
+ private:
+  std::vector<FastaRecord> records_;
+};
+
+/// A random protein sequence of the given length.
+std::string random_protein(std::size_t length, ppc::Rng& rng);
+
+/// Copies a database region into a query, applying `mutation_rate`
+/// substitutions — a planted homolog the aligner must recover.
+std::string plant_query(const SequenceDb& db, std::size_t db_index, std::size_t length,
+                        double mutation_rate, ppc::Rng& rng);
+
+/// Builds one query *file* of `num_queries` FASTA queries, a fraction of
+/// them planted from `db` (the rest random) — the paper's unit of work
+/// ("we bundled 100 queries in to each data input file").
+std::string make_query_file(const SequenceDb& db, std::size_t num_queries, double planted_frac,
+                            ppc::Rng& rng);
+
+}  // namespace ppc::apps::blast

@@ -1,0 +1,24 @@
+// Protein alphabet and BLOSUM62 substitution scoring — the scoring core of
+// the BLAST kernel (NCBI BLAST+ defaults to BLOSUM62 for blastp).
+#pragma once
+
+#include <string>
+
+namespace ppc::apps::blast {
+
+/// The 20 standard amino acids in BLOSUM row order.
+inline constexpr char kAminoAcids[] = "ARNDCQEGHILKMFPSTWYV";
+inline constexpr int kAlphabetSize = 20;
+
+/// Index of an amino acid in kAminoAcids, or -1 for anything else
+/// (ambiguity codes score as mismatches).
+int amino_index(char aa);
+
+/// BLOSUM62 substitution score for a pair of residues; unknown residues
+/// score -4 (the BLAST treatment of X against anything).
+int blosum62(char a, char b);
+
+/// True when every character of `seq` is a standard amino acid.
+bool is_valid_protein(const std::string& seq);
+
+}  // namespace ppc::apps::blast

@@ -1,0 +1,26 @@
+#include "apps/cap3/cost_model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ppc::apps::cap3 {
+
+Seconds Cap3CostModel::expected_seconds(std::size_t num_reads,
+                                        const cloud::InstanceType& type) const {
+  PPC_REQUIRE(num_reads >= 1, "file must contain at least one read");
+  PPC_REQUIRE(type.clock_ghz > 0.0, "clock rate must be positive");
+  const double size_factor =
+      std::pow(static_cast<double>(num_reads) / reference_reads, reads_exponent);
+  const double clock_factor = reference_clock_ghz / type.clock_ghz;
+  const double platform_factor =
+      type.platform == cloud::Platform::kWindows ? windows_factor : 1.0;
+  return base_seconds_458_reads * size_factor * clock_factor * platform_factor;
+}
+
+Seconds Cap3CostModel::sample_seconds(std::size_t num_reads, const cloud::InstanceType& type,
+                                      ppc::Rng& rng) const {
+  return rng.jittered(expected_seconds(num_reads, type), jitter_cv);
+}
+
+}  // namespace ppc::apps::cap3

@@ -1,0 +1,73 @@
+#include "apps/cap3/fasta.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace ppc::apps {
+
+std::string write_fasta(const std::vector<FastaRecord>& records, std::size_t line_width) {
+  PPC_REQUIRE(line_width >= 1, "line width must be >= 1");
+  std::ostringstream os;
+  for (const FastaRecord& r : records) {
+    os << '>' << r.id << '\n';
+    for (std::size_t i = 0; i < r.seq.size(); i += line_width) {
+      os << r.seq.substr(i, line_width) << '\n';
+    }
+    if (r.seq.empty()) os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<FastaRecord> parse_fasta(const std::string& text) {
+  std::vector<FastaRecord> records;
+  for (const auto& raw_line : ppc::split(text, '\n')) {
+    const std::string_view line = ppc::trim(raw_line);
+    if (line.empty()) continue;
+    if (line.front() == '>') {
+      FastaRecord r;
+      const std::string_view header = line.substr(1);
+      const std::size_t space = header.find_first_of(" \t");
+      r.id = std::string(space == std::string_view::npos ? header : header.substr(0, space));
+      records.push_back(std::move(r));
+    } else {
+      PPC_REQUIRE(!records.empty(), "FASTA sequence data before any header");
+      records.back().seq.append(line);
+    }
+  }
+  return records;
+}
+
+std::string reverse_complement(const std::string& seq) {
+  auto complement = [](char c) -> char {
+    switch (c) {
+      case 'A': return 'T';
+      case 'T': return 'A';
+      case 'C': return 'G';
+      case 'G': return 'C';
+      case 'a': return 't';
+      case 't': return 'a';
+      case 'c': return 'g';
+      case 'g': return 'c';
+      default: return 'N';
+    }
+  };
+  std::string rc(seq.size(), 'N');
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    rc[seq.size() - 1 - i] = complement(seq[i]);
+  }
+  return rc;
+}
+
+std::size_t count_fasta_records(const std::string& text) {
+  std::size_t n = 0;
+  bool at_line_start = true;
+  for (char c : text) {
+    if (at_line_start && c == '>') ++n;
+    at_line_start = (c == '\n');
+  }
+  return n;
+}
+
+}  // namespace ppc::apps

@@ -1,0 +1,34 @@
+// FASTA parsing and serialization — the interchange format of both the Cap3
+// and BLAST pipelines ("The Cap3 algorithm operates on a collection of gene
+// sequence fragments presented as FASTA formatted files", §4).
+//
+// Convention used by the Cap3 kernel: lowercase bases mark poor-quality
+// regions (stand-ins for low phred scores); the assembler's trimming stage
+// removes them, as CAP3's quality trimming would.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ppc::apps {
+
+struct FastaRecord {
+  std::string id;   // text after '>' up to first whitespace
+  std::string seq;  // concatenated sequence lines
+};
+
+/// Serializes records as FASTA with the given line width.
+std::string write_fasta(const std::vector<FastaRecord>& records, std::size_t line_width = 70);
+
+/// Parses FASTA text. Throws ppc::InvalidArgument on malformed input
+/// (sequence data before the first header). Blank lines are ignored.
+std::vector<FastaRecord> parse_fasta(const std::string& text);
+
+/// Number of records in FASTA text without materializing them.
+std::size_t count_fasta_records(const std::string& text);
+
+/// Watson-Crick reverse complement (A<->T, C<->G; case preserved; other
+/// characters map to 'N').
+std::string reverse_complement(const std::string& seq);
+
+}  // namespace ppc::apps

@@ -1,0 +1,95 @@
+#include "apps/cap3/read_simulator.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.h"
+
+namespace ppc::apps::cap3 {
+
+namespace {
+constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+
+char random_base(ppc::Rng& rng) { return kBases[rng.index(4)]; }
+
+char mutate(char base, ppc::Rng& rng) {
+  char other;
+  do {
+    other = random_base(rng);
+  } while (other == base);
+  return other;
+}
+}  // namespace
+
+std::string random_genome(std::size_t length, ppc::Rng& rng) {
+  PPC_REQUIRE(length >= 1, "genome length must be >= 1");
+  std::string g(length, 'A');
+  for (char& c : g) c = random_base(rng);
+  return g;
+}
+
+SimulatedDataset simulate_shotgun(const ReadSimConfig& config, ppc::Rng& rng) {
+  PPC_REQUIRE(config.genome_length >= config.read_length_mean,
+              "genome must be at least one read long");
+  PPC_REQUIRE(config.num_reads >= 1, "need at least one read");
+  PPC_REQUIRE(config.read_length_min >= 1, "read length min must be >= 1");
+
+  SimulatedDataset ds;
+  ds.genome = random_genome(config.genome_length, rng);
+  ds.reads.reserve(config.num_reads);
+
+  for (std::size_t i = 0; i < config.num_reads; ++i) {
+    const auto len_draw = rng.normal(static_cast<double>(config.read_length_mean),
+                                     static_cast<double>(config.read_length_stddev));
+    const std::size_t len = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::max(1.0, len_draw)), config.read_length_min,
+        config.genome_length);
+    const std::size_t pos = rng.index(config.genome_length - len + 1);
+
+    std::string seq = ds.genome.substr(pos, len);
+    if (config.error_rate > 0.0) {
+      for (char& c : seq) {
+        if (rng.bernoulli(config.error_rate)) c = mutate(c, rng);
+      }
+    }
+    const bool reversed =
+        config.reverse_strand_prob > 0.0 && rng.bernoulli(config.reverse_strand_prob);
+    if (reversed) seq = reverse_complement(seq);
+    // Poor-quality tail: lowercase bases at one end (randomized garbage, as
+    // real chromatogram tails are), removed by the assembler's trimming.
+    if (config.poor_tail_max > 0 && rng.bernoulli(config.poor_tail_prob)) {
+      const std::size_t tail = 1 + rng.index(config.poor_tail_max);
+      std::string junk(tail, 'a');
+      for (char& c : junk) c = static_cast<char>(std::tolower(random_base(rng)));
+      if (rng.bernoulli(0.5)) {
+        seq = junk + seq;
+      } else {
+        seq += junk;
+      }
+    }
+
+    FastaRecord r;
+    r.id = "read-" + std::to_string(i) + "-pos" + std::to_string(pos) + (reversed ? "-rc" : "");
+    r.seq = std::move(seq);
+    ds.reads.push_back(std::move(r));
+  }
+  return ds;
+}
+
+std::string make_cap3_input(std::size_t num_reads, ppc::Rng& rng) {
+  ReadSimConfig config;
+  config.num_reads = num_reads;
+  // Scale the genome so coverage stays around 12x regardless of read count
+  // — enough overlap for assembly, like the paper's real gene fragments.
+  const double target_coverage = 12.0;
+  config.genome_length = std::max<std::size_t>(
+      2 * config.read_length_mean,
+      static_cast<std::size_t>(static_cast<double>(num_reads * config.read_length_mean) /
+                               target_coverage));
+  config.error_rate = 0.004;
+  config.reverse_strand_prob = 0.5;  // real shotgun data covers both strands
+  const SimulatedDataset ds = simulate_shotgun(config, rng);
+  return write_fasta(ds.reads);
+}
+
+}  // namespace ppc::apps::cap3

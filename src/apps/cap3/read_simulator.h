@@ -1,0 +1,54 @@
+// Synthetic shotgun sequencing — the workload generator for the Cap3
+// experiments.
+//
+// The paper assembles FASTA files of gene fragments ("each file containing
+// 458 reads" for the scalability study, "200 reads" for the instance-type
+// study). We cannot redistribute their data, so we *simulate* shotgun
+// sequencing of a random genome: reads are substrings at random positions
+// with Sanger-era lengths, optional substitution errors, and optional
+// poor-quality tails (lowercase) for the trimming stage to remove. High
+// coverage guarantees overlaps exist, so the mini assembler genuinely
+// reconstructs the genome — the examples and tests verify that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/cap3/fasta.h"
+#include "common/rng.h"
+
+namespace ppc::apps::cap3 {
+
+struct ReadSimConfig {
+  std::size_t genome_length = 20000;
+  std::size_t num_reads = 458;  // the paper's per-file read count (§4.2)
+  std::size_t read_length_mean = 550;
+  std::size_t read_length_stddev = 40;
+  std::size_t read_length_min = 80;
+  /// Per-base substitution error probability.
+  double error_rate = 0.0;
+  /// Probability a read is sequenced from the reverse strand (stored as the
+  /// reverse complement); the assembler's orientation resolution flips it
+  /// back.
+  double reverse_strand_prob = 0.0;
+  /// Probability a read carries a poor-quality (lowercase) tail.
+  double poor_tail_prob = 0.3;
+  std::size_t poor_tail_max = 25;
+};
+
+struct SimulatedDataset {
+  std::string genome;
+  std::vector<FastaRecord> reads;
+};
+
+/// Simulates a genome and a shotgun read set over it.
+SimulatedDataset simulate_shotgun(const ReadSimConfig& config, ppc::Rng& rng);
+
+/// Convenience: a ready-to-assemble FASTA input file with `num_reads` reads
+/// — the unit of work of every Cap3 experiment in the paper.
+std::string make_cap3_input(std::size_t num_reads, ppc::Rng& rng);
+
+/// Random uppercase genome of the requested length.
+std::string random_genome(std::size_t length, ppc::Rng& rng);
+
+}  // namespace ppc::apps::cap3

@@ -1,0 +1,21 @@
+#include "apps/gtm/cost_model.h"
+
+#include "common/error.h"
+
+namespace ppc::apps::gtm {
+
+Seconds GtmCostModel::expected_seconds(double points, const cloud::InstanceType& type,
+                                       int busy_cores) const {
+  PPC_REQUIRE(points > 0.0, "points must be positive");
+  const double scale = points / reference_points;
+  const double cpu_term = cpu_seconds_ghz / type.clock_ghz;
+  const double mem_term = mem_seconds_gbps / type.bandwidth_per_busy_core(busy_cores);
+  return scale * (cpu_term + mem_term);
+}
+
+Seconds GtmCostModel::sample_seconds(double points, const cloud::InstanceType& type,
+                                     int busy_cores, ppc::Rng& rng) const {
+  return rng.jittered(expected_seconds(points, type, busy_cores), jitter_cv);
+}
+
+}  // namespace ppc::apps::gtm

@@ -1,0 +1,39 @@
+// Runtime cost model of GTM Interpolation — feeds the simulation behind
+// Figures 12-15.
+//
+// §6 establishes the shape: "GTM is more memory-intensive and the memory
+// bandwidth becomes the bottleneck"; "platforms with less memory contention
+// (fewer CPU cores sharing a single memory) performed better"; HM4XL gives
+// the best performance, EC2 Large the best EC2 efficiency, Azure Small the
+// best overall efficiency, and 16-core Dryad nodes the worst.
+//
+// Model: per-file time = cpu_term / clock + mem_term / (bandwidth per busy
+// core). The second term grows when more cores of an instance compete for
+// its memory bus — precisely the contention story of §6.2.
+#pragma once
+
+#include "cloud/instance_types.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ppc::apps::gtm {
+
+struct GtmCostModel {
+  /// CPU-bound seconds x GHz per 100k-point file.
+  double cpu_seconds_ghz = 20.0;
+  /// Memory-traffic seconds x (GB/s) per 100k-point file.
+  double mem_seconds_gbps = 40.0;
+  /// Points per reference file (the paper partitions 26.4M points into 264
+  /// files of 100k points).
+  double reference_points = 100000.0;
+  double jitter_cv = 0.03;
+
+  /// Expected sequential seconds for one file of `points` points on an
+  /// instance of `type` with `busy_cores` of its cores concurrently active.
+  Seconds expected_seconds(double points, const cloud::InstanceType& type, int busy_cores) const;
+
+  Seconds sample_seconds(double points, const cloud::InstanceType& type, int busy_cores,
+                         ppc::Rng& rng) const;
+};
+
+}  // namespace ppc::apps::gtm

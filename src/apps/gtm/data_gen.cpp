@@ -1,0 +1,63 @@
+#include "apps/gtm/data_gen.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace ppc::apps::gtm {
+
+Matrix generate_clustered(const ClusterDataConfig& config, ppc::Rng& rng,
+                          std::vector<int>* labels) {
+  PPC_REQUIRE(config.num_points >= 1, "need at least one point");
+  PPC_REQUIRE(config.clusters >= 1, "need at least one cluster");
+  PPC_REQUIRE(config.dims >= 1, "need at least one dimension");
+
+  std::vector<std::vector<double>> centers(config.clusters, std::vector<double>(config.dims));
+  for (auto& c : centers) {
+    for (double& v : c) v = rng.uniform(-config.center_range, config.center_range);
+  }
+
+  Matrix points(config.num_points, config.dims);
+  if (labels != nullptr) labels->resize(config.num_points);
+  for (std::size_t i = 0; i < config.num_points; ++i) {
+    const std::size_t cluster = rng.index(config.clusters);
+    if (labels != nullptr) (*labels)[i] = static_cast<int>(cluster);
+    for (std::size_t c = 0; c < config.dims; ++c) {
+      points(i, c) = centers[cluster][c] + rng.normal(0.0, config.cluster_stddev);
+    }
+  }
+  return points;
+}
+
+std::string matrix_to_csv(const Matrix& m) {
+  std::ostringstream os;
+  os.precision(10);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c > 0) os << ',';
+      os << m(r, c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Matrix matrix_from_csv(const std::string& csv) {
+  std::vector<std::vector<double>> rows;
+  for (const auto& line : ppc::split(csv, '\n')) {
+    if (ppc::trim(line).empty()) continue;
+    std::vector<double> row;
+    for (const auto& cell : ppc::split(line, ',')) row.push_back(std::stod(cell));
+    rows.push_back(std::move(row));
+  }
+  PPC_REQUIRE(!rows.empty(), "empty CSV");
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    PPC_REQUIRE(rows[r].size() == m.cols(), "ragged CSV row");
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+}  // namespace ppc::apps::gtm

@@ -1,0 +1,35 @@
+// Synthetic high-dimensional chemistry-like data — the PubChem stand-in.
+//
+// §6.2 uses "the PubChem data set of 26 million data points with 166
+// dimensions" (166-bit MACCS-key-derived descriptors). We generate clustered
+// Gaussian data: compounds form structural families, which is what makes
+// GTM maps of PubChem informative; the tests assert that interpolation
+// keeps families together in latent space.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/gtm/matrix.h"
+#include "common/rng.h"
+
+namespace ppc::apps::gtm {
+
+struct ClusterDataConfig {
+  std::size_t num_points = 1000;
+  std::size_t dims = 166;  // PubChem descriptor dimensionality
+  std::size_t clusters = 5;
+  double center_range = 1.0;    // cluster centers uniform in [-range, range]^D
+  double cluster_stddev = 0.08; // within-cluster spread
+};
+
+/// Generates clustered points; when `labels` is non-null it receives the
+/// cluster id of each row.
+Matrix generate_clustered(const ClusterDataConfig& config, ppc::Rng& rng,
+                          std::vector<int>* labels = nullptr);
+
+/// CSV round-trip for the frameworks' file contract.
+std::string matrix_to_csv(const Matrix& m);
+Matrix matrix_from_csv(const std::string& csv);
+
+}  // namespace ppc::apps::gtm

@@ -1,0 +1,153 @@
+#include "apps/gtm/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace ppc::apps::gtm {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  PPC_REQUIRE(rows >= 1 && cols >= 1, "matrix dimensions must be >= 1");
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  PPC_REQUIRE(cols_ == other.rows_, "matrix dimension mismatch in multiply");
+  Matrix out(rows_, other.cols_, 0.0);
+  // i-k-j loop order: streams `other` row-wise, cache-friendly for row-major.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* other_row = &other.data_[k * other.cols_];
+      double* out_row = &out.data_[i * other.cols_];
+      for (std::size_t j = 0; j < other.cols_; ++j) out_row[j] += aik * other_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::add(const Matrix& other) const {
+  PPC_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "matrix dimension mismatch in add");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::scale(double s) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+void Matrix::add_diagonal(double lambda) {
+  PPC_REQUIRE(rows_ == cols_, "add_diagonal requires a square matrix");
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, i) += lambda;
+}
+
+double Matrix::norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+std::vector<double> Matrix::row(std::size_t r) const {
+  PPC_REQUIRE(r < rows_, "row out of range");
+  return {data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+          data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_)};
+}
+
+std::string Matrix::to_string(int decimals) const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ' ';
+      os << ppc::format_fixed((*this)(r, c), decimals);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+/// Lower-triangular Cholesky factor of SPD matrix a.
+Matrix cholesky_factor(const Matrix& a) {
+  PPC_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        PPC_REQUIRE(sum > 1e-12, "matrix is not positive definite");
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+}  // namespace
+
+std::vector<double> cholesky_solve(const Matrix& a, const std::vector<double>& b) {
+  PPC_REQUIRE(b.size() == a.rows(), "rhs size mismatch");
+  const Matrix l = cholesky_factor(a);
+  const std::size_t n = a.rows();
+  // Forward: L y = b
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Backward: L^T x = y
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+Matrix cholesky_solve_matrix(const Matrix& a, const Matrix& b) {
+  PPC_REQUIRE(b.rows() == a.rows(), "rhs rows mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    std::vector<double> col(b.rows());
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    const auto sol = cholesky_solve(a, col);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double squared_distance(const std::vector<double>& x, const std::vector<double>& y) {
+  PPC_REQUIRE(x.size() == y.size(), "vector length mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace ppc::apps::gtm

@@ -1,0 +1,123 @@
+#include "apps/gtm_dist/distributed_train.h"
+
+#include <cmath>
+
+#include "apps/gtm/data_gen.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ppc::apps::gtm {
+
+DistributedTrainResult distributed_gtm_train(azuremr::AzureMapReduce& runtime,
+                                             const std::vector<Matrix>& chunks,
+                                             const DistributedTrainOptions& options) {
+  PPC_REQUIRE(!chunks.empty(), "need at least one sample chunk");
+  const std::size_t d = chunks.front().cols();
+  std::size_t total_points = 0;
+  for (const Matrix& c : chunks) {
+    PPC_REQUIRE(c.cols() == d, "all chunks must share dimensionality");
+    total_points += c.rows();
+  }
+  PPC_REQUIRE(total_points >= 2, "need at least two training samples");
+
+  // Initialization must see the whole sample set (PCA init), exactly like
+  // the local trainer — concatenate once, client-side.
+  Matrix all(total_points, d);
+  std::size_t row = 0;
+  for (const Matrix& c : chunks) {
+    for (std::size_t i = 0; i < c.rows(); ++i, ++row) {
+      for (std::size_t j = 0; j < d; ++j) all(row, j) = c(i, j);
+    }
+  }
+  ppc::Rng rng(options.seed);
+  GtmConfig init_config = options.gtm;
+  init_config.em_iterations = 0;  // init only; EM happens distributed below
+  const GtmModel initial = GtmModel::train(all, init_config, rng);
+
+  const Matrix latent = gtm_latent_grid(options.gtm.latent_grid);
+  const Matrix phi =
+      gtm_rbf_design(latent, options.gtm.rbf_grid, options.gtm.rbf_width_factor);
+  const Matrix phi_t = phi.transpose();
+  const double reg = options.gtm.regularization;
+
+  auto history = std::make_shared<std::vector<double>>();
+
+  azuremr::JobSpec spec;
+  spec.job_id = options.job_id;
+  spec.num_reduce_tasks = 1;
+  spec.max_iterations = options.max_iterations;
+  spec.initial_broadcast = initial.serialize();
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    spec.inputs.emplace_back("chunk" + std::to_string(c), matrix_to_csv(chunks[c]));
+  }
+
+  // Map: E-step sufficient statistics of this chunk under the broadcast
+  // model (the chunk CSV is parsed per call; a production worker would
+  // cache the parsed matrix alongside the cached bytes).
+  spec.map = [](const std::string&, const std::string& chunk_csv,
+                const std::string& broadcast) {
+    const GtmModel model = GtmModel::deserialize(broadcast);
+    const Matrix chunk = matrix_from_csv(chunk_csv);
+    const GtmSufficientStats stats =
+        gtm_estep_stats(model.projected_centers(), model.beta(), chunk);
+    return std::vector<azuremr::KeyValue>{{"stats", stats.serialize()}};
+  };
+
+  // Reduce: statistics are additive.
+  spec.reduce = [](const std::string&, const std::vector<std::string>& values) {
+    GtmSufficientStats total;
+    for (const std::string& v : values) {
+      total.accumulate(GtmSufficientStats::deserialize(v));
+    }
+    return total.serialize();
+  };
+
+  // Merge: the M-step. Solve (Phi^T G Phi + reg I) W = Phi^T (R X), update
+  // beta from the weighted reconstruction error, re-broadcast the model.
+  spec.merge = [latent, phi, phi_t, reg, d, history](
+                   const std::map<std::string, std::string>& reduced, const std::string&) {
+    const GtmSufficientStats stats = GtmSufficientStats::deserialize(reduced.at("stats"));
+    history->push_back(stats.log_likelihood);
+
+    Matrix gphi = phi;
+    for (std::size_t i = 0; i < phi.rows(); ++i) {
+      for (std::size_t c = 0; c < phi.cols(); ++c) gphi(i, c) *= stats.g[i];
+    }
+    Matrix lhs = phi_t.multiply(gphi);
+    lhs.add_diagonal(reg);
+    const Matrix w = cholesky_solve_matrix(lhs, phi_t.multiply(stats.bx));
+    const Matrix centers = phi.multiply(w);
+
+    // Beta uses the reconstruction error of the *updated* centers under the
+    // E-step's responsibilities (the exact EM M-step), recovered from the
+    // additive statistics: err = sum_k (g_k |y_k|^2 - 2 y_k . bx_k) + sum|x|^2.
+    double err = stats.sum_sq;
+    for (std::size_t i = 0; i < centers.rows(); ++i) {
+      double y_sq = 0.0, y_dot_bx = 0.0;
+      for (std::size_t c = 0; c < centers.cols(); ++c) {
+        y_sq += centers(i, c) * centers(i, c);
+        y_dot_bx += centers(i, c) * stats.bx(i, c);
+      }
+      err += stats.g[i] * y_sq - 2.0 * y_dot_bx;
+    }
+    double beta = 1.0;
+    const double mean_err = err / static_cast<double>(stats.n * d);
+    if (mean_err > 1e-12) beta = 1.0 / mean_err;
+    return GtmModel::from_parts(latent, centers, beta).serialize();
+  };
+
+  spec.converged = [history, tol = options.tolerance](const std::string&, const std::string&,
+                                                      int) {
+    const auto& h = *history;
+    if (h.size() < 2) return false;
+    return std::abs(h.back() - h[h.size() - 2]) < tol * std::abs(h.back());
+  };
+
+  const azuremr::JobResult job = runtime.run(spec);
+  PPC_CHECK(job.succeeded, "distributed GTM training job failed");
+
+  return DistributedTrainResult{GtmModel::deserialize(job.final_broadcast), job.iterations_run,
+                                job.converged, *history};
+}
+
+}  // namespace ppc::apps::gtm

@@ -1,0 +1,49 @@
+// Distributed GTM *training* on the azuremr iterative-MapReduce framework —
+// the natural next step after the paper: §6 parallelizes only the
+// interpolation ("GTM Interpolation takes only a part of the full dataset
+// ... for a compute-intensive training process"), and §8 promises the
+// iterative MapReduce framework that could distribute the training itself.
+// This module composes the two.
+//
+// Per EM iteration:
+//   broadcast — the current model (latent grid + mixture centers + beta);
+//   map       — each cached sample chunk computes its E-step sufficient
+//               statistics (responsibility sums g, weighted data sums R·X,
+//               reconstruction error, log-likelihood);
+//   reduce    — statistics are summed (they are additive across chunks);
+//   merge     — the client solves the M-step (ridge-regularized weighted
+//               least squares), updates beta, and re-broadcasts; the loop
+//               stops when the log-likelihood gain falls below `tolerance`.
+//
+// The result is numerically the same EM as GtmModel::train (the E-step
+// factorizes over points), so the tests compare the two directly.
+#pragma once
+
+#include "apps/gtm/gtm.h"
+#include "azuremr/runtime.h"
+
+namespace ppc::apps::gtm {
+
+struct DistributedTrainOptions {
+  GtmConfig gtm;
+  int max_iterations = 30;
+  /// Stop when the per-iteration log-likelihood gain drops below this.
+  double tolerance = 1e-4;
+  unsigned seed = 42;
+  std::string job_id = "gtm-train";
+};
+
+struct DistributedTrainResult {
+  GtmModel model;
+  int iterations = 0;
+  bool converged = false;
+  std::vector<double> log_likelihood_history;
+};
+
+/// Trains a GTM on `chunks` (each N_i x D, equal D) with the map/reduce
+/// work executed by `runtime`'s worker pool.
+DistributedTrainResult distributed_gtm_train(azuremr::AzureMapReduce& runtime,
+                                             const std::vector<Matrix>& chunks,
+                                             const DistributedTrainOptions& options = {});
+
+}  // namespace ppc::apps::gtm

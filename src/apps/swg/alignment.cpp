@@ -1,0 +1,50 @@
+#include "apps/swg/alignment.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ppc::apps::swg {
+
+int smith_waterman_score(const std::string& a, const std::string& b, const SwParams& params) {
+  PPC_REQUIRE(params.valid(), "invalid Smith-Waterman parameters");
+  if (a.empty() || b.empty()) return 0;
+
+  // Gotoh recurrences, two rows of three matrices:
+  //   H = best score ending at (i, j) with a match/mismatch,
+  //   E = best ending with a gap in `a` (horizontal), F = gap in `b`.
+  const std::size_t m = b.size();
+  constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+  std::vector<int> h_prev(m + 1, 0), h_cur(m + 1, 0);
+  std::vector<int> f_prev(m + 1, kNegInf), f_cur(m + 1, kNegInf);
+
+  int best = 0;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    h_cur[0] = 0;
+    f_cur[0] = kNegInf;
+    int e = kNegInf;  // E for the current row, carried left to right
+    for (std::size_t j = 1; j <= m; ++j) {
+      e = std::max(h_cur[j - 1] + params.gap_open, e + params.gap_extend);
+      f_cur[j] = std::max(h_prev[j] + params.gap_open, f_prev[j] + params.gap_extend);
+      const int diag =
+          h_prev[j - 1] + (a[i - 1] == b[j - 1] ? params.match : params.mismatch);
+      h_cur[j] = std::max({0, diag, e, f_cur[j]});
+      best = std::max(best, h_cur[j]);
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(f_prev, f_cur);
+  }
+  return best;
+}
+
+double sw_distance(const std::string& a, const std::string& b, const SwParams& params) {
+  if (a.empty() || b.empty()) return 1.0;
+  const double max_score =
+      static_cast<double>(params.match) * static_cast<double>(std::min(a.size(), b.size()));
+  const double score = smith_waterman_score(a, b, params);
+  return std::clamp(1.0 - score / max_score, 0.0, 1.0);
+}
+
+}  // namespace ppc::apps::swg

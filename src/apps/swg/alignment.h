@@ -1,0 +1,35 @@
+// Smith-Waterman-Gotoh local alignment — the kernel of the pairwise
+// sequence alignment application the authors reference in §7 ("we have also
+// developed distributed pairwise sequence alignment applications using
+// MapReduce programming models [13]"). Included as an extension: a fourth
+// pleasingly parallel biomedical workload whose decomposition (blocks of a
+// symmetric distance matrix) differs from the file-per-task pattern of
+// Cap3/BLAST/GTM.
+//
+// Full affine-gap dynamic programming (Gotoh), linear space for the score.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ppc::apps::swg {
+
+struct SwParams {
+  int match = 5;
+  int mismatch = -3;
+  int gap_open = -8;    // cost of the first gap position
+  int gap_extend = -2;  // cost of each further gap position
+
+  bool valid() const { return match > 0 && mismatch < 0 && gap_open < 0 && gap_extend < 0; }
+};
+
+/// Best local alignment score of a vs b (>= 0; 0 when nothing aligns).
+int smith_waterman_score(const std::string& a, const std::string& b,
+                         const SwParams& params = {});
+
+/// Distance in [0, 1]: 1 - score / (match * min(|a|, |b|)). Identical
+/// sequences score the maximum, giving distance 0; unrelated sequences
+/// approach 1. This is the SW-G dissimilarity used for clustering/MDS.
+double sw_distance(const std::string& a, const std::string& b, const SwParams& params = {});
+
+}  // namespace ppc::apps::swg

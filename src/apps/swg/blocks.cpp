@@ -1,0 +1,135 @@
+#include "apps/swg/blocks.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace ppc::apps::swg {
+
+std::vector<BlockSpec> partition_blocks(std::size_t n, std::size_t block_size) {
+  PPC_REQUIRE(n >= 1, "matrix must be non-empty");
+  PPC_REQUIRE(block_size >= 1, "block size must be >= 1");
+  std::vector<BlockSpec> blocks;
+  for (std::size_t r = 0; r < n; r += block_size) {
+    for (std::size_t c = r; c < n; c += block_size) {  // upper triangle only
+      BlockSpec b;
+      b.row_begin = r;
+      b.row_end = std::min(n, r + block_size);
+      b.col_begin = c;
+      b.col_end = std::min(n, c + block_size);
+      blocks.push_back(b);
+    }
+  }
+  return blocks;
+}
+
+std::vector<double> compute_block(const std::vector<apps::FastaRecord>& seqs,
+                                  const BlockSpec& block, const SwParams& params) {
+  PPC_REQUIRE(block.row_end <= seqs.size() && block.col_end <= seqs.size(),
+              "block out of range");
+  PPC_REQUIRE(block.row_begin < block.row_end && block.col_begin < block.col_end,
+              "empty block");
+  const std::size_t rows = block.row_end - block.row_begin;
+  const std::size_t cols = block.col_end - block.col_begin;
+  std::vector<double> values(rows * cols, 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t gi = block.row_begin + i;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const std::size_t gj = block.col_begin + j;
+      if (block.diagonal() && gj <= gi) continue;  // mirror fills the rest
+      values[i * cols + j] = sw_distance(seqs[gi].seq, seqs[gj].seq, params);
+    }
+  }
+  return values;
+}
+
+DistanceMatrix::DistanceMatrix(std::size_t n)
+    : n_(n), values_(n * n, 0.0), filled_(n * n, false) {
+  PPC_REQUIRE(n >= 1, "matrix must be non-empty");
+  for (std::size_t i = 0; i < n; ++i) filled_[i * n + i] = true;  // d(i,i) = 0
+}
+
+double DistanceMatrix::at(std::size_t i, std::size_t j) const {
+  PPC_REQUIRE(i < n_ && j < n_, "index out of range");
+  return values_[i * n_ + j];
+}
+
+void DistanceMatrix::merge_block(const BlockSpec& block, const std::vector<double>& values) {
+  const std::size_t rows = block.row_end - block.row_begin;
+  const std::size_t cols = block.col_end - block.col_begin;
+  PPC_REQUIRE(values.size() == rows * cols, "block payload size mismatch");
+  PPC_REQUIRE(block.row_end <= n_ && block.col_end <= n_, "block out of range");
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t gi = block.row_begin + i;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const std::size_t gj = block.col_begin + j;
+      if (block.diagonal() && gj <= gi) continue;
+      values_[gi * n_ + gj] = values[i * cols + j];
+      values_[gj * n_ + gi] = values[i * cols + j];  // symmetric mirror
+      filled_[gi * n_ + gj] = true;
+      filled_[gj * n_ + gi] = true;
+    }
+  }
+}
+
+bool DistanceMatrix::complete() const {
+  for (bool f : filled_) {
+    if (!f) return false;
+  }
+  return true;
+}
+
+std::string DistanceMatrix::to_csv() const {
+  std::ostringstream os;
+  os.precision(8);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (j > 0) os << ',';
+      os << values_[i * n_ + j];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string encode_block_result(const BlockSpec& block, const std::vector<double>& values) {
+  std::ostringstream os;
+  os.precision(17);
+  os << block.row_begin << ' ' << block.row_end << ' ' << block.col_begin << ' '
+     << block.col_end << '\n';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << values[i];
+  }
+  os << '\n';
+  return os.str();
+}
+
+std::pair<BlockSpec, std::vector<double>> decode_block_result(const std::string& text) {
+  std::istringstream is(text);
+  BlockSpec block;
+  is >> block.row_begin >> block.row_end >> block.col_begin >> block.col_end;
+  PPC_REQUIRE(static_cast<bool>(is), "malformed block header");
+  PPC_REQUIRE(block.row_begin < block.row_end && block.col_begin < block.col_end,
+              "malformed block extent");
+  const std::size_t count =
+      (block.row_end - block.row_begin) * (block.col_end - block.col_begin);
+  std::vector<double> values(count, 0.0);
+  for (double& v : values) {
+    is >> v;
+    PPC_REQUIRE(static_cast<bool>(is), "truncated block payload");
+  }
+  return {block, std::move(values)};
+}
+
+DistanceMatrix pairwise_distances(const std::vector<apps::FastaRecord>& seqs,
+                                  std::size_t block_size, const SwParams& params) {
+  DistanceMatrix matrix(seqs.size());
+  for (const BlockSpec& block : partition_blocks(seqs.size(), block_size)) {
+    matrix.merge_block(block, compute_block(seqs, block, params));
+  }
+  return matrix;
+}
+
+}  // namespace ppc::apps::swg

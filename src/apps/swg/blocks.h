@@ -1,0 +1,64 @@
+// Block decomposition of the pairwise distance matrix — the SW-G MapReduce
+// pattern: the N x N symmetric matrix is tiled into B x B blocks; each map
+// task computes one upper-triangle block (the lower triangle is its mirror)
+// and the results merge into the full matrix. Each block is an independent
+// task, so the computation is pleasingly parallel at block granularity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/cap3/fasta.h"
+#include "apps/swg/alignment.h"
+
+namespace ppc::apps::swg {
+
+struct BlockSpec {
+  std::size_t row_begin = 0, row_end = 0;  // [begin, end)
+  std::size_t col_begin = 0, col_end = 0;
+  bool diagonal() const { return row_begin == col_begin; }
+};
+
+/// Upper-triangle (including diagonal) block covering of an n x n matrix.
+std::vector<BlockSpec> partition_blocks(std::size_t n, std::size_t block_size);
+
+/// Computes one block of pairwise distances for `seqs`. Diagonal blocks
+/// only compute their own upper triangle (j > i); mirrored entries are
+/// filled by merge_block. Returned row-major, (row_end-row_begin) x
+/// (col_end-col_begin).
+std::vector<double> compute_block(const std::vector<apps::FastaRecord>& seqs,
+                                  const BlockSpec& block, const SwParams& params = {});
+
+/// A full n x n distance matrix assembled block by block.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  double at(std::size_t i, std::size_t j) const;
+
+  /// Installs a computed block and its transpose mirror.
+  void merge_block(const BlockSpec& block, const std::vector<double>& values);
+
+  /// True when every cell has been filled (diagonal is implicitly 0).
+  bool complete() const;
+
+  /// CSV rendering (one row per line).
+  std::string to_csv() const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> values_;
+  std::vector<bool> filled_;
+};
+
+/// Serialization of block results for shipping through blob storage:
+/// "row_begin row_end col_begin col_end\nv v v ...".
+std::string encode_block_result(const BlockSpec& block, const std::vector<double>& values);
+std::pair<BlockSpec, std::vector<double>> decode_block_result(const std::string& text);
+
+/// Convenience: the whole matrix computed serially (reference for tests).
+DistanceMatrix pairwise_distances(const std::vector<apps::FastaRecord>& seqs,
+                                  std::size_t block_size = 16, const SwParams& params = {});
+
+}  // namespace ppc::apps::swg

@@ -1,0 +1,169 @@
+#include "azuremr/runtime.h"
+
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace ppc::azuremr {
+
+AzureMapReduce::AzureMapReduce(blobstore::BlobStore& store, cloudq::QueueService& queues,
+                               int num_workers, MrWorkerConfig worker_config)
+    : store_(store), queues_(queues), num_workers_(num_workers), worker_config_(worker_config) {
+  PPC_REQUIRE(num_workers >= 1, "need at least one worker");
+}
+
+AzureMapReduce::~AzureMapReduce() = default;
+
+namespace {
+
+/// Drains the monitor queue into `done` until the expected task ids are all
+/// present or the timeout lapses. Duplicate completions collapse.
+bool wait_for_tasks(cloudq::MessageQueue& monitor, const std::set<std::string>& expected,
+                    std::set<std::string>& done, Seconds timeout) {
+  ppc::SystemClock clock;
+  while (clock.now() < timeout) {
+    while (auto message = monitor.receive(5.0)) {
+      const auto record = ppc::decode_kv(message->body);
+      if (record.contains("task")) done.insert(record.at("task"));
+      monitor.delete_message(message->receipt_handle);
+    }
+    bool all = true;
+    for (const auto& id : expected) {
+      if (!done.contains(id)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+}  // namespace
+
+JobResult AzureMapReduce::run(const JobSpec& spec) {
+  PPC_REQUIRE(!spec.inputs.empty(), "job has no inputs");
+  PPC_REQUIRE(spec.map != nullptr && spec.reduce != nullptr, "job needs map and reduce");
+  PPC_REQUIRE(spec.num_reduce_tasks >= 1, "need at least one reduce task");
+  PPC_REQUIRE(spec.max_iterations >= 1, "need at least one iteration");
+  const bool iterative = spec.merge != nullptr;
+  for (const auto& [name, _] : spec.inputs) {
+    PPC_REQUIRE(!name.empty() && name.find('/') == std::string::npos &&
+                    name.find('=') == std::string::npos && name.find(';') == std::string::npos,
+                "input names must be flat identifiers: " + name);
+  }
+
+  const std::string bucket = spec.job_id;
+  store_.create_bucket(bucket);
+  auto task_queue = queues_.create_queue(spec.job_id + "-mr-tasks");
+  auto monitor_queue = queues_.create_queue(spec.job_id + "-mr-monitor");
+
+  // Provision the worker pool (the Azure role instances).
+  std::vector<std::unique_ptr<MrWorker>> workers;
+  workers.reserve(static_cast<std::size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    workers.push_back(std::make_unique<MrWorker>(
+        spec.job_id + "-w" + std::to_string(i), store_, task_queue, monitor_queue, spec.map,
+        spec.reduce, spec.combine, spec.num_reduce_tasks, bucket, worker_config_));
+    workers.back()->start();
+  }
+
+  // Upload the static inputs once; workers cache them across iterations.
+  for (const auto& [name, data] : spec.inputs) {
+    store_.put(bucket, "input/" + name, data);
+  }
+
+  JobResult result;
+  std::string broadcast = spec.initial_broadcast;
+  ppc::SystemClock clock;
+
+  for (int iter = 0; iter < spec.max_iterations; ++iter) {
+    const Seconds iter_start = clock.now();
+    const std::string iter_str = std::to_string(iter);
+    store_.put(bucket, "broadcast/" + iter_str, broadcast);
+
+    // Map stage.
+    std::set<std::string> expected, done;
+    for (const auto& [name, _] : spec.inputs) {
+      task_queue->send(ppc::encode_kv({{"op", "map"}, {"iter", iter_str}, {"input", name}}));
+      expected.insert("map-" + iter_str + "-" + name);
+    }
+    if (!wait_for_tasks(*monitor_queue, expected, done, spec.stage_timeout)) {
+      result.succeeded = false;
+      for (auto& w : workers) w->request_stop();
+      for (auto& w : workers) w->join();
+      return result;
+    }
+
+    // Reduce stage.
+    expected.clear();
+    for (int r = 0; r < spec.num_reduce_tasks; ++r) {
+      task_queue->send(ppc::encode_kv({{"op", "reduce"},
+                                       {"iter", iter_str},
+                                       {"part", std::to_string(r)},
+                                       {"maps", std::to_string(spec.inputs.size())}}));
+      expected.insert("reduce-" + iter_str + "-" + std::to_string(r));
+    }
+    if (!wait_for_tasks(*monitor_queue, expected, done, spec.stage_timeout)) {
+      result.succeeded = false;
+      for (auto& w : workers) w->request_stop();
+      for (auto& w : workers) w->join();
+      return result;
+    }
+
+    // Collect reduce outputs, riding out read-after-write visibility lag.
+    result.outputs.clear();
+    for (int r = 0; r < spec.num_reduce_tasks; ++r) {
+      const std::string key = "rout/" + iter_str + "/" + std::to_string(r);
+      std::optional<std::string> blob;
+      for (int attempt = 0; attempt < 2000 && !blob; ++attempt) {
+        blob = store_.get(bucket, key);
+        if (!blob) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      PPC_CHECK(blob.has_value(), "reduce output never became visible: " + key);
+      for (const KeyValue& kv : decode_records(*blob)) {
+        result.outputs[kv.key] = kv.value;
+      }
+    }
+
+    IterationStats stats;
+    stats.iteration = iter;
+    stats.map_tasks = static_cast<int>(spec.inputs.size());
+    stats.reduce_tasks = spec.num_reduce_tasks;
+    stats.elapsed = clock.now() - iter_start;
+    result.per_iteration.push_back(stats);
+    result.iterations_run = iter + 1;
+
+    if (!iterative) break;
+    const std::string next = spec.merge(result.outputs, broadcast);
+    if (spec.converged && spec.converged(broadcast, next, iter)) {
+      result.converged = true;
+      broadcast = next;
+      break;
+    }
+    broadcast = next;
+  }
+
+  result.final_broadcast = broadcast;
+  result.succeeded = true;
+
+  for (auto& w : workers) w->request_stop();
+  MrWorkerStats total;
+  for (auto& w : workers) {
+    w->join();
+    const auto s = w->stats();
+    total.map_tasks += s.map_tasks;
+    total.reduce_tasks += s.reduce_tasks;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+  }
+  last_stats_ = total;
+  return result;
+}
+
+}  // namespace ppc::azuremr

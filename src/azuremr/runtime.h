@@ -1,0 +1,45 @@
+// Client-side driver of the azuremr framework: owns the worker pool,
+// uploads inputs, runs the iteration loop (broadcast -> map -> shuffle ->
+// reduce -> merge -> converge?), and collects results. Decentralized like
+// the original: there is no master — the "driver" is just another client of
+// the queue and blob services.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "azuremr/job.h"
+#include "azuremr/worker.h"
+#include "cloudq/queue_service.h"
+
+namespace ppc::azuremr {
+
+class AzureMapReduce {
+ public:
+  /// Creates the runtime with `num_workers` worker roles (started lazily on
+  /// the first run() call and reused across jobs with the same functions).
+  AzureMapReduce(blobstore::BlobStore& store, cloudq::QueueService& queues, int num_workers,
+                 MrWorkerConfig worker_config = {});
+
+  ~AzureMapReduce();
+
+  AzureMapReduce(const AzureMapReduce&) = delete;
+  AzureMapReduce& operator=(const AzureMapReduce&) = delete;
+
+  /// Runs the job to completion (all iterations). Each call provisions a
+  /// fresh worker pool bound to the job's map/reduce functions — the
+  /// deployment-package upload of a real Azure role.
+  JobResult run(const JobSpec& spec);
+
+  /// Aggregate statistics of the last run's workers.
+  MrWorkerStats last_run_worker_stats() const { return last_stats_; }
+
+ private:
+  blobstore::BlobStore& store_;
+  cloudq::QueueService& queues_;
+  int num_workers_;
+  MrWorkerConfig worker_config_;
+  MrWorkerStats last_stats_;
+};
+
+}  // namespace ppc::azuremr

@@ -1,0 +1,193 @@
+#include "azuremr/worker.h"
+
+#include <chrono>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/string_util.h"
+
+namespace ppc::azuremr {
+
+namespace {
+void sleep_seconds(Seconds s) {
+  if (s > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+}  // namespace
+
+MrWorker::MrWorker(std::string id, blobstore::BlobStore& store,
+                   std::shared_ptr<cloudq::MessageQueue> task_queue,
+                   std::shared_ptr<cloudq::MessageQueue> monitor_queue, MapFn map,
+                   ReduceFn reduce, CombineFn combine, int num_reduce_tasks, std::string bucket,
+                   MrWorkerConfig config)
+    : id_(std::move(id)),
+      store_(store),
+      task_queue_(std::move(task_queue)),
+      monitor_queue_(std::move(monitor_queue)),
+      map_(std::move(map)),
+      reduce_(std::move(reduce)),
+      combine_(std::move(combine)),
+      num_reduce_tasks_(num_reduce_tasks),
+      bucket_(std::move(bucket)),
+      config_(config) {
+  PPC_REQUIRE(task_queue_ != nullptr && monitor_queue_ != nullptr, "worker needs both queues");
+  PPC_REQUIRE(map_ != nullptr && reduce_ != nullptr, "worker needs map and reduce functions");
+  PPC_REQUIRE(num_reduce_tasks_ >= 1, "need at least one reduce task");
+}
+
+MrWorker::~MrWorker() {
+  request_stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MrWorker::start() {
+  PPC_REQUIRE(!thread_.joinable(), "worker already started");
+  thread_ = std::thread([this] { poll_loop(); });
+}
+
+void MrWorker::request_stop() { stop_requested_.store(true); }
+
+void MrWorker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+MrWorkerStats MrWorker::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void MrWorker::poll_loop() {
+  while (!stop_requested_.load()) {
+    auto message = task_queue_->receive(config_.visibility_timeout);
+    if (!message) {
+      sleep_seconds(config_.poll_interval);
+      continue;
+    }
+    const auto task = decode_kv(message->body);
+    try {
+      const std::string& op = task.at("op");
+      std::string task_key;
+      if (op == "map") {
+        run_map(task);
+        task_key = task.at("input");
+      } else if (op == "reduce") {
+        run_reduce(task);
+        task_key = task.at("part");
+      } else {
+        throw ppc::InvalidArgument("unknown op: " + op);
+      }
+      if (config_.crash_at && config_.crash_at(op, task_key)) {
+        // The instance dies before deleting the message: it will resurface
+        // after its visibility timeout and another worker redoes the task
+        // (idempotently — the blobs it wrote get overwritten identically).
+        std::lock_guard lock(mu_);
+        stats_.crashed = true;
+        return;
+      }
+      task_queue_->delete_message(message->receipt_handle);
+    } catch (const std::exception& e) {
+      // Leave the message; it reappears after the visibility timeout.
+      PPC_WARN << "azuremr worker " << id_ << " task failed: " << e.what();
+    }
+  }
+}
+
+std::string MrWorker::must_download(const std::string& key) {
+  for (int attempt = 0; attempt <= config_.download_retries; ++attempt) {
+    auto data = store_.get(bucket_, key);
+    if (data) return std::move(*data);
+    sleep_seconds(config_.download_retry_interval);
+  }
+  throw ppc::InternalError("blob never became visible: " + key);
+}
+
+std::string MrWorker::cached_input(const std::string& name) {
+  {
+    std::lock_guard lock(mu_);
+    auto it = input_cache_.find(name);
+    if (it != input_cache_.end()) {
+      ++stats_.cache_hits;
+      return it->second;
+    }
+  }
+  std::string data = must_download("input/" + name);
+  std::lock_guard lock(mu_);
+  ++stats_.cache_misses;
+  return input_cache_.emplace(name, std::move(data)).first->second;
+}
+
+void MrWorker::run_map(const std::map<std::string, std::string>& task) {
+  const std::string& iter = task.at("iter");
+  const std::string& input = task.at("input");
+  const std::string data = cached_input(input);
+  const std::string broadcast = must_download("broadcast/" + iter);
+
+  std::vector<KeyValue> records = map_(input, data, broadcast);
+
+  // Combiner: fold this map task's records per key before they cross the
+  // network, exactly like Hadoop's combiner.
+  if (combine_ != nullptr) {
+    std::vector<KeyValue> combined;
+    for (const auto& [key, values] : group_by_key(records)) {
+      combined.push_back({key, values.size() == 1 ? values.front() : combine_(key, values)});
+    }
+    records = std::move(combined);
+  }
+
+  // Shuffle: hash-partition the records into one blob per reducer.
+  std::vector<std::vector<KeyValue>> partitions(static_cast<std::size_t>(num_reduce_tasks_));
+  for (const KeyValue& kv : records) {
+    partitions[partition_of(kv.key, partitions.size())].push_back(kv);
+  }
+  for (std::size_t r = 0; r < partitions.size(); ++r) {
+    store_.put(bucket_, "mout/" + iter + "/" + input + "/" + std::to_string(r),
+               encode_records(partitions[r]));
+  }
+
+  monitor_queue_->send(encode_kv(
+      {{"task", "map-" + iter + "-" + input}, {"status", "done"}, {"worker", id_}}));
+  std::lock_guard lock(mu_);
+  ++stats_.map_tasks;
+}
+
+void MrWorker::run_reduce(const std::map<std::string, std::string>& task) {
+  const std::string& iter = task.at("iter");
+  const std::string& part = task.at("part");
+  const int expected_maps = std::stoi(task.at("maps"));
+
+  // Collect every map task's partition blob for this reducer. The listing
+  // may lag under eventual consistency, so insist on the full set.
+  const std::string suffix = "/" + part;
+  std::vector<std::string> keys;
+  for (int attempt = 0; attempt <= config_.download_retries; ++attempt) {
+    keys.clear();
+    for (const std::string& key : store_.list(bucket_, "mout/" + iter + "/")) {
+      if (key.size() >= suffix.size() &&
+          key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        keys.push_back(key);
+      }
+    }
+    if (static_cast<int>(keys.size()) >= expected_maps) break;
+    sleep_seconds(config_.download_retry_interval);
+  }
+  PPC_CHECK(static_cast<int>(keys.size()) >= expected_maps,
+            "reduce input blobs missing for partition " + part);
+
+  std::vector<KeyValue> all;
+  for (const std::string& key : keys) {
+    const auto records = decode_records(must_download(key));
+    all.insert(all.end(), records.begin(), records.end());
+  }
+
+  std::vector<KeyValue> outputs;
+  for (const auto& [key, values] : group_by_key(all)) {
+    outputs.push_back({key, reduce_(key, values)});
+  }
+  store_.put(bucket_, "rout/" + iter + "/" + part, encode_records(outputs));
+
+  monitor_queue_->send(encode_kv(
+      {{"task", "reduce-" + iter + "-" + part}, {"status", "done"}, {"worker", id_}}));
+  std::lock_guard lock(mu_);
+  ++stats_.reduce_tasks;
+}
+
+}  // namespace ppc::azuremr

@@ -1,0 +1,88 @@
+// The azuremr worker role: a thread that polls the shared task queue and
+// executes map or reduce tasks, exactly as an Azure worker role instance
+// would. Inputs are cached across iterations; everything else flows through
+// blob storage. Fault tolerance is inherited from the substrate: tasks are
+// deleted only after completion, so crashes redeliver; map/reduce functions
+// must be deterministic so re-execution overwrites blobs idempotently.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "azuremr/job.h"
+#include "blobstore/blob_store.h"
+#include "cloudq/message_queue.h"
+
+namespace ppc::azuremr {
+
+struct MrWorkerConfig {
+  Seconds poll_interval = 0.002;
+  Seconds visibility_timeout = 30.0;
+  int download_retries = 200;
+  Seconds download_retry_interval = 0.001;
+  /// Fault injection: return true to kill the worker right after it
+  /// finishes computing (before the task message is deleted). The task
+  /// resurfaces via the visibility timeout. Null = never.
+  std::function<bool(const std::string& op, const std::string& task_key)> crash_at;
+};
+
+struct MrWorkerStats {
+  int map_tasks = 0;
+  int reduce_tasks = 0;
+  int cache_hits = 0;    // input served from the worker's cache
+  int cache_misses = 0;  // input downloaded from blob storage
+  bool crashed = false;  // fault injection killed this worker
+};
+
+class MrWorker {
+ public:
+  MrWorker(std::string id, blobstore::BlobStore& store,
+           std::shared_ptr<cloudq::MessageQueue> task_queue,
+           std::shared_ptr<cloudq::MessageQueue> monitor_queue, MapFn map, ReduceFn reduce,
+           CombineFn combine, int num_reduce_tasks, std::string bucket,
+           MrWorkerConfig config = {});
+
+  ~MrWorker();
+
+  MrWorker(const MrWorker&) = delete;
+  MrWorker& operator=(const MrWorker&) = delete;
+
+  void start();
+  void request_stop();
+  void join();
+
+  MrWorkerStats stats() const;
+  const std::string& id() const { return id_; }
+
+ private:
+  void poll_loop();
+  void run_map(const std::map<std::string, std::string>& task);
+  void run_reduce(const std::map<std::string, std::string>& task);
+  /// Blocking blob download with retries (eventual consistency).
+  std::string must_download(const std::string& key);
+  /// Input chunks are static across iterations: download once, cache.
+  std::string cached_input(const std::string& name);
+
+  const std::string id_;
+  blobstore::BlobStore& store_;
+  std::shared_ptr<cloudq::MessageQueue> task_queue_;
+  std::shared_ptr<cloudq::MessageQueue> monitor_queue_;
+  MapFn map_;
+  ReduceFn reduce_;
+  CombineFn combine_;  // may be null
+  int num_reduce_tasks_;
+  const std::string bucket_;
+  MrWorkerConfig config_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> input_cache_;
+  MrWorkerStats stats_;
+};
+
+}  // namespace ppc::azuremr

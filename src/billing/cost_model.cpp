@@ -1,0 +1,57 @@
+#include "billing/cost_model.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace ppc::billing {
+
+CostReport::CostReport(std::string title) : title_(std::move(title)) {}
+
+void CostReport::add(std::string label, Dollars amount) {
+  PPC_REQUIRE(amount >= 0.0, "negative cost line item");
+  items_.push_back({std::move(label), amount});
+}
+
+Dollars CostReport::total() const {
+  Dollars t = 0.0;
+  for (const auto& item : items_) t += item.amount;
+  return t;
+}
+
+ppc::Table CostReport::to_table() const {
+  ppc::Table table(title_);
+  table.set_header({"Line item", "Cost ($)"});
+  for (const auto& item : items_) {
+    table.add_row({item.label, ppc::format_fixed(item.amount, 2)});
+  }
+  table.add_row({"Total", ppc::format_fixed(total(), 2)});
+  return table;
+}
+
+Dollars OwnedClusterModel::yearly_cost() const {
+  PPC_REQUIRE(depreciation_years > 0.0, "depreciation period must be positive");
+  return purchase_cost / depreciation_years + yearly_maintenance;
+}
+
+Dollars OwnedClusterModel::cost_per_core_hour(double utilization) const {
+  PPC_REQUIRE(utilization > 0.0 && utilization <= 1.0, "utilization must be in (0, 1]");
+  const double core_hours_per_year = static_cast<double>(total_cores()) * 8760.0 * utilization;
+  return yearly_cost() / core_hours_per_year;
+}
+
+Dollars OwnedClusterModel::job_cost(double core_hours, double utilization) const {
+  PPC_REQUIRE(core_hours >= 0.0, "core_hours must be >= 0");
+  return core_hours * cost_per_core_hour(utilization);
+}
+
+Dollars storage_cost(Bytes stored, double months, Dollars per_gb_month) {
+  PPC_REQUIRE(months >= 0.0, "months must be >= 0");
+  return to_gigabytes(stored) * months * per_gb_month;
+}
+
+Dollars transfer_cost(double gb_in, double gb_out, Dollars in_per_gb, Dollars out_per_gb) {
+  PPC_REQUIRE(gb_in >= 0.0 && gb_out >= 0.0, "transfer volumes must be >= 0");
+  return gb_in * in_per_gb + gb_out * out_per_gb;
+}
+
+}  // namespace ppc::billing

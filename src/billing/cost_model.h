@@ -1,0 +1,68 @@
+// Cost accounting for the paper's economic analysis.
+//
+// Covers the three cost views the evaluation uses:
+//  * per-run cloud cost reports with the line items of Table 4
+//    (compute / queue messages / storage / data transfer);
+//  * "hour units" vs amortized compute cost (§3) — see cloud::Fleet;
+//  * the owned-cluster comparison of §4.3: purchase cost depreciated over
+//    3 years plus yearly maintenance, divided by utilized core-hours.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/units.h"
+
+namespace ppc::billing {
+
+struct CostLineItem {
+  std::string label;
+  Dollars amount = 0.0;
+};
+
+/// An itemized bill; renders in the shape of the paper's Table 4 column.
+class CostReport {
+ public:
+  explicit CostReport(std::string title = "Cost");
+
+  void add(std::string label, Dollars amount);
+  Dollars total() const;
+  const std::vector<CostLineItem>& items() const { return items_; }
+
+  ppc::Table to_table() const;
+
+ private:
+  std::string title_;
+  std::vector<CostLineItem> items_;
+};
+
+/// §4.3's internal-cluster cost model: "32 node 24 core, 48 GB memory per
+/// node with Infiniband interconnects, purchase cost ~500,000$ depreciated
+/// over 3 years plus yearly maintenance ~150,000$".
+struct OwnedClusterModel {
+  Dollars purchase_cost = 500000.0;
+  double depreciation_years = 3.0;
+  Dollars yearly_maintenance = 150000.0;
+  int nodes = 32;
+  int cores_per_node = 24;
+
+  int total_cores() const { return nodes * cores_per_node; }
+
+  /// Total yearly cost of ownership.
+  Dollars yearly_cost() const;
+
+  /// Cost per *utilized* core-hour at the given utilization in (0, 1].
+  Dollars cost_per_core_hour(double utilization) const;
+
+  /// Cost attributed to a job consuming `core_hours` at `utilization`.
+  Dollars job_cost(double core_hours, double utilization) const;
+};
+
+/// Cloud storage cost for retaining `stored` bytes for `months`.
+Dollars storage_cost(Bytes stored, double months, Dollars per_gb_month);
+
+/// Data transfer cost: `gb_in`/`gb_out` at the provider's rates.
+Dollars transfer_cost(double gb_in, double gb_out, Dollars in_per_gb, Dollars out_per_gb);
+
+}  // namespace ppc::billing

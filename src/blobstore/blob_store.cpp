@@ -1,0 +1,147 @@
+#include "blobstore/blob_store.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace ppc::blobstore {
+
+BlobStore::BlobStore(std::shared_ptr<const ppc::Clock> clock, BlobStoreConfig config, ppc::Rng rng)
+    : clock_(std::move(clock)), config_(config), rng_(rng) {
+  PPC_REQUIRE(clock_ != nullptr, "BlobStore requires a clock");
+  PPC_REQUIRE(config_.request_latency_mean >= 0.0, "latency must be >= 0");
+  PPC_REQUIRE(config_.download_bandwidth_per_s > 0.0, "download bandwidth must be positive");
+  PPC_REQUIRE(config_.upload_bandwidth_per_s > 0.0, "upload bandwidth must be positive");
+}
+
+void BlobStore::create_bucket(const std::string& bucket) {
+  PPC_REQUIRE(!bucket.empty(), "bucket name must be non-empty");
+  std::lock_guard lock(mu_);
+  buckets_.try_emplace(bucket);
+}
+
+bool BlobStore::bucket_exists(const std::string& bucket) const {
+  std::lock_guard lock(mu_);
+  return buckets_.contains(bucket);
+}
+
+void BlobStore::put(const std::string& bucket, const std::string& key, std::string data) {
+  const auto size = static_cast<Bytes>(data.size());
+  put_impl(bucket, key, std::move(data), size);
+}
+
+void BlobStore::put_logical(const std::string& bucket, const std::string& key, Bytes size) {
+  PPC_REQUIRE(size >= 0.0, "logical size must be >= 0");
+  put_impl(bucket, key, std::string(), size);
+}
+
+void BlobStore::put_impl(const std::string& bucket, const std::string& key, std::string data,
+                         Bytes logical_size) {
+  PPC_REQUIRE(!bucket.empty() && !key.empty(), "bucket and key must be non-empty");
+  std::lock_guard lock(mu_);
+  ++meter_.puts;
+  meter_.bytes_in += logical_size;
+  auto& objects = buckets_[bucket];
+  auto it = objects.find(key);
+  if (it == objects.end()) {
+    Object obj;
+    obj.data = std::move(data);
+    obj.logical_size = logical_size;
+    const Seconds lag = config_.read_after_write_lag_mean > 0.0
+                            ? rng_.exponential(config_.read_after_write_lag_mean)
+                            : 0.0;
+    obj.visible_at = clock_->now() + lag;
+    obj.is_new = true;
+    objects.emplace(key, std::move(obj));
+  } else {
+    // Overwrite of an existing key: immediately visible (S3 gave
+    // read-after-write anomalies on new objects; overwrites were
+    // eventually consistent too, but our framework never overwrites, so we
+    // keep this simple and visible).
+    it->second.data = std::move(data);
+    it->second.logical_size = logical_size;
+    it->second.is_new = false;
+    it->second.visible_at = clock_->now();
+  }
+}
+
+std::optional<std::string> BlobStore::get(const std::string& bucket, const std::string& key) {
+  std::lock_guard lock(mu_);
+  ++meter_.gets;
+  auto bucket_it = buckets_.find(bucket);
+  if (bucket_it == buckets_.end()) return std::nullopt;
+  auto it = bucket_it->second.find(key);
+  if (it == bucket_it->second.end()) return std::nullopt;
+  if (it->second.visible_at > clock_->now()) return std::nullopt;  // not yet visible
+  meter_.bytes_out += it->second.logical_size;
+  return it->second.data;
+}
+
+std::optional<Bytes> BlobStore::head(const std::string& bucket, const std::string& key) {
+  std::lock_guard lock(mu_);
+  ++meter_.gets;
+  auto bucket_it = buckets_.find(bucket);
+  if (bucket_it == buckets_.end()) return std::nullopt;
+  auto it = bucket_it->second.find(key);
+  if (it == bucket_it->second.end() || it->second.visible_at > clock_->now()) return std::nullopt;
+  return it->second.logical_size;
+}
+
+bool BlobStore::exists(const std::string& bucket, const std::string& key) {
+  return head(bucket, key).has_value();
+}
+
+bool BlobStore::remove(const std::string& bucket, const std::string& key) {
+  std::lock_guard lock(mu_);
+  ++meter_.deletes;
+  auto bucket_it = buckets_.find(bucket);
+  if (bucket_it == buckets_.end()) return false;
+  return bucket_it->second.erase(key) > 0;
+}
+
+std::vector<std::string> BlobStore::list(const std::string& bucket, const std::string& prefix) {
+  std::lock_guard lock(mu_);
+  ++meter_.lists;
+  std::vector<std::string> keys;
+  auto bucket_it = buckets_.find(bucket);
+  if (bucket_it == buckets_.end()) return keys;
+  for (const auto& [key, _] : bucket_it->second) {
+    if (prefix.empty() || ppc::starts_with(key, prefix)) keys.push_back(key);
+  }
+  return keys;  // std::map iteration => already sorted
+}
+
+Bytes BlobStore::stored_bytes() const {
+  std::lock_guard lock(mu_);
+  Bytes total = 0.0;
+  for (const auto& [_, objects] : buckets_) {
+    for (const auto& [__, obj] : objects) total += obj.logical_size;
+  }
+  return total;
+}
+
+TransferMeter BlobStore::meter() const {
+  std::lock_guard lock(mu_);
+  return meter_;
+}
+
+Dollars BlobStore::transfer_and_request_cost() const {
+  std::lock_guard lock(mu_);
+  const double gb_in = to_gigabytes(meter_.bytes_in);
+  const double gb_out = to_gigabytes(meter_.bytes_out);
+  return gb_in * config_.transfer_in_cost_per_gb + gb_out * config_.transfer_out_cost_per_gb +
+         static_cast<double>(meter_.requests()) / 10000.0 * config_.cost_per_10k_requests;
+}
+
+Seconds BlobStore::sample_get_time(Bytes size, ppc::Rng& rng) const {
+  PPC_REQUIRE(size >= 0.0, "size must be >= 0");
+  const Seconds latency = rng.jittered(config_.request_latency_mean, config_.latency_cv);
+  return latency + size / config_.download_bandwidth_per_s;
+}
+
+Seconds BlobStore::sample_put_time(Bytes size, ppc::Rng& rng) const {
+  PPC_REQUIRE(size >= 0.0, "size must be >= 0");
+  const Seconds latency = rng.jittered(config_.request_latency_mean, config_.latency_cv);
+  return latency + size / config_.upload_bandwidth_per_s;
+}
+
+}  // namespace ppc::blobstore

@@ -1,0 +1,139 @@
+// In-process reproduction of the web-scale object store the paper's Classic
+// Cloud framework keeps its data in (Amazon S3 / Azure Blob storage, §2.1.1).
+//
+// Semantics reproduced:
+//  * bucket/key organization with put/get/list/delete over "HTTP";
+//  * optional eventual consistency on read-after-write for *new* objects
+//    (2010-era S3 US-Standard): a get issued too soon after the put may
+//    return not-found, so workers must retry;
+//  * transfer and request metering — S3 bills by stored bytes, transferred
+//    bytes and request count; these feed Table 4's storage and data-transfer
+//    line items;
+//  * a latency/bandwidth *timing model* the discrete-event workers sample
+//    when deciding how long a download/upload takes. In real-thread mode
+//    operations complete immediately (the data is in memory) and the model
+//    is ignored.
+//
+// Thread-safe; time comes from an injected ppc::Clock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ppc::blobstore {
+
+struct BlobStoreConfig {
+  /// Mean per-request latency (HTTP round trip to the storage service).
+  Seconds request_latency_mean = 0.08;
+  /// Coefficient of variation applied to the request latency.
+  double latency_cv = 0.25;
+  /// Per-connection sustained throughput.
+  Bytes download_bandwidth_per_s = 20.0 * 1024 * 1024;
+  Bytes upload_bandwidth_per_s = 10.0 * 1024 * 1024;
+  /// Mean delay before a newly put object is readable (0 = strong).
+  Seconds read_after_write_lag_mean = 0.0;
+  /// 2010-era pricing (S3: ~$0.14-0.15/GB-month, $0.10/GB in, $0.15/GB out,
+  /// ~$0.01 per 10k GETs).
+  Dollars storage_cost_per_gb_month = 0.14;
+  Dollars transfer_in_cost_per_gb = 0.10;
+  Dollars transfer_out_cost_per_gb = 0.15;
+  Dollars cost_per_10k_requests = 0.01;
+};
+
+struct TransferMeter {
+  Bytes bytes_in = 0.0;   // uploads into the store
+  Bytes bytes_out = 0.0;  // downloads out of the store
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;  // including not-found
+  std::uint64_t lists = 0;
+  std::uint64_t deletes = 0;
+
+  std::uint64_t requests() const { return puts + gets + lists + deletes; }
+};
+
+class BlobStore {
+ public:
+  BlobStore(std::shared_ptr<const ppc::Clock> clock, BlobStoreConfig config = {},
+            ppc::Rng rng = ppc::Rng(0xB10B));
+
+  const BlobStoreConfig& config() const { return config_; }
+
+  /// Creates a bucket; idempotent.
+  void create_bucket(const std::string& bucket);
+
+  bool bucket_exists(const std::string& bucket) const;
+
+  /// Stores an object (creates the bucket implicitly, as our framework's
+  /// deployment step would have done). Overwrites are immediately visible;
+  /// only brand-new keys suffer the read-after-write lag.
+  void put(const std::string& bucket, const std::string& key, std::string data);
+
+  /// Stores a *logical* object: no bytes are materialized, only a declared
+  /// size. Used by the discrete-event drivers to model multi-GB datasets
+  /// (e.g. Table 4's 4096 Cap3 files) without holding them in memory.
+  /// Metering, visibility and head/list/remove behave exactly as for real
+  /// objects; get() on a logical object returns an empty payload.
+  void put_logical(const std::string& bucket, const std::string& key, Bytes size);
+
+  /// Fetches the object, or nullopt when absent / not yet visible.
+  std::optional<std::string> get(const std::string& bucket, const std::string& key);
+
+  /// Size of the object in bytes, or nullopt. Metered as a GET (HEAD).
+  std::optional<Bytes> head(const std::string& bucket, const std::string& key);
+
+  /// True when the object exists and is visible. Metered as a GET.
+  bool exists(const std::string& bucket, const std::string& key);
+
+  /// Removes the object; returns false when absent.
+  bool remove(const std::string& bucket, const std::string& key);
+
+  /// Keys in the bucket starting with `prefix`, sorted. Lists see all
+  /// committed objects (visibility lag applies to reads only).
+  std::vector<std::string> list(const std::string& bucket, const std::string& prefix = "");
+
+  /// Total bytes currently stored (across buckets).
+  Bytes stored_bytes() const;
+
+  TransferMeter meter() const;
+
+  /// Request + transfer cost so far; storage cost is charged by the billing
+  /// module per month of retention (see billing::CostModel).
+  Dollars transfer_and_request_cost() const;
+
+  // -- timing model (used by the simulation drivers) --
+
+  /// Samples the wall time of a GET of `size` bytes.
+  Seconds sample_get_time(Bytes size, ppc::Rng& rng) const;
+
+  /// Samples the wall time of a PUT of `size` bytes.
+  Seconds sample_put_time(Bytes size, ppc::Rng& rng) const;
+
+ private:
+  struct Object {
+    std::string data;
+    Bytes logical_size = 0.0;  // == data.size() for real objects
+    Seconds visible_at = 0.0;
+    bool is_new = true;  // false once overwritten (overwrite => visible)
+  };
+
+  void put_impl(const std::string& bucket, const std::string& key, std::string data,
+                Bytes logical_size);
+
+  std::shared_ptr<const ppc::Clock> clock_;
+  BlobStoreConfig config_;
+  mutable std::mutex mu_;
+  ppc::Rng rng_;
+  std::map<std::string, std::map<std::string, Object>> buckets_;
+  TransferMeter meter_;
+};
+
+}  // namespace ppc::blobstore

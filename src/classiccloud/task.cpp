@@ -1,0 +1,41 @@
+#include "classiccloud/task.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace ppc::classiccloud {
+
+std::string encode_task(const TaskSpec& task) {
+  PPC_REQUIRE(!task.task_id.empty(), "task_id must be non-empty");
+  PPC_REQUIRE(!task.input_key.empty() && !task.output_key.empty(),
+              "task must name input and output blobs");
+  return ppc::encode_kv({{"task", task.task_id}, {"in", task.input_key}, {"out", task.output_key}});
+}
+
+TaskSpec decode_task(const std::string& body) {
+  const auto kv = ppc::decode_kv(body);
+  PPC_REQUIRE(kv.contains("task") && kv.contains("in") && kv.contains("out"),
+              "malformed task message: " + body);
+  return TaskSpec{kv.at("task"), kv.at("in"), kv.at("out")};
+}
+
+std::string encode_monitor(const MonitorRecord& record) {
+  return ppc::encode_kv({{"task", record.task_id},
+                         {"worker", record.worker_id},
+                         {"status", record.status},
+                         {"secs", ppc::format_fixed(record.duration, 6)}});
+}
+
+MonitorRecord decode_monitor(const std::string& body) {
+  const auto kv = ppc::decode_kv(body);
+  PPC_REQUIRE(kv.contains("task") && kv.contains("worker") && kv.contains("status"),
+              "malformed monitor message: " + body);
+  MonitorRecord r;
+  r.task_id = kv.at("task");
+  r.worker_id = kv.at("worker");
+  r.status = kv.at("status");
+  if (kv.contains("secs")) r.duration = std::stod(kv.at("secs"));
+  return r;
+}
+
+}  // namespace ppc::classiccloud

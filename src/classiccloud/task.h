@@ -1,0 +1,39 @@
+// Task descriptors and the message codec of the Classic Cloud framework.
+//
+// §2.1.3: "every message in the queue describes a single task"; "a single
+// task comprises of a single input file and a single output file". The task
+// message therefore carries the blob keys of its input and output plus a
+// task id; the monitoring queue carries small status records. Both are
+// serialized with the flat key=value codec (SQS/Azure Queue messages are
+// short strings).
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+
+namespace ppc::classiccloud {
+
+struct TaskSpec {
+  std::string task_id;
+  std::string input_key;   // blob key holding the input file
+  std::string output_key;  // blob key the worker must write
+};
+
+std::string encode_task(const TaskSpec& task);
+TaskSpec decode_task(const std::string& body);
+
+/// Status record published to the monitoring queue when a worker finishes a
+/// task ("Our implementation uses a monitoring message queue to monitor the
+/// progress of the computation").
+struct MonitorRecord {
+  std::string task_id;
+  std::string worker_id;
+  std::string status;      // "done" | "failed"
+  Seconds duration = 0.0;  // execution time on the worker
+};
+
+std::string encode_monitor(const MonitorRecord& record);
+MonitorRecord decode_monitor(const std::string& body);
+
+}  // namespace ppc::classiccloud

@@ -1,0 +1,137 @@
+#include "classiccloud/worker.h"
+
+#include <chrono>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/log.h"
+
+namespace ppc::classiccloud {
+
+namespace {
+void sleep_seconds(Seconds s) {
+  if (s > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+}  // namespace
+
+Worker::Worker(std::string id, blobstore::BlobStore& store,
+               std::shared_ptr<cloudq::MessageQueue> task_queue,
+               std::shared_ptr<cloudq::MessageQueue> monitor_queue, TaskExecutor executor,
+               WorkerConfig config)
+    : id_(std::move(id)),
+      store_(store),
+      task_queue_(std::move(task_queue)),
+      monitor_queue_(std::move(monitor_queue)),
+      executor_(std::move(executor)),
+      config_(std::move(config)) {
+  PPC_REQUIRE(task_queue_ != nullptr, "worker needs a task queue");
+  PPC_REQUIRE(monitor_queue_ != nullptr, "worker needs a monitor queue");
+  PPC_REQUIRE(executor_ != nullptr, "worker needs an executor");
+  PPC_REQUIRE(config_.visibility_timeout > 0.0, "visibility timeout must be positive");
+}
+
+Worker::~Worker() {
+  request_stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Worker::start() {
+  PPC_REQUIRE(!thread_.joinable(), "worker already started");
+  running_.store(true);
+  thread_ = std::thread([this] { poll_loop(); });
+}
+
+void Worker::request_stop() { stop_requested_.store(true); }
+
+void Worker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+WorkerStats Worker::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+void Worker::poll_loop() {
+  int idle_polls = 0;
+  while (!stop_requested_.load()) {
+    auto message = task_queue_->receive(config_.visibility_timeout);
+    if (!message) {
+      ++idle_polls;
+      if (config_.max_idle_polls >= 0 && idle_polls >= config_.max_idle_polls) break;
+      sleep_seconds(config_.poll_interval);
+      continue;
+    }
+    idle_polls = 0;
+    {
+      std::lock_guard lock(stats_mu_);
+      ++stats_.messages_received;
+    }
+    if (!process(*message)) {
+      // Crash injected: the worker dies mid-task. The message it held stays
+      // invisible until its timeout lapses, then another worker picks it up.
+      std::lock_guard lock(stats_mu_);
+      stats_.crashed = true;
+      break;
+    }
+  }
+  running_.store(false);
+}
+
+bool Worker::process(const cloudq::Message& message) {
+  const TaskSpec task = decode_task(message.body);
+  auto crash = [this, &task](CrashPoint p) {
+    return config_.crash_at && config_.crash_at(p, task);
+  };
+  if (crash(CrashPoint::kAfterReceive)) return false;
+
+  // Download the input, riding out read-after-write visibility lag.
+  std::optional<std::string> input;
+  for (int attempt = 0; attempt <= config_.download_retries; ++attempt) {
+    input = store_.get(config_.bucket, task.input_key);
+    if (input) break;
+    {
+      std::lock_guard lock(stats_mu_);
+      ++stats_.downloads_missed;
+    }
+    sleep_seconds(config_.download_retry_interval);
+  }
+  if (!input) {
+    // Give up on this delivery; the message reappears after its timeout and
+    // by then the blob will be visible (eventual availability).
+    PPC_WARN << "worker " << id_ << ": input blob not yet visible: " << task.input_key;
+    return true;
+  }
+
+  ppc::SystemClock timer;
+  std::string output;
+  try {
+    output = executor_(task, *input);
+  } catch (const std::exception& e) {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.executions_failed;
+    PPC_WARN << "worker " << id_ << ": execution failed for " << task.task_id << ": " << e.what();
+    return true;  // leave the message to time out and be retried
+  }
+  const Seconds duration = timer.now();
+  if (crash(CrashPoint::kAfterExecute)) return false;
+
+  store_.put(config_.bucket, task.output_key, std::move(output));
+  if (crash(CrashPoint::kAfterUpload)) return false;
+
+  MonitorRecord record;
+  record.task_id = task.task_id;
+  record.worker_id = id_;
+  record.status = "done";
+  record.duration = duration;
+  monitor_queue_->send(encode_monitor(record));
+
+  // Delete only after completion — the heart of the fault-tolerance story.
+  const bool deleted = task_queue_->delete_message(message.receipt_handle);
+  std::lock_guard lock(stats_mu_);
+  ++stats_.tasks_completed;
+  if (!deleted) ++stats_.deletes_failed;  // a twin re-ran it; idempotency saves us
+  return true;
+}
+
+}  // namespace ppc::classiccloud

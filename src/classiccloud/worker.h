@@ -1,0 +1,120 @@
+// The Classic Cloud worker — the process that runs inside each EC2/Azure
+// instance (§2.1.3, Figure 1).
+//
+// Poll loop, exactly as the paper describes:
+//  1. receive a task message from the scheduling queue (visibility timeout
+//     hides it from other workers);
+//  2. "retrieve the input files from the cloud storage through the web
+//     service interface" (with retries — the store is eventually
+//     consistent);
+//  3. process them with the configured executable (here: a C++ callable);
+//  4. upload the result to cloud storage;
+//  5. publish a status record to the monitoring queue;
+//  6. "delete the task (message) in the queue only after the completion of
+//     the task" — so a worker crash before this point makes the task
+//     reappear for someone else, and a stale delete after a redelivery
+//     simply fails (idempotent tasks make either outcome correct).
+//
+// Fault injection hooks let the tests crash a worker at any of these points
+// and assert the at-least-once / no-lost-task properties end to end.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "blobstore/blob_store.h"
+#include "classiccloud/task.h"
+#include "cloudq/message_queue.h"
+
+namespace ppc::classiccloud {
+
+/// The "executable program": input file bytes in, output file bytes out.
+/// Must be idempotent and side-effect free — the framework's fault
+/// tolerance depends on it (§2.1.3). Throwing fails the attempt; the task
+/// message stays in the queue and reappears after its visibility timeout.
+using TaskExecutor =
+    std::function<std::string(const TaskSpec& task, const std::string& input)>;
+
+/// Where a fault-injection crash can be triggered.
+enum class CrashPoint {
+  kAfterReceive,   // got the message, did nothing yet
+  kAfterExecute,   // computed the output, nothing uploaded
+  kAfterUpload,    // output uploaded, message not deleted
+};
+
+struct WorkerConfig {
+  std::string bucket = "job";
+  /// Sleep between empty polls (real seconds — keep small in tests).
+  Seconds poll_interval = 0.005;
+  /// Visibility timeout requested on receive. Must exceed the worst-case
+  /// task duration or tasks will be double-processed (the paper tunes this
+  /// per application).
+  Seconds visibility_timeout = 30.0;
+  /// Stop after this many consecutive empty polls; <0 means run until
+  /// request_stop().
+  int max_idle_polls = -1;
+  /// Download retries for eventually-consistent blob reads.
+  int download_retries = 50;
+  Seconds download_retry_interval = 0.002;
+  /// Fault injection: return true to crash the worker at this point for
+  /// this task. Null = never.
+  std::function<bool(CrashPoint, const TaskSpec&)> crash_at;
+};
+
+struct WorkerStats {
+  int messages_received = 0;
+  int tasks_completed = 0;   // executed + uploaded + monitor sent
+  int deletes_failed = 0;    // stale receipt: someone else re-ran the task
+  int downloads_missed = 0;  // eventual-consistency retries
+  int executions_failed = 0;
+  bool crashed = false;
+};
+
+class Worker {
+ public:
+  Worker(std::string id, blobstore::BlobStore& store,
+         std::shared_ptr<cloudq::MessageQueue> task_queue,
+         std::shared_ptr<cloudq::MessageQueue> monitor_queue, TaskExecutor executor,
+         WorkerConfig config);
+
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Starts the poll loop on its own thread.
+  void start();
+
+  /// Asks the loop to exit after the current task.
+  void request_stop();
+
+  /// Blocks until the loop has exited.
+  void join();
+
+  bool running() const { return running_.load(); }
+  const std::string& id() const { return id_; }
+  WorkerStats stats() const;
+
+ private:
+  void poll_loop();
+  /// Processes one received message; returns false when the worker crashed.
+  bool process(const cloudq::Message& message);
+
+  const std::string id_;
+  blobstore::BlobStore& store_;
+  std::shared_ptr<cloudq::MessageQueue> task_queue_;
+  std::shared_ptr<cloudq::MessageQueue> monitor_queue_;
+  TaskExecutor executor_;
+  WorkerConfig config_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+  mutable std::mutex stats_mu_;
+  WorkerStats stats_;
+};
+
+}  // namespace ppc::classiccloud

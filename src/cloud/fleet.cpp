@@ -1,0 +1,89 @@
+#include "cloud/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ppc::cloud {
+
+Seconds Instance::uptime(Seconds now) const {
+  const Seconds end = running() ? now : terminate_time;
+  return std::max(0.0, end - launch_time);
+}
+
+int Instance::billed_hours(Seconds now) const {
+  const Seconds up = uptime(now);
+  return std::max(1, static_cast<int>(std::ceil(up / 3600.0)));
+}
+
+Fleet::Fleet(std::shared_ptr<const ppc::Clock> clock) : clock_(std::move(clock)) {
+  PPC_REQUIRE(clock_ != nullptr, "Fleet requires a clock");
+}
+
+std::vector<std::string> Fleet::launch(const InstanceType& type, int count) {
+  PPC_REQUIRE(count >= 1, "launch count must be >= 1");
+  std::vector<std::string> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Instance inst;
+    inst.id = type.name + "#" + std::to_string(next_id_++);
+    inst.type = type;
+    inst.launch_time = clock_->now();
+    instances_.push_back(inst);
+    ids.push_back(instances_.back().id);
+  }
+  return ids;
+}
+
+void Fleet::terminate(const std::string& id) {
+  Instance& inst = find(id);
+  PPC_REQUIRE(inst.running(), "instance already terminated: " + id);
+  inst.terminate_time = clock_->now();
+}
+
+void Fleet::terminate_all() {
+  const Seconds now = clock_->now();
+  for (Instance& inst : instances_) {
+    if (inst.running()) inst.terminate_time = now;
+  }
+}
+
+std::size_t Fleet::running_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(instances_.begin(), instances_.end(),
+                    [](const Instance& i) { return i.running(); }));
+}
+
+int Fleet::total_cores() const {
+  int cores = 0;
+  for (const Instance& inst : instances_) {
+    if (inst.running()) cores += inst.type.cpu_cores;
+  }
+  return cores;
+}
+
+Dollars Fleet::hourly_billed_cost(Seconds now) const {
+  Dollars total = 0.0;
+  for (const Instance& inst : instances_) {
+    total += inst.billed_hours(now) * inst.type.cost_per_hour;
+  }
+  return total;
+}
+
+Dollars Fleet::amortized_cost(Seconds now) const {
+  Dollars total = 0.0;
+  for (const Instance& inst : instances_) {
+    total += inst.uptime(now) / 3600.0 * inst.type.cost_per_hour;
+  }
+  return total;
+}
+
+Instance& Fleet::find(const std::string& id) {
+  const auto it = std::find_if(instances_.begin(), instances_.end(),
+                               [&id](const Instance& i) { return i.id == id; });
+  PPC_REQUIRE(it != instances_.end(), "unknown instance: " + id);
+  return *it;
+}
+
+}  // namespace ppc::cloud

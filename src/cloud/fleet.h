@@ -1,0 +1,72 @@
+// Instances and fleets with hourly billing.
+//
+// Cloud VMs are "billed hourly" (§3): a computation occupying an instance
+// for any fraction of an hour is charged the full hour. The Fleet tracks
+// launch/terminate times against the injected clock and produces both the
+// paper's cost views:
+//   * "Compute Cost (hour units)" — ceil(uptime) hours, the computation pays
+//     for the whole final hour;
+//   * "Amortized Cost" — exact fraction of uptime, assuming the remainder of
+//     the hour does other useful work.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/instance_types.h"
+#include "common/clock.h"
+
+namespace ppc::cloud {
+
+struct Instance {
+  std::string id;
+  InstanceType type;
+  Seconds launch_time = 0.0;
+  Seconds terminate_time = -1.0;  // < 0 while running
+
+  bool running() const { return terminate_time < 0.0; }
+
+  /// Uptime as of `now` (or total uptime once terminated).
+  Seconds uptime(Seconds now) const;
+
+  /// Whole billing hours charged as of `now` (>= 1 once launched).
+  int billed_hours(Seconds now) const;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(std::shared_ptr<const ppc::Clock> clock);
+
+  /// Launches `count` instances of `type`; returns their ids.
+  std::vector<std::string> launch(const InstanceType& type, int count);
+
+  /// Terminates one instance; throws when unknown or already terminated.
+  void terminate(const std::string& id);
+
+  /// Terminates every running instance.
+  void terminate_all();
+
+  const std::vector<Instance>& instances() const { return instances_; }
+  std::size_t size() const { return instances_.size(); }
+  std::size_t running_count() const;
+
+  /// Total CPU cores across running instances.
+  int total_cores() const;
+
+  /// Hour-unit compute cost as of `now` (terminated instances use their
+  /// final uptime). This is the paper's "Compute Cost (hour units)".
+  Dollars hourly_billed_cost(Seconds now) const;
+
+  /// Amortized compute cost: exact uptime fraction times hourly rate.
+  Dollars amortized_cost(Seconds now) const;
+
+ private:
+  Instance& find(const std::string& id);
+
+  std::shared_ptr<const ppc::Clock> clock_;
+  std::vector<Instance> instances_;
+  int next_id_ = 1;
+};
+
+}  // namespace ppc::cloud

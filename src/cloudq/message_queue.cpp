@@ -1,0 +1,180 @@
+#include "cloudq/message_queue.h"
+
+#include <charconv>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace ppc::cloudq {
+
+MessageQueue::MessageQueue(std::string name, std::shared_ptr<const ppc::Clock> clock,
+                           QueueConfig config, ppc::Rng rng)
+    : name_(std::move(name)), clock_(std::move(clock)), config_(config), rng_(rng) {
+  PPC_REQUIRE(clock_ != nullptr, "MessageQueue requires a clock");
+  PPC_REQUIRE(config_.default_visibility_timeout > 0.0,
+              "default visibility timeout must be positive");
+  PPC_REQUIRE(config_.visibility_lag_mean >= 0.0, "visibility lag must be >= 0");
+  PPC_REQUIRE(config_.duplicate_delivery_prob >= 0.0 && config_.duplicate_delivery_prob <= 1.0,
+              "duplicate probability must be in [0,1]");
+  PPC_REQUIRE(config_.receive_miss_prob >= 0.0 && config_.receive_miss_prob < 1.0,
+              "receive miss probability must be in [0,1)");
+}
+
+std::string MessageQueue::send(std::string body) {
+  std::lock_guard lock(mu_);
+  ++meter_.sends;
+  return enqueue_locked(std::move(body));
+}
+
+std::vector<std::string> MessageQueue::send_batch(const std::vector<std::string>& bodies) {
+  PPC_REQUIRE(!bodies.empty(), "empty batch");
+  std::lock_guard lock(mu_);
+  // One API request per kBatchLimit messages.
+  meter_.sends += (bodies.size() + kBatchLimit - 1) / kBatchLimit;
+  std::vector<std::string> ids;
+  ids.reserve(bodies.size());
+  for (const std::string& body : bodies) ids.push_back(enqueue_locked(body));
+  return ids;
+}
+
+std::string MessageQueue::enqueue_locked(std::string body) {
+  Entry e;
+  e.id = "m-" + std::to_string(next_msg_++);
+  e.body = std::move(body);
+  const Seconds lag =
+      config_.visibility_lag_mean > 0.0 ? rng_.exponential(config_.visibility_lag_mean) : 0.0;
+  e.visible_at = clock_->now() + lag;
+  entries_.push_back(std::move(e));
+  return entries_.back().id;
+}
+
+std::optional<Message> MessageQueue::receive(Seconds visibility_timeout) {
+  std::lock_guard lock(mu_);
+  ++meter_.receives;
+  const Seconds now = clock_->now();
+  const Seconds timeout =
+      visibility_timeout < 0.0 ? config_.default_visibility_timeout : visibility_timeout;
+  PPC_REQUIRE(timeout > 0.0, "visibility timeout must be positive");
+
+  if (config_.receive_miss_prob > 0.0 && rng_.bernoulli(config_.receive_miss_prob)) {
+    return std::nullopt;  // eventually-consistent miss; retry later
+  }
+
+  std::vector<std::size_t> visible;
+  visible.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (!e.deleted && e.visible_at <= now) visible.push_back(i);
+  }
+  if (visible.empty()) return std::nullopt;
+
+  const std::size_t idx = visible[rng_.index(visible.size())];
+  Entry& e = entries_[idx];
+  ++e.receive_count;
+  e.current_receipt_serial = next_receipt_serial_++;
+  if (!(config_.duplicate_delivery_prob > 0.0 && rng_.bernoulli(config_.duplicate_delivery_prob))) {
+    e.visible_at = now + timeout;  // normal path: hide until timeout
+  }
+  // Duplicate-delivery path: the message stays visible, so a second reader
+  // can receive it immediately; the second delivery will supersede this
+  // receipt, making the first delete fail — at-least-once in action.
+
+  Message m;
+  m.id = e.id;
+  m.body = e.body;
+  m.receipt_handle = make_receipt(idx, e.current_receipt_serial);
+  m.receive_count = e.receive_count;
+  return m;
+}
+
+bool MessageQueue::delete_message(const std::string& receipt_handle) {
+  std::lock_guard lock(mu_);
+  ++meter_.deletes;
+  Entry* e = lookup_locked(receipt_handle);
+  if (e == nullptr) return false;
+  e->deleted = true;
+  return true;
+}
+
+bool MessageQueue::change_visibility(const std::string& receipt_handle, Seconds timeout) {
+  PPC_REQUIRE(timeout >= 0.0, "visibility timeout must be >= 0");
+  std::lock_guard lock(mu_);
+  ++meter_.visibility_changes;
+  Entry* e = lookup_locked(receipt_handle);
+  if (e == nullptr) return false;
+  e->visible_at = clock_->now() + timeout;
+  return true;
+}
+
+std::size_t MessageQueue::approximate_visible() const {
+  std::lock_guard lock(mu_);
+  const Seconds now = clock_->now();
+  std::size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (!e.deleted && e.visible_at <= now) ++n;
+  }
+  return n;
+}
+
+std::size_t MessageQueue::in_flight() const {
+  std::lock_guard lock(mu_);
+  const Seconds now = clock_->now();
+  std::size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (!e.deleted && e.visible_at > now) ++n;
+  }
+  return n;
+}
+
+std::size_t MessageQueue::undeleted() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (!e.deleted) ++n;
+  }
+  return n;
+}
+
+RequestMeter MessageQueue::meter() const {
+  std::lock_guard lock(mu_);
+  return meter_;
+}
+
+Dollars MessageQueue::request_cost() const {
+  std::lock_guard lock(mu_);
+  return static_cast<double>(meter_.total()) / 10000.0 * config_.cost_per_10k_requests;
+}
+
+std::string MessageQueue::make_receipt(std::size_t entry_index, std::uint64_t serial) const {
+  return "r-" + std::to_string(entry_index) + "-" + std::to_string(serial);
+}
+
+std::optional<std::pair<std::size_t, std::uint64_t>> MessageQueue::parse_receipt(
+    const std::string& receipt) {
+  if (!ppc::starts_with(receipt, "r-")) return std::nullopt;
+  const auto parts = ppc::split(receipt, '-');
+  if (parts.size() != 3) return std::nullopt;
+  std::size_t index = 0;
+  std::uint64_t serial = 0;
+  auto [p1, ec1] = std::from_chars(parts[1].data(), parts[1].data() + parts[1].size(), index);
+  auto [p2, ec2] = std::from_chars(parts[2].data(), parts[2].data() + parts[2].size(), serial);
+  if (ec1 != std::errc() || ec2 != std::errc()) return std::nullopt;
+  return std::make_pair(index, serial);
+}
+
+MessageQueue::Entry* MessageQueue::lookup_locked(const std::string& receipt_handle) {
+  const auto parsed = parse_receipt(receipt_handle);
+  if (!parsed) return nullptr;
+  const auto [index, serial] = *parsed;
+  if (index >= entries_.size()) return nullptr;
+  Entry& e = entries_[index];
+  // Stale when the message was deleted, was never delivered with this serial,
+  // or a newer delivery superseded this receipt.
+  if (e.deleted || e.current_receipt_serial != serial) return nullptr;
+  // SQS honors deletes with the *current* receipt even after the visibility
+  // timeout has lapsed, as long as no other reader picked the message up
+  // (which would have bumped the serial). Same here: serial match is enough.
+  return &e;
+}
+
+}  // namespace ppc::cloudq

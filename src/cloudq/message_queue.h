@@ -1,0 +1,160 @@
+// In-process reproduction of the queue service the paper's Classic Cloud
+// framework schedules through (Amazon SQS / Azure Queue, §2.1.1, §2.1.3).
+//
+// Semantics reproduced:
+//  * at-least-once delivery — a received message is hidden, not removed; it
+//    reappears when its visibility timeout lapses without a delete;
+//  * unordered delivery — receive() samples a random visible message;
+//  * eventual consistency — a freshly sent message may take a moment to
+//    become visible, and a receive may miss visible messages entirely
+//    ("SQS does not guarantee ... the availability of all the messages for a
+//    request, though it does guarantee eventual availability over multiple
+//    requests");
+//  * occasional duplicate delivery — with small probability a delivered
+//    message is left visible so another reader can obtain it concurrently;
+//  * stale receipts — deleting with a receipt that has been superseded by a
+//    redelivery fails, which is exactly what makes idempotent tasks a
+//    requirement in the paper's fault-tolerance story;
+//  * request metering — SQS bills per API request; the meter feeds Table 4's
+//    "Queue messages (~10,000) : $0.01" line.
+//
+// Thread-safe. Time comes from an injected ppc::Clock so the very same class
+// backs both the real-thread workers (tests/examples) and the discrete-event
+// simulation (figure benches).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ppc::cloudq {
+
+struct QueueConfig {
+  /// Hidden period applied by receive() when the caller does not override it.
+  Seconds default_visibility_timeout = 30.0;
+
+  /// Mean delay (exponential) before a sent message becomes visible.
+  /// 0 disables the lag (strong consistency).
+  Seconds visibility_lag_mean = 0.0;
+
+  /// Probability that a delivered message is *also* left visible, modeling
+  /// SQS's rare duplicate delivery. The duplicate copy carries its own
+  /// receipt; whichever delete arrives first wins.
+  double duplicate_delivery_prob = 0.0;
+
+  /// Probability that a receive() returns empty even though visible messages
+  /// exist (a single request does not see the whole distributed queue).
+  double receive_miss_prob = 0.0;
+
+  /// 2010-era SQS pricing: $0.01 per 10,000 API requests.
+  Dollars cost_per_10k_requests = 0.01;
+};
+
+/// A delivered message. `receipt_handle` must be presented to delete_message.
+struct Message {
+  std::string id;
+  std::string body;
+  std::string receipt_handle;
+  int receive_count = 0;  // how many times this message has been delivered
+};
+
+/// Per-queue API request accounting.
+struct RequestMeter {
+  std::uint64_t sends = 0;
+  std::uint64_t receives = 0;  // including empty receives
+  std::uint64_t deletes = 0;
+  std::uint64_t visibility_changes = 0;
+
+  std::uint64_t total() const { return sends + receives + deletes + visibility_changes; }
+};
+
+class MessageQueue {
+ public:
+  MessageQueue(std::string name, std::shared_ptr<const ppc::Clock> clock,
+               QueueConfig config = {}, ppc::Rng rng = ppc::Rng(0xC10CDA7A));
+
+  const std::string& name() const { return name_; }
+  const QueueConfig& config() const { return config_; }
+
+  /// Enqueues a message body; returns the service-assigned message id.
+  std::string send(std::string body);
+
+  /// Enqueues up to kBatchLimit messages per API request (SQS
+  /// SendMessageBatch): the whole batch is billed as single requests per
+  /// 10 messages, which is how the paper's 4096-task job stays at ~$0.01 of
+  /// queue cost. Returns the message ids in order.
+  std::vector<std::string> send_batch(const std::vector<std::string>& bodies);
+
+  /// Messages accepted per batch request (the SQS limit).
+  static constexpr std::size_t kBatchLimit = 10;
+
+  /// Attempts to deliver one message. `visibility_timeout` < 0 uses the
+  /// queue default. Returns nullopt when nothing is deliverable (or the
+  /// request "missed" under eventual consistency).
+  std::optional<Message> receive(Seconds visibility_timeout = -1.0);
+
+  /// Deletes the message identified by `receipt_handle`. Returns false when
+  /// the receipt is stale (the message timed out and was redelivered, or was
+  /// already deleted) — the caller's work, if completed, stands thanks to
+  /// task idempotency.
+  bool delete_message(const std::string& receipt_handle);
+
+  /// Extends/shrinks the hidden period of an in-flight message. Returns
+  /// false on a stale receipt.
+  bool change_visibility(const std::string& receipt_handle, Seconds timeout);
+
+  /// Approximate number of visible messages right now (like SQS's
+  /// ApproximateNumberOfMessages). Not metered (monitoring convenience).
+  std::size_t approximate_visible() const;
+
+  /// Messages delivered but neither deleted nor yet timed out.
+  std::size_t in_flight() const;
+
+  /// Messages that have never been deleted (visible + in flight).
+  std::size_t undeleted() const;
+
+  RequestMeter meter() const;
+
+  /// Accumulated request cost at the configured per-10k rate.
+  Dollars request_cost() const;
+
+ private:
+  struct Entry {
+    std::string id;
+    std::string body;
+    Seconds visible_at = 0.0;  // message is deliverable when now >= visible_at
+    int receive_count = 0;
+    std::uint64_t current_receipt_serial = 0;  // 0 = never delivered
+    bool deleted = false;
+  };
+
+  /// Appends a message entry; caller holds mu_. Returns the message id.
+  std::string enqueue_locked(std::string body);
+
+  std::string make_receipt(std::size_t entry_index, std::uint64_t serial) const;
+  static std::optional<std::pair<std::size_t, std::uint64_t>> parse_receipt(
+      const std::string& receipt);
+
+  // Locates the entry for a receipt and validates freshness. Caller holds mu_.
+  Entry* lookup_locked(const std::string& receipt_handle);
+
+  const std::string name_;
+  std::shared_ptr<const ppc::Clock> clock_;
+  QueueConfig config_;
+
+  mutable std::mutex mu_;
+  ppc::Rng rng_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_msg_ = 1;
+  std::uint64_t next_receipt_serial_ = 1;
+  RequestMeter meter_;
+};
+
+}  // namespace ppc::cloudq

@@ -1,0 +1,49 @@
+#include "cloudq/queue_service.h"
+
+#include "common/error.h"
+
+namespace ppc::cloudq {
+
+QueueService::QueueService(std::shared_ptr<const ppc::Clock> clock, QueueConfig config,
+                           ppc::Rng rng)
+    : clock_(std::move(clock)), config_(config), rng_(rng) {
+  PPC_REQUIRE(clock_ != nullptr, "QueueService requires a clock");
+}
+
+std::shared_ptr<MessageQueue> QueueService::create_queue(const std::string& name) {
+  PPC_REQUIRE(!name.empty(), "queue name must be non-empty");
+  std::lock_guard lock(mu_);
+  auto it = queues_.find(name);
+  if (it != queues_.end()) return it->second;
+  auto q = std::make_shared<MessageQueue>(name, clock_, config_, rng_.split());
+  queues_.emplace(name, q);
+  return q;
+}
+
+std::shared_ptr<MessageQueue> QueueService::get_queue(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = queues_.find(name);
+  return it == queues_.end() ? nullptr : it->second;
+}
+
+bool QueueService::delete_queue(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return queues_.erase(name) > 0;
+}
+
+std::vector<std::string> QueueService::list_queues() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(queues_.size());
+  for (const auto& [name, _] : queues_) names.push_back(name);
+  return names;
+}
+
+Dollars QueueService::total_request_cost() const {
+  std::lock_guard lock(mu_);
+  Dollars total = 0.0;
+  for (const auto& [_, q] : queues_) total += q->request_cost();
+  return total;
+}
+
+}  // namespace ppc::cloudq

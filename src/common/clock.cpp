@@ -1,0 +1,37 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+#include "common/error.h"
+
+namespace ppc {
+
+namespace {
+Seconds steady_seconds() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+}  // namespace
+
+SystemClock::SystemClock() : epoch_(steady_seconds()) {}
+
+Seconds SystemClock::now() const { return steady_seconds() - epoch_; }
+
+Seconds ManualClock::now() const {
+  std::lock_guard lock(mu_);
+  return now_;
+}
+
+void ManualClock::advance(Seconds dt) {
+  PPC_REQUIRE(dt >= 0.0, "ManualClock cannot move backwards");
+  std::lock_guard lock(mu_);
+  now_ += dt;
+}
+
+void ManualClock::set(Seconds t) {
+  std::lock_guard lock(mu_);
+  PPC_REQUIRE(t >= now_, "ManualClock cannot move backwards");
+  now_ = t;
+}
+
+}  // namespace ppc

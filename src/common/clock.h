@@ -1,0 +1,50 @@
+// Clock abstraction that lets the cloud-service implementations (message
+// queue, blob store, billing meters) run unchanged under either real wall
+// time (tests, examples) or simulated time (the figure-reproduction benches).
+#pragma once
+
+#include <mutex>
+
+#include "common/units.h"
+
+namespace ppc {
+
+/// Monotonic time source. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Seconds elapsed since this clock's epoch. Monotone non-decreasing.
+  virtual Seconds now() const = 0;
+};
+
+/// Real wall-clock backed by std::chrono::steady_clock; epoch = construction.
+class SystemClock final : public Clock {
+ public:
+  SystemClock();
+  Seconds now() const override;
+
+ private:
+  Seconds epoch_;
+};
+
+/// Manually advanced clock for unit tests (and the base of sim::SimClock).
+/// advance()/set() are thread-safe.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Seconds start = 0.0) : now_(start) {}
+
+  Seconds now() const override;
+
+  /// Moves time forward by `dt` seconds (dt must be >= 0).
+  void advance(Seconds dt);
+
+  /// Jumps to absolute time `t` (must not move backwards).
+  void set(Seconds t);
+
+ private:
+  mutable std::mutex mu_;
+  Seconds now_;
+};
+
+}  // namespace ppc

@@ -1,0 +1,60 @@
+// Error handling primitives shared by every ppcloud module.
+//
+// The library throws `ppc::Error` (a std::runtime_error) for programmer
+// errors and unrecoverable conditions; recoverable conditions (e.g. "queue
+// empty", "blob not found") are expressed through std::optional returns so
+// callers handle them in-band.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ppc {
+
+/// Base exception type for all ppcloud failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (a bug in ppcloud itself).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(std::string_view kind, std::string_view expr,
+                                      std::string_view file, int line,
+                                      std::string_view msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind == "PPC_REQUIRE") throw InvalidArgument(os.str());
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace ppc
+
+/// Precondition check: throws ppc::InvalidArgument when `cond` is false.
+#define PPC_REQUIRE(cond, msg)                                                  \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::ppc::detail::check_failed("PPC_REQUIRE", #cond, __FILE__, __LINE__, msg); \
+  } while (false)
+
+/// Invariant check: throws ppc::InternalError when `cond` is false.
+#define PPC_CHECK(cond, msg)                                                  \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::ppc::detail::check_failed("PPC_CHECK", #cond, __FILE__, __LINE__, msg); \
+  } while (false)

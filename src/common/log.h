@@ -1,0 +1,47 @@
+// Minimal thread-safe leveled logger. Off by default above WARN so tests and
+// benches stay quiet; examples turn INFO on to narrate what the frameworks do.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ppc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line "[level] message" to stderr under a global lock.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace ppc
+
+#define PPC_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(::ppc::log_level())) \
+    ;                                                   \
+  else                                                  \
+    ::ppc::detail::LogStream(level)
+
+#define PPC_DEBUG PPC_LOG(::ppc::LogLevel::kDebug)
+#define PPC_INFO PPC_LOG(::ppc::LogLevel::kInfo)
+#define PPC_WARN PPC_LOG(::ppc::LogLevel::kWarn)
+#define PPC_ERROR PPC_LOG(::ppc::LogLevel::kError)

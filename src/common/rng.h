@@ -1,0 +1,62 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in ppcloud (queue visibility sampling, latency
+// models, workload generators, the discrete-event simulator) draws from an
+// explicitly seeded Rng so that experiment runs are exactly reproducible.
+// The generator is xoshiro256** seeded via SplitMix64; `split()` derives
+// statistically independent child streams, which lets a parent experiment
+// hand each worker / app / service its own stream without coordination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ppc {
+
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds produce identical streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normally distributed value (Box-Muller).
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(normal(mu, sigma)). Used for heavy-ish task-time tails.
+  double lognormal(double mu, double sigma);
+
+  /// Value drawn from normal(mean, cv*mean) truncated below at lo_frac*mean.
+  /// Handy for "roughly t, with coefficient of variation cv" task times.
+  double jittered(double mean, double cv, double lo_frac = 0.05);
+
+  /// Derives an independent child stream. Deterministic given parent state.
+  Rng split();
+
+  /// Fisher-Yates shuffle of indices [0, n); returned vector is a permutation.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Picks an index in [0, n) uniformly. Requires n > 0.
+  std::size_t index(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ppc

@@ -1,0 +1,37 @@
+// Small string helpers: splitting, trimming, numeric formatting, and the
+// key=value record codec used for Classic Cloud task messages (the paper's
+// SQS messages are short self-describing task records, §2.1.3).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppc {
+
+/// Splits `s` on `sep`; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Formats with fixed decimals, e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double v, int decimals);
+
+/// Human-friendly byte count: "1.5 MB", "8.7 GB".
+std::string format_bytes(double bytes);
+
+/// "1h 02m 03s" style duration rendering for reports.
+std::string format_duration(double seconds);
+
+/// Serializes a flat string map as "k1=v1;k2=v2". Keys/values must not
+/// contain '=' or ';' (checked). Deterministic (keys sorted by std::map).
+std::string encode_kv(const std::map<std::string, std::string>& kv);
+
+/// Inverse of encode_kv. Throws ppc::InvalidArgument on malformed input.
+std::map<std::string, std::string> decode_kv(std::string_view s);
+
+}  // namespace ppc

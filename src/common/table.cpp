@@ -1,0 +1,67 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace ppc {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_header(std::vector<std::string> header) {
+  PPC_REQUIRE(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  PPC_REQUIRE(header_.empty() || row.size() == header_.size(),
+              "row arity does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int decimals) { return format_fixed(v, decimals); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto account = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) account(header_);
+  for (const auto& r : rows_) account(r);
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << ' ' << cell << std::string(widths[i] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  rule();
+  if (!header_.empty()) {
+    line(header_);
+    rule();
+  }
+  for (const auto& r : rows_) line(r);
+  rule();
+  return os.str();
+}
+
+void Table::print() const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace ppc

@@ -1,0 +1,37 @@
+// Ascii table rendering for benches and examples: the figure-reproduction
+// harness prints each paper table/figure as a fixed-width table so runs can
+// be diffed and pasted into EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ppc {
+
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  /// Sets column headers; must be called before any add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; must match header arity when a header was set.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given decimals.
+  static std::string num(double v, int decimals = 2);
+
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ppc

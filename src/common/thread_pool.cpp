@@ -1,0 +1,38 @@
+#include "common/thread_pool.h"
+
+#include "common/error.h"
+
+namespace ppc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  PPC_REQUIRE(threads >= 1, "ThreadPool needs at least one thread");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !work_.empty(); });
+      if (work_.empty()) return;  // stopping_ and drained
+      job = std::move(work_.front());
+      work_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace ppc

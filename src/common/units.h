@@ -1,0 +1,38 @@
+// Unit helpers used throughout ppcloud.
+//
+// Canonical units: time in double seconds, data in double bytes, clock rate
+// in GHz, money in US dollars. Using doubles keeps the real-clock and
+// simulated-clock code paths identical.
+#pragma once
+
+#include <cstdint>
+
+namespace ppc {
+
+/// Canonical time value: seconds since an epoch defined by the active Clock.
+using Seconds = double;
+
+/// Canonical money value: US dollars.
+using Dollars = double;
+
+/// Canonical data size: bytes (double so that rate math stays in one type).
+using Bytes = double;
+
+inline constexpr Bytes operator""_KB(unsigned long long v) { return static_cast<Bytes>(v) * 1024.0; }
+inline constexpr Bytes operator""_MB(unsigned long long v) { return static_cast<Bytes>(v) * 1024.0 * 1024.0; }
+inline constexpr Bytes operator""_GB(unsigned long long v) { return static_cast<Bytes>(v) * 1024.0 * 1024.0 * 1024.0; }
+inline constexpr Bytes operator""_KB(long double v) { return static_cast<Bytes>(v) * 1024.0; }
+inline constexpr Bytes operator""_MB(long double v) { return static_cast<Bytes>(v) * 1024.0 * 1024.0; }
+inline constexpr Bytes operator""_GB(long double v) { return static_cast<Bytes>(v) * 1024.0 * 1024.0 * 1024.0; }
+
+inline constexpr Bytes kilobytes(double v) { return v * 1024.0; }
+inline constexpr Bytes megabytes(double v) { return v * 1024.0 * 1024.0; }
+inline constexpr Bytes gigabytes(double v) { return v * 1024.0 * 1024.0 * 1024.0; }
+
+inline constexpr double to_gigabytes(Bytes b) { return b / (1024.0 * 1024.0 * 1024.0); }
+inline constexpr double to_megabytes(Bytes b) { return b / (1024.0 * 1024.0); }
+
+inline constexpr Seconds minutes(double v) { return v * 60.0; }
+inline constexpr Seconds hours(double v) { return v * 3600.0; }
+
+}  // namespace ppc

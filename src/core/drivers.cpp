@@ -1,0 +1,496 @@
+#include "core/drivers.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "classiccloud/task.h"
+#include "cloud/fleet.h"
+#include "common/error.h"
+#include "dryad/partitioned_table.h"
+#include "sim/simulator.h"
+
+namespace ppc::core {
+
+namespace {
+
+std::string input_key(const SimTask& t) { return "input/t" + std::to_string(t.id); }
+std::string output_key(const SimTask& t) { return "output/t" + std::to_string(t.id); }
+
+/// Applies straggler injection to a sampled execution time.
+Seconds with_straggler(Seconds ex, const SimRunParams& params, ppc::Rng& rng) {
+  if (params.straggler_prob > 0.0 && rng.bernoulli(params.straggler_prob)) {
+    return ex * params.straggler_factor;
+  }
+  return ex;
+}
+
+}  // namespace
+
+void finalize_metrics(RunResult& result, const Workload& workload, const Deployment& deployment,
+                      const ExecutionModel& model) {
+  Seconds t1 = 0.0;
+  for (const SimTask& task : workload.tasks) {
+    t1 += model.expected_sequential(task, deployment.type);
+  }
+  result.t1_seconds = t1;
+  const double p = deployment.total_cores_used();
+  if (result.makespan > 0.0 && p > 0.0) {
+    result.parallel_efficiency = t1 / (p * result.makespan);  // Equation 1
+    result.per_core_task_seconds =
+        result.makespan * p / static_cast<double>(workload.size());  // Equation 2
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Classic Cloud
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// All state of one Classic Cloud simulation run. Lives on the stack of
+/// run_classic_cloud_sim; the simulator drains before it goes away.
+struct ClassicSim {
+  sim::Simulator sim;
+  const Workload& workload;
+  const Deployment& d;
+  const ExecutionModel& model;
+  const SimRunParams& params;
+
+  blobstore::BlobStore store;
+  cloudq::MessageQueue queue;
+  cloudq::MessageQueue monitor;
+  cloud::Fleet fleet;
+  std::vector<ppc::Rng> worker_rng;
+  double run_factor = 1.0;
+
+  std::set<std::string> completed;
+  int duplicate_executions = 0;
+  bool done = false;
+  Seconds makespan = 0.0;
+  ppc::SampleSet exec_times;
+  std::vector<TaskTraceEntry> trace;
+  static constexpr const char* kBucket = "job";
+
+  ClassicSim(const Workload& w, const Deployment& dep, const ExecutionModel& m,
+             const SimRunParams& p, ppc::Rng& rng)
+      : workload(w),
+        d(dep),
+        model(m),
+        params(p),
+        store(sim.clock(), p.blob, rng.split()),
+        queue("tasks", sim.clock(), p.queue, rng.split()),
+        monitor("monitor", sim.clock(), p.queue, rng.split()),
+        fleet(sim.clock()) {
+    const int workers = d.total_workers();
+    worker_rng.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) worker_rng.push_back(rng.split());
+    run_factor = params.provider_variability
+                     ? m.sample_run_factor(d.type.provider, rng)
+                     : 1.0;
+  }
+
+  void populate() {
+    store.create_bucket(kBucket);
+    fleet.launch(d.type, d.instances);
+    std::vector<std::string> messages;
+    messages.reserve(workload.tasks.size());
+    for (const SimTask& t : workload.tasks) {
+      store.put_logical(kBucket, input_key(t), t.input_size);
+      classiccloud::TaskSpec spec;
+      spec.task_id = "t" + std::to_string(t.id);
+      spec.input_key = input_key(t);
+      spec.output_key = output_key(t);
+      messages.push_back(classiccloud::encode_task(spec));
+    }
+    queue.send_batch(messages);
+  }
+
+  const SimTask& task_of(const classiccloud::TaskSpec& spec) const {
+    const int id = std::stoi(spec.task_id.substr(1));
+    return workload.tasks.at(static_cast<std::size_t>(id));
+  }
+
+  void start() {
+    populate();
+    idle_interval.assign(static_cast<std::size_t>(d.total_workers()), params.poll_interval);
+    for (int w = 0; w < d.total_workers(); ++w) {
+      // Stagger worker start-up slightly, as real instances boot unevenly.
+      sim.after(worker_rng[static_cast<std::size_t>(w)].uniform(0.0, 1.0),
+                [this, w] { poll(w); });
+    }
+    sim.run();
+    if (!done) makespan = sim.now();  // crashed workers may strand the job
+  }
+
+  std::vector<Seconds> idle_interval;  // per-worker empty-poll backoff
+
+  void poll(int w) {
+    if (done) return;
+    sim.after(params.queue_op_latency, [this, w] {
+      auto msg = queue.receive(params.visibility_timeout);
+      auto& backoff = idle_interval[static_cast<std::size_t>(w)];
+      if (!msg) {
+        if (done || queue.undeleted() == 0) return;
+        sim.after(backoff, [this, w] { poll(w); });
+        backoff = std::min(params.poll_interval_max, backoff * 2.0);
+        return;
+      }
+      backoff = params.poll_interval;  // reset on success
+      handle(w, *msg);
+    });
+  }
+
+  void handle(int w, const cloudq::Message& msg) {
+    auto& rng = worker_rng[static_cast<std::size_t>(w)];
+    const classiccloud::TaskSpec spec = classiccloud::decode_task(msg.body);
+    const SimTask& task = task_of(spec);
+
+    const Seconds dl = store.sample_get_time(task.input_size, rng);
+    sim.after(dl, [this, w, msg, spec, &task] {
+      auto& wrng = worker_rng[static_cast<std::size_t>(w)];
+      (void)store.get(kBucket, spec.input_key);  // meters the download
+      Seconds ex = model.sample(task, d, wrng) * run_factor;
+      ex = with_straggler(ex, params, wrng);
+      sim.after(ex, [this, w, msg, spec, &task, ex] {
+        auto& wrng2 = worker_rng[static_cast<std::size_t>(w)];
+        if (params.worker_crash_prob > 0.0 && wrng2.bernoulli(params.worker_crash_prob)) {
+          return;  // worker dies: no upload, no delete — message resurfaces
+        }
+        const Seconds ul = store.sample_put_time(task.output_size, wrng2);
+        sim.after(ul, [this, w, msg, spec, &task, ex, ul] {
+          store.put_logical(kBucket, spec.output_key, task.output_size);
+          classiccloud::MonitorRecord record;
+          record.task_id = spec.task_id;
+          record.worker_id = "w" + std::to_string(w);
+          record.status = "done";
+          record.duration = ex;
+          monitor.send(classiccloud::encode_monitor(record));
+          queue.delete_message(msg.receipt_handle);
+
+          const bool first = completed.insert(spec.task_id).second;
+          if (params.record_trace) {
+            // sim.now() is post-upload; the execution ended `ul` ago.
+            const Seconds end = sim.now() - ul;
+            trace.push_back({task.id, w, end - ex, end, first});
+          }
+          if (first) {
+            exec_times.add(ex);
+            if (completed.size() == workload.size()) {
+              done = true;
+              makespan = sim.now();
+              fleet.terminate_all();
+            }
+          } else {
+            ++duplicate_executions;
+          }
+          poll(w);
+        });
+      });
+    });
+  }
+};
+
+}  // namespace
+
+RunResult run_classic_cloud_sim(const Workload& workload, const Deployment& deployment,
+                                const ExecutionModel& model, const SimRunParams& params) {
+  PPC_REQUIRE(!workload.tasks.empty(), "empty workload");
+  ppc::Rng rng(params.seed);
+  ClassicSim cs(workload, deployment, model, params, rng);
+  cs.start();
+
+  RunResult r;
+  r.framework = deployment.type.provider == cloud::Provider::kWindowsAzure
+                    ? "ClassicCloud-Azure"
+                    : "ClassicCloud-EC2";
+  r.deployment_label = deployment.label;
+  r.makespan = cs.makespan;
+  r.tasks = static_cast<int>(workload.size());
+  r.completed = static_cast<int>(cs.completed.size());
+  r.duplicate_executions = cs.duplicate_executions;
+  r.exec_times = cs.exec_times;
+  r.trace = std::move(cs.trace);
+  r.compute_cost_hour_units = cs.fleet.hourly_billed_cost(cs.makespan);
+  r.compute_cost_amortized = cs.fleet.amortized_cost(cs.makespan);
+  r.queue_request_cost = cs.queue.request_cost() + cs.monitor.request_cost();
+  const auto meter = cs.store.meter();
+  r.bytes_in = meter.bytes_in;
+  r.bytes_out = meter.bytes_out;
+  finalize_metrics(r, workload, deployment, model);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// MapReduce (Hadoop analog)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct MapReduceSim {
+  sim::Simulator sim;
+  const Workload& workload;
+  const Deployment& d;
+  const ExecutionModel& model;
+  const SimRunParams& params;
+
+  minihdfs::MiniHdfs hdfs;
+  std::unique_ptr<mapreduce::TaskScheduler> scheduler;
+  std::vector<ppc::Rng> slot_rng;
+  double run_factor = 1.0;
+
+  int completed = 0;
+  int duplicate_executions = 0;
+  bool finished = false;
+  Seconds makespan = 0.0;
+  ppc::SampleSet exec_times;
+  std::vector<TaskTraceEntry> trace;
+  std::vector<bool> node_dead;
+
+  MapReduceSim(const Workload& w, const Deployment& dep, const ExecutionModel& m,
+               const SimRunParams& p, ppc::Rng& rng)
+      : workload(w), d(dep), model(m), params(p), hdfs(dep.instances, p.hdfs, rng.split()) {
+    const int slots = d.total_workers();
+    slot_rng.reserve(static_cast<std::size_t>(slots));
+    for (int i = 0; i < slots; ++i) slot_rng.push_back(rng.split());
+    run_factor = params.provider_variability
+                     ? m.sample_run_factor(d.type.provider, rng)
+                     : 1.0;
+
+    std::vector<mapreduce::TaskInfo> tasks;
+    tasks.reserve(w.tasks.size());
+    for (const SimTask& t : w.tasks) {
+      const std::string path = "/in/t" + std::to_string(t.id);
+      hdfs.write_logical(path, t.input_size);
+      mapreduce::TaskInfo info;
+      info.task_id = t.id;
+      info.path = path;
+      info.name = "t" + std::to_string(t.id);
+      info.size = t.input_size;
+      info.preferred = hdfs.data_local_nodes(path);
+      tasks.push_back(std::move(info));
+    }
+    scheduler = std::make_unique<mapreduce::TaskScheduler>(std::move(tasks), p.scheduler);
+  }
+
+  void start() {
+    node_dead.assign(static_cast<std::size_t>(d.instances), false);
+    if (params.failed_node >= 0 && params.node_failure_time >= 0.0) {
+      PPC_REQUIRE(params.failed_node < d.instances, "failed_node out of range");
+      sim.after(params.node_failure_time, [this] {
+        node_dead[static_cast<std::size_t>(params.failed_node)] = true;
+        hdfs.fail_node(params.failed_node);  // replicas re-replicate
+      });
+    }
+    for (int node = 0; node < d.instances; ++node) {
+      for (int s = 0; s < d.workers_per_instance; ++s) {
+        const int slot = node * d.workers_per_instance + s;
+        sim.after(slot_rng[static_cast<std::size_t>(slot)].uniform(0.0, 0.5),
+                  [this, node, slot] { request(node, slot); });
+      }
+    }
+    sim.run();
+    if (!finished) makespan = sim.now();
+  }
+
+  void request(int node, int slot) {
+    if (node_dead[static_cast<std::size_t>(node)]) return;  // instance is gone
+    if (scheduler->job_done()) return;
+    const auto assignment = scheduler->next_task(node, sim.now());
+    if (!assignment) {
+      sim.after(params.heartbeat_interval, [this, node, slot] { request(node, slot); });
+      return;
+    }
+    auto& rng = slot_rng[static_cast<std::size_t>(slot)];
+    const SimTask& task = workload.tasks.at(static_cast<std::size_t>(assignment->task_id));
+    const Seconds read = hdfs.sample_read_time(task.input_size, assignment->data_local, rng);
+    Seconds ex = model.sample(task, d, rng) * run_factor;
+    ex = with_straggler(ex, params, rng);
+    // HDFS write of the (small) result, local to the node.
+    const Seconds write = hdfs.sample_read_time(task.output_size, /*local=*/true, rng);
+    const Seconds total = params.task_startup_overhead + read + ex + write;
+
+    sim.after(total, [this, node, slot, a = *assignment, ex, write] {
+      auto& rng2 = slot_rng[static_cast<std::size_t>(slot)];
+      if (node_dead[static_cast<std::size_t>(node)]) {
+        // The node died while this attempt ran: the JobTracker times it out
+        // and re-queues the task; this slot never asks for work again.
+        scheduler->report_failed(a, sim.now());
+        if (scheduler->job_done() && !finished) {
+          finished = true;
+          makespan = sim.now();
+        }
+        return;
+      }
+      if (params.task_failure_prob > 0.0 && rng2.bernoulli(params.task_failure_prob)) {
+        scheduler->report_failed(a, sim.now());
+      } else {
+        const bool first = scheduler->report_completed(a, sim.now());
+        if (params.record_trace) {
+          const Seconds end = sim.now() - write;
+          trace.push_back({a.task_id, slot, end - ex, end, first});
+        }
+        if (first) {
+          exec_times.add(ex);
+          ++completed;
+        } else {
+          ++duplicate_executions;
+        }
+      }
+      if (scheduler->job_done() && !finished) {
+        finished = true;
+        makespan = sim.now();
+      }
+      request(node, slot);
+    });
+  }
+};
+
+}  // namespace
+
+RunResult run_mapreduce_sim(const Workload& workload, const Deployment& deployment,
+                            const ExecutionModel& model, const SimRunParams& params) {
+  PPC_REQUIRE(!workload.tasks.empty(), "empty workload");
+  ppc::Rng rng(params.seed);
+  MapReduceSim ms(workload, deployment, model, params, rng);
+  ms.start();
+
+  RunResult r;
+  r.framework = "Hadoop";
+  r.deployment_label = deployment.label;
+  r.makespan = ms.makespan;
+  r.tasks = static_cast<int>(workload.size());
+  r.completed = ms.completed;
+  r.duplicate_executions = ms.duplicate_executions;
+  r.exec_times = ms.exec_times;
+  r.trace = std::move(ms.trace);
+  r.scheduler_stats = ms.scheduler->stats();
+  r.local_reads = static_cast<std::uint64_t>(r.scheduler_stats.local_assignments);
+  r.remote_reads = static_cast<std::uint64_t>(r.scheduler_stats.remote_assignments);
+  finalize_metrics(r, workload, deployment, model);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Dryad (DryadLINQ analog)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DryadSim {
+  sim::Simulator sim;
+  const Workload& workload;
+  const Deployment& d;
+  const ExecutionModel& model;
+  const SimRunParams& params;
+
+  dryad::FileShare share;
+  std::vector<std::deque<int>> node_queue;  // task ids per node (static!)
+  std::vector<ppc::Rng> slot_rng;
+  double run_factor = 1.0;
+
+  int completed = 0;
+  Seconds makespan = 0.0;
+  ppc::SampleSet exec_times;
+  std::vector<TaskTraceEntry> trace;
+
+  DryadSim(const Workload& w, const Deployment& dep, const ExecutionModel& m,
+           const SimRunParams& p, ppc::Rng& rng)
+      : workload(w),
+        d(dep),
+        model(m),
+        params(p),
+        share(dep.instances, p.share),
+        node_queue(static_cast<std::size_t>(dep.instances)) {
+    const int slots = d.total_workers();
+    slot_rng.reserve(static_cast<std::size_t>(slots));
+    for (int i = 0; i < slots; ++i) slot_rng.push_back(rng.split());
+    run_factor = params.provider_variability
+                     ? m.sample_run_factor(d.type.provider, rng)
+                     : 1.0;
+
+    // Static partitioning — the "data partition and distribution programs"
+    // of §2.3, executed before the job starts.
+    std::vector<std::string> names;
+    std::vector<Bytes> sizes;
+    names.reserve(w.tasks.size());
+    for (const SimTask& t : w.tasks) {
+      names.push_back(std::to_string(t.id));
+      sizes.push_back(t.input_size);
+    }
+    const auto table =
+        params.dryad_partition_by_size
+            ? dryad::PartitionedTable::by_size(names, sizes, dep.instances)
+            : dryad::PartitionedTable::round_robin(names, dep.instances);
+    for (const auto& part : table.partitions()) {
+      for (const auto& name : part.files) {
+        node_queue[static_cast<std::size_t>(part.node)].push_back(std::stoi(name));
+        // Placeholder content: the distribution step puts every partition
+        // file on its node's share so processing reads are local.
+        share.write(part.node, name, std::string());
+      }
+    }
+  }
+
+  void start() {
+    for (int node = 0; node < d.instances; ++node) {
+      for (int s = 0; s < d.workers_per_instance; ++s) {
+        const int slot = node * d.workers_per_instance + s;
+        sim.after(slot_rng[static_cast<std::size_t>(slot)].uniform(0.0, 0.2),
+                  [this, node, slot] { next(node, slot); });
+      }
+    }
+    sim.run();
+  }
+
+  void next(int node, int slot) {
+    auto& queue = node_queue[static_cast<std::size_t>(node)];
+    if (queue.empty()) return;  // this node is done; no stealing (static)
+    const int task_id = queue.front();
+    queue.pop_front();
+    auto& rng = slot_rng[static_cast<std::size_t>(slot)];
+    const SimTask& task = workload.tasks.at(static_cast<std::size_t>(task_id));
+    (void)share.read(node, std::to_string(task_id), node);  // locality accounting
+    const Seconds read = share.sample_read_time(task.input_size, /*local=*/true, rng);
+    Seconds ex = model.sample(task, d, rng) * run_factor;
+    ex = with_straggler(ex, params, rng);
+    const Seconds write = share.sample_read_time(task.output_size, /*local=*/true, rng);
+    const Seconds total = params.vertex_startup_overhead + read + ex + write;
+    sim.after(total, [this, node, slot, task_id, ex, write] {
+      if (params.record_trace) {
+        const Seconds end = sim.now() - write;
+        trace.push_back({task_id, slot, end - ex, end, true});
+      }
+      exec_times.add(ex);
+      ++completed;
+      if (completed == static_cast<int>(workload.size())) makespan = sim.now();
+      next(node, slot);
+    });
+  }
+};
+
+}  // namespace
+
+RunResult run_dryad_sim(const Workload& workload, const Deployment& deployment,
+                        const ExecutionModel& model, const SimRunParams& params) {
+  PPC_REQUIRE(!workload.tasks.empty(), "empty workload");
+  ppc::Rng rng(params.seed);
+  DryadSim ds(workload, deployment, model, params, rng);
+  ds.start();
+
+  RunResult r;
+  r.framework = "DryadLINQ";
+  r.deployment_label = deployment.label;
+  r.makespan = ds.makespan;
+  r.tasks = static_cast<int>(workload.size());
+  r.completed = ds.completed;
+  r.exec_times = ds.exec_times;
+  r.trace = std::move(ds.trace);
+  r.local_reads = ds.share.stats().local_reads;
+  finalize_metrics(r, workload, deployment, model);
+  return r;
+}
+
+}  // namespace ppc::core

@@ -1,0 +1,141 @@
+// Discrete-event drivers: run a Workload on a Deployment under one of the
+// paper's four framework families, in simulated time, and report the
+// metrics of §3 (Equations 1 and 2) plus costs.
+//
+// The drivers reuse the *real* service implementations wherever time-based
+// behaviour matters: the Classic Cloud driver drives the actual
+// cloudq::MessageQueue (visibility timeouts, redelivery, request metering)
+// and blobstore::BlobStore (metering, timing model) under the simulation
+// clock; the MapReduce driver drives the actual mapreduce::TaskScheduler
+// and minihdfs placement; the Dryad driver uses the actual
+// dryad::PartitionedTable policies. Only the passage of time is simulated.
+#pragma once
+
+#include <string>
+
+#include "blobstore/blob_store.h"
+#include "cloudq/message_queue.h"
+#include "common/stats.h"
+#include "core/exec_model.h"
+#include "core/workload.h"
+#include "dryad/file_share.h"
+#include "mapreduce/scheduler.h"
+#include "minihdfs/mini_hdfs.h"
+
+namespace ppc::core {
+
+struct SimRunParams {
+  unsigned seed = 42;
+
+  // -- Classic Cloud --
+  cloudq::QueueConfig queue;
+  blobstore::BlobStoreConfig blob;
+  /// Sim seconds a queue API round trip takes.
+  Seconds queue_op_latency = 0.03;
+  /// Idle worker re-poll interval (initial).
+  Seconds poll_interval = 1.0;
+  /// Empty polls back off exponentially up to this cap (and reset on a
+  /// successful receive) — standard practice to keep SQS request charges
+  /// down while tasks are in flight elsewhere.
+  Seconds poll_interval_max = 16.0;
+  /// Visibility timeout requested by workers. Must exceed the task length
+  /// or duplicate executions appear (the ablation bench sweeps this).
+  Seconds visibility_timeout = 7200.0;
+
+  // -- MapReduce --
+  minihdfs::HdfsConfig hdfs;
+  mapreduce::SchedulerConfig scheduler;
+  /// Idle slot re-poll (TaskTracker heartbeat).
+  Seconds heartbeat_interval = 3.0;
+  /// Per-attempt launch overhead (task JVM start in Hadoop 0.20).
+  Seconds task_startup_overhead = 1.0;
+
+  // -- Dryad --
+  dryad::FileShareConfig share;
+  Seconds vertex_startup_overhead = 0.3;
+  /// false = round-robin static partitions (the paper's layout);
+  /// true = size-balanced LPT (ablation).
+  bool dryad_partition_by_size = false;
+
+  // -- cross-cutting injection knobs (ablations / property tests) --
+  /// Probability a task execution becomes a straggler (x straggler_factor).
+  double straggler_prob = 0.0;
+  double straggler_factor = 5.0;
+  /// Probability a MapReduce attempt fails and must be re-run.
+  double task_failure_prob = 0.0;
+  /// MapReduce node-failure injection: at `node_failure_time` (>= 0) node
+  /// `failed_node` dies — its running attempts are lost (re-queued by the
+  /// scheduler), its HDFS replicas re-replicate, and it takes no more work.
+  int failed_node = -1;
+  Seconds node_failure_time = -1.0;
+  /// Probability a Classic Cloud worker crashes mid-task (after execute,
+  /// before delete) — the task message must resurface and be re-done.
+  double worker_crash_prob = 0.0;
+  /// Apply the §3 provider variability factor to execution times.
+  bool provider_variability = true;
+  /// Record per-task execution intervals into RunResult::trace.
+  bool record_trace = false;
+};
+
+/// One task execution interval, for Gantt-style inspection and the DES
+/// validity tests (a worker must never run two tasks concurrently).
+struct TaskTraceEntry {
+  int task_id = 0;
+  int worker = 0;  // global worker/slot index
+  Seconds exec_start = 0.0;
+  Seconds exec_end = 0.0;
+  bool counted = true;  // false for duplicate/wasted executions
+};
+
+struct RunResult {
+  std::string framework;
+  std::string deployment_label;
+  Seconds makespan = 0.0;
+  int tasks = 0;
+  int completed = 0;
+  /// Executions whose result was redundant (speculative twins, visibility-
+  /// timeout re-deliveries).
+  int duplicate_executions = 0;
+  ppc::SampleSet exec_times;  // first-completion execution times
+
+  // Cost (zero for bare metal).
+  Dollars compute_cost_hour_units = 0.0;
+  Dollars compute_cost_amortized = 0.0;
+  Dollars queue_request_cost = 0.0;
+  Bytes bytes_in = 0.0;   // into cloud storage
+  Bytes bytes_out = 0.0;  // out of cloud storage
+
+  // Scheduling visibility.
+  mapreduce::TaskScheduler::Stats scheduler_stats;  // MapReduce only
+  std::uint64_t local_reads = 0;
+  std::uint64_t remote_reads = 0;
+
+  // Metrics of §3, filled by finalize_metrics().
+  Seconds t1_seconds = 0.0;           // best sequential time (Equation 1's T1)
+  double parallel_efficiency = 0.0;   // Equation 1
+  Seconds per_core_task_seconds = 0;  // Equation 2
+
+  /// Execution intervals; populated when SimRunParams::record_trace is set.
+  std::vector<TaskTraceEntry> trace;
+};
+
+/// Classic Cloud (EC2/Azure flavor decided by the deployment's instance
+/// provider): queue-scheduled independent workers over blob storage.
+RunResult run_classic_cloud_sim(const Workload& workload, const Deployment& deployment,
+                                const ExecutionModel& model, const SimRunParams& params);
+
+/// Hadoop-analog: HDFS-resident inputs, locality-aware dynamic global-queue
+/// scheduling, speculative execution.
+RunResult run_mapreduce_sim(const Workload& workload, const Deployment& deployment,
+                            const ExecutionModel& model, const SimRunParams& params);
+
+/// DryadLINQ-analog: static node-level partitions over node-local shares.
+RunResult run_dryad_sim(const Workload& workload, const Deployment& deployment,
+                        const ExecutionModel& model, const SimRunParams& params);
+
+/// Fills t1_seconds, parallel_efficiency (Eq 1) and per_core_task_seconds
+/// (Eq 2). Called by the drivers; exposed for tests.
+void finalize_metrics(RunResult& result, const Workload& workload, const Deployment& deployment,
+                      const ExecutionModel& model);
+
+}  // namespace ppc::core

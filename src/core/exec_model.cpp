@@ -1,0 +1,63 @@
+#include "core/exec_model.h"
+
+#include "common/error.h"
+
+namespace ppc::core {
+
+Deployment make_deployment(const cloud::InstanceType& type, int instances,
+                           int workers_per_instance, int threads_per_worker) {
+  PPC_REQUIRE(instances >= 1, "instances must be >= 1");
+  PPC_REQUIRE(workers_per_instance >= 1, "workers per instance must be >= 1");
+  PPC_REQUIRE(threads_per_worker >= 1, "threads per worker must be >= 1");
+  PPC_REQUIRE(workers_per_instance * threads_per_worker <= type.cpu_cores,
+              "deployment oversubscribes the instance's cores");
+  Deployment d;
+  d.type = type;
+  d.instances = instances;
+  d.workers_per_instance = workers_per_instance;
+  d.threads_per_worker = threads_per_worker;
+  d.label = type.name + " - " + std::to_string(instances) + "x" +
+            std::to_string(workers_per_instance);
+  if (threads_per_worker > 1) d.label += "x" + std::to_string(threads_per_worker) + "t";
+  return d;
+}
+
+Seconds ExecutionModel::sample(const SimTask& task, const Deployment& d, ppc::Rng& rng) const {
+  switch (app_) {
+    case AppKind::kCap3:
+      return cap3.sample_seconds(static_cast<std::size_t>(task.work), d.type, rng) *
+             task.work_factor;
+    case AppKind::kBlast:
+      return blast.sample_seconds(static_cast<std::size_t>(task.work), task.work_factor, d.type,
+                                  d.threads_per_worker, d.busy_cores_per_instance(), rng);
+    case AppKind::kGtm:
+      return gtm.sample_seconds(task.work, d.type, d.busy_cores_per_instance(), rng) *
+             task.work_factor;
+  }
+  throw ppc::InternalError("unknown app kind");
+}
+
+Seconds ExecutionModel::expected_sequential(const SimTask& task,
+                                            const cloud::InstanceType& type) const {
+  switch (app_) {
+    case AppKind::kCap3:
+      return cap3.expected_seconds(static_cast<std::size_t>(task.work), type) * task.work_factor;
+    case AppKind::kBlast:
+      return blast.expected_seconds(static_cast<std::size_t>(task.work), task.work_factor, type,
+                                    /*threads=*/1);
+    case AppKind::kGtm:
+      return gtm.expected_seconds(task.work, type, /*busy_cores=*/1) * task.work_factor;
+  }
+  throw ppc::InternalError("unknown app kind");
+}
+
+double ExecutionModel::sample_run_factor(cloud::Provider provider, ppc::Rng& rng) const {
+  // §3 / Gunarathne et al [12]: std-dev 1.56% (AWS), 2.25% (Azure); owned
+  // hardware is steadier still.
+  double cv = 0.01;
+  if (provider == cloud::Provider::kAmazonEC2) cv = 0.0156;
+  if (provider == cloud::Provider::kWindowsAzure) cv = 0.0225;
+  return rng.jittered(1.0, cv, 0.9);
+}
+
+}  // namespace ppc::core

@@ -1,0 +1,63 @@
+// Deployment descriptions and the execution model that turns (task,
+// deployment) pairs into sampled runtimes via the per-app cost models.
+#pragma once
+
+#include "apps/blast/cost_model.h"
+#include "apps/cap3/cost_model.h"
+#include "apps/gtm/cost_model.h"
+#include "cloud/instance_types.h"
+#include "common/rng.h"
+#include "core/workload.h"
+
+namespace ppc::core {
+
+/// One experiment's compute layout, in the paper's labeling convention:
+/// "'Instance Type' - 'Number of Instances' X 'Number of Workers per
+/// Instance'", e.g. HCXL - 2 X 8 (§3). Fig 9 adds threads per worker.
+struct Deployment {
+  std::string label;
+  cloud::InstanceType type;
+  int instances = 1;
+  int workers_per_instance = 1;
+  int threads_per_worker = 1;
+
+  int total_workers() const { return instances * workers_per_instance; }
+  int busy_cores_per_instance() const { return workers_per_instance * threads_per_worker; }
+  /// P of Equation 1: the CPU cores the deployment occupies.
+  int total_cores_used() const { return instances * busy_cores_per_instance(); }
+};
+
+/// Builds a deployment with the paper's "Type - N x W" label.
+Deployment make_deployment(const cloud::InstanceType& type, int instances,
+                           int workers_per_instance, int threads_per_worker = 1);
+
+class ExecutionModel {
+ public:
+  explicit ExecutionModel(AppKind app) : app_(app) {}
+
+  AppKind app() const { return app_; }
+
+  /// Sampled execution seconds of `task` on one worker of `d`, assuming the
+  /// steady state of a pleasingly-parallel run: every worker slot of the
+  /// instance is busy (that is what contends for memory bandwidth).
+  Seconds sample(const SimTask& task, const Deployment& d, ppc::Rng& rng) const;
+
+  /// Expected sequential seconds of `task` on a single otherwise-idle core
+  /// of `type` with the input on local disk — the T1 ingredient of
+  /// Equation 1, measured "in each of the different environments" (§3).
+  Seconds expected_sequential(const SimTask& task, const cloud::InstanceType& type) const;
+
+  /// §3 sustained-performance variability: a run-level multiplier with the
+  /// reported std-dev (1.56% AWS, 2.25% Azure, ~1% bare metal).
+  double sample_run_factor(cloud::Provider provider, ppc::Rng& rng) const;
+
+  // Cost models are public so experiments/ablations can recalibrate them.
+  apps::cap3::Cap3CostModel cap3;
+  apps::blast::BlastCostModel blast;
+  apps::gtm::GtmCostModel gtm;
+
+ private:
+  AppKind app_;
+};
+
+}  // namespace ppc::core

@@ -1,0 +1,295 @@
+#include "core/experiments.h"
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace ppc::core {
+
+namespace {
+
+/// The four 16-core EC2 layouts of §3: "HCXL - 2 X 8 means two
+/// High-CPU-Extra-Large instances were used with 8 workers per instance."
+std::vector<Deployment> ec2_16core_deployments() {
+  return {
+      make_deployment(cloud::ec2_large(), 8, 2),
+      make_deployment(cloud::ec2_xlarge(), 4, 4),
+      make_deployment(cloud::ec2_hcxl(), 2, 8),
+      make_deployment(cloud::ec2_hm4xl(), 2, 8),
+  };
+}
+
+InstanceTypeRow run_one_instance_row(const Workload& workload, const Deployment& d,
+                                     const ExecutionModel& model, unsigned seed) {
+  SimRunParams params;
+  params.seed = seed;
+  const RunResult r = run_classic_cloud_sim(workload, d, model, params);
+  InstanceTypeRow row;
+  row.label = d.label;
+  row.compute_time = r.makespan;
+  row.cost_hour_units = r.compute_cost_hour_units;
+  row.cost_amortized = r.compute_cost_amortized;
+  return row;
+}
+
+/// Windows flavor of the Cap3 bare-metal node (the same 32x8 cluster runs
+/// DryadLINQ under Windows HPCS, §4.2).
+cloud::InstanceType windows_variant(const cloud::InstanceType& type) {
+  cloud::InstanceType t = type;
+  t.platform = cloud::Platform::kWindows;
+  t.name = type.name + "-Win";
+  return t;
+}
+
+}  // namespace
+
+std::vector<InstanceTypeRow> run_cap3_ec2_instance_study(unsigned seed) {
+  const Workload workload = make_cap3_workload(/*files=*/200, /*reads_per_file=*/200);
+  const ExecutionModel model(AppKind::kCap3);
+  std::vector<InstanceTypeRow> rows;
+  for (const Deployment& d : ec2_16core_deployments()) {
+    rows.push_back(run_one_instance_row(workload, d, model, seed));
+  }
+  return rows;
+}
+
+std::vector<InstanceTypeRow> run_blast_ec2_instance_study(unsigned seed) {
+  const Workload workload =
+      make_blast_workload(/*files=*/64, /*queries_per_file=*/100, /*seed=*/seed);
+  const ExecutionModel model(AppKind::kBlast);
+  std::vector<InstanceTypeRow> rows;
+  for (const Deployment& d : ec2_16core_deployments()) {
+    rows.push_back(run_one_instance_row(workload, d, model, seed));
+  }
+  return rows;
+}
+
+std::vector<InstanceTypeRow> run_gtm_ec2_instance_study(unsigned seed) {
+  const Workload workload = make_gtm_workload(/*files=*/264);
+  const ExecutionModel model(AppKind::kGtm);
+  std::vector<InstanceTypeRow> rows;
+  for (const Deployment& d : ec2_16core_deployments()) {
+    rows.push_back(run_one_instance_row(workload, d, model, seed));
+  }
+  return rows;
+}
+
+std::vector<AzureBlastRow> run_blast_azure_instance_study(unsigned seed) {
+  // §5.1 / Figure 9: 8 query files, 8 cores total, every (workers x threads)
+  // factorization of each instance type's core count.
+  struct Config {
+    const cloud::InstanceType& type;
+    int instances;
+    int workers;
+    int threads;
+  };
+  const std::vector<Config> configs = {
+      {cloud::azure_small(), 8, 1, 1},
+      {cloud::azure_medium(), 4, 2, 1},
+      {cloud::azure_medium(), 4, 1, 2},
+      {cloud::azure_large(), 2, 4, 1},
+      {cloud::azure_large(), 2, 2, 2},
+      {cloud::azure_large(), 2, 1, 4},
+      {cloud::azure_xlarge(), 1, 8, 1},
+      {cloud::azure_xlarge(), 1, 4, 2},
+      {cloud::azure_xlarge(), 1, 2, 4},
+      {cloud::azure_xlarge(), 1, 1, 8},
+  };
+  // A controlled homogeneous 8-file set: the figure compares platforms, so
+  // content inhomogeneity would only blur the memory/threading effects.
+  const Workload workload = make_blast_workload(/*files=*/8, /*queries_per_file=*/100, seed,
+                                                /*base_set=*/128, /*inhomogeneity_cv=*/0.0);
+  const ExecutionModel model(AppKind::kBlast);
+  std::vector<AzureBlastRow> rows;
+  for (const Config& c : configs) {
+    const Deployment d = make_deployment(c.type, c.instances, c.workers, c.threads);
+    SimRunParams params;
+    params.seed = seed;
+    const RunResult r = run_classic_cloud_sim(workload, d, model, params);
+    AzureBlastRow row;
+    row.label = d.label;
+    row.compute_time = r.makespan;
+    row.cost_amortized = r.compute_cost_amortized;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+namespace {
+
+struct FrameworkSetup {
+  enum class Kind { kClassicCloud, kMapReduce, kDryad } kind;
+  Deployment deployment;
+};
+
+std::vector<ScalingPoint> run_scaling(const std::vector<FrameworkSetup>& setups,
+                                      AppKind app,
+                                      const std::vector<Workload>& workloads, unsigned seed) {
+  const ExecutionModel model(app);
+  std::vector<ScalingPoint> points;
+  for (const FrameworkSetup& setup : setups) {
+    for (const Workload& w : workloads) {
+      SimRunParams params;
+      params.seed = seed;
+      RunResult r;
+      switch (setup.kind) {
+        case FrameworkSetup::Kind::kClassicCloud:
+          r = run_classic_cloud_sim(w, setup.deployment, model, params);
+          break;
+        case FrameworkSetup::Kind::kMapReduce:
+          r = run_mapreduce_sim(w, setup.deployment, model, params);
+          break;
+        case FrameworkSetup::Kind::kDryad:
+          r = run_dryad_sim(w, setup.deployment, model, params);
+          break;
+      }
+      ScalingPoint p;
+      p.framework = r.framework;
+      p.deployment = setup.deployment.label;
+      p.files = static_cast<int>(w.size());
+      p.efficiency = r.parallel_efficiency;
+      p.per_core_task_seconds = r.per_core_task_seconds;
+      p.makespan = r.makespan;
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+std::vector<ScalingPoint> run_cap3_scaling_study(unsigned seed,
+                                                 const std::vector<int>& file_counts) {
+  // §4.2: EC2 16 HCXL, Azure 128 Small, Hadoop/Dryad on 32 x 8-core nodes.
+  const std::vector<FrameworkSetup> setups = {
+      {FrameworkSetup::Kind::kClassicCloud, make_deployment(cloud::ec2_hcxl(), 16, 8)},
+      {FrameworkSetup::Kind::kClassicCloud, make_deployment(cloud::azure_small(), 128, 1)},
+      {FrameworkSetup::Kind::kMapReduce, make_deployment(cloud::bare_metal_cap3_node(), 32, 8)},
+      {FrameworkSetup::Kind::kDryad,
+       make_deployment(windows_variant(cloud::bare_metal_cap3_node()), 32, 8)},
+  };
+  std::vector<Workload> workloads;
+  for (int files : file_counts) workloads.push_back(make_cap3_workload(files, 458));
+  return run_scaling(setups, AppKind::kCap3, workloads, seed);
+}
+
+std::vector<ScalingPoint> run_blast_scaling_study(unsigned seed,
+                                                  const std::vector<int>& replications) {
+  // §5.2: EC2 16 HCXL, Azure 16 Large, Hadoop on iDataplex 8-core nodes,
+  // Dryad on 16-core HPCS nodes.
+  const std::vector<FrameworkSetup> setups = {
+      {FrameworkSetup::Kind::kClassicCloud, make_deployment(cloud::ec2_hcxl(), 16, 8)},
+      {FrameworkSetup::Kind::kClassicCloud, make_deployment(cloud::azure_large(), 16, 4)},
+      {FrameworkSetup::Kind::kMapReduce,
+       make_deployment(cloud::bare_metal_idataplex_node(), 16, 8)},
+      {FrameworkSetup::Kind::kDryad, make_deployment(cloud::bare_metal_hpcs_node(), 8, 16)},
+  };
+  std::vector<Workload> workloads;
+  for (int k : replications) {
+    workloads.push_back(make_blast_workload(128 * k, 100, seed, /*base_set=*/128));
+  }
+  return run_scaling(setups, AppKind::kBlast, workloads, seed);
+}
+
+std::vector<ScalingPoint> run_gtm_scaling_study(unsigned seed,
+                                                const std::vector<int>& file_counts) {
+  // §6.2: EC2 Large / HCXL / HM4XL tested separately, Azure Small, Hadoop
+  // on the 48 GB nodes (8 cores used), Dryad on 16-core nodes. ~64 cores
+  // per framework.
+  const std::vector<FrameworkSetup> setups = {
+      {FrameworkSetup::Kind::kClassicCloud, make_deployment(cloud::ec2_large(), 32, 2)},
+      {FrameworkSetup::Kind::kClassicCloud, make_deployment(cloud::ec2_hcxl(), 8, 8)},
+      {FrameworkSetup::Kind::kClassicCloud, make_deployment(cloud::ec2_hm4xl(), 8, 8)},
+      {FrameworkSetup::Kind::kClassicCloud, make_deployment(cloud::azure_small(), 64, 1)},
+      {FrameworkSetup::Kind::kMapReduce,
+       make_deployment(cloud::bare_metal_gtm_hadoop_node(), 8, 8)},
+      {FrameworkSetup::Kind::kDryad, make_deployment(cloud::bare_metal_hpcs_node(), 4, 16)},
+  };
+  std::vector<Workload> workloads;
+  for (int files : file_counts) workloads.push_back(make_gtm_workload(files));
+  return run_scaling(setups, AppKind::kGtm, workloads, seed);
+}
+
+Table4Report run_table4_cost_comparison(unsigned seed) {
+  Table4Report report;
+  const Workload workload = make_cap3_workload(/*files=*/4096, /*reads_per_file=*/458);
+  const ExecutionModel model(AppKind::kCap3);
+
+  Bytes total_in = 0.0, total_out = 0.0;
+  for (const SimTask& t : workload.tasks) {
+    total_in += t.input_size;
+    total_out += t.output_size;
+  }
+  const double gb_in = to_gigabytes(total_in);
+  const double gb_out = to_gigabytes(total_out);
+
+  // EC2: 16 HCXL instances, 128 workers.
+  {
+    SimRunParams params;
+    params.seed = seed;
+    const Deployment d = make_deployment(cloud::ec2_hcxl(), 16, 8);
+    const RunResult r = run_classic_cloud_sim(workload, d, model, params);
+    report.ec2_makespan = r.makespan;
+    report.ec2.add("Compute Cost (hour units)", r.compute_cost_hour_units);
+    report.ec2.add("Queue messages", r.queue_request_cost);
+    report.ec2.add("Storage (1 month)", billing::storage_cost(total_in, 1.0, 0.14));
+    // The paper charges EC2 only for transfer in (results stay in-region).
+    report.ec2.add("Data transfer in", billing::transfer_cost(gb_in, 0.0, 0.10, 0.0));
+  }
+
+  // Azure: 128 Small instances.
+  {
+    SimRunParams params;
+    params.seed = seed + 1;
+    const Deployment d = make_deployment(cloud::azure_small(), 128, 1);
+    const RunResult r = run_classic_cloud_sim(workload, d, model, params);
+    report.azure_makespan = r.makespan;
+    report.azure.add("Compute Cost (hour units)", r.compute_cost_hour_units);
+    report.azure.add("Queue messages", r.queue_request_cost);
+    report.azure.add("Storage (1 month)", billing::storage_cost(total_in, 1.0, 0.15));
+    report.azure.add("Data transfer in/out",
+                     billing::transfer_cost(gb_in, gb_out, 0.10, 0.15));
+  }
+
+  // Owned cluster (§4.3): run the Hadoop analog on the 32-node 24-core
+  // cluster and amortize purchase + maintenance over utilized core-hours.
+  {
+    SimRunParams params;
+    params.seed = seed + 2;
+    const Deployment d = make_deployment(cloud::bare_metal_cost_cluster_node(), 32, 24);
+    const RunResult r = run_mapreduce_sim(workload, d, model, params);
+    report.cluster_core_hours = r.makespan * d.total_cores_used() / 3600.0;
+    const billing::OwnedClusterModel cluster;
+    for (double util : {0.8, 0.7, 0.6}) {
+      report.cluster_costs.emplace_back(util,
+                                        cluster.job_cost(report.cluster_core_hours, util));
+    }
+  }
+  return report;
+}
+
+VariabilityReport run_sustained_variability_study(unsigned seed, int samples) {
+  PPC_REQUIRE(samples >= 2, "need at least two samples");
+  // Repeat a fixed Cap3 computation at "different times of day" (different
+  // seeds -> different provider-condition draws) and report the CV of the
+  // measured compute times, as Gunarathne et al [12] / §3 did over a week.
+  const Workload workload = make_cap3_workload(64, 200);
+  const ExecutionModel model(AppKind::kCap3);
+  VariabilityReport report;
+  report.samples_per_provider = samples;
+
+  auto cv_for = [&](const Deployment& d, unsigned base_seed) {
+    ppc::RunningStats stats;
+    for (int i = 0; i < samples; ++i) {
+      SimRunParams params;
+      params.seed = base_seed + static_cast<unsigned>(i);
+      const RunResult r = run_classic_cloud_sim(workload, d, model, params);
+      stats.add(r.makespan);
+    }
+    return stats.coefficient_of_variation();
+  };
+  report.ec2_cv = cv_for(make_deployment(cloud::ec2_hcxl(), 2, 8), seed);
+  report.azure_cv = cv_for(make_deployment(cloud::azure_small(), 16, 1), seed + 1000);
+  return report;
+}
+
+}  // namespace ppc::core

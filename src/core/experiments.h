@@ -1,0 +1,94 @@
+// Per-figure experiment functions: each regenerates one table/figure of the
+// paper's evaluation and returns the rows/series the figure plots. The
+// bench binaries print these; EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "billing/cost_model.h"
+#include "core/drivers.h"
+
+namespace ppc::core {
+
+// --- Instance-type studies (Figures 3/4, 7/8, 12/13): 16 cores, EC2 ---
+
+struct InstanceTypeRow {
+  std::string label;        // "EC2-HCXL - 2x8"
+  Seconds compute_time = 0.0;
+  Dollars cost_hour_units = 0.0;
+  Dollars cost_amortized = 0.0;
+};
+
+/// Figures 3 & 4: Cap3, 200 files x 200 reads on 16 cores.
+std::vector<InstanceTypeRow> run_cap3_ec2_instance_study(unsigned seed = 42);
+
+/// Figures 7 & 8: BLAST, 64 query files x 100 queries on 16 cores.
+std::vector<InstanceTypeRow> run_blast_ec2_instance_study(unsigned seed = 42);
+
+/// Figures 12 & 13: GTM Interpolation, 264 files x 100k points on 16 cores.
+std::vector<InstanceTypeRow> run_gtm_ec2_instance_study(unsigned seed = 42);
+
+// --- Figure 9: BLAST on Azure, workers x threads grid, 8 cores total ---
+
+struct AzureBlastRow {
+  std::string label;  // "Azure-Large x2: 2x2" (instances: workers x threads)
+  Seconds compute_time = 0.0;
+  Dollars cost_amortized = 0.0;
+};
+
+std::vector<AzureBlastRow> run_blast_azure_instance_study(unsigned seed = 42);
+
+// --- Scalability studies (Figures 5/6, 10/11, 14/15) ---
+
+struct ScalingPoint {
+  std::string framework;
+  std::string deployment;
+  int files = 0;
+  double efficiency = 0.0;            // Figure 5/10/14
+  Seconds per_core_task_seconds = 0;  // Figure 6/11/15
+  Seconds makespan = 0.0;
+};
+
+/// Figures 5 & 6: Cap3, replicated 458-read files across four frameworks
+/// (EC2 16xHCXL, Azure 128xSmall, Hadoop & DryadLINQ on the 32x8-core
+/// bare-metal cluster).
+std::vector<ScalingPoint> run_cap3_scaling_study(
+    unsigned seed = 42, const std::vector<int>& file_counts = {512, 1024, 2048, 3072, 4096});
+
+/// Figures 10 & 11: BLAST, the inhomogeneous 128-file set replicated 1-6x
+/// (EC2 16xHCXL, Azure 16xLarge, Hadoop on iDataplex, Dryad on HPCS).
+std::vector<ScalingPoint> run_blast_scaling_study(
+    unsigned seed = 42, const std::vector<int>& replications = {1, 2, 3, 4, 5, 6});
+
+/// Figures 14 & 15: GTM Interpolation on ~64 cores per framework, sweeping
+/// the PubChem subset size (files of 100k points).
+std::vector<ScalingPoint> run_gtm_scaling_study(
+    unsigned seed = 42, const std::vector<int>& file_counts = {88, 176, 264});
+
+// --- Table 4: cost to assemble 4096 Cap3 files ---
+
+struct Table4Report {
+  billing::CostReport ec2{"EC2 (16 x HCXL)"};
+  billing::CostReport azure{"Azure (128 x Small)"};
+  /// (utilization, job cost) for the owned cluster at 80/70/60%.
+  std::vector<std::pair<double, Dollars>> cluster_costs;
+  Seconds ec2_makespan = 0.0;
+  Seconds azure_makespan = 0.0;
+  double cluster_core_hours = 0.0;
+};
+
+Table4Report run_table4_cost_comparison(unsigned seed = 42);
+
+// --- §3: sustained performance variability ---
+
+struct VariabilityReport {
+  double ec2_cv = 0.0;    // coefficient of variation of repeated runs
+  double azure_cv = 0.0;  // paper: 1.56% and 2.25%
+  int samples_per_provider = 0;
+};
+
+VariabilityReport run_sustained_variability_study(unsigned seed = 42, int samples = 28);
+
+}  // namespace ppc::core

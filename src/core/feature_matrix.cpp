@@ -1,0 +1,65 @@
+#include "core/feature_matrix.h"
+
+namespace ppc::core {
+
+std::vector<FrameworkFeatures> framework_feature_matrix() {
+  std::vector<FrameworkFeatures> rows(3);
+
+  FrameworkFeatures& classic = rows[0];
+  classic.framework = "AWS / Azure (Classic Cloud)";
+  classic.programming_patterns =
+      "Independent job execution; more structure possible via a client-side driver";
+  classic.fault_tolerance = "Task re-execution based on a configurable visibility timeout";
+  classic.data_storage = "S3 / Azure Storage; data retrieved through HTTP";
+  classic.environments = "EC2 / Azure virtual instances; local compute resources";
+  classic.scheduling =
+      "Dynamic scheduling through a global queue; natural load balancing";
+  classic.dynamic_global_queue = true;
+  classic.visibility_timeout_fault_tolerance = true;
+
+  FrameworkFeatures& hadoop = rows[1];
+  hadoop.framework = "Hadoop";
+  hadoop.programming_patterns = "MapReduce";
+  hadoop.fault_tolerance = "Re-execution of failed and slow tasks";
+  hadoop.data_storage = "HDFS parallel file system; TCP-based communication";
+  hadoop.environments = "Linux cluster; Amazon Elastic MapReduce";
+  hadoop.scheduling =
+      "Data locality, rack-aware dynamic task scheduling through a global queue; "
+      "natural load balancing";
+  hadoop.dynamic_global_queue = true;
+  hadoop.data_locality_aware = true;
+  hadoop.speculative_execution = true;
+
+  FrameworkFeatures& dryad = rows[2];
+  dryad.framework = "DryadLINQ";
+  dryad.programming_patterns = "DAG execution; extensible to MapReduce and other patterns";
+  dryad.fault_tolerance = "Re-execution of failed and slow tasks";
+  dryad.data_storage = "Local files";
+  dryad.environments = "Windows HPCS cluster";
+  dryad.scheduling =
+      "Data locality, network-topology-aware scheduling; static task partitions at the "
+      "node level, suboptimal load balancing";
+  dryad.data_locality_aware = true;
+  dryad.static_partitioning = true;
+
+  return rows;
+}
+
+ppc::Table feature_matrix_table() {
+  const auto rows = framework_feature_matrix();
+  ppc::Table table("Table 3: Summary of cloud technology features");
+  table.set_header({"Feature", rows[0].framework, rows[1].framework, rows[2].framework});
+  table.add_row({"Programming patterns", rows[0].programming_patterns,
+                 rows[1].programming_patterns, rows[2].programming_patterns});
+  table.add_row({"Fault tolerance", rows[0].fault_tolerance, rows[1].fault_tolerance,
+                 rows[2].fault_tolerance});
+  table.add_row({"Data storage", rows[0].data_storage, rows[1].data_storage,
+                 rows[2].data_storage});
+  table.add_row({"Environments", rows[0].environments, rows[1].environments,
+                 rows[2].environments});
+  table.add_row({"Scheduling & load balancing", rows[0].scheduling, rows[1].scheduling,
+                 rows[2].scheduling});
+  return table;
+}
+
+}  // namespace ppc::core

@@ -1,0 +1,87 @@
+#include "core/workload.h"
+
+#include "common/error.h"
+
+namespace ppc::core {
+
+std::string to_string(AppKind app) {
+  switch (app) {
+    case AppKind::kCap3: return "Cap3";
+    case AppKind::kBlast: return "BLAST";
+    case AppKind::kGtm: return "GTM";
+  }
+  return "?";
+}
+
+Workload make_cap3_workload(int files, int reads_per_file) {
+  PPC_REQUIRE(files >= 1 && reads_per_file >= 1, "invalid Cap3 workload shape");
+  Workload w;
+  w.app = AppKind::kCap3;
+  w.name = "cap3-" + std::to_string(files) + "x" + std::to_string(reads_per_file);
+  w.tasks.reserve(static_cast<std::size_t>(files));
+  // A Sanger read in FASTA is ~560 bytes (550 bases + header); the result
+  // file is of the same order (§4: "hundreds of kilobytes to few MB").
+  const Bytes per_read = 560.0;
+  for (int i = 0; i < files; ++i) {
+    SimTask t;
+    t.id = i;
+    t.work = static_cast<double>(reads_per_file);
+    t.input_size = per_read * reads_per_file;
+    t.output_size = 0.6 * t.input_size;
+    w.tasks.push_back(t);
+  }
+  return w;
+}
+
+Workload make_blast_workload(int files, int queries_per_file, unsigned seed, int base_set,
+                             double inhomogeneity_cv) {
+  PPC_REQUIRE(files >= 1 && queries_per_file >= 1, "invalid BLAST workload shape");
+  PPC_REQUIRE(base_set >= 1, "base set must be >= 1");
+  Workload w;
+  w.app = AppKind::kBlast;
+  w.name = "blast-" + std::to_string(files) + "x" + std::to_string(queries_per_file);
+  w.tasks.reserve(static_cast<std::size_t>(files));
+
+  // Per-file work factors for the inhomogeneous base set; replication
+  // repeats the same factors (§5.2: larger sets replicate the base set, so
+  // per-file character is preserved).
+  ppc::Rng rng(seed);
+  std::vector<double> base_factor(static_cast<std::size_t>(base_set));
+  for (double& f : base_factor) f = rng.jittered(1.0, inhomogeneity_cv, 0.3);
+
+  // §5: "files with sizes in the range of 7-8 KB", outputs "few bytes to a
+  // few Megabytes".
+  for (int i = 0; i < files; ++i) {
+    SimTask t;
+    t.id = i;
+    t.work = static_cast<double>(queries_per_file);
+    t.work_factor = base_factor[static_cast<std::size_t>(i % base_set)];
+    t.input_size = 7.5 * 1024.0;
+    t.output_size = 512.0 * 1024.0 * t.work_factor;
+    w.tasks.push_back(t);
+  }
+  return w;
+}
+
+Workload make_gtm_workload(int files, double points_per_file) {
+  PPC_REQUIRE(files >= 1 && points_per_file >= 1.0, "invalid GTM workload shape");
+  Workload w;
+  w.app = AppKind::kGtm;
+  w.name = "gtm-" + std::to_string(files) + "files";
+  w.tasks.reserve(static_cast<std::size_t>(files));
+  // 100k points x 166 dims x 8 bytes ≈ 127 MB raw; compressed splits are
+  // ~4x smaller (§6.2 ships compressed splits and unzips before executing).
+  const Bytes compressed = points_per_file * 166.0 * 8.0 / 4.0;
+  for (int i = 0; i < files; ++i) {
+    SimTask t;
+    t.id = i;
+    t.work = points_per_file;
+    t.input_size = compressed;
+    // Output is 2 coordinates per point — "orders of magnitude smaller".
+    t.output_size = points_per_file * 2.0 * 8.0;
+    w.tasks.push_back(t);
+  }
+  return w;
+}
+
+}  // namespace ppc::core

@@ -1,0 +1,54 @@
+// Workload descriptions for the paper's three applications, in the form the
+// discrete-event drivers consume: per-task input/output sizes and abstract
+// "work" amounts that the app cost models translate into seconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ppc::core {
+
+enum class AppKind { kCap3, kBlast, kGtm };
+
+std::string to_string(AppKind app);
+
+struct SimTask {
+  int id = 0;
+  Bytes input_size = 0.0;
+  Bytes output_size = 0.0;
+  /// App-specific work amount: reads (Cap3), queries (BLAST), points (GTM).
+  double work = 0.0;
+  /// Content-dependent runtime multiplier; != 1 for inhomogeneous sets.
+  double work_factor = 1.0;
+};
+
+struct Workload {
+  AppKind app = AppKind::kCap3;
+  std::string name;
+  std::vector<SimTask> tasks;
+
+  std::size_t size() const { return tasks.size(); }
+};
+
+/// Cap3: `files` FASTA files of `reads_per_file` reads each. The paper's
+/// sets are replicated (homogeneous): "we used a replicated set of input
+/// data files making each sub task identical" (§4.2). File size follows the
+/// §4 description (hundreds of KB for 458 Sanger reads).
+Workload make_cap3_workload(int files, int reads_per_file);
+
+/// BLAST: `files` query files of `queries_per_file` queries (7-8 KB files,
+/// §5). The base set of `base_set` files is inhomogeneous (per-file work
+/// factors drawn once), and larger sets replicate it: "the base 128-file
+/// data set is inhomogeneous" (§5.2).
+Workload make_blast_workload(int files, int queries_per_file, unsigned seed,
+                             int base_set = 128, double inhomogeneity_cv = 0.30);
+
+/// GTM: `files` compressed splits of `points_per_file` 166-dim points
+/// (§6.2: 264 files x 100k points; "Compressed data splits ... were used
+/// due to the large size of the input data").
+Workload make_gtm_workload(int files, double points_per_file = 100000.0);
+
+}  // namespace ppc::core

@@ -1,0 +1,69 @@
+#include "dryad/dag.h"
+
+#include <deque>
+
+#include "common/error.h"
+
+namespace ppc::dryad {
+
+int Dag::add_vertex(std::string name, NodeId node, VertexFn fn) {
+  PPC_REQUIRE(fn != nullptr, "vertex function must be callable");
+  PPC_REQUIRE(node >= 0, "vertex node must be >= 0");
+  const int id = static_cast<int>(vertices_.size());
+  vertices_.push_back({id, std::move(name), node, std::move(fn)});
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return id;
+}
+
+void Dag::check_id(int id) const {
+  PPC_REQUIRE(id >= 0 && id < static_cast<int>(vertices_.size()), "vertex id out of range");
+}
+
+void Dag::add_edge(int from, int to) {
+  check_id(from);
+  check_id(to);
+  PPC_REQUIRE(from != to, "self edge");
+  succ_[static_cast<std::size_t>(from)].push_back(to);
+  pred_[static_cast<std::size_t>(to)].push_back(from);
+}
+
+const VertexInfo& Dag::vertex(int id) const {
+  check_id(id);
+  return vertices_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<int>& Dag::successors(int id) const {
+  check_id(id);
+  return succ_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<int>& Dag::predecessors(int id) const {
+  check_id(id);
+  return pred_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> Dag::topological_order() const {
+  std::vector<int> indegree(vertices_.size(), 0);
+  for (std::size_t v = 0; v < vertices_.size(); ++v) {
+    indegree[v] = static_cast<int>(pred_[v].size());
+  }
+  std::deque<int> ready;
+  for (std::size_t v = 0; v < vertices_.size(); ++v) {
+    if (indegree[v] == 0) ready.push_back(static_cast<int>(v));
+  }
+  std::vector<int> order;
+  order.reserve(vertices_.size());
+  while (!ready.empty()) {
+    const int v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (int s : succ_[static_cast<std::size_t>(v)]) {
+      if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  PPC_REQUIRE(order.size() == vertices_.size(), "graph contains a cycle");
+  return order;
+}
+
+}  // namespace ppc::dryad

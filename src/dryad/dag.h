@@ -1,0 +1,54 @@
+// Directed-acyclic-graph job description — the Dryad programming model.
+//
+// §2.3: "Dryad applications are expressed as directed acyclic data-flow
+// graphs (DAG), where vertices represent computations and edges represent
+// communication channels". Vertices are pinned to nodes (static placement;
+// the scheduler is "network topology aware" but partitions are fixed at the
+// node level).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dryad/file_share.h"
+
+namespace ppc::dryad {
+
+/// A vertex computation. Runs on an executor thread of its pinned node;
+/// throwing fails the attempt (re-run up to the runtime's retry budget).
+using VertexFn = std::function<void()>;
+
+struct VertexInfo {
+  int id = 0;
+  std::string name;
+  NodeId node = 0;
+  VertexFn fn;
+};
+
+class Dag {
+ public:
+  /// Adds a vertex pinned to `node`; returns its id.
+  int add_vertex(std::string name, NodeId node, VertexFn fn);
+
+  /// Adds a dependency edge: `to` runs only after `from` succeeds.
+  void add_edge(int from, int to);
+
+  std::size_t vertex_count() const { return vertices_.size(); }
+  const VertexInfo& vertex(int id) const;
+  const std::vector<int>& successors(int id) const;
+  const std::vector<int>& predecessors(int id) const;
+
+  /// Topological order; throws ppc::InvalidArgument when the graph has a
+  /// cycle (it would not be a DAG).
+  std::vector<int> topological_order() const;
+
+ private:
+  void check_id(int id) const;
+
+  std::vector<VertexInfo> vertices_;
+  std::vector<std::vector<int>> succ_;
+  std::vector<std::vector<int>> pred_;
+};
+
+}  // namespace ppc::dryad

@@ -1,0 +1,77 @@
+#include "dryad/file_share.h"
+
+#include "common/error.h"
+
+namespace ppc::dryad {
+
+FileShare::FileShare(int num_nodes, FileShareConfig config)
+    : num_nodes_(num_nodes), config_(config), shares_(static_cast<std::size_t>(num_nodes)) {
+  PPC_REQUIRE(num_nodes >= 1, "FileShare needs at least one node");
+}
+
+void FileShare::check_node(NodeId node) const {
+  PPC_REQUIRE(node >= 0 && node < num_nodes_, "node id out of range");
+}
+
+void FileShare::write(NodeId owner, const std::string& name, std::string data) {
+  check_node(owner);
+  PPC_REQUIRE(!name.empty(), "file name must be non-empty");
+  std::lock_guard lock(mu_);
+  ++stats_.writes;
+  shares_[static_cast<std::size_t>(owner)][name] = std::move(data);
+}
+
+std::optional<std::string> FileShare::read(NodeId owner, const std::string& name, NodeId reader) {
+  check_node(owner);
+  check_node(reader);
+  std::lock_guard lock(mu_);
+  const auto& share = shares_[static_cast<std::size_t>(owner)];
+  const auto it = share.find(name);
+  if (it == share.end()) return std::nullopt;
+  if (owner == reader) {
+    ++stats_.local_reads;
+  } else {
+    ++stats_.remote_reads;
+  }
+  return it->second;
+}
+
+bool FileShare::exists(NodeId owner, const std::string& name) const {
+  check_node(owner);
+  std::lock_guard lock(mu_);
+  return shares_[static_cast<std::size_t>(owner)].contains(name);
+}
+
+std::vector<std::string> FileShare::list(NodeId owner) const {
+  check_node(owner);
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, _] : shares_[static_cast<std::size_t>(owner)]) names.push_back(name);
+  return names;
+}
+
+std::optional<Bytes> FileShare::file_size(NodeId owner, const std::string& name) const {
+  check_node(owner);
+  std::lock_guard lock(mu_);
+  const auto& share = shares_[static_cast<std::size_t>(owner)];
+  const auto it = share.find(name);
+  if (it == share.end()) return std::nullopt;
+  return static_cast<Bytes>(it->second.size());
+}
+
+FileShareStats FileShare::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+Seconds FileShare::sample_read_time(Bytes size, bool local, ppc::Rng& rng) const {
+  PPC_REQUIRE(size >= 0.0, "size must be >= 0");
+  if (local) {
+    return rng.jittered(config_.local_read_latency, 0.2) +
+           size / config_.local_read_bandwidth_per_s;
+  }
+  return rng.jittered(config_.remote_read_latency, 0.2) +
+         size / config_.remote_read_bandwidth_per_s;
+}
+
+}  // namespace ppc::dryad

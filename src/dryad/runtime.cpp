@@ -1,0 +1,136 @@
+#include "dryad/runtime.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace ppc::dryad {
+
+DryadRuntime::DryadRuntime(RuntimeConfig config) : config_(std::move(config)) {
+  PPC_REQUIRE(config_.num_nodes >= 1, "need at least one node");
+  PPC_REQUIRE(config_.slots_per_node >= 1, "need at least one slot per node");
+  PPC_REQUIRE(config_.max_attempts >= 1, "max_attempts must be >= 1");
+}
+
+RunReport DryadRuntime::run(const Dag& dag) {
+  // Validates acyclicity up front (throws on a cycle).
+  (void)dag.topological_order();
+
+  const std::size_t n = dag.vertex_count();
+  RunReport report;
+  if (n == 0) {
+    report.succeeded = true;
+    return report;
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> indegree(n, 0);
+  std::vector<int> attempts_used(n, 0);
+  std::vector<std::deque<int>> ready(static_cast<std::size_t>(config_.num_nodes));
+  std::size_t finished = 0;
+  bool job_failed = false;
+
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& info = dag.vertex(static_cast<int>(v));
+    PPC_REQUIRE(info.node < config_.num_nodes, "vertex pinned outside the cluster");
+    indegree[v] = static_cast<int>(dag.predecessors(static_cast<int>(v)).size());
+    if (indegree[v] == 0) ready[static_cast<std::size_t>(info.node)].push_back(static_cast<int>(v));
+  }
+
+  ppc::SystemClock clock;
+  const Seconds t0 = clock.now();
+
+  auto slot_loop = [&](NodeId node) {
+    std::unique_lock lock(mu);
+    while (true) {
+      auto& queue = ready[static_cast<std::size_t>(node)];
+      if (queue.empty()) {
+        if (finished == n || job_failed) return;
+        cv.wait(lock, [&] { return !queue.empty() || finished == n || job_failed; });
+        continue;
+      }
+      const int v = queue.front();
+      queue.pop_front();
+      const int attempt = attempts_used[static_cast<std::size_t>(v)]++;
+
+      VertexAttempt record;
+      record.vertex_id = v;
+      record.attempt = attempt;
+      record.node = node;
+
+      lock.unlock();
+      try {
+        if (config_.attempt_hook) config_.attempt_hook(v, attempt);
+        dag.vertex(v).fn();
+        record.succeeded = true;
+      } catch (const std::exception& e) {
+        record.error = e.what();
+      }
+      lock.lock();
+
+      report.attempts.push_back(record);
+      if (record.succeeded) {
+        ++finished;
+        for (int s : dag.successors(v)) {
+          if (--indegree[static_cast<std::size_t>(s)] == 0) {
+            ready[static_cast<std::size_t>(dag.vertex(s).node)].push_back(s);
+          }
+        }
+      } else if (attempts_used[static_cast<std::size_t>(v)] < config_.max_attempts) {
+        queue.push_back(v);  // re-execution of the failed vertex, same node
+      } else {
+        job_failed = true;  // dependents can never run
+      }
+      cv.notify_all();
+      if (finished == n || job_failed) {
+        // Let siblings drain their queues; we are done.
+        if (job_failed) return;
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> slots;
+    slots.reserve(static_cast<std::size_t>(config_.num_nodes * config_.slots_per_node));
+    for (int node = 0; node < config_.num_nodes; ++node) {
+      for (int s = 0; s < config_.slots_per_node; ++s) slots.emplace_back(slot_loop, node);
+    }
+  }
+
+  report.elapsed = clock.now() - t0;
+  report.succeeded = (finished == n);
+  return report;
+}
+
+SelectResult dryad_select(
+    DryadRuntime& runtime, FileShare& share, const PartitionedTable& table,
+    const std::function<std::string(const std::string&, const std::string&)>& fn) {
+  PPC_REQUIRE(fn != nullptr, "select needs a function");
+  SelectResult result;
+  std::mutex outputs_mu;
+
+  Dag dag;
+  for (const Partition& p : table.partitions()) {
+    dag.add_vertex("select-part-" + std::to_string(p.index), p.node, [&, part = p] {
+      for (const std::string& file : part.files) {
+        // Vertex runs on the partition's node, so this read is local —
+        // exactly why Dryad pre-distributes the data.
+        const auto contents = share.read(part.node, file, part.node);
+        PPC_CHECK(contents.has_value(), "partition file missing from share: " + file);
+        std::string out = fn(file, *contents);
+        share.write(part.node, file + ".out", out);
+        std::lock_guard lock(outputs_mu);
+        result.outputs[file] = std::move(out);
+      }
+    });
+  }
+  result.report = runtime.run(dag);
+  return result;
+}
+
+}  // namespace ppc::dryad

@@ -1,0 +1,75 @@
+// DryadLINQ-analog execution engine and the Select operator.
+//
+// The runtime executes a Dag with real threads: each cluster node
+// contributes `slots_per_node` executor threads that only run vertices
+// pinned to their node (static placement, §2.3). Failed vertices are re-run
+// up to a retry budget ("re-execution of failed and slow tasks" — slow-task
+// duplication is modeled in the simulation driver, where time is explicit).
+//
+// dryad_select() is the paper's usage: "The DryadLINQ implementation of the
+// framework uses the DryadLINQ 'select' operator on the data partitions to
+// perform the distributed computations" — one vertex per partition, each
+// applying a side-effect-free function to every file in its partition and
+// writing results back to the node's shared directory.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dryad/dag.h"
+#include "dryad/file_share.h"
+#include "dryad/partitioned_table.h"
+
+namespace ppc::dryad {
+
+struct RuntimeConfig {
+  int num_nodes = 4;
+  int slots_per_node = 1;
+  int max_attempts = 4;
+  /// Test hook called before each vertex attempt; may throw to fail it.
+  std::function<void(int vertex_id, int attempt)> attempt_hook;
+};
+
+struct VertexAttempt {
+  int vertex_id = 0;
+  int attempt = 0;
+  NodeId node = 0;
+  bool succeeded = false;
+  std::string error;
+};
+
+struct RunReport {
+  bool succeeded = false;
+  std::vector<VertexAttempt> attempts;
+  Seconds elapsed = 0.0;
+};
+
+class DryadRuntime {
+ public:
+  explicit DryadRuntime(RuntimeConfig config);
+
+  const RuntimeConfig& config() const { return config_; }
+
+  /// Executes the DAG; returns when every vertex succeeded or some vertex
+  /// exhausted its retries (dependents of a failed vertex never run).
+  RunReport run(const Dag& dag);
+
+ private:
+  RuntimeConfig config_;
+};
+
+/// The map-style select: applies `fn(file_name, contents) -> output bytes`
+/// to every file of every partition. Outputs are written to the executing
+/// node's share as "<file>.out" and also returned keyed by file name.
+struct SelectResult {
+  RunReport report;
+  std::map<std::string, std::string> outputs;
+};
+
+SelectResult dryad_select(
+    DryadRuntime& runtime, FileShare& share, const PartitionedTable& table,
+    const std::function<std::string(const std::string& name, const std::string& contents)>& fn);
+
+}  // namespace ppc::dryad

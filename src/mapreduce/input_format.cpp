@@ -1,0 +1,29 @@
+#include "mapreduce/input_format.h"
+
+#include "common/error.h"
+
+namespace ppc::mapreduce {
+
+std::vector<FileSplit> FilePathInputFormat::splits(const minihdfs::MiniHdfs& hdfs,
+                                                   const std::vector<std::string>& paths) {
+  std::vector<FileSplit> out;
+  out.reserve(paths.size());
+  for (const std::string& path : paths) {
+    const auto size = hdfs.file_size(path);
+    PPC_REQUIRE(size.has_value(), "input file not found in HDFS: " + path);
+    FileSplit split;
+    split.record.name = base_name(path);
+    split.record.path = path;
+    split.size = *size;
+    split.locations = hdfs.data_local_nodes(path);
+    out.push_back(std::move(split));
+  }
+  return out;
+}
+
+std::string FilePathInputFormat::base_name(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace ppc::mapreduce

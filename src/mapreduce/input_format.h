@@ -1,0 +1,45 @@
+// The paper's custom Hadoop input plumbing (§2.2):
+//
+//   "Most of the legacy data processing applications expect a file path as
+//    the input instead of the contents of the file ... We implemented a
+//    custom InputFormat and a RecordReader for Hadoop to provide the file
+//    name and the HDFS path of the data split respectively as the key and
+//    the value for the map function, while preserving the Hadoop data
+//    locality based scheduling."
+//
+// FilePathInputFormat therefore produces one split per file, whose record is
+// (key = file name, value = HDFS path), and carries the block locations so
+// the scheduler can place the map task data-locally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minihdfs/mini_hdfs.h"
+
+namespace ppc::mapreduce {
+
+/// The (key, value) record handed to a map function: the paper's convention.
+struct FileRecord {
+  std::string name;  // key: bare file name
+  std::string path;  // value: full HDFS path
+};
+
+/// One input split: a whole file plus its locality hints.
+struct FileSplit {
+  FileRecord record;
+  Bytes size = 0.0;
+  std::vector<minihdfs::NodeId> locations;  // nodes holding all blocks
+};
+
+class FilePathInputFormat {
+ public:
+  /// Builds one split per input path. Throws when a path does not exist.
+  static std::vector<FileSplit> splits(const minihdfs::MiniHdfs& hdfs,
+                                       const std::vector<std::string>& paths);
+
+  /// Extracts the bare file name from an HDFS path (text after last '/').
+  static std::string base_name(const std::string& path);
+};
+
+}  // namespace ppc::mapreduce

@@ -1,0 +1,102 @@
+#include "mapreduce/job.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/log.h"
+
+namespace ppc::mapreduce {
+
+LocalJobRunner::LocalJobRunner(minihdfs::MiniHdfs& hdfs) : hdfs_(hdfs) {}
+
+JobResult LocalJobRunner::run(const std::vector<std::string>& input_paths, const MapFn& map_fn,
+                              const JobConfig& config) {
+  PPC_REQUIRE(!input_paths.empty(), "job has no input files");
+  PPC_REQUIRE(map_fn != nullptr, "job has no map function");
+  PPC_REQUIRE(config.num_nodes >= 1 && config.num_nodes <= hdfs_.num_nodes(),
+              "num_nodes must be within the HDFS cluster size");
+  PPC_REQUIRE(config.slots_per_node >= 1, "slots_per_node must be >= 1");
+
+  const auto splits = FilePathInputFormat::splits(hdfs_, input_paths);
+  std::vector<TaskInfo> tasks;
+  tasks.reserve(splits.size());
+  for (std::size_t i = 0; i < splits.size(); ++i) {
+    TaskInfo t;
+    t.task_id = static_cast<int>(i);
+    t.path = splits[i].record.path;
+    t.name = splits[i].record.name;
+    t.size = splits[i].size;
+    t.preferred = splits[i].locations;
+    tasks.push_back(std::move(t));
+  }
+
+  TaskScheduler scheduler(std::move(tasks), config.scheduler);
+  ppc::SystemClock clock;
+
+  JobResult result;
+  std::mutex result_mu;
+
+  auto slot_loop = [&](minihdfs::NodeId node) {
+    while (!scheduler.job_done()) {
+      const auto assignment = scheduler.next_task(node, clock.now());
+      if (!assignment) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      AttemptRecord record;
+      record.assignment = *assignment;
+      record.start = clock.now();
+      const std::string& path = input_paths[static_cast<std::size_t>(assignment->task_id)];
+      try {
+        if (config.attempt_hook) config.attempt_hook(*assignment);
+        const auto contents = hdfs_.read_from(path, node);
+        PPC_CHECK(contents.has_value(), "input vanished from HDFS: " + path);
+        FileRecord rec;
+        rec.name = FilePathInputFormat::base_name(path);
+        rec.path = path;
+        std::string output = map_fn(rec, *contents);
+        record.end = clock.now();
+        record.succeeded = true;
+        const bool first = scheduler.report_completed(*assignment, record.end);
+        if (first) {
+          // Commit: write the output to HDFS pinned to this node (the map
+          // task "uploads the result file to the HDFS").
+          const std::string out_path = config.output_dir + "/" + rec.name;
+          hdfs_.write(out_path, std::move(output), node);
+          record.output_committed = true;
+          std::lock_guard lock(result_mu);
+          result.outputs[rec.name] = out_path;
+        }
+      } catch (const std::exception& e) {
+        record.end = clock.now();
+        record.error = e.what();
+        scheduler.report_failed(*assignment, record.end);
+        PPC_DEBUG << "attempt failed on node " << node << ": " << e.what();
+      }
+      {
+        std::lock_guard lock(result_mu);
+        result.attempts.push_back(record);
+      }
+    }
+  };
+
+  const Seconds t0 = clock.now();
+  {
+    std::vector<std::jthread> slots;
+    slots.reserve(static_cast<std::size_t>(config.num_nodes * config.slots_per_node));
+    for (int node = 0; node < config.num_nodes; ++node) {
+      for (int s = 0; s < config.slots_per_node; ++s) {
+        slots.emplace_back(slot_loop, node);
+      }
+    }
+  }  // jthreads join here
+  result.elapsed = clock.now() - t0;
+  result.succeeded = scheduler.job_succeeded();
+  result.scheduler_stats = scheduler.stats();
+  return result;
+}
+
+}  // namespace ppc::mapreduce

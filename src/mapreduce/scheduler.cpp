@@ -1,0 +1,178 @@
+#include "mapreduce/scheduler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ppc::mapreduce {
+
+TaskScheduler::TaskScheduler(std::vector<TaskInfo> tasks, SchedulerConfig config)
+    : tasks_(std::move(tasks)), config_(config), runtime_(tasks_.size()) {
+  PPC_REQUIRE(!tasks_.empty(), "scheduler needs at least one task");
+  PPC_REQUIRE(config_.max_attempts >= 1, "max_attempts must be >= 1");
+  PPC_REQUIRE(config_.speculative_slowdown > 1.0, "speculative_slowdown must exceed 1");
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    PPC_REQUIRE(tasks_[i].task_id == static_cast<int>(i),
+                "task ids must be dense and in order");
+  }
+}
+
+std::optional<std::size_t> TaskScheduler::pick_pending_locked(minihdfs::NodeId node,
+                                                              bool* local) const {
+  // Pass 1: a pending task that is data-local to `node`.
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (runtime_[i].state != TaskState::kPending) continue;
+    const auto& pref = tasks_[i].preferred;
+    if (std::find(pref.begin(), pref.end(), node) != pref.end()) {
+      *local = true;
+      return i;
+    }
+  }
+  // Pass 2: any pending task (rack/off-switch in real Hadoop).
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (runtime_[i].state == TaskState::kPending) {
+      *local = false;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> TaskScheduler::pick_straggler_locked(minihdfs::NodeId node,
+                                                                Seconds now) const {
+  if (!config_.speculative_execution) return std::nullopt;
+  if (completed_durations_.size() < config_.min_completions_for_speculation) return std::nullopt;
+
+  std::vector<Seconds> durations = completed_durations_;
+  std::nth_element(durations.begin(), durations.begin() + durations.size() / 2, durations.end());
+  const Seconds median = durations[durations.size() / 2];
+  const Seconds threshold = config_.speculative_slowdown * median;
+
+  std::optional<std::size_t> best;
+  Seconds best_elapsed = threshold;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const TaskRuntime& rt = runtime_[i];
+    // Only tasks with exactly one live attempt get a speculative twin, and
+    // never on the node already running it (that node is the suspect).
+    if (rt.state != TaskState::kRunning || rt.live.size() != 1) continue;
+    if (rt.live.front().node == node) continue;
+    const Seconds elapsed = now - rt.live.front().start;
+    if (elapsed > best_elapsed) {
+      best_elapsed = elapsed;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::optional<Assignment> TaskScheduler::next_task(minihdfs::NodeId node, Seconds now) {
+  std::lock_guard lock(mu_);
+  bool local = false;
+  bool speculative = false;
+  std::optional<std::size_t> picked = pick_pending_locked(node, &local);
+  if (!picked) {
+    picked = pick_straggler_locked(node, now);
+    if (!picked) return std::nullopt;
+    speculative = true;
+    local = std::find(tasks_[*picked].preferred.begin(), tasks_[*picked].preferred.end(), node) !=
+            tasks_[*picked].preferred.end();
+  }
+
+  TaskRuntime& rt = runtime_[*picked];
+  Assignment a;
+  a.task_id = static_cast<int>(*picked);
+  a.attempt_id = rt.attempts_started++;
+  a.node = node;
+  a.data_local = local;
+  a.speculative = speculative;
+
+  rt.state = TaskState::kRunning;
+  rt.live.push_back({a.attempt_id, node, now, speculative});
+
+  if (speculative) {
+    ++stats_.speculative_assignments;
+  } else if (local) {
+    ++stats_.local_assignments;
+  } else {
+    ++stats_.remote_assignments;
+  }
+  return a;
+}
+
+bool TaskScheduler::report_completed(const Assignment& a, Seconds now) {
+  std::lock_guard lock(mu_);
+  PPC_REQUIRE(a.task_id >= 0 && a.task_id < static_cast<int>(tasks_.size()),
+              "unknown task id");
+  TaskRuntime& rt = runtime_[static_cast<std::size_t>(a.task_id)];
+  const auto it = std::find_if(rt.live.begin(), rt.live.end(), [&a](const RunningAttempt& r) {
+    return r.attempt_id == a.attempt_id;
+  });
+  PPC_REQUIRE(it != rt.live.end(), "completion for an attempt that is not live");
+  const Seconds duration = now - it->start;
+  rt.live.erase(it);
+
+  if (rt.state == TaskState::kCompleted) {
+    // A speculative twin finished after the winner — its work is wasted.
+    ++stats_.wasted_attempts;
+    return false;
+  }
+  rt.state = TaskState::kCompleted;
+  ++stats_.completed_tasks;
+  completed_durations_.push_back(duration);
+  return true;
+}
+
+void TaskScheduler::report_failed(const Assignment& a, Seconds /*now*/) {
+  std::lock_guard lock(mu_);
+  PPC_REQUIRE(a.task_id >= 0 && a.task_id < static_cast<int>(tasks_.size()),
+              "unknown task id");
+  TaskRuntime& rt = runtime_[static_cast<std::size_t>(a.task_id)];
+  const auto it = std::find_if(rt.live.begin(), rt.live.end(), [&a](const RunningAttempt& r) {
+    return r.attempt_id == a.attempt_id;
+  });
+  PPC_REQUIRE(it != rt.live.end(), "failure for an attempt that is not live");
+  rt.live.erase(it);
+  ++stats_.failed_attempts;
+
+  if (rt.state == TaskState::kCompleted) return;  // twin already won; nothing to redo
+  if (!rt.live.empty()) return;                   // the other attempt is still running
+
+  if (rt.attempts_started >= config_.max_attempts) {
+    rt.state = TaskState::kFailed;
+  } else {
+    rt.state = TaskState::kPending;  // re-queue: "rerunning of the failed tasks"
+  }
+}
+
+bool TaskScheduler::job_done() const {
+  std::lock_guard lock(mu_);
+  return std::all_of(runtime_.begin(), runtime_.end(), [](const TaskRuntime& rt) {
+    return rt.state == TaskState::kCompleted || rt.state == TaskState::kFailed;
+  });
+}
+
+bool TaskScheduler::job_succeeded() const {
+  std::lock_guard lock(mu_);
+  return std::all_of(runtime_.begin(), runtime_.end(), [](const TaskRuntime& rt) {
+    return rt.state == TaskState::kCompleted;
+  });
+}
+
+bool TaskScheduler::task_completed(int task_id) const {
+  std::lock_guard lock(mu_);
+  PPC_REQUIRE(task_id >= 0 && task_id < static_cast<int>(tasks_.size()), "unknown task id");
+  return runtime_[static_cast<std::size_t>(task_id)].state == TaskState::kCompleted;
+}
+
+bool TaskScheduler::attempt_useful(const Assignment& a) const {
+  std::lock_guard lock(mu_);
+  PPC_REQUIRE(a.task_id >= 0 && a.task_id < static_cast<int>(tasks_.size()), "unknown task id");
+  return runtime_[static_cast<std::size_t>(a.task_id)].state != TaskState::kCompleted;
+}
+
+TaskScheduler::Stats TaskScheduler::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace ppc::mapreduce

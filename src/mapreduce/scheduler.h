@@ -1,0 +1,132 @@
+// The Hadoop-analog task scheduler, as a pure state machine.
+//
+// Reproduces the scheduling behaviour §2.2 credits for Hadoop's load
+// balancing and fault tolerance:
+//  * one global task queue, pulled dynamically by idle slots ("a global
+//    queue for the task scheduling, achieving natural load balancing");
+//  * data-locality preference — an idle node takes a task whose replicas it
+//    holds before stealing a remote one;
+//  * speculative execution — when no pending work remains, a slot may run a
+//    duplicate attempt of the slowest in-flight task ("duplicate execution
+//    of slower executing tasks");
+//  * failure handling — failed attempts re-queue the task up to a retry
+//    budget ("handles task failures by rerunning of the failed tasks").
+//
+// Being a plain state machine keeps it shared between the real-thread
+// engine (mapreduce::LocalJobRunner) and the discrete-event simulation
+// driver (core::SimMapReduceDriver), so tests of this class cover both.
+// All methods are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "minihdfs/mini_hdfs.h"
+
+namespace ppc::mapreduce {
+
+struct SchedulerConfig {
+  bool speculative_execution = true;
+  /// An attempt is a straggler candidate when its elapsed time exceeds
+  /// `speculative_slowdown` x (median completed-attempt duration).
+  double speculative_slowdown = 1.5;
+  /// Speculation waits for this many completions to estimate the median.
+  std::size_t min_completions_for_speculation = 5;
+  /// Attempts per task before the task (and job) is declared failed.
+  int max_attempts = 4;
+};
+
+struct TaskInfo {
+  int task_id = 0;
+  std::string path;                           // HDFS path (the map value)
+  std::string name;                           // file name (the map key)
+  Bytes size = 0.0;
+  std::vector<minihdfs::NodeId> preferred;    // data-local nodes
+};
+
+struct Assignment {
+  int task_id = 0;
+  int attempt_id = 0;  // unique per task
+  minihdfs::NodeId node = 0;
+  bool data_local = false;
+  bool speculative = false;
+};
+
+class TaskScheduler {
+ public:
+  struct Stats {
+    int local_assignments = 0;
+    int remote_assignments = 0;
+    int speculative_assignments = 0;
+    int failed_attempts = 0;
+    /// Speculative attempts whose twin won the race.
+    int wasted_attempts = 0;
+    int completed_tasks = 0;
+  };
+
+  TaskScheduler(std::vector<TaskInfo> tasks, SchedulerConfig config = {});
+
+  /// An idle slot on `node` asks for work at time `now`. Returns an
+  /// assignment (fresh task, preferably data-local, else a speculative
+  /// duplicate) or nullopt when nothing is runnable right now.
+  std::optional<Assignment> next_task(minihdfs::NodeId node, Seconds now);
+
+  /// Reports a finished attempt. Returns true when this attempt is the
+  /// task's *first* completion (its output is the one that counts); false
+  /// for late duplicates, which the engine should discard.
+  bool report_completed(const Assignment& a, Seconds now);
+
+  /// Reports a failed attempt; the task re-queues unless its retry budget
+  /// is exhausted (which fails the job).
+  void report_failed(const Assignment& a, Seconds now);
+
+  /// True when a completed/failed verdict exists for every task.
+  bool job_done() const;
+
+  /// True when every task completed successfully.
+  bool job_succeeded() const;
+
+  bool task_completed(int task_id) const;
+
+  /// True while the attempt's result would still be accepted (its task has
+  /// not completed through another attempt). Engines may use this to kill
+  /// obsolete speculative twins early.
+  bool attempt_useful(const Assignment& a) const;
+
+  std::size_t total_tasks() const { return tasks_.size(); }
+  Stats stats() const;
+
+ private:
+  enum class TaskState { kPending, kRunning, kCompleted, kFailed };
+
+  struct RunningAttempt {
+    int attempt_id = 0;
+    minihdfs::NodeId node = 0;
+    Seconds start = 0.0;
+    bool speculative = false;
+  };
+
+  struct TaskRuntime {
+    TaskState state = TaskState::kPending;
+    int attempts_started = 0;
+    std::vector<RunningAttempt> live;
+  };
+
+  std::optional<std::size_t> pick_pending_locked(minihdfs::NodeId node, bool* local) const;
+  std::optional<std::size_t> pick_straggler_locked(minihdfs::NodeId node, Seconds now) const;
+
+  std::vector<TaskInfo> tasks_;
+  SchedulerConfig config_;
+
+  mutable std::mutex mu_;
+  std::vector<TaskRuntime> runtime_;
+  std::vector<Seconds> completed_durations_;
+  Stats stats_;
+};
+
+}  // namespace ppc::mapreduce

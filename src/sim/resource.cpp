@@ -1,0 +1,34 @@
+#include "sim/resource.h"
+
+#include "common/error.h"
+
+namespace ppc::sim {
+
+Resource::Resource(Simulator& sim, std::size_t capacity) : sim_(sim), capacity_(capacity) {
+  PPC_REQUIRE(capacity >= 1, "Resource capacity must be >= 1");
+}
+
+void Resource::acquire(EventFn on_granted) {
+  PPC_REQUIRE(on_granted != nullptr, "null continuation");
+  if (in_use_ < capacity_) {
+    ++in_use_;
+    // Run through the simulator so grant ordering is deterministic and the
+    // caller's stack unwinds first.
+    sim_.after(0.0, std::move(on_granted));
+  } else {
+    waiters_.push_back(std::move(on_granted));
+  }
+}
+
+void Resource::release() {
+  PPC_CHECK(in_use_ > 0, "release without matching acquire");
+  if (!waiters_.empty()) {
+    EventFn next = std::move(waiters_.front());
+    waiters_.pop_front();
+    sim_.after(0.0, std::move(next));
+  } else {
+    --in_use_;
+  }
+}
+
+}  // namespace ppc::sim

@@ -1,0 +1,40 @@
+// Counted resource with FIFO waiters, in simulated time.
+//
+// Models contended capacity inside the simulation — e.g. the per-node map
+// slots of the MapReduce engine or a shared download link. A requester asks
+// for one unit; when capacity is available its continuation runs immediately
+// (same sim time), otherwise it queues.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "sim/simulator.h"
+
+namespace ppc::sim {
+
+class Resource {
+ public:
+  /// `capacity` concurrent holders (must be >= 1).
+  Resource(Simulator& sim, std::size_t capacity);
+
+  /// Requests one unit. `on_granted` runs (via the simulator, at the current
+  /// or later sim time) once a unit is available. FIFO among waiters.
+  void acquire(EventFn on_granted);
+
+  /// Returns one unit; wakes the longest-waiting requester, if any.
+  void release();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t in_use() const { return in_use_; }
+  std::size_t queued() const { return waiters_.size(); }
+
+ private:
+  Simulator& sim_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::deque<EventFn> waiters_;
+};
+
+}  // namespace ppc::sim

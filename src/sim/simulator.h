@@ -1,0 +1,85 @@
+// Discrete-event simulation kernel.
+//
+// The figure-reproduction benches model hundreds of cloud instances (the
+// paper runs up to 128 Azure Small instances and 256-core bare-metal
+// clusters) that this repository cannot provision. Each simulated worker is
+// an event-driven state machine; the Simulator executes events in
+// (time, insertion-order) order and exposes its clock through the same
+// ppc::Clock interface the real-time services consume, so the *same*
+// message-queue / blob-store / billing code runs under simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/units.h"
+
+namespace ppc::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
+class Simulator {
+ public:
+  Simulator();
+
+  /// Current simulation time in seconds.
+  Seconds now() const { return clock_->now(); }
+
+  /// Clock view suitable for handing to cloud services. Lives as long as the
+  /// returned shared_ptr; safe to outlive the Simulator (time just freezes).
+  std::shared_ptr<ppc::Clock> clock() const { return clock_; }
+
+  /// Schedules `fn` at absolute sim time `t` (>= now()).
+  EventId at(Seconds t, EventFn fn);
+
+  /// Schedules `fn` after `delay` seconds (>= 0).
+  EventId after(Seconds delay, EventFn fn);
+
+  /// Cancels a pending event; no-op if already executed or cancelled.
+  void cancel(EventId id);
+
+  /// Executes the next pending event. Returns false when none remain.
+  bool step();
+
+  /// Runs until the event queue drains or `max_events` have executed.
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Runs until the queue drains or sim time would exceed `t_end`. Events at
+  /// exactly t_end still execute.
+  void run_until(Seconds t_end);
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::uint64_t events_pending() const;
+
+ private:
+  struct Scheduled {
+    Seconds time;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::uint64_t id;
+    // Ordering for min-heap via std::greater.
+    bool operator>(const Scheduled& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::shared_ptr<ppc::ManualClock> clock_;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, EventFn> handlers_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ppc::sim

@@ -1,0 +1,105 @@
+#include "apps/blast/db.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/blast/protein.h"
+#include "common/error.h"
+
+namespace ppc::apps::blast {
+namespace {
+
+TEST(SequenceDb, GeneratorHonorsCount) {
+  Rng rng(1);
+  DbGenConfig config;
+  config.num_sequences = 40;
+  const auto db = SequenceDb::generate(config, rng);
+  EXPECT_EQ(db.size(), 40u);
+}
+
+TEST(SequenceDb, SequencesAreValidProteins) {
+  Rng rng(2);
+  DbGenConfig config;
+  config.num_sequences = 20;
+  const auto db = SequenceDb::generate(config, rng);
+  for (const auto& r : db.records()) {
+    EXPECT_TRUE(is_valid_protein(r.seq)) << r.id;
+    EXPECT_GE(r.seq.size(), config.length_min);
+  }
+}
+
+TEST(SequenceDb, LengthsVaryAroundMean) {
+  Rng rng(3);
+  DbGenConfig config;
+  config.num_sequences = 300;
+  const auto db = SequenceDb::generate(config, rng);
+  const double mean = static_cast<double>(db.total_residues()) / 300.0;
+  EXPECT_NEAR(mean, 350.0, 40.0);
+}
+
+TEST(SequenceDb, FastaRoundTrip) {
+  Rng rng(4);
+  DbGenConfig config;
+  config.num_sequences = 10;
+  const auto db = SequenceDb::generate(config, rng);
+  const auto restored = SequenceDb::from_fasta(db.to_fasta());
+  ASSERT_EQ(restored.size(), db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(restored.record(i).id, db.record(i).id);
+    EXPECT_EQ(restored.record(i).seq, db.record(i).seq);
+  }
+}
+
+TEST(PlantQuery, ExactCopyWithZeroMutation) {
+  Rng rng(5);
+  DbGenConfig config;
+  config.num_sequences = 5;
+  const auto db = SequenceDb::generate(config, rng);
+  const std::string q = plant_query(db, 2, 80, 0.0, rng);
+  EXPECT_EQ(q.size(), 80u);
+  EXPECT_NE(db.record(2).seq.find(q), std::string::npos);
+}
+
+TEST(PlantQuery, MutationsPerturb) {
+  Rng rng(6);
+  DbGenConfig config;
+  config.num_sequences = 3;
+  const auto db = SequenceDb::generate(config, rng);
+  const std::string q = plant_query(db, 0, 100, 0.3, rng);
+  EXPECT_EQ(db.record(0).seq.find(q), std::string::npos)
+      << "30% mutations should break exact matching";
+}
+
+TEST(PlantQuery, LengthClampedToSource) {
+  Rng rng(7);
+  SequenceDb db(std::vector<FastaRecord>{{"short", "ACDEFGHIKL"}});
+  const std::string q = plant_query(db, 0, 1000, 0.0, rng);
+  EXPECT_EQ(q, "ACDEFGHIKL");
+  EXPECT_THROW(plant_query(db, 5, 10, 0.0, rng), ppc::InvalidArgument);
+}
+
+TEST(MakeQueryFile, ProducesRequestedQueries) {
+  Rng rng(8);
+  DbGenConfig config;
+  config.num_sequences = 30;
+  const auto db = SequenceDb::generate(config, rng);
+  // The paper bundles 100 queries per file, yielding 7-8 KB files.
+  const std::string file = make_query_file(db, 100, 0.5, rng);
+  const auto parsed = apps::parse_fasta(file);
+  EXPECT_EQ(parsed.size(), 100u);
+  EXPECT_GT(file.size(), 4000u);
+  EXPECT_LT(file.size(), 20000u);
+}
+
+TEST(MakeQueryFile, PlantedFractionLabeled) {
+  Rng rng(9);
+  DbGenConfig config;
+  config.num_sequences = 10;
+  const auto db = SequenceDb::generate(config, rng);
+  const auto parsed = apps::parse_fasta(make_query_file(db, 60, 1.0, rng));
+  for (const auto& q : parsed) {
+    EXPECT_NE(q.id.find("planted"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ppc::apps::blast

@@ -1,0 +1,177 @@
+// The calibration tests: each app cost model must reproduce the qualitative
+// claims the paper makes about that application's resource profile.
+#include <gtest/gtest.h>
+
+#include "apps/blast/cost_model.h"
+#include "apps/cap3/cost_model.h"
+#include "apps/gtm/cost_model.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ppc::apps {
+namespace {
+
+using cloud::ec2_hcxl;
+using cloud::ec2_hm4xl;
+using cloud::ec2_large;
+using cloud::ec2_xlarge;
+
+// --- Cap3: CPU bound (§4.1) ---
+
+TEST(Cap3CostModel, ClockRateDrivesPerformance) {
+  const cap3::Cap3CostModel model;
+  const double t_hcxl = model.expected_seconds(458, ec2_hcxl());
+  const double t_hm4xl = model.expected_seconds(458, ec2_hm4xl());
+  const double t_large = model.expected_seconds(458, ec2_large());
+  EXPECT_LT(t_hm4xl, t_hcxl);  // 3.25 GHz beats 2.5 GHz
+  EXPECT_LT(t_hcxl, t_large);  // 2.5 GHz beats 2.0 GHz
+  EXPECT_NEAR(t_hcxl / t_hm4xl, 3.25 / 2.5, 1e-9);  // pure clock scaling
+}
+
+TEST(Cap3CostModel, MemoryIsNotABottleneck) {
+  // L and XL share clock rate but differ 2x in memory: identical times.
+  const cap3::Cap3CostModel model;
+  EXPECT_DOUBLE_EQ(model.expected_seconds(458, ec2_large()),
+                   model.expected_seconds(458, ec2_xlarge()));
+}
+
+TEST(Cap3CostModel, WindowsRunsFaster) {
+  // §4.2: "the Cap3 program performs ~12.5% faster on Windows".
+  const cap3::Cap3CostModel model;
+  const double linux_t = model.expected_seconds(458, cloud::bare_metal_cap3_node());
+  cloud::InstanceType win = cloud::bare_metal_cap3_node();
+  win.platform = cloud::Platform::kWindows;
+  EXPECT_NEAR(model.expected_seconds(458, win) / linux_t, 0.875, 1e-9);
+}
+
+TEST(Cap3CostModel, Table4Calibration) {
+  // 4096 files on 128 HCXL cores must fit in one billing hour.
+  const cap3::Cap3CostModel model;
+  const double per_file = model.expected_seconds(458, ec2_hcxl());
+  EXPECT_LE(per_file * 4096 / 128, 3600.0);
+  EXPECT_GT(per_file * 4096 / 128, 3000.0);  // but not trivially small
+}
+
+TEST(Cap3CostModel, WorkScalesWithReads) {
+  const cap3::Cap3CostModel model;
+  const double t200 = model.expected_seconds(200, ec2_hcxl());
+  const double t458 = model.expected_seconds(458, ec2_hcxl());
+  EXPECT_LT(t200, t458);
+  EXPECT_NEAR(t458 / t200, 458.0 / 200.0, 0.01);
+}
+
+TEST(Cap3CostModel, SampleJittersAroundExpectation) {
+  const cap3::Cap3CostModel model;
+  ppc::Rng rng(1);
+  const double expected = model.expected_seconds(458, ec2_hcxl());
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) sum += model.sample_seconds(458, ec2_hcxl(), rng);
+  EXPECT_NEAR(sum / 2000, expected, expected * 0.02);
+}
+
+// --- BLAST: memory-capacity sensitive (§5.1) ---
+
+TEST(BlastCostModel, ResidencyTracksInstanceMemory) {
+  const blast::BlastCostModel model;
+  EXPECT_NEAR(model.residency(ec2_hcxl()), 7.0 / 8.7, 1e-9);
+  EXPECT_DOUBLE_EQ(model.residency(ec2_xlarge()), 1.0);   // 15 GB > 8.7 GB
+  EXPECT_DOUBLE_EQ(model.residency(ec2_hm4xl()), 1.0);
+}
+
+TEST(BlastCostModel, XlMatchesHcxlDespiteLowerClock) {
+  // The §5.1 observation: XL's memory compensates for its clock.
+  const blast::BlastCostModel model;
+  const double t_xl = model.expected_seconds(100, 1.0, ec2_xlarge());
+  const double t_hcxl = model.expected_seconds(100, 1.0, ec2_hcxl());
+  EXPECT_NEAR(t_xl / t_hcxl, 1.0, 0.10);
+}
+
+TEST(BlastCostModel, Hm4xlIsClearlyFastest) {
+  const blast::BlastCostModel model;
+  const double t_hm4xl = model.expected_seconds(100, 1.0, ec2_hm4xl());
+  for (const auto& type : {ec2_large(), ec2_xlarge(), ec2_hcxl()}) {
+    EXPECT_LT(t_hm4xl, model.expected_seconds(100, 1.0, type) * 0.85);
+  }
+}
+
+TEST(BlastCostModel, AzureMemoryLadder) {
+  // Figure 9: more instance memory -> faster, Large/XL best.
+  const blast::BlastCostModel model;
+  const double t_small = model.expected_seconds(100, 1.0, cloud::azure_small());
+  const double t_medium = model.expected_seconds(100, 1.0, cloud::azure_medium());
+  const double t_large = model.expected_seconds(100, 1.0, cloud::azure_large());
+  const double t_xl = model.expected_seconds(100, 1.0, cloud::azure_xlarge());
+  EXPECT_GT(t_small, t_medium);
+  EXPECT_GT(t_medium, t_large);
+  EXPECT_GT(t_large, t_xl);
+}
+
+TEST(BlastCostModel, ThreadsSlightlyWorseThanProcesses) {
+  // 8 files on 8 cores: 8 workers x 1 thread beats 1 worker x 8 threads.
+  const blast::BlastCostModel model;
+  const double speedup8 = model.thread_speedup(8);
+  EXPECT_LT(speedup8, 8.0);
+  EXPECT_GT(speedup8, 5.0);
+  EXPECT_DOUBLE_EQ(model.thread_speedup(1), 1.0);
+  // Monotone: more threads never slower in absolute terms.
+  EXPECT_GT(model.thread_speedup(4), model.thread_speedup(2));
+}
+
+TEST(BlastCostModel, WorkFactorScalesLinearly) {
+  const blast::BlastCostModel model;
+  const double base = model.expected_seconds(100, 1.0, ec2_hcxl());
+  EXPECT_NEAR(model.expected_seconds(100, 1.7, ec2_hcxl()), 1.7 * base, 1e-9);
+}
+
+// --- GTM: memory-bandwidth bound (§6.1/§6.2) ---
+
+TEST(GtmCostModel, ContentionSlowsBusyInstances) {
+  const gtm::GtmCostModel model;
+  const double alone = model.expected_seconds(1e5, ec2_hcxl(), 1);
+  const double crowded = model.expected_seconds(1e5, ec2_hcxl(), 8);
+  EXPECT_GT(crowded, alone * 2.0);
+}
+
+TEST(GtmCostModel, PaperOrderingOfInstanceTypes) {
+  // §6.1: HM4XL best performance; Large beats HCXL and XL per-core when
+  // all cores are busy.
+  const gtm::GtmCostModel model;
+  const double t_large = model.expected_seconds(1e5, ec2_large(), 2);
+  const double t_xl = model.expected_seconds(1e5, ec2_xlarge(), 4);
+  const double t_hcxl = model.expected_seconds(1e5, ec2_hcxl(), 8);
+  const double t_hm4xl = model.expected_seconds(1e5, ec2_hm4xl(), 8);
+  EXPECT_LT(t_hm4xl, t_large);
+  EXPECT_LT(t_large, t_hcxl);
+  EXPECT_NEAR(t_hcxl / t_xl, 1.0, 0.15);  // HCXL ≈ XL
+}
+
+TEST(GtmCostModel, AzureSmallHasLeastContention) {
+  // §6.2: "Azure small instances achieved the overall best efficiency"
+  // because a single core owns the instance's memory.
+  const gtm::GtmCostModel model;
+  const double azure = model.expected_seconds(1e5, cloud::azure_small(), 1);
+  const double hcxl = model.expected_seconds(1e5, ec2_hcxl(), 8);
+  const double dryad16 = model.expected_seconds(1e5, cloud::bare_metal_hpcs_node(), 16);
+  EXPECT_LT(azure, hcxl);
+  EXPECT_LT(hcxl, dryad16);  // 16 cores on one bus is the worst (§6.2)
+}
+
+TEST(GtmCostModel, ScalesWithPoints) {
+  const gtm::GtmCostModel model;
+  const double t1 = model.expected_seconds(1e5, ec2_large(), 2);
+  const double t2 = model.expected_seconds(2e5, ec2_large(), 2);
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(CostModels, RejectBadInputs) {
+  const cap3::Cap3CostModel cap3_model;
+  EXPECT_THROW(cap3_model.expected_seconds(0, ec2_hcxl()), ppc::InvalidArgument);
+  const blast::BlastCostModel blast_model;
+  EXPECT_THROW(blast_model.expected_seconds(0, 1.0, ec2_hcxl()), ppc::InvalidArgument);
+  EXPECT_THROW(blast_model.thread_speedup(0), ppc::InvalidArgument);
+  const gtm::GtmCostModel gtm_model;
+  EXPECT_THROW(gtm_model.expected_seconds(0.0, ec2_hcxl(), 1), ppc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppc::apps

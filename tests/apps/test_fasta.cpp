@@ -1,0 +1,76 @@
+#include "apps/cap3/fasta.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ppc::apps {
+namespace {
+
+TEST(Fasta, RoundTrip) {
+  const std::vector<FastaRecord> records = {{"read1", "ACGTACGT"}, {"read2", "TTTT"}};
+  const auto parsed = parse_fasta(write_fasta(records));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].id, "read1");
+  EXPECT_EQ(parsed[0].seq, "ACGTACGT");
+  EXPECT_EQ(parsed[1].id, "read2");
+  EXPECT_EQ(parsed[1].seq, "TTTT");
+}
+
+TEST(Fasta, LineWrappingReassembles) {
+  const std::string long_seq(500, 'A');
+  const auto text = write_fasta({{"long", long_seq}}, 60);
+  EXPECT_GT(std::count(text.begin(), text.end(), '\n'), 8);
+  const auto parsed = parse_fasta(text);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].seq, long_seq);
+}
+
+TEST(Fasta, HeaderStopsAtWhitespace) {
+  const auto parsed = parse_fasta(">id1 description here\nACGT\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].id, "id1");
+}
+
+TEST(Fasta, MultiLineSequencesConcatenate) {
+  const auto parsed = parse_fasta(">r\nACGT\nTTAA\nGG\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].seq, "ACGTTTAAGG");
+}
+
+TEST(Fasta, BlankLinesIgnored) {
+  const auto parsed = parse_fasta("\n>r\n\nAC\n\nGT\n\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].seq, "ACGT");
+}
+
+TEST(Fasta, SequenceBeforeHeaderThrows) {
+  EXPECT_THROW(parse_fasta("ACGT\n>r\n"), ppc::InvalidArgument);
+}
+
+TEST(Fasta, EmptyInputGivesNoRecords) {
+  EXPECT_TRUE(parse_fasta("").empty());
+}
+
+TEST(Fasta, EmptySequenceRecordSurvivesRoundTrip) {
+  const auto parsed = parse_fasta(write_fasta({{"empty", ""}}));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].id, "empty");
+  EXPECT_TRUE(parsed[0].seq.empty());
+}
+
+TEST(Fasta, CountRecordsWithoutParsing) {
+  const std::string text = ">a\nACGT\n>b\nTT\n>c\nGG\n";
+  EXPECT_EQ(count_fasta_records(text), 3u);
+  EXPECT_EQ(count_fasta_records(""), 0u);
+  EXPECT_EQ(count_fasta_records("no headers"), 0u);
+}
+
+TEST(Fasta, PreservesCaseForQualityMarks) {
+  // Lowercase = poor-quality convention must survive the round trip.
+  const auto parsed = parse_fasta(write_fasta({{"r", "nnACGTnn"}}));
+  EXPECT_EQ(parsed[0].seq, "nnACGTnn");
+}
+
+}  // namespace
+}  // namespace ppc::apps

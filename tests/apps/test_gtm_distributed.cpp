@@ -1,0 +1,167 @@
+// Distributed GTM training on azuremr vs the local trainer: the E-step
+// factorizes over points, so both must walk the same EM trajectory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/gtm/data_gen.h"
+#include "apps/gtm_dist/distributed_train.h"
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace ppc::apps::gtm {
+namespace {
+
+class DistributedGtmTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SystemClock> clock_ = std::make_shared<SystemClock>();
+  blobstore::BlobStore store_{clock_};
+  cloudq::QueueService queues_{clock_};
+
+  static GtmConfig small_config() {
+    GtmConfig config;
+    config.latent_grid = 5;
+    config.rbf_grid = 3;
+    config.em_iterations = 8;
+    return config;
+  }
+
+  /// Clustered data split into `parts` equal-ish chunks.
+  static std::vector<Matrix> make_chunks(std::size_t points, std::size_t dims,
+                                         std::size_t parts, unsigned seed) {
+    ppc::Rng rng(seed);
+    ClusterDataConfig config;
+    config.num_points = points;
+    config.dims = dims;
+    config.clusters = 3;
+    const Matrix all = generate_clustered(config, rng);
+    std::vector<Matrix> chunks;
+    const std::size_t per = (points + parts - 1) / parts;
+    for (std::size_t begin = 0; begin < points; begin += per) {
+      const std::size_t end = std::min(points, begin + per);
+      Matrix chunk(end - begin, dims);
+      for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t j = 0; j < dims; ++j) chunk(i - begin, j) = all(i, j);
+      }
+      chunks.push_back(std::move(chunk));
+    }
+    return chunks;
+  }
+
+  /// The same data, unsplit (for the local reference run).
+  static Matrix concat(const std::vector<Matrix>& chunks) {
+    std::size_t n = 0;
+    for (const auto& c : chunks) n += c.rows();
+    Matrix all(n, chunks.front().cols());
+    std::size_t row = 0;
+    for (const auto& c : chunks) {
+      for (std::size_t i = 0; i < c.rows(); ++i, ++row) {
+        for (std::size_t j = 0; j < c.cols(); ++j) all(row, j) = c(i, j);
+      }
+    }
+    return all;
+  }
+};
+
+TEST_F(DistributedGtmTest, SufficientStatsAreAdditive) {
+  const auto chunks = make_chunks(120, 6, 3, 11);
+  const Matrix all = concat(chunks);
+  ppc::Rng rng(12);
+  GtmConfig config = small_config();
+  config.em_iterations = 2;
+  const GtmModel model = GtmModel::train(all, config, rng);
+
+  GtmSufficientStats summed;
+  for (const auto& chunk : chunks) {
+    summed.accumulate(gtm_estep_stats(model.projected_centers(), model.beta(), chunk));
+  }
+  const GtmSufficientStats whole =
+      gtm_estep_stats(model.projected_centers(), model.beta(), all);
+  EXPECT_EQ(summed.n, whole.n);
+  EXPECT_NEAR(summed.err, whole.err, 1e-6 * std::abs(whole.err));
+  EXPECT_NEAR(summed.log_likelihood, whole.log_likelihood,
+              1e-6 * std::abs(whole.log_likelihood));
+  for (std::size_t i = 0; i < whole.g.size(); ++i) {
+    EXPECT_NEAR(summed.g[i], whole.g[i], 1e-8);
+  }
+}
+
+TEST_F(DistributedGtmTest, SufficientStatsSerializationRoundTrips) {
+  const auto chunks = make_chunks(40, 4, 1, 13);
+  ppc::Rng rng(14);
+  GtmConfig config = small_config();
+  config.em_iterations = 1;
+  const GtmModel model = GtmModel::train(chunks[0], config, rng);
+  const auto stats = gtm_estep_stats(model.projected_centers(), model.beta(), chunks[0]);
+  const auto restored = GtmSufficientStats::deserialize(stats.serialize());
+  EXPECT_EQ(restored.n, stats.n);
+  EXPECT_NEAR(restored.err, stats.err, 1e-9);
+  for (std::size_t i = 0; i < stats.g.size(); ++i) {
+    EXPECT_NEAR(restored.g[i], stats.g[i], 1e-12);
+  }
+  EXPECT_THROW(GtmSufficientStats::deserialize("junk"), ppc::InvalidArgument);
+}
+
+TEST_F(DistributedGtmTest, MatchesLocalTrainingTrajectory) {
+  const auto chunks = make_chunks(180, 8, 4, 15);
+  const Matrix all = concat(chunks);
+
+  // Local reference: same config, same seed (same PCA init).
+  ppc::Rng rng(99);
+  const GtmModel local = GtmModel::train(all, small_config(), rng);
+
+  DistributedTrainOptions options;
+  options.gtm = small_config();
+  options.max_iterations = static_cast<int>(small_config().em_iterations);
+  options.tolerance = 0.0;  // run the full budget, like the local trainer
+  options.seed = 99;
+  azuremr::AzureMapReduce runtime(store_, queues_, /*num_workers=*/3);
+  const auto distributed = distributed_gtm_train(runtime, chunks, options);
+
+  ASSERT_EQ(distributed.log_likelihood_history.size(),
+            local.log_likelihood_history().size());
+  for (std::size_t i = 0; i < distributed.log_likelihood_history.size(); ++i) {
+    const double a = distributed.log_likelihood_history[i];
+    const double b = local.log_likelihood_history()[i];
+    EXPECT_NEAR(a, b, 1e-4 * std::abs(b) + 1e-6) << "iteration " << i;
+  }
+  // Final models project identically (within serialization precision).
+  const Matrix pa = distributed.model.interpolate(all);
+  const Matrix pb = local.interpolate(all);
+  for (std::size_t i = 0; i < pa.rows(); ++i) {
+    EXPECT_NEAR(pa(i, 0), pb(i, 0), 1e-4);
+    EXPECT_NEAR(pa(i, 1), pb(i, 1), 1e-4);
+  }
+}
+
+TEST_F(DistributedGtmTest, ConvergesEarlyWithTolerance) {
+  const auto chunks = make_chunks(150, 6, 3, 17);
+  DistributedTrainOptions options;
+  options.gtm = small_config();
+  options.max_iterations = 40;
+  options.tolerance = 1e-3;
+  options.seed = 7;
+  azuremr::AzureMapReduce runtime(store_, queues_, 2);
+  const auto result = distributed_gtm_train(runtime, chunks, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 40);
+  // Near-monotone likelihood: the ridge penalty means we maximize a
+  // *penalized* objective, so the raw likelihood may dip by O(tolerance)
+  // near the optimum — but never fall off a cliff.
+  const auto& h = result.log_likelihood_history;
+  for (std::size_t i = 1; i < h.size(); ++i) {
+    EXPECT_GE(h[i], h[i - 1] - 1e-3 * std::abs(h[i - 1]))
+        << "log-likelihood collapsed at " << i;
+  }
+  EXPECT_GT(h.back(), h.front()) << "training must improve the model overall";
+}
+
+TEST_F(DistributedGtmTest, RejectsMismatchedChunks) {
+  azuremr::AzureMapReduce runtime(store_, queues_, 1);
+  std::vector<Matrix> bad = {Matrix(10, 4), Matrix(10, 5)};
+  EXPECT_THROW(distributed_gtm_train(runtime, bad), ppc::InvalidArgument);
+  EXPECT_THROW(distributed_gtm_train(runtime, {}), ppc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppc::apps::gtm

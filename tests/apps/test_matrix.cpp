@@ -1,0 +1,150 @@
+#include "apps/gtm/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ppc::apps::gtm {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix m(2, 3);
+  int v = 0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = ++v;
+  }
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), m(1, 2));
+  const Matrix tt = t.transpose();
+  EXPECT_DOUBLE_EQ(tt(1, 2), m(1, 2));
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoop) {
+  ppc::Rng rng(1);
+  Matrix m(4, 4);
+  for (auto& v : m.data()) v = rng.uniform(-1, 1);
+  const Matrix r = m.multiply(Matrix::identity(4));
+  for (std::size_t i = 0; i < m.data().size(); ++i) {
+    EXPECT_NEAR(r.data()[i], m.data()[i], 1e-12);
+  }
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.multiply(b), ppc::InvalidArgument);
+}
+
+TEST(Matrix, AddAndScale) {
+  Matrix a(1, 2, 1.0), b(1, 2, 2.0);
+  const Matrix sum = a.add(b);
+  EXPECT_DOUBLE_EQ(sum(0, 0), 3.0);
+  const Matrix scaled = sum.scale(-2.0);
+  EXPECT_DOUBLE_EQ(scaled(0, 1), -6.0);
+}
+
+TEST(Matrix, AddDiagonal) {
+  Matrix m(3, 3, 0.0);
+  m.add_diagonal(0.5);
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  Matrix rect(2, 3);
+  EXPECT_THROW(rect.add_diagonal(1.0), ppc::InvalidArgument);
+}
+
+TEST(Matrix, NormOfUnitVector) {
+  Matrix m(1, 4, 0.0);
+  m(0, 2) = 3.0;
+  m(0, 3) = 4.0;
+  EXPECT_DOUBLE_EQ(m.norm(), 5.0);
+}
+
+TEST(Cholesky, SolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [2, -1] => x = [1, -1] ... verify by multiply.
+  Matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+  const auto x = cholesky_solve(a, {2.0, -1.0});
+  EXPECT_NEAR(a(0, 0) * x[0] + a(0, 1) * x[1], 2.0, 1e-10);
+  EXPECT_NEAR(a(1, 0) * x[0] + a(1, 1) * x[1], -1.0, 1e-10);
+}
+
+TEST(Cholesky, SolvesRandomSpdSystem) {
+  ppc::Rng rng(5);
+  const std::size_t n = 8;
+  Matrix g(n, n);
+  for (auto& v : g.data()) v = rng.uniform(-1, 1);
+  Matrix a = g.transpose().multiply(g);  // SPD (plus ridge for safety)
+  a.add_diagonal(0.1);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-2, 2);
+  const auto x = cholesky_solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0;
+    for (std::size_t j = 0; j < n; ++j) acc += a(i, j) * x[j];
+    EXPECT_NEAR(acc, b[i], 1e-8);
+  }
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_solve(a, {1.0, 1.0}), ppc::InvalidArgument);
+}
+
+TEST(Cholesky, MatrixRhsSolve) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 0; a(1, 0) = 0; a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 2; b(0, 1) = 4; b(1, 0) = 8; b(1, 1) = 12;
+  const Matrix x = cholesky_solve_matrix(a, b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 3.0, 1e-12);
+}
+
+TEST(SquaredDistance, Basics) {
+  EXPECT_DOUBLE_EQ(squared_distance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(squared_distance({1}, {1}), 0.0);
+  EXPECT_THROW(squared_distance({1, 2}, {1}), ppc::InvalidArgument);
+}
+
+TEST(Matrix, RowExtraction) {
+  Matrix m(2, 3);
+  m(1, 0) = 7; m(1, 1) = 8; m(1, 2) = 9;
+  const auto row = m.row(1);
+  EXPECT_EQ(row, (std::vector<double>{7, 8, 9}));
+  EXPECT_THROW(m.row(2), ppc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppc::apps::gtm

@@ -1,0 +1,66 @@
+#include "apps/blast/protein.h"
+
+#include <gtest/gtest.h>
+
+namespace ppc::apps::blast {
+namespace {
+
+TEST(Protein, AlphabetHas20Residues) {
+  EXPECT_EQ(std::string(kAminoAcids).size(), 20u);
+  EXPECT_EQ(kAlphabetSize, 20);
+}
+
+TEST(Protein, AminoIndexRoundTrips) {
+  for (int i = 0; i < kAlphabetSize; ++i) {
+    EXPECT_EQ(amino_index(kAminoAcids[i]), i);
+  }
+  EXPECT_EQ(amino_index('X'), -1);
+  EXPECT_EQ(amino_index('a'), -1);  // lowercase not in alphabet
+  EXPECT_EQ(amino_index('*'), -1);
+}
+
+TEST(Blosum62, IsSymmetric) {
+  for (int i = 0; i < kAlphabetSize; ++i) {
+    for (int j = 0; j < kAlphabetSize; ++j) {
+      EXPECT_EQ(blosum62(kAminoAcids[i], kAminoAcids[j]),
+                blosum62(kAminoAcids[j], kAminoAcids[i]));
+    }
+  }
+}
+
+TEST(Blosum62, KnownValues) {
+  // Spot checks against the published matrix.
+  EXPECT_EQ(blosum62('A', 'A'), 4);
+  EXPECT_EQ(blosum62('W', 'W'), 11);
+  EXPECT_EQ(blosum62('C', 'C'), 9);
+  EXPECT_EQ(blosum62('A', 'R'), -1);
+  EXPECT_EQ(blosum62('W', 'P'), -4);
+  EXPECT_EQ(blosum62('I', 'L'), 2);
+  EXPECT_EQ(blosum62('E', 'D'), 2);
+  EXPECT_EQ(blosum62('F', 'Y'), 3);
+}
+
+TEST(Blosum62, DiagonalIsMaximal) {
+  // Self-substitution always scores at least as high as any substitution.
+  for (int i = 0; i < kAlphabetSize; ++i) {
+    for (int j = 0; j < kAlphabetSize; ++j) {
+      EXPECT_GE(blosum62(kAminoAcids[i], kAminoAcids[i]),
+                blosum62(kAminoAcids[i], kAminoAcids[j]));
+    }
+  }
+}
+
+TEST(Blosum62, UnknownResiduesScoreMinus4) {
+  EXPECT_EQ(blosum62('X', 'A'), -4);
+  EXPECT_EQ(blosum62('A', 'Z'), -4);
+}
+
+TEST(Protein, ValidityCheck) {
+  EXPECT_TRUE(is_valid_protein("ACDEFGHIKLMNPQRSTVWY"));
+  EXPECT_FALSE(is_valid_protein("ACGTX"));
+  EXPECT_FALSE(is_valid_protein(""));
+  EXPECT_FALSE(is_valid_protein("acde"));
+}
+
+}  // namespace
+}  // namespace ppc::apps::blast

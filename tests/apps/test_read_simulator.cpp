@@ -1,0 +1,114 @@
+#include "apps/cap3/read_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "common/error.h"
+
+namespace ppc::apps::cap3 {
+namespace {
+
+TEST(ReadSimulator, GenomeHasRequestedLengthAndAlphabet) {
+  Rng rng(1);
+  const std::string g = random_genome(1000, rng);
+  EXPECT_EQ(g.size(), 1000u);
+  for (char c : g) {
+    EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T') << c;
+  }
+}
+
+TEST(ReadSimulator, ProducesRequestedReadCount) {
+  Rng rng(2);
+  ReadSimConfig config;
+  config.num_reads = 100;
+  const auto ds = simulate_shotgun(config, rng);
+  EXPECT_EQ(ds.reads.size(), 100u);
+  EXPECT_EQ(ds.genome.size(), config.genome_length);
+}
+
+TEST(ReadSimulator, CleanReadsAreGenomeSubstrings) {
+  Rng rng(3);
+  ReadSimConfig config;
+  config.num_reads = 50;
+  config.error_rate = 0.0;
+  config.poor_tail_prob = 0.0;
+  const auto ds = simulate_shotgun(config, rng);
+  for (const auto& read : ds.reads) {
+    EXPECT_NE(ds.genome.find(read.seq), std::string::npos)
+        << "error-free read must appear in the genome";
+  }
+}
+
+TEST(ReadSimulator, ReadLengthsRespectBounds) {
+  Rng rng(4);
+  ReadSimConfig config;
+  config.num_reads = 200;
+  config.read_length_min = 100;
+  config.poor_tail_prob = 0.0;
+  const auto ds = simulate_shotgun(config, rng);
+  for (const auto& read : ds.reads) {
+    EXPECT_GE(read.seq.size(), 100u);
+    EXPECT_LE(read.seq.size(), config.genome_length);
+  }
+}
+
+TEST(ReadSimulator, PoorTailsAreLowercaseAtEnds) {
+  Rng rng(5);
+  ReadSimConfig config;
+  config.num_reads = 200;
+  config.poor_tail_prob = 1.0;
+  const auto ds = simulate_shotgun(config, rng);
+  int with_tail = 0;
+  for (const auto& read : ds.reads) {
+    const bool head = std::islower(static_cast<unsigned char>(read.seq.front()));
+    const bool tail = std::islower(static_cast<unsigned char>(read.seq.back()));
+    if (head || tail) ++with_tail;
+  }
+  EXPECT_EQ(with_tail, 200);
+}
+
+TEST(ReadSimulator, ErrorsPerturbSomeBases) {
+  Rng rng(6);
+  ReadSimConfig config;
+  config.num_reads = 30;
+  config.error_rate = 0.05;
+  config.poor_tail_prob = 0.0;
+  const auto ds = simulate_shotgun(config, rng);
+  int not_substring = 0;
+  for (const auto& read : ds.reads) {
+    if (ds.genome.find(read.seq) == std::string::npos) ++not_substring;
+  }
+  EXPECT_GT(not_substring, 20) << "5% error rate should break exact matches";
+}
+
+TEST(ReadSimulator, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  ReadSimConfig config;
+  config.num_reads = 10;
+  const auto da = simulate_shotgun(config, a);
+  const auto db = simulate_shotgun(config, b);
+  EXPECT_EQ(da.genome, db.genome);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(da.reads[i].seq, db.reads[i].seq);
+  }
+}
+
+TEST(ReadSimulator, MakeCap3InputIsParsableFasta) {
+  Rng rng(8);
+  const std::string file = make_cap3_input(200, rng);
+  EXPECT_EQ(count_fasta_records(file), 200u);
+  const auto parsed = parse_fasta(file);
+  EXPECT_EQ(parsed.size(), 200u);
+}
+
+TEST(ReadSimulator, RejectsImpossibleConfig) {
+  Rng rng(9);
+  ReadSimConfig config;
+  config.genome_length = 10;
+  config.read_length_mean = 100;
+  EXPECT_THROW(simulate_shotgun(config, rng), ppc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppc::apps::cap3

@@ -1,0 +1,121 @@
+// Reverse-complement handling: sequence utilities, orientation resolution,
+// and full assembly of mixed-strand shotgun reads.
+#include <gtest/gtest.h>
+
+#include "apps/cap3/assembler.h"
+#include "apps/cap3/read_simulator.h"
+#include "common/rng.h"
+
+namespace ppc::apps::cap3 {
+namespace {
+
+TEST(ReverseComplement, KnownPairs) {
+  EXPECT_EQ(reverse_complement("ACGT"), "ACGT");  // palindromic
+  EXPECT_EQ(reverse_complement("AAAA"), "TTTT");
+  EXPECT_EQ(reverse_complement("ATCGG"), "CCGAT");
+  EXPECT_EQ(reverse_complement(""), "");
+}
+
+TEST(ReverseComplement, IsAnInvolution) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const std::string s = random_genome(50 + rng.index(100), rng);
+    EXPECT_EQ(reverse_complement(reverse_complement(s)), s);
+  }
+}
+
+TEST(ReverseComplement, PreservesCaseAndMapsUnknownsToN) {
+  EXPECT_EQ(reverse_complement("acgt"), "acgt");
+  EXPECT_EQ(reverse_complement("AXG"), "CNT");
+}
+
+TEST(OrientationResolution, FlipsTheReversedRead) {
+  Rng rng(2);
+  const std::string genome = random_genome(300, rng);
+  // Three overlapping reads; the middle one is reverse-complemented.
+  const std::vector<std::string> seqs = {
+      genome.substr(0, 150),
+      reverse_complement(genome.substr(80, 150)),
+      genome.substr(140, 150),
+  };
+  const auto flip = resolve_orientations(seqs);
+  EXPECT_FALSE(flip[0]);  // the BFS root keeps its strand
+  EXPECT_TRUE(flip[1]);
+  EXPECT_FALSE(flip[2]);
+}
+
+TEST(OrientationResolution, AllForwardStaysForward) {
+  Rng rng(3);
+  const std::string genome = random_genome(400, rng);
+  std::vector<std::string> seqs;
+  for (int i = 0; i < 6; ++i) {
+    seqs.push_back(genome.substr(static_cast<std::size_t>(i) * 50, 140));
+  }
+  for (bool f : resolve_orientations(seqs)) EXPECT_FALSE(f);
+}
+
+TEST(OrientationResolution, UnrelatedReadsAreUntouched) {
+  Rng rng(4);
+  const std::vector<std::string> seqs = {random_genome(120, rng), random_genome(120, rng)};
+  const auto flip = resolve_orientations(seqs);
+  EXPECT_FALSE(flip[0]);
+  EXPECT_FALSE(flip[1]);
+}
+
+TEST(Assembler, MergesForwardAndReverseReadsIntoOneContig) {
+  Rng rng(5);
+  const std::string genome = random_genome(260, rng);
+  const FastaRecord fwd{"fwd", genome.substr(0, 150)};
+  const FastaRecord rev{"rev", reverse_complement(genome.substr(100, 160))};
+  const auto result = assemble({fwd, rev});
+  ASSERT_EQ(result.contigs.size(), 1u);
+  EXPECT_EQ(result.stats.complemented_reads, 1u);
+  // Consensus equals the genome span, in either strand.
+  const std::string& consensus = result.contigs[0].consensus;
+  EXPECT_TRUE(consensus == genome || consensus == reverse_complement(genome))
+      << "got length " << consensus.size();
+}
+
+TEST(Assembler, ReconstructsGenomeFromMixedStrandShotgun) {
+  Rng rng(6);
+  ReadSimConfig config;
+  config.genome_length = 4000;
+  config.num_reads = 160;
+  config.read_length_mean = 400;
+  config.reverse_strand_prob = 0.5;
+  config.poor_tail_prob = 0.2;
+  const auto ds = simulate_shotgun(config, rng);
+
+  int reversed = 0;
+  for (const auto& r : ds.reads) {
+    if (r.id.ends_with("-rc")) ++reversed;
+  }
+  EXPECT_GT(reversed, 40);
+  EXPECT_LT(reversed, 120);
+
+  const auto result = assemble(ds.reads);
+  EXPECT_GT(result.stats.complemented_reads, 0u);
+  ASSERT_FALSE(result.contigs.empty());
+  const Contig& best = result.contigs.front();
+  EXPECT_GT(best.consensus.size(), ds.genome.size() / 2);
+  // The consensus must match the genome on one of the two strands.
+  const bool fwd_match = ds.genome.find(best.consensus) != std::string::npos;
+  const bool rc_match =
+      ds.genome.find(reverse_complement(best.consensus)) != std::string::npos;
+  EXPECT_TRUE(fwd_match || rc_match);
+}
+
+TEST(Assembler, ReverseHandlingCanBeDisabled) {
+  Rng rng(7);
+  const std::string genome = random_genome(260, rng);
+  const FastaRecord fwd{"fwd", genome.substr(0, 150)};
+  const FastaRecord rev{"rev", reverse_complement(genome.substr(100, 160))};
+  AssemblerConfig config;
+  config.handle_reverse_complements = false;
+  const auto result = assemble({fwd, rev}, config);
+  EXPECT_TRUE(result.contigs.empty());  // opposite strands cannot overlap
+  EXPECT_EQ(result.stats.complemented_reads, 0u);
+}
+
+}  // namespace
+}  // namespace ppc::apps::cap3

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/cap3/read_simulator.h"
+#include "apps/swg/blocks.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ppc::apps::swg {
+namespace {
+
+TEST(SmithWaterman, IdenticalSequencesScoreMaximum) {
+  const std::string s = "ACGTACGTAA";
+  EXPECT_EQ(smith_waterman_score(s, s), 5 * 10);
+  EXPECT_DOUBLE_EQ(sw_distance(s, s), 0.0);
+}
+
+TEST(SmithWaterman, EmptySequences) {
+  EXPECT_EQ(smith_waterman_score("", "ACGT"), 0);
+  EXPECT_EQ(smith_waterman_score("ACGT", ""), 0);
+  EXPECT_DOUBLE_EQ(sw_distance("", "ACGT"), 1.0);
+}
+
+TEST(SmithWaterman, IsSymmetric) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string a = apps::cap3::random_genome(30 + rng.index(50), rng);
+    const std::string b = apps::cap3::random_genome(30 + rng.index(50), rng);
+    EXPECT_EQ(smith_waterman_score(a, b), smith_waterman_score(b, a));
+  }
+}
+
+TEST(SmithWaterman, LocalAlignmentFindsEmbeddedMatch) {
+  Rng rng(2);
+  const std::string core = apps::cap3::random_genome(24, rng);
+  const std::string a = apps::cap3::random_genome(30, rng) + core;
+  const std::string b = core + apps::cap3::random_genome(30, rng);
+  // The shared core must dominate: score >= match * |core| minus slack for
+  // accidental extensions.
+  EXPECT_GE(smith_waterman_score(a, b), 5 * 24 - 10);
+}
+
+TEST(SmithWaterman, MismatchReducesScore) {
+  const std::string a = "AAAAAAAAAA";
+  std::string b = a;
+  b[5] = 'C';
+  const int clean = smith_waterman_score(a, a);
+  const int dirty = smith_waterman_score(a, b);
+  EXPECT_LT(dirty, clean);
+  EXPECT_GT(dirty, 0);
+}
+
+TEST(SmithWaterman, AffineGapPrefersOneLongGap) {
+  // One 3-gap (open + 2 extends = -12) must beat three isolated gaps
+  // (3 opens = -24): a sequence with a contiguous 3-base insertion should
+  // still align nearly fully.
+  const std::string a = "ACGTACGTACGTACGTACGT";
+  const std::string b = "ACGTACGTTTTACGTACGTACGT";  // "TTT" inserted mid-way
+  const int score = smith_waterman_score(a, b);
+  EXPECT_GE(score, 5 * 20 + (-8) + 2 * (-2));
+}
+
+TEST(SmithWaterman, UnrelatedSequencesNearDistanceOne) {
+  Rng rng(3);
+  const std::string a = apps::cap3::random_genome(200, rng);
+  const std::string b = apps::cap3::random_genome(200, rng);
+  EXPECT_GT(sw_distance(a, b), 0.5);
+}
+
+TEST(SmithWaterman, RejectsBadParams) {
+  SwParams bad;
+  bad.gap_open = 1;
+  EXPECT_THROW(smith_waterman_score("A", "A", bad), ppc::InvalidArgument);
+}
+
+TEST(Blocks, PartitionCoversUpperTriangle) {
+  const auto blocks = partition_blocks(10, 4);
+  // Row tiles at 0, 4, 8; upper-triangle tiles: row0 x {0,4,8}, row4 x {4,8},
+  // row8 x {8} = 6 blocks.
+  EXPECT_EQ(blocks.size(), 6u);
+  for (const auto& b : blocks) {
+    EXPECT_GE(b.col_begin, b.row_begin);
+    EXPECT_LE(b.row_end, 10u);
+    EXPECT_LE(b.col_end, 10u);
+  }
+}
+
+TEST(Blocks, SingleBlockWhenBlockSizeExceedsN) {
+  const auto blocks = partition_blocks(5, 100);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_TRUE(blocks[0].diagonal());
+}
+
+TEST(Blocks, BlockResultCodecRoundTrips) {
+  BlockSpec block{2, 4, 6, 9, };
+  const std::vector<double> values = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  const auto [decoded_block, decoded_values] =
+      decode_block_result(encode_block_result(block, values));
+  EXPECT_EQ(decoded_block.row_begin, 2u);
+  EXPECT_EQ(decoded_block.col_end, 9u);
+  ASSERT_EQ(decoded_values.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(decoded_values[i], values[i]);
+  }
+}
+
+TEST(Blocks, CodecRejectsGarbage) {
+  EXPECT_THROW(decode_block_result("nope"), ppc::InvalidArgument);
+  EXPECT_THROW(decode_block_result("2 4 6 9\n0.1"), ppc::InvalidArgument);  // short payload
+}
+
+class PairwiseMatrix : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  std::vector<FastaRecord> sequences(std::size_t n) {
+    Rng rng(7);
+    std::vector<FastaRecord> seqs;
+    for (std::size_t i = 0; i < n; ++i) {
+      seqs.push_back({"s" + std::to_string(i), apps::cap3::random_genome(40 + rng.index(40), rng)});
+    }
+    return seqs;
+  }
+};
+
+TEST_P(PairwiseMatrix, BlockAssemblyMatchesDirectComputation) {
+  const auto seqs = sequences(13);  // deliberately not a block-size multiple
+  const std::size_t block_size = GetParam();
+  const DistanceMatrix matrix = pairwise_distances(seqs, block_size);
+  EXPECT_TRUE(matrix.complete());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(matrix.at(i, i), 0.0);
+    for (std::size_t j = 0; j < seqs.size(); ++j) {
+      EXPECT_DOUBLE_EQ(matrix.at(i, j), matrix.at(j, i)) << i << "," << j;
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(matrix.at(i, j), sw_distance(seqs[i].seq, seqs[j].seq))
+            << i << "," << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, PairwiseMatrix, ::testing::Values(1, 3, 5, 13, 64),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "bs" + std::to_string(info.param);
+                         });
+
+TEST(PairwiseMatrixBasics, IncompleteUntilAllBlocksMerge) {
+  Rng rng(9);
+  std::vector<FastaRecord> seqs;
+  for (int i = 0; i < 6; ++i) {
+    seqs.push_back({"s", apps::cap3::random_genome(30, rng)});
+  }
+  DistanceMatrix matrix(6);
+  const auto blocks = partition_blocks(6, 3);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    EXPECT_EQ(matrix.complete(), false);
+    matrix.merge_block(blocks[b], compute_block(seqs, blocks[b]));
+  }
+  EXPECT_TRUE(matrix.complete());
+}
+
+TEST(PairwiseMatrixBasics, CsvHasOneRowPerSequence) {
+  Rng rng(11);
+  std::vector<FastaRecord> seqs = {{"a", apps::cap3::random_genome(30, rng)},
+                                   {"b", apps::cap3::random_genome(30, rng)}};
+  const auto csv = pairwise_distances(seqs).to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace ppc::apps::swg

@@ -1,0 +1,195 @@
+#include "blobstore/blob_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace ppc::blobstore {
+namespace {
+
+class BlobStoreTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<ManualClock> clock_ = std::make_shared<ManualClock>();
+
+  BlobStore make_store(BlobStoreConfig config = {}) {
+    return BlobStore(clock_, config, Rng(5));
+  }
+};
+
+TEST_F(BlobStoreTest, PutGetRoundTrip) {
+  auto store = make_store();
+  store.put("bucket", "key", "payload");
+  const auto got = store.get("bucket", "key");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "payload");
+}
+
+TEST_F(BlobStoreTest, GetMissingReturnsNothing) {
+  auto store = make_store();
+  EXPECT_FALSE(store.get("bucket", "nope").has_value());
+  store.create_bucket("bucket");
+  EXPECT_FALSE(store.get("bucket", "nope").has_value());
+}
+
+TEST_F(BlobStoreTest, PutCreatesBucketImplicitly) {
+  auto store = make_store();
+  store.put("b", "k", "v");
+  EXPECT_TRUE(store.bucket_exists("b"));
+}
+
+TEST_F(BlobStoreTest, HeadAndExists) {
+  auto store = make_store();
+  store.put("b", "k", "12345");
+  EXPECT_TRUE(store.exists("b", "k"));
+  EXPECT_DOUBLE_EQ(*store.head("b", "k"), 5.0);
+  EXPECT_FALSE(store.exists("b", "other"));
+}
+
+TEST_F(BlobStoreTest, RemoveDeletesObject) {
+  auto store = make_store();
+  store.put("b", "k", "v");
+  EXPECT_TRUE(store.remove("b", "k"));
+  EXPECT_FALSE(store.exists("b", "k"));
+  EXPECT_FALSE(store.remove("b", "k"));
+}
+
+TEST_F(BlobStoreTest, ListByPrefixSorted) {
+  auto store = make_store();
+  store.put("b", "input/2", "x");
+  store.put("b", "input/1", "x");
+  store.put("b", "output/1", "x");
+  const auto keys = store.list("b", "input/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "input/1");
+  EXPECT_EQ(keys[1], "input/2");
+  EXPECT_EQ(store.list("b").size(), 3u);
+}
+
+TEST_F(BlobStoreTest, OverwriteReplacesContent) {
+  auto store = make_store();
+  store.put("b", "k", "old");
+  store.put("b", "k", "new");
+  EXPECT_EQ(*store.get("b", "k"), "new");
+}
+
+TEST_F(BlobStoreTest, ReadAfterWriteLagHidesNewObjects) {
+  BlobStoreConfig config;
+  config.read_after_write_lag_mean = 10.0;
+  auto store = make_store(config);
+  int visible_immediately = 0;
+  for (int i = 0; i < 20; ++i) {
+    store.put("b", "k" + std::to_string(i), "v");
+    if (store.get("b", "k" + std::to_string(i)).has_value()) ++visible_immediately;
+  }
+  EXPECT_LT(visible_immediately, 20);  // some reads miss the fresh object
+  clock_->advance(1000.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(store.get("b", "k" + std::to_string(i)).has_value());
+  }
+}
+
+TEST_F(BlobStoreTest, OverwriteIsImmediatelyVisible) {
+  BlobStoreConfig config;
+  config.read_after_write_lag_mean = 1e6;
+  auto store = make_store(config);
+  store.put("b", "k", "old");
+  clock_->advance(2e6);
+  ASSERT_TRUE(store.get("b", "k").has_value());
+  store.put("b", "k", "new");  // overwrite: no lag
+  EXPECT_EQ(*store.get("b", "k"), "new");
+}
+
+TEST_F(BlobStoreTest, MeterTracksTransfersAndRequests) {
+  auto store = make_store();
+  store.put("b", "k", std::string(100, 'x'));
+  (void)store.get("b", "k");
+  (void)store.get("b", "missing");
+  (void)store.list("b");
+  store.remove("b", "k");
+  const auto meter = store.meter();
+  EXPECT_EQ(meter.puts, 1u);
+  EXPECT_EQ(meter.gets, 2u);
+  EXPECT_EQ(meter.lists, 1u);
+  EXPECT_EQ(meter.deletes, 1u);
+  EXPECT_DOUBLE_EQ(meter.bytes_in, 100.0);
+  EXPECT_DOUBLE_EQ(meter.bytes_out, 100.0);
+}
+
+TEST_F(BlobStoreTest, LogicalObjectsMeterDeclaredSize) {
+  auto store = make_store();
+  store.put_logical("b", "big", 2.0_GB);
+  EXPECT_DOUBLE_EQ(*store.head("b", "big"), 2.0_GB);
+  const auto got = store.get("b", "big");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());  // no bytes materialized
+  EXPECT_DOUBLE_EQ(store.meter().bytes_out, 2.0_GB);
+  EXPECT_DOUBLE_EQ(store.stored_bytes(), 2.0_GB);
+}
+
+TEST_F(BlobStoreTest, TransferCostFollows2010Pricing) {
+  auto store = make_store();
+  store.put_logical("b", "in", 1.0_GB);
+  (void)store.get("b", "in");
+  // 1 GB in at $0.10 + 1 GB out at $0.15 + 2 requests.
+  EXPECT_NEAR(store.transfer_and_request_cost(), 0.25 + 2.0 / 10000.0 * 0.01, 1e-6);
+}
+
+TEST_F(BlobStoreTest, TimingModelScalesWithSize) {
+  auto store = make_store();
+  Rng rng(9);
+  RunningStats small, large;
+  for (int i = 0; i < 200; ++i) {
+    small.add(store.sample_get_time(1.0_MB, rng));
+    large.add(store.sample_get_time(100.0_MB, rng));
+  }
+  EXPECT_GT(large.mean(), small.mean() * 10);
+  EXPECT_GT(small.min(), 0.0);
+}
+
+TEST_F(BlobStoreTest, UploadSlowerThanDownload) {
+  auto store = make_store();
+  Rng rng(9);
+  RunningStats up, down;
+  for (int i = 0; i < 200; ++i) {
+    up.add(store.sample_put_time(50.0_MB, rng));
+    down.add(store.sample_get_time(50.0_MB, rng));
+  }
+  EXPECT_GT(up.mean(), down.mean());
+}
+
+TEST_F(BlobStoreTest, BucketsAreIsolated) {
+  auto store = make_store();
+  store.put("jobA", "input/f", "A-data");
+  store.put("jobB", "input/f", "B-data");
+  EXPECT_EQ(*store.get("jobA", "input/f"), "A-data");
+  EXPECT_EQ(*store.get("jobB", "input/f"), "B-data");
+  store.remove("jobA", "input/f");
+  EXPECT_FALSE(store.exists("jobA", "input/f"));
+  EXPECT_TRUE(store.exists("jobB", "input/f"));
+  EXPECT_EQ(store.list("jobA").size(), 0u);
+  EXPECT_EQ(store.list("jobB").size(), 1u);
+}
+
+TEST_F(BlobStoreTest, StoredBytesTracksRemovals) {
+  auto store = make_store();
+  store.put("b", "k1", std::string(100, 'x'));
+  store.put("b", "k2", std::string(50, 'y'));
+  EXPECT_DOUBLE_EQ(store.stored_bytes(), 150.0);
+  store.remove("b", "k1");
+  EXPECT_DOUBLE_EQ(store.stored_bytes(), 50.0);
+  store.put("b", "k2", std::string(10, 'z'));  // overwrite shrinks
+  EXPECT_DOUBLE_EQ(store.stored_bytes(), 10.0);
+}
+
+TEST_F(BlobStoreTest, RejectsEmptyNames) {
+  auto store = make_store();
+  EXPECT_THROW(store.put("", "k", "v"), InvalidArgument);
+  EXPECT_THROW(store.put("b", "", "v"), InvalidArgument);
+  EXPECT_THROW(store.create_bucket(""), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppc::blobstore

@@ -1,0 +1,175 @@
+// Fault-tolerance properties of the Classic Cloud framework (§2.1.3):
+//
+//   "The workers delete the task (message) in the queue only after the
+//    completion of the task. Hence, a task (message) will get processed by
+//    some worker if the task does not get completed with the initial reader
+//    (worker) within the given time limit. Rare occurrences of multiple
+//    instances processing the same task or another worker re-executing a
+//    failed task will not affect the result due to the idempotent nature of
+//    the independent tasks."
+//
+// These tests crash workers at every stage of the pipeline and assert that
+// no task is ever lost and results stay correct.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "blobstore/blob_store.h"
+#include "classiccloud/job_client.h"
+#include "cloudq/queue_service.h"
+#include "common/clock.h"
+
+namespace ppc::classiccloud {
+namespace {
+
+class FaultToleranceTest : public ::testing::TestWithParam<CrashPoint> {
+ protected:
+  std::shared_ptr<SystemClock> clock_ = std::make_shared<SystemClock>();
+  blobstore::BlobStore store_{clock_};
+  cloudq::QueueService queues_{clock_};
+
+  WorkerConfig base_config(Seconds visibility) {
+    WorkerConfig config;
+    config.bucket = "job";
+    config.poll_interval = 0.001;
+    config.visibility_timeout = visibility;
+    return config;
+  }
+
+  static TaskExecutor echo_executor() {
+    return [](const TaskSpec& task, const std::string& input) {
+      return task.task_id + "|" + input;
+    };
+  }
+};
+
+TEST_P(FaultToleranceTest, CrashedWorkerNeverLosesTasks) {
+  const CrashPoint crash_point = GetParam();
+  JobClient client(store_, queues_, "job");
+  std::vector<std::pair<std::string, std::string>> files;
+  for (int i = 0; i < 12; ++i) files.emplace_back("f" + std::to_string(i), "payload");
+  client.submit(files);
+
+  // The saboteur crashes on its first task at the parameterized point.
+  std::atomic<bool> crashed_once{false};
+  WorkerConfig saboteur_config = base_config(/*visibility=*/0.3);
+  saboteur_config.crash_at = [&crashed_once, crash_point](CrashPoint p, const TaskSpec&) {
+    return p == crash_point && !crashed_once.exchange(true);
+  };
+  Worker saboteur("saboteur", store_, client.task_queue(), client.monitor_queue(),
+                  echo_executor(), saboteur_config);
+
+  WorkerPool rescuers(store_, client.task_queue(), client.monitor_queue(), echo_executor(),
+                      base_config(0.3), 3, "rescuer");
+
+  saboteur.start();
+  rescuers.start_all();
+  ASSERT_TRUE(client.wait_for_completion(30.0))
+      << "all tasks must complete despite the crash";
+  rescuers.stop_all();
+  saboteur.request_stop();
+  rescuers.join_all();
+  saboteur.join();
+
+  EXPECT_TRUE(saboteur.stats().crashed);
+  // Every output present and correct — idempotency means re-execution did
+  // not corrupt anything.
+  for (const TaskSpec& task : client.tasks()) {
+    const auto out = client.fetch_output(task);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, task.task_id + "|payload");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, FaultToleranceTest,
+                         ::testing::Values(CrashPoint::kAfterReceive,
+                                           CrashPoint::kAfterExecute,
+                                           CrashPoint::kAfterUpload),
+                         [](const ::testing::TestParamInfo<CrashPoint>& info) {
+                           switch (info.param) {
+                             case CrashPoint::kAfterReceive: return "AfterReceive";
+                             case CrashPoint::kAfterExecute: return "AfterExecute";
+                             case CrashPoint::kAfterUpload: return "AfterUpload";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(FaultTolerance, VisibilityTimeoutCausesDuplicateProcessingNotLoss) {
+  // One deliberately slow worker holds a task past its visibility timeout;
+  // a second worker re-processes it. The slow worker's delete fails (stale
+  // receipt) — and the result is still correct.
+  auto clock = std::make_shared<SystemClock>();
+  blobstore::BlobStore store(clock);
+  cloudq::QueueService queues(clock);
+  JobClient client(store, queues, "job");
+  client.submit({{"slow-file", "data"}});
+
+  std::atomic<int> executions{0};
+  TaskExecutor slow_then_fast = [&executions](const TaskSpec&, const std::string& input) {
+    if (executions.fetch_add(1) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    }
+    return input;
+  };
+  WorkerConfig config;
+  config.bucket = "job";
+  config.poll_interval = 0.001;
+  config.visibility_timeout = 0.1;  // far below the slow execution
+  WorkerPool pool(store, client.task_queue(), client.monitor_queue(), slow_then_fast, config, 2);
+  pool.start_all();
+  ASSERT_TRUE(client.wait_for_completion(20.0));
+  // Give the slow twin time to finish and observe its stale delete.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  pool.stop_all();
+  pool.join_all();
+
+  EXPECT_GE(executions.load(), 2) << "the task must have been re-processed";
+  EXPECT_GE(pool.aggregate_stats().deletes_failed, 1)
+      << "the superseded receipt's delete must fail";
+  EXPECT_EQ(*client.fetch_output(client.tasks()[0]), "data");
+}
+
+TEST(FaultTolerance, AllWorkersCrashThenFreshPoolFinishes) {
+  // Instance failure and replacement: the first fleet dies mid-job; a new
+  // fleet attaches to the same queues and completes the computation.
+  auto clock = std::make_shared<SystemClock>();
+  blobstore::BlobStore store(clock);
+  cloudq::QueueService queues(clock);
+  JobClient client(store, queues, "job");
+  std::vector<std::pair<std::string, std::string>> files;
+  for (int i = 0; i < 8; ++i) files.emplace_back("f" + std::to_string(i), "v");
+  client.submit(files);
+
+  WorkerConfig doomed_config;
+  doomed_config.bucket = "job";
+  doomed_config.poll_interval = 0.001;
+  doomed_config.visibility_timeout = 0.2;
+  doomed_config.crash_at = [](CrashPoint p, const TaskSpec&) {
+    return p == CrashPoint::kAfterExecute;  // crash every time
+  };
+  TaskExecutor echo = [](const TaskSpec&, const std::string& input) { return input; };
+  WorkerPool doomed(store, client.task_queue(), client.monitor_queue(), echo, doomed_config, 2,
+                    "doomed");
+  doomed.start_all();
+  doomed.join_all();  // both crash on their first task
+  EXPECT_TRUE(doomed.aggregate_stats().crashed);
+  EXPECT_EQ(doomed.aggregate_stats().tasks_completed, 0);
+
+  WorkerConfig fresh_config;
+  fresh_config.bucket = "job";
+  fresh_config.poll_interval = 0.001;
+  fresh_config.visibility_timeout = 0.5;
+  WorkerPool fresh(store, client.task_queue(), client.monitor_queue(), echo, fresh_config, 2,
+                   "fresh");
+  fresh.start_all();
+  EXPECT_TRUE(client.wait_for_completion(30.0));
+  fresh.stop_all();
+  fresh.join_all();
+  EXPECT_EQ(client.completions().size(), 8u);
+}
+
+}  // namespace
+}  // namespace ppc::classiccloud

@@ -1,0 +1,97 @@
+#include "cloud/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace ppc::cloud {
+namespace {
+
+class FleetTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<ManualClock> clock_ = std::make_shared<ManualClock>();
+  Fleet fleet_{clock_};
+};
+
+TEST_F(FleetTest, LaunchCreatesInstances) {
+  const auto ids = fleet_.launch(ec2_hcxl(), 3);
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_EQ(fleet_.size(), 3u);
+  EXPECT_EQ(fleet_.running_count(), 3u);
+  EXPECT_EQ(fleet_.total_cores(), 24);
+}
+
+TEST_F(FleetTest, HourlyBillingRoundsUp) {
+  // §3: instances are "billed hourly"; a 30-minute run pays a full hour.
+  fleet_.launch(ec2_hcxl(), 2);
+  clock_->advance(1800.0);
+  fleet_.terminate_all();
+  EXPECT_NEAR(fleet_.hourly_billed_cost(clock_->now()), 2 * 0.68, 1e-9);
+  EXPECT_NEAR(fleet_.amortized_cost(clock_->now()), 2 * 0.68 * 0.5, 1e-9);
+}
+
+TEST_F(FleetTest, SecondHourStartsNewCharge) {
+  fleet_.launch(ec2_large(), 1);
+  clock_->advance(3601.0);
+  EXPECT_NEAR(fleet_.hourly_billed_cost(clock_->now()), 2 * 0.34, 1e-9);
+}
+
+TEST_F(FleetTest, ExactHourChargesOneHour) {
+  fleet_.launch(ec2_large(), 1);
+  clock_->advance(3600.0);
+  EXPECT_NEAR(fleet_.hourly_billed_cost(clock_->now()), 0.34, 1e-9);
+}
+
+TEST_F(FleetTest, ZeroUptimeStillChargesMinimumHour) {
+  fleet_.launch(azure_small(), 1);
+  fleet_.terminate_all();
+  EXPECT_NEAR(fleet_.hourly_billed_cost(clock_->now()), 0.12, 1e-9);
+}
+
+TEST_F(FleetTest, Table4ComputeCosts) {
+  // Table 4: 16 HCXL for <= 1 hour = $10.88; 128 Azure Small = $15.36.
+  Fleet ec2(clock_);
+  ec2.launch(ec2_hcxl(), 16);
+  clock_->advance(3500.0);
+  ec2.terminate_all();
+  EXPECT_NEAR(ec2.hourly_billed_cost(clock_->now()), 10.88, 1e-9);
+
+  Fleet azure(clock_);
+  azure.launch(azure_small(), 128);
+  clock_->advance(3000.0);
+  azure.terminate_all();
+  EXPECT_NEAR(azure.hourly_billed_cost(clock_->now()), 15.36, 1e-9);
+}
+
+TEST_F(FleetTest, TerminateStopsAccrual) {
+  const auto ids = fleet_.launch(ec2_large(), 1);
+  clock_->advance(100.0);
+  fleet_.terminate(ids[0]);
+  const Dollars at_termination = fleet_.amortized_cost(clock_->now());
+  clock_->advance(10000.0);
+  EXPECT_DOUBLE_EQ(fleet_.amortized_cost(clock_->now()), at_termination);
+  EXPECT_EQ(fleet_.running_count(), 0u);
+  EXPECT_EQ(fleet_.total_cores(), 0);
+}
+
+TEST_F(FleetTest, DoubleTerminateThrows) {
+  const auto ids = fleet_.launch(ec2_large(), 1);
+  fleet_.terminate(ids[0]);
+  EXPECT_THROW(fleet_.terminate(ids[0]), InvalidArgument);
+}
+
+TEST_F(FleetTest, UnknownInstanceThrows) {
+  EXPECT_THROW(fleet_.terminate("nope"), InvalidArgument);
+}
+
+TEST_F(FleetTest, MixedFleetSumsCosts) {
+  fleet_.launch(ec2_hcxl(), 1);
+  fleet_.launch(ec2_hm4xl(), 1);
+  clock_->advance(60.0);
+  fleet_.terminate_all();
+  EXPECT_NEAR(fleet_.hourly_billed_cost(clock_->now()), 0.68 + 2.00, 1e-9);
+}
+
+}  // namespace
+}  // namespace ppc::cloud

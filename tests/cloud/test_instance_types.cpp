@@ -1,0 +1,122 @@
+// Verifies the instance catalogs against the paper's Tables 1 and 2.
+#include "cloud/instance_types.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ppc::cloud {
+namespace {
+
+TEST(Ec2Catalog, Table1Large) {
+  const InstanceType& t = ec2_large();
+  EXPECT_EQ(t.cpu_cores, 2);
+  EXPECT_DOUBLE_EQ(t.memory_gb, 7.5);
+  EXPECT_EQ(t.ec2_compute_units, 4);
+  EXPECT_DOUBLE_EQ(t.cost_per_hour, 0.34);
+  EXPECT_NEAR(t.clock_ghz, 2.0, 1e-9);
+  EXPECT_TRUE(t.is_64bit);
+}
+
+TEST(Ec2Catalog, Table1ExtraLarge) {
+  const InstanceType& t = ec2_xlarge();
+  EXPECT_EQ(t.cpu_cores, 4);
+  EXPECT_DOUBLE_EQ(t.memory_gb, 15.0);
+  EXPECT_EQ(t.ec2_compute_units, 8);
+  EXPECT_DOUBLE_EQ(t.cost_per_hour, 0.68);
+}
+
+TEST(Ec2Catalog, Table1HighCpuExtraLarge) {
+  const InstanceType& t = ec2_hcxl();
+  EXPECT_EQ(t.cpu_cores, 8);
+  EXPECT_DOUBLE_EQ(t.memory_gb, 7.0);
+  EXPECT_EQ(t.ec2_compute_units, 20);
+  EXPECT_DOUBLE_EQ(t.cost_per_hour, 0.68);
+  EXPECT_NEAR(t.clock_ghz, 2.5, 1e-9);
+  // "cost the same as the Extra-Large instances but offer greater CPU power"
+  EXPECT_DOUBLE_EQ(t.cost_per_hour, ec2_xlarge().cost_per_hour);
+  EXPECT_GT(t.ec2_compute_units, ec2_xlarge().ec2_compute_units);
+  EXPECT_LT(t.memory_gb, ec2_xlarge().memory_gb);
+}
+
+TEST(Ec2Catalog, Table1HighMemoryQuadXL) {
+  const InstanceType& t = ec2_hm4xl();
+  EXPECT_EQ(t.cpu_cores, 8);
+  EXPECT_DOUBLE_EQ(t.memory_gb, 68.4);
+  EXPECT_EQ(t.ec2_compute_units, 26);
+  EXPECT_DOUBLE_EQ(t.cost_per_hour, 2.00);
+  EXPECT_NEAR(t.clock_ghz, 3.25, 1e-9);
+}
+
+TEST(Ec2Catalog, SmallIs32BitOnly) {
+  // §3: "EC2 Small instances were not included in our study because they do
+  // not support 64-bit operating systems."
+  EXPECT_FALSE(ec2_small().is_64bit);
+  for (const auto& t : ec2_catalog()) {
+    EXPECT_TRUE(t.is_64bit) << t.name;
+  }
+}
+
+TEST(AzureCatalog, Table2ScalesLinearly) {
+  // "Azure instance type configurations and the cost scales up linearly
+  // from Small, Medium, Large to Extra-Large."
+  const auto types = azure_catalog();
+  ASSERT_EQ(types.size(), 4u);
+  for (std::size_t i = 1; i < types.size(); ++i) {
+    EXPECT_EQ(types[i].cpu_cores, 2 * types[i - 1].cpu_cores);
+    EXPECT_NEAR(types[i].cost_per_hour, 2.0 * types[i - 1].cost_per_hour, 1e-9);
+    // Memory roughly doubles per tier (Table 2: 1.7 / 3.5 / 7 / 15 GB).
+    EXPECT_NEAR(types[i].memory_gb / types[i - 1].memory_gb, 2.0, 0.15);
+  }
+  EXPECT_DOUBLE_EQ(types[0].cost_per_hour, 0.12);
+  EXPECT_DOUBLE_EQ(types[3].cost_per_hour, 0.96);
+}
+
+TEST(AzureCatalog, EightSmallMatchOneHcxl) {
+  // §2.1.2: "8 Azure small instances perform comparably to a single Amazon
+  // High-CPU-Extra-Large instance" — effective per-core work rates match.
+  const double azure_rate = 8 * azure_small().clock_ghz;
+  const double hcxl_rate = ec2_hcxl().cpu_cores * ec2_hcxl().clock_ghz;
+  EXPECT_NEAR(azure_rate, hcxl_rate, 1e-9);
+}
+
+TEST(Catalog, FindTypeByName) {
+  EXPECT_EQ(find_type("EC2-HCXL").ec2_compute_units, 20);
+  EXPECT_EQ(find_type("Azure-Small").cpu_cores, 1);
+  EXPECT_THROW(find_type("EC2-Nano"), ppc::InvalidArgument);
+}
+
+TEST(Catalog, MemoryPerCore) {
+  EXPECT_NEAR(ec2_hcxl().memory_per_core_gb(), 0.875, 1e-9);  // "<1GB per core"
+  EXPECT_NEAR(ec2_xlarge().memory_per_core_gb(), 3.75, 1e-9); // "3.75GB per core"
+}
+
+TEST(Catalog, BandwidthPerBusyCore) {
+  const InstanceType& t = ec2_hcxl();
+  EXPECT_DOUBLE_EQ(t.bandwidth_per_busy_core(8), t.memory_bandwidth_gbps / 8.0);
+  EXPECT_DOUBLE_EQ(t.bandwidth_per_busy_core(1), t.memory_bandwidth_gbps);
+  EXPECT_THROW(t.bandwidth_per_busy_core(0), ppc::InvalidArgument);
+  EXPECT_THROW(t.bandwidth_per_busy_core(9), ppc::InvalidArgument);
+}
+
+TEST(Catalog, GtmContentionOrdering) {
+  // §6.2's efficiency ordering is driven by bandwidth per busy core:
+  // Azure Small > EC2 Large > EC2 HCXL ≈ XL > the 16-core Dryad node.
+  const double azure = azure_small().bandwidth_per_busy_core(1);
+  const double large = ec2_large().bandwidth_per_busy_core(2);
+  const double hcxl = ec2_hcxl().bandwidth_per_busy_core(8);
+  const double dryad16 = bare_metal_hpcs_node().bandwidth_per_busy_core(16);
+  EXPECT_GT(azure, large);
+  EXPECT_GT(large, hcxl);
+  EXPECT_GT(hcxl, dryad16);
+}
+
+TEST(Catalog, ProviderAndPlatformStrings) {
+  EXPECT_EQ(to_string(Provider::kAmazonEC2), "AmazonEC2");
+  EXPECT_EQ(to_string(Platform::kWindows), "Windows");
+  EXPECT_EQ(azure_small().platform, Platform::kWindows);
+  EXPECT_EQ(ec2_hcxl().platform, Platform::kLinux);
+}
+
+}  // namespace
+}  // namespace ppc::cloud

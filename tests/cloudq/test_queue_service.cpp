@@ -1,0 +1,83 @@
+#include "cloudq/queue_service.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace ppc::cloudq {
+namespace {
+
+class QueueServiceTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<ManualClock> clock_ = std::make_shared<ManualClock>();
+  QueueService service_{clock_};
+};
+
+TEST_F(QueueServiceTest, CreateAndGet) {
+  auto q = service_.create_queue("tasks");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(service_.get_queue("tasks"), q);
+}
+
+TEST_F(QueueServiceTest, CreateIsIdempotent) {
+  auto a = service_.create_queue("q");
+  auto b = service_.create_queue("q");
+  EXPECT_EQ(a, b);
+  a->send("m");
+  EXPECT_TRUE(b->receive().has_value());
+}
+
+TEST_F(QueueServiceTest, GetUnknownReturnsNull) {
+  EXPECT_EQ(service_.get_queue("nope"), nullptr);
+}
+
+TEST_F(QueueServiceTest, DeleteRemovesDiscoverability) {
+  auto q = service_.create_queue("q");
+  EXPECT_TRUE(service_.delete_queue("q"));
+  EXPECT_EQ(service_.get_queue("q"), nullptr);
+  EXPECT_FALSE(service_.delete_queue("q"));
+  q->send("still-works");  // surviving handle remains usable
+  EXPECT_TRUE(q->receive().has_value());
+}
+
+TEST_F(QueueServiceTest, ListIsSorted) {
+  service_.create_queue("b");
+  service_.create_queue("a");
+  const auto names = service_.list_queues();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST_F(QueueServiceTest, TotalRequestCostSums) {
+  auto a = service_.create_queue("a");
+  auto b = service_.create_queue("b");
+  for (int i = 0; i < 5000; ++i) a->send("m");
+  for (int i = 0; i < 5000; ++i) b->send("m");
+  EXPECT_NEAR(service_.total_request_cost(), 0.01, 1e-9);
+}
+
+TEST_F(QueueServiceTest, RejectsEmptyName) {
+  EXPECT_THROW(service_.create_queue(""), ppc::InvalidArgument);
+}
+
+TEST_F(QueueServiceTest, QueuesGetDistinctRngStreams) {
+  // Two queues receiving from identical message sets should not produce
+  // identical sampling orders (their RNG streams were split).
+  auto a = service_.create_queue("a");
+  auto b = service_.create_queue("b");
+  for (int i = 0; i < 20; ++i) {
+    a->send(std::to_string(i));
+    b->send(std::to_string(i));
+  }
+  std::vector<std::string> oa, ob;
+  for (int i = 0; i < 20; ++i) {
+    oa.push_back(a->receive(1000.0)->body);
+    ob.push_back(b->receive(1000.0)->body);
+  }
+  EXPECT_NE(oa, ob);
+}
+
+}  // namespace
+}  // namespace ppc::cloudq

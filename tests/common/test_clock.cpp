@@ -1,0 +1,67 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.h"
+
+namespace ppc {
+namespace {
+
+TEST(SystemClock, StartsNearZero) {
+  SystemClock clock;
+  EXPECT_GE(clock.now(), 0.0);
+  EXPECT_LT(clock.now(), 1.0);
+}
+
+TEST(SystemClock, IsMonotonic) {
+  SystemClock clock;
+  const Seconds a = clock.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const Seconds b = clock.now();
+  EXPECT_GT(b, a);
+}
+
+TEST(ManualClock, StartsAtGivenTime) {
+  ManualClock clock(5.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+}
+
+TEST(ManualClock, AdvanceMovesForward) {
+  ManualClock clock;
+  clock.advance(2.5);
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+}
+
+TEST(ManualClock, AdvanceByZeroIsAllowed) {
+  ManualClock clock(1.0);
+  clock.advance(0.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.0);
+}
+
+TEST(ManualClock, RejectsNegativeAdvance) {
+  ManualClock clock;
+  EXPECT_THROW(clock.advance(-1.0), InvalidArgument);
+}
+
+TEST(ManualClock, SetJumpsToAbsoluteTime) {
+  ManualClock clock;
+  clock.set(10.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+}
+
+TEST(ManualClock, SetRejectsMovingBackwards) {
+  ManualClock clock(10.0);
+  EXPECT_THROW(clock.set(9.0), InvalidArgument);
+}
+
+TEST(ManualClock, UsableThroughClockInterface) {
+  ManualClock manual(3.0);
+  const Clock& clock = manual;
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/units.h"
+
+namespace ppc {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, MacrosCompileAndRespectThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Below threshold: the streamed expression must not even be evaluated.
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  PPC_DEBUG << count();
+  PPC_INFO << count();
+  PPC_WARN << count();
+  PPC_ERROR << count();
+  EXPECT_EQ(evaluations, 0);
+
+  set_log_level(LogLevel::kWarn);
+  PPC_DEBUG << count();
+  PPC_WARN << count();  // evaluated (goes to stderr)
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Units, ByteLiterals) {
+  EXPECT_DOUBLE_EQ(1_KB, 1024.0);
+  EXPECT_DOUBLE_EQ(2_MB, 2.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(1_GB, 1024.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(1.5_KB, 1536.0);
+  EXPECT_DOUBLE_EQ(0.5_GB, 512.0 * 1024 * 1024);
+}
+
+TEST(Units, HelperFunctions) {
+  EXPECT_DOUBLE_EQ(kilobytes(2), 2048.0);
+  EXPECT_DOUBLE_EQ(gigabytes(1), 1_GB);
+  EXPECT_DOUBLE_EQ(to_gigabytes(3_GB), 3.0);
+  EXPECT_DOUBLE_EQ(to_megabytes(5_MB), 5.0);
+  EXPECT_DOUBLE_EQ(minutes(2), 120.0);
+  EXPECT_DOUBLE_EQ(hours(1.5), 5400.0);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,55 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ppc {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("| b "), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t;
+  t.set_header({"x"});
+  t.add_row({"longervalue"});
+  const std::string s = t.render();
+  // Header line should be padded to the row's width.
+  EXPECT_NE(s.find("| x           |"), std::string::npos);
+}
+
+TEST(Table, RowArityChecked) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, HeaderAfterRowsRejected) {
+  Table t;
+  t.add_row({"x"});
+  EXPECT_THROW(t.set_header({"h"}), InvalidArgument);
+}
+
+TEST(Table, NumFormatsDoubles) {
+  EXPECT_EQ(Table::num(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::num(10.0, 0), "10");
+}
+
+TEST(Table, WorksWithoutHeader) {
+  Table t;
+  t.add_row({"a", "b"});
+  EXPECT_NE(t.render().find("a"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ppc

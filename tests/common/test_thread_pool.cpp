@@ -1,0 +1,57 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace ppc {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedWork) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, RunsManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor must wait for all 50
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool pool(0), InvalidArgument);
+}
+
+TEST(ThreadPool, SizeReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ppc

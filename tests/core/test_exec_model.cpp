@@ -1,0 +1,94 @@
+#include "core/exec_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace ppc::core {
+namespace {
+
+TEST(Deployment, LabelFollowsPaperConvention) {
+  // §3: "HCXL - 2 X 8 means two High-CPU-Extra-Large instances were used
+  // with 8 workers per instance."
+  const Deployment d = make_deployment(cloud::ec2_hcxl(), 2, 8);
+  EXPECT_EQ(d.label, "EC2-HCXL - 2x8");
+  EXPECT_EQ(d.total_workers(), 16);
+  EXPECT_EQ(d.total_cores_used(), 16);
+}
+
+TEST(Deployment, ThreadsMultiplyCores) {
+  const Deployment d = make_deployment(cloud::azure_xlarge(), 1, 4, 2);
+  EXPECT_EQ(d.total_workers(), 4);
+  EXPECT_EQ(d.busy_cores_per_instance(), 8);
+  EXPECT_EQ(d.total_cores_used(), 8);
+}
+
+TEST(Deployment, RejectsOversubscription) {
+  EXPECT_THROW(make_deployment(cloud::azure_small(), 1, 2), ppc::InvalidArgument);
+  EXPECT_THROW(make_deployment(cloud::ec2_hcxl(), 1, 8, 2), ppc::InvalidArgument);
+  EXPECT_THROW(make_deployment(cloud::ec2_hcxl(), 0, 1), ppc::InvalidArgument);
+}
+
+TEST(ExecutionModel, SequentialBaselineIgnoresContention) {
+  // T1 is measured on an otherwise-idle machine (§3): for GTM the
+  // sequential time must use the full memory bandwidth.
+  const ExecutionModel model(AppKind::kGtm);
+  const Workload w = make_gtm_workload(1);
+  const Seconds t1 = model.expected_sequential(w.tasks[0], cloud::ec2_hcxl());
+  ppc::Rng rng(1);
+  const Deployment busy = make_deployment(cloud::ec2_hcxl(), 1, 8);
+  const Seconds contended = model.sample(w.tasks[0], busy, rng);
+  EXPECT_GT(contended, t1 * 1.5);
+}
+
+TEST(ExecutionModel, BlastSequentialUsesOneThread) {
+  const ExecutionModel model(AppKind::kBlast);
+  const Workload w = make_blast_workload(1, 100, 3);
+  const Deployment threaded = make_deployment(cloud::azure_xlarge(), 1, 1, 8);
+  ppc::Rng rng(2);
+  const Seconds threaded_time = model.sample(w.tasks[0], threaded, rng);
+  const Seconds sequential = model.expected_sequential(w.tasks[0], cloud::azure_xlarge());
+  EXPECT_LT(threaded_time, sequential);  // threads help the task...
+  EXPECT_GT(threaded_time, sequential / 8.0);  // ...sub-linearly
+}
+
+TEST(ExecutionModel, Cap3SamplesScaleWithClock) {
+  const ExecutionModel model(AppKind::kCap3);
+  const Workload w = make_cap3_workload(1, 458);
+  ppc::Rng rng(3);
+  ppc::RunningStats slow, fast;
+  const Deployment d_slow = make_deployment(cloud::ec2_large(), 1, 2);
+  const Deployment d_fast = make_deployment(cloud::ec2_hm4xl(), 1, 8);
+  for (int i = 0; i < 500; ++i) {
+    slow.add(model.sample(w.tasks[0], d_slow, rng));
+    fast.add(model.sample(w.tasks[0], d_fast, rng));
+  }
+  EXPECT_NEAR(slow.mean() / fast.mean(), 3.25 / 2.0, 0.1);
+}
+
+TEST(ExecutionModel, RunFactorMatchesPaperVariability) {
+  const ExecutionModel model(AppKind::kCap3);
+  ppc::Rng rng(4);
+  ppc::RunningStats ec2, azure;
+  for (int i = 0; i < 5000; ++i) {
+    ec2.add(model.sample_run_factor(cloud::Provider::kAmazonEC2, rng));
+    azure.add(model.sample_run_factor(cloud::Provider::kWindowsAzure, rng));
+  }
+  EXPECT_NEAR(ec2.mean(), 1.0, 0.01);
+  EXPECT_NEAR(ec2.coefficient_of_variation(), 0.0156, 0.004);   // §3: 1.56%
+  EXPECT_NEAR(azure.coefficient_of_variation(), 0.0225, 0.005); // §3: 2.25%
+}
+
+TEST(ExecutionModel, WorkFactorAppliesToCap3AndGtm) {
+  const ExecutionModel cap3_model(AppKind::kCap3);
+  Workload w = make_cap3_workload(1, 458);
+  const Deployment d = make_deployment(cloud::ec2_hcxl(), 1, 8);
+  const Seconds base = cap3_model.expected_sequential(w.tasks[0], cloud::ec2_hcxl());
+  w.tasks[0].work_factor = 2.0;
+  EXPECT_NEAR(cap3_model.expected_sequential(w.tasks[0], cloud::ec2_hcxl()), 2.0 * base, 1e-9);
+  (void)d;
+}
+
+}  // namespace
+}  // namespace ppc::core

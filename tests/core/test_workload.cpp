@@ -1,0 +1,96 @@
+#include "core/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ppc::core {
+namespace {
+
+TEST(Cap3Workload, ShapeMatchesPaper) {
+  const Workload w = make_cap3_workload(200, 200);
+  EXPECT_EQ(w.app, AppKind::kCap3);
+  EXPECT_EQ(w.size(), 200u);
+  for (const SimTask& t : w.tasks) {
+    EXPECT_DOUBLE_EQ(t.work, 200.0);
+    EXPECT_DOUBLE_EQ(t.work_factor, 1.0);  // replicated set: homogeneous
+    // "hundreds of kilobytes" for the larger files; 200-read files ~100KB.
+    EXPECT_GT(t.input_size, 50.0 * 1024);
+    EXPECT_LT(t.input_size, 1024.0 * 1024);
+    EXPECT_GT(t.output_size, 0.0);
+  }
+}
+
+TEST(Cap3Workload, TaskIdsAreDense) {
+  const Workload w = make_cap3_workload(10, 458);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(w.tasks[static_cast<std::size_t>(i)].id, i);
+  }
+}
+
+TEST(BlastWorkload, FileSizesMatchPaper) {
+  const Workload w = make_blast_workload(64, 100, 7);
+  EXPECT_EQ(w.size(), 64u);
+  for (const SimTask& t : w.tasks) {
+    // §5: "files with sizes in the range of 7-8 KB".
+    EXPECT_GE(t.input_size, 7.0 * 1024);
+    EXPECT_LE(t.input_size, 8.0 * 1024);
+  }
+}
+
+TEST(BlastWorkload, BaseSetIsInhomogeneous) {
+  const Workload w = make_blast_workload(128, 100, 7);
+  double min_f = 1e9, max_f = 0.0;
+  for (const SimTask& t : w.tasks) {
+    min_f = std::min(min_f, t.work_factor);
+    max_f = std::max(max_f, t.work_factor);
+  }
+  EXPECT_LT(min_f, 0.8);
+  EXPECT_GT(max_f, 1.2);
+}
+
+TEST(BlastWorkload, ReplicationRepeatsBaseFactors) {
+  // §5.2: larger sets replicate the base 128-file set.
+  const Workload w = make_blast_workload(384, 100, 7, 128);
+  for (int i = 0; i < 128; ++i) {
+    const auto f = w.tasks[static_cast<std::size_t>(i)].work_factor;
+    EXPECT_DOUBLE_EQ(w.tasks[static_cast<std::size_t>(i + 128)].work_factor, f);
+    EXPECT_DOUBLE_EQ(w.tasks[static_cast<std::size_t>(i + 256)].work_factor, f);
+  }
+}
+
+TEST(BlastWorkload, SameSeedSameFactors) {
+  const Workload a = make_blast_workload(128, 100, 99);
+  const Workload b = make_blast_workload(128, 100, 99);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].work_factor, b.tasks[i].work_factor);
+  }
+}
+
+TEST(GtmWorkload, PaperScale) {
+  // §6.2: 264 files x 100k points = 26.4M points; compressed splits.
+  const Workload w = make_gtm_workload(264);
+  EXPECT_EQ(w.size(), 264u);
+  double total_points = 0.0;
+  for (const SimTask& t : w.tasks) {
+    total_points += t.work;
+    EXPECT_LT(t.output_size, t.input_size / 10.0)
+        << "output is orders of magnitude smaller (§6)";
+  }
+  EXPECT_DOUBLE_EQ(total_points, 26.4e6);
+}
+
+TEST(Workloads, RejectBadShapes) {
+  EXPECT_THROW(make_cap3_workload(0, 10), ppc::InvalidArgument);
+  EXPECT_THROW(make_blast_workload(4, 0, 1), ppc::InvalidArgument);
+  EXPECT_THROW(make_gtm_workload(-1), ppc::InvalidArgument);
+}
+
+TEST(AppKind, Names) {
+  EXPECT_EQ(to_string(AppKind::kCap3), "Cap3");
+  EXPECT_EQ(to_string(AppKind::kBlast), "BLAST");
+  EXPECT_EQ(to_string(AppKind::kGtm), "GTM");
+}
+
+}  // namespace
+}  // namespace ppc::core

@@ -1,0 +1,88 @@
+#include "dryad/dag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ppc::dryad {
+namespace {
+
+TEST(Dag, AddVertexReturnsSequentialIds) {
+  Dag dag;
+  EXPECT_EQ(dag.add_vertex("a", 0, [] {}), 0);
+  EXPECT_EQ(dag.add_vertex("b", 1, [] {}), 1);
+  EXPECT_EQ(dag.vertex_count(), 2u);
+  EXPECT_EQ(dag.vertex(1).name, "b");
+  EXPECT_EQ(dag.vertex(1).node, 1);
+}
+
+TEST(Dag, EdgesTrackBothDirections) {
+  Dag dag;
+  const int a = dag.add_vertex("a", 0, [] {});
+  const int b = dag.add_vertex("b", 0, [] {});
+  dag.add_edge(a, b);
+  ASSERT_EQ(dag.successors(a).size(), 1u);
+  EXPECT_EQ(dag.successors(a)[0], b);
+  ASSERT_EQ(dag.predecessors(b).size(), 1u);
+  EXPECT_EQ(dag.predecessors(b)[0], a);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  Dag dag;
+  const int a = dag.add_vertex("a", 0, [] {});
+  const int b = dag.add_vertex("b", 0, [] {});
+  const int c = dag.add_vertex("c", 0, [] {});
+  dag.add_edge(c, b);
+  dag.add_edge(b, a);
+  const auto order = dag.topological_order();
+  const auto pos = [&](int v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(c), pos(b));
+  EXPECT_LT(pos(b), pos(a));
+}
+
+TEST(Dag, CycleDetected) {
+  Dag dag;
+  const int a = dag.add_vertex("a", 0, [] {});
+  const int b = dag.add_vertex("b", 0, [] {});
+  dag.add_edge(a, b);
+  dag.add_edge(b, a);
+  EXPECT_THROW(dag.topological_order(), ppc::InvalidArgument);
+}
+
+TEST(Dag, SelfEdgeRejected) {
+  Dag dag;
+  const int a = dag.add_vertex("a", 0, [] {});
+  EXPECT_THROW(dag.add_edge(a, a), ppc::InvalidArgument);
+}
+
+TEST(Dag, InvalidIdsRejected) {
+  Dag dag;
+  dag.add_vertex("a", 0, [] {});
+  EXPECT_THROW(dag.add_edge(0, 5), ppc::InvalidArgument);
+  EXPECT_THROW(dag.vertex(-1), ppc::InvalidArgument);
+  EXPECT_THROW(dag.add_vertex("bad", 0, nullptr), ppc::InvalidArgument);
+}
+
+TEST(Dag, DiamondTopology) {
+  // MapReduce expressed as a DAG (§2.3: "DAGs can be used to represent
+  // MapReduce type computations"): source -> two maps -> sink.
+  Dag dag;
+  const int src = dag.add_vertex("src", 0, [] {});
+  const int m1 = dag.add_vertex("m1", 0, [] {});
+  const int m2 = dag.add_vertex("m2", 1, [] {});
+  const int sink = dag.add_vertex("sink", 0, [] {});
+  dag.add_edge(src, m1);
+  dag.add_edge(src, m2);
+  dag.add_edge(m1, sink);
+  dag.add_edge(m2, sink);
+  const auto order = dag.topological_order();
+  EXPECT_EQ(order.front(), src);
+  EXPECT_EQ(order.back(), sink);
+}
+
+}  // namespace
+}  // namespace ppc::dryad

@@ -1,0 +1,239 @@
+// Cross-module integration: the three *real-thread* frameworks each run the
+// three *real* application kernels end to end — the full matrix the paper
+// evaluates, at laptop scale. Identical inputs must yield identical outputs
+// across frameworks (the applications are deterministic), which is also the
+// paper's idempotency assumption made testable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "apps/blast/aligner.h"
+#include "apps/cap3/assembler.h"
+#include "apps/cap3/read_simulator.h"
+#include "apps/gtm/data_gen.h"
+#include "apps/gtm/gtm.h"
+#include "blobstore/blob_store.h"
+#include "classiccloud/job_client.h"
+#include "cloudq/queue_service.h"
+#include "common/clock.h"
+#include "dryad/runtime.h"
+#include "mapreduce/job.h"
+
+namespace ppc {
+namespace {
+
+/// Builds the shared test corpus once: Cap3 FASTA files, BLAST query files
+/// + db, GTM point files + trained model.
+struct Corpus {
+  std::vector<std::pair<std::string, std::string>> cap3_files;
+  std::vector<std::pair<std::string, std::string>> blast_files;
+  std::unique_ptr<apps::blast::BlastIndex> blast_index;
+  std::vector<std::pair<std::string, std::string>> gtm_files;
+  std::unique_ptr<apps::gtm::GtmModel> gtm_model;
+
+  Corpus() {
+    Rng rng(0xC0FFEE);
+    for (int i = 0; i < 6; ++i) {
+      cap3_files.emplace_back("cap3-" + std::to_string(i) + ".fa",
+                              apps::cap3::make_cap3_input(40, rng));
+    }
+    apps::blast::DbGenConfig db_config;
+    db_config.num_sequences = 40;
+    const auto db = apps::blast::SequenceDb::generate(db_config, rng);
+    blast_index = std::make_unique<apps::blast::BlastIndex>(db);
+    for (int i = 0; i < 6; ++i) {
+      blast_files.emplace_back("blast-" + std::to_string(i) + ".fa",
+                               apps::blast::make_query_file(db, 10, 0.7, rng));
+    }
+    apps::gtm::ClusterDataConfig data_config;
+    data_config.num_points = 120;
+    data_config.dims = 8;
+    const auto samples = apps::gtm::generate_clustered(data_config, rng);
+    apps::gtm::GtmConfig gtm_config;
+    gtm_config.latent_grid = 4;
+    gtm_config.rbf_grid = 3;
+    gtm_config.em_iterations = 8;
+    gtm_model = std::make_unique<apps::gtm::GtmModel>(
+        apps::gtm::GtmModel::train(samples, gtm_config, rng));
+    for (int i = 0; i < 6; ++i) {
+      data_config.num_points = 30;
+      const auto points = apps::gtm::generate_clustered(data_config, rng);
+      gtm_files.emplace_back("gtm-" + std::to_string(i) + ".csv",
+                             apps::gtm::matrix_to_csv(points));
+    }
+  }
+
+  /// The per-app "executable": file bytes in, file bytes out.
+  std::function<std::string(const std::string&, const std::string&)> executable(
+      const std::string& app) const {
+    if (app == "cap3") {
+      return [](const std::string&, const std::string& input) {
+        apps::cap3::AssemblerConfig config;
+        config.min_overlap = 30;
+        return apps::cap3::assemble_fasta_file(input, config);
+      };
+    }
+    if (app == "blast") {
+      return [this](const std::string&, const std::string& input) {
+        return blast_index->search_file(input);
+      };
+    }
+    return [this](const std::string&, const std::string& input) {
+      return apps::gtm::interpolate_csv_file(*gtm_model, input);
+    };
+  }
+
+  const std::vector<std::pair<std::string, std::string>>& files(const std::string& app) const {
+    if (app == "cap3") return cap3_files;
+    if (app == "blast") return blast_files;
+    return gtm_files;
+  }
+};
+
+const Corpus& corpus() {
+  static const Corpus c;
+  return c;
+}
+
+using Outputs = std::map<std::string, std::string>;
+
+Outputs run_on_classic_cloud(const std::string& app) {
+  auto clock = std::make_shared<SystemClock>();
+  blobstore::BlobStore store(clock);
+  cloudq::QueueService queues(clock);
+  classiccloud::JobClient client(store, queues, app + "-job");
+  client.submit(corpus().files(app));
+
+  auto fn = corpus().executable(app);
+  classiccloud::TaskExecutor executor =
+      [fn](const classiccloud::TaskSpec& task, const std::string& input) {
+        return fn(task.task_id, input);
+      };
+  classiccloud::WorkerConfig config;
+  config.poll_interval = 0.001;
+  config.visibility_timeout = 30.0;
+  classiccloud::WorkerPool pool(store, client.task_queue(), client.monitor_queue(), executor,
+                                config, 3);
+  pool.start_all();
+  EXPECT_TRUE(client.wait_for_completion(60.0));
+  pool.stop_all();
+  pool.join_all();
+
+  Outputs outputs;
+  for (const auto& task : client.tasks()) {
+    const auto out = client.fetch_output(task);
+    EXPECT_TRUE(out.has_value());
+    const auto name = task.input_key.substr(std::string("input/").size());
+    outputs[name] = out.value_or("");
+  }
+  return outputs;
+}
+
+Outputs run_on_mapreduce(const std::string& app) {
+  minihdfs::MiniHdfs hdfs(3);
+  std::vector<std::string> paths;
+  for (const auto& [name, data] : corpus().files(app)) {
+    const std::string path = "/in/" + name;
+    hdfs.write(path, data);
+    paths.push_back(path);
+  }
+  auto fn = corpus().executable(app);
+  mapreduce::LocalJobRunner runner(hdfs);
+  mapreduce::JobConfig config;
+  config.num_nodes = 3;
+  config.slots_per_node = 2;
+  const auto result = runner.run(
+      paths,
+      [fn](const mapreduce::FileRecord& rec, const std::string& contents) {
+        return fn(rec.name, contents);
+      },
+      config);
+  EXPECT_TRUE(result.succeeded);
+  Outputs outputs;
+  for (const auto& [name, out_path] : result.outputs) {
+    outputs[name] = hdfs.read(out_path).value_or("");
+  }
+  return outputs;
+}
+
+Outputs run_on_dryad(const std::string& app) {
+  dryad::RuntimeConfig config;
+  config.num_nodes = 3;
+  config.slots_per_node = 2;
+  dryad::DryadRuntime runtime(config);
+  dryad::FileShare share(3);
+
+  std::vector<std::string> names;
+  std::map<std::string, std::string> contents;
+  for (const auto& [name, data] : corpus().files(app)) {
+    names.push_back(name);
+    contents[name] = data;
+  }
+  const auto table = dryad::PartitionedTable::round_robin(names, 3);
+  table.distribute(share, [&contents](const std::string& f) { return contents.at(f); });
+
+  auto fn = corpus().executable(app);
+  const auto result = dryad::dryad_select(runtime, share, table, fn);
+  EXPECT_TRUE(result.report.succeeded);
+  return Outputs(result.outputs.begin(), result.outputs.end());
+}
+
+class EndToEnd : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EndToEnd, AllThreeFrameworksAgree) {
+  const std::string app = GetParam();
+  const Outputs classic = run_on_classic_cloud(app);
+  const Outputs hadoop = run_on_mapreduce(app);
+  const Outputs dryad_out = run_on_dryad(app);
+
+  ASSERT_EQ(classic.size(), corpus().files(app).size());
+  ASSERT_EQ(hadoop.size(), classic.size());
+  ASSERT_EQ(dryad_out.size(), classic.size());
+  for (const auto& [name, output] : classic) {
+    EXPECT_FALSE(output.empty()) << name;
+    ASSERT_TRUE(hadoop.contains(name)) << name;
+    ASSERT_TRUE(dryad_out.contains(name)) << name;
+    EXPECT_EQ(hadoop.at(name), output) << "Hadoop disagrees on " << name;
+    EXPECT_EQ(dryad_out.at(name), output) << "Dryad disagrees on " << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, EndToEnd, ::testing::Values("cap3", "blast", "gtm"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(EndToEndOutputs, Cap3ReportsAreWellFormed) {
+  const Outputs outputs = run_on_mapreduce("cap3");
+  for (const auto& [name, output] : outputs) {
+    EXPECT_NE(output.find("CAP3-mini assembly report"), std::string::npos) << name;
+    EXPECT_NE(output.find("reads=40"), std::string::npos) << name;
+  }
+}
+
+TEST(EndToEndOutputs, BlastFindsPlantedHomologs) {
+  const Outputs outputs = run_on_mapreduce("blast");
+  int hit_lines = 0;
+  for (const auto& [name, output] : outputs) {
+    hit_lines += static_cast<int>(std::count(output.begin(), output.end(), '\n'));
+  }
+  EXPECT_GT(hit_lines, 20) << "planted queries must produce hits";
+}
+
+TEST(EndToEndOutputs, GtmCoordinatesAreBounded) {
+  const Outputs outputs = run_on_mapreduce("gtm");
+  for (const auto& [name, output] : outputs) {
+    const auto mapped = apps::gtm::matrix_from_csv(output);
+    EXPECT_EQ(mapped.cols(), 2u) << name;
+    for (std::size_t r = 0; r < mapped.rows(); ++r) {
+      EXPECT_LE(std::abs(mapped(r, 0)), 1.0 + 1e-9);
+      EXPECT_LE(std::abs(mapped(r, 1)), 1.0 + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,46 @@
+#include "mapreduce/input_format.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ppc::mapreduce {
+namespace {
+
+TEST(FilePathInputFormat, OneSplitPerFileWithNameAndPath) {
+  // The paper's custom InputFormat: key = file name, value = HDFS path.
+  minihdfs::MiniHdfs hdfs(4);
+  hdfs.write("/in/sample1.fa", "AAAA");
+  hdfs.write("/in/sample2.fa", "CCCCCC");
+  const auto splits =
+      FilePathInputFormat::splits(hdfs, {"/in/sample1.fa", "/in/sample2.fa"});
+  ASSERT_EQ(splits.size(), 2u);
+  EXPECT_EQ(splits[0].record.name, "sample1.fa");
+  EXPECT_EQ(splits[0].record.path, "/in/sample1.fa");
+  EXPECT_DOUBLE_EQ(splits[0].size, 4.0);
+  EXPECT_DOUBLE_EQ(splits[1].size, 6.0);
+}
+
+TEST(FilePathInputFormat, SplitsCarryLocality) {
+  minihdfs::MiniHdfs hdfs(5);
+  hdfs.write("/in/f", "x", /*preferred_node=*/3);
+  const auto splits = FilePathInputFormat::splits(hdfs, {"/in/f"});
+  ASSERT_EQ(splits.size(), 1u);
+  EXPECT_EQ(splits[0].locations.size(), 3u);  // replica set
+  EXPECT_TRUE(std::find(splits[0].locations.begin(), splits[0].locations.end(), 3) !=
+              splits[0].locations.end());
+}
+
+TEST(FilePathInputFormat, MissingInputThrows) {
+  minihdfs::MiniHdfs hdfs(2);
+  EXPECT_THROW(FilePathInputFormat::splits(hdfs, {"/absent"}), ppc::InvalidArgument);
+}
+
+TEST(FilePathInputFormat, BaseName) {
+  EXPECT_EQ(FilePathInputFormat::base_name("/a/b/c.fa"), "c.fa");
+  EXPECT_EQ(FilePathInputFormat::base_name("plain"), "plain");
+  EXPECT_EQ(FilePathInputFormat::base_name("/trailing/"), "");
+}
+
+}  // namespace
+}  // namespace ppc::mapreduce

@@ -1,0 +1,167 @@
+#include "minihdfs/mini_hdfs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace ppc::minihdfs {
+namespace {
+
+TEST(MiniHdfs, WriteReadRoundTrip) {
+  MiniHdfs hdfs(4);
+  hdfs.write("/data/f1", "contents");
+  const auto got = hdfs.read("/data/f1");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "contents");
+  EXPECT_TRUE(hdfs.exists("/data/f1"));
+  EXPECT_DOUBLE_EQ(*hdfs.file_size("/data/f1"), 8.0);
+}
+
+TEST(MiniHdfs, MissingFile) {
+  MiniHdfs hdfs(2);
+  EXPECT_FALSE(hdfs.read("/nope").has_value());
+  EXPECT_FALSE(hdfs.file_size("/nope").has_value());
+  EXPECT_FALSE(hdfs.remove("/nope"));
+}
+
+TEST(MiniHdfs, ReplicationFactorHonored) {
+  MiniHdfs hdfs(5);
+  hdfs.write("/f", "x");
+  const auto blocks = hdfs.blocks("/f");
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].replicas.size(), 3u);  // default replication 3
+  std::set<NodeId> distinct(blocks[0].replicas.begin(), blocks[0].replicas.end());
+  EXPECT_EQ(distinct.size(), 3u) << "replicas must be on distinct nodes";
+}
+
+TEST(MiniHdfs, ReplicationClampedToClusterSize) {
+  MiniHdfs hdfs(2);
+  hdfs.write("/f", "x");
+  EXPECT_EQ(hdfs.blocks("/f")[0].replicas.size(), 2u);
+}
+
+TEST(MiniHdfs, PreferredNodeGetsPrimaryReplica) {
+  MiniHdfs hdfs(6);
+  hdfs.write("/f", "x", /*preferred_node=*/4);
+  EXPECT_EQ(hdfs.blocks("/f")[0].replicas.front(), 4);
+  EXPECT_TRUE(hdfs.is_local("/f", 4));
+}
+
+TEST(MiniHdfs, LargeFileSplitsIntoBlocks) {
+  HdfsConfig config;
+  config.block_size = 10.0;
+  MiniHdfs hdfs(4, config);
+  hdfs.write("/big", std::string(25, 'a'));
+  const auto blocks = hdfs.blocks("/big");
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_DOUBLE_EQ(blocks[0].size, 10.0);
+  EXPECT_DOUBLE_EQ(blocks[2].size, 5.0);
+}
+
+TEST(MiniHdfs, DataLocalNodesForSingleBlockFile) {
+  MiniHdfs hdfs(5);
+  hdfs.write("/f", "x");
+  const auto locals = hdfs.data_local_nodes("/f");
+  EXPECT_EQ(locals.size(), 3u);
+  for (NodeId n : locals) EXPECT_TRUE(hdfs.is_local("/f", n));
+}
+
+TEST(MiniHdfs, ReadFromCountsLocality) {
+  MiniHdfs hdfs(4);
+  hdfs.write("/f", "data", 1);
+  const auto locals = hdfs.data_local_nodes("/f");
+  NodeId remote = -1;
+  for (NodeId n = 0; n < 4; ++n) {
+    if (std::find(locals.begin(), locals.end(), n) == locals.end()) remote = n;
+  }
+  ASSERT_GE(remote, 0);
+  (void)hdfs.read_from("/f", locals.front());
+  (void)hdfs.read_from("/f", remote);
+  EXPECT_EQ(hdfs.stats().local_reads, 1u);
+  EXPECT_EQ(hdfs.stats().remote_reads, 1u);
+}
+
+TEST(MiniHdfs, FailNodeReReplicates) {
+  MiniHdfs hdfs(5);
+  for (int i = 0; i < 10; ++i) hdfs.write("/f" + std::to_string(i), "x");
+  hdfs.fail_node(2);
+  EXPECT_EQ(hdfs.alive_nodes(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    const auto blocks = hdfs.blocks("/f" + std::to_string(i));
+    for (const auto& b : blocks) {
+      EXPECT_EQ(b.replicas.size(), 3u) << "replication restored after failure";
+      EXPECT_EQ(std::count(b.replicas.begin(), b.replicas.end(), 2), 0)
+          << "dead node must hold no replicas";
+    }
+    EXPECT_TRUE(hdfs.read("/f" + std::to_string(i)).has_value());
+  }
+  EXPECT_GT(hdfs.stats().re_replications, 0u);
+}
+
+TEST(MiniHdfs, FailNodeTwiceThrows) {
+  MiniHdfs hdfs(3);
+  hdfs.fail_node(0);
+  EXPECT_THROW(hdfs.fail_node(0), ppc::InvalidArgument);
+  EXPECT_FALSE(hdfs.node_alive(0));
+  EXPECT_TRUE(hdfs.node_alive(1));
+}
+
+TEST(MiniHdfs, ListByPrefix) {
+  MiniHdfs hdfs(2);
+  hdfs.write("/in/a", "x");
+  hdfs.write("/in/b", "x");
+  hdfs.write("/out/a", "x");
+  EXPECT_EQ(hdfs.list("/in/").size(), 2u);
+  EXPECT_EQ(hdfs.list().size(), 3u);
+}
+
+TEST(MiniHdfs, LogicalFilesCarrySizeWithoutBytes) {
+  MiniHdfs hdfs(4);
+  hdfs.write_logical("/big", 2.0_GB);
+  EXPECT_DOUBLE_EQ(*hdfs.file_size("/big"), 2.0_GB);
+  const auto got = hdfs.read("/big");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+  // 2 GB at the 64 MB default block size = 32 blocks.
+  EXPECT_EQ(hdfs.blocks("/big").size(), 32u);
+
+  // A small (single-block) logical file keeps full locality metadata.
+  hdfs.write_logical("/small", 256.0 * 1024, /*preferred_node=*/2);
+  ASSERT_EQ(hdfs.blocks("/small").size(), 1u);
+  EXPECT_EQ(hdfs.data_local_nodes("/small").size(), 3u);
+  EXPECT_TRUE(hdfs.is_local("/small", 2));
+}
+
+TEST(MiniHdfs, ReadTimingLocalFasterThanRemote) {
+  MiniHdfs hdfs(2);
+  Rng rng(3);
+  double local = 0.0, remote = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    local += hdfs.sample_read_time(10.0_MB, true, rng);
+    remote += hdfs.sample_read_time(10.0_MB, false, rng);
+  }
+  EXPECT_LT(local, remote);
+}
+
+TEST(MiniHdfs, OverwriteReplacesFile) {
+  MiniHdfs hdfs(3);
+  hdfs.write("/f", "old");
+  hdfs.write("/f", "newer");
+  EXPECT_EQ(*hdfs.read("/f"), "newer");
+  EXPECT_DOUBLE_EQ(*hdfs.file_size("/f"), 5.0);
+}
+
+TEST(MiniHdfs, RejectsInvalidArguments) {
+  EXPECT_THROW(MiniHdfs(0), ppc::InvalidArgument);
+  MiniHdfs hdfs(2);
+  EXPECT_THROW(hdfs.write("", "x"), ppc::InvalidArgument);
+  EXPECT_THROW(hdfs.write("/f", "x", 7), ppc::InvalidArgument);
+  EXPECT_THROW(hdfs.fail_node(9), ppc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppc::minihdfs

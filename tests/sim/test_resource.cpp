@@ -1,0 +1,84 @@
+#include "sim/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace ppc::sim {
+namespace {
+
+TEST(Resource, GrantsUpToCapacityImmediately) {
+  Simulator sim;
+  Resource res(sim, 2);
+  int granted = 0;
+  res.acquire([&] { ++granted; });
+  res.acquire([&] { ++granted; });
+  res.acquire([&] { ++granted; });  // must queue
+  sim.run();
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(res.queued(), 1u);
+}
+
+TEST(Resource, ReleaseWakesFifoWaiter) {
+  Simulator sim;
+  Resource res(sim, 1);
+  std::vector<int> order;
+  res.acquire([&] { order.push_back(0); });
+  res.acquire([&] { order.push_back(1); });
+  res.acquire([&] { order.push_back(2); });
+  sim.run();
+  ASSERT_EQ(order.size(), 1u);
+  res.release();
+  sim.run();
+  res.release();
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Resource, InUseTracksHolders) {
+  Simulator sim;
+  Resource res(sim, 3);
+  res.acquire([] {});
+  res.acquire([] {});
+  sim.run();
+  EXPECT_EQ(res.in_use(), 2u);
+  res.release();
+  EXPECT_EQ(res.in_use(), 1u);
+}
+
+TEST(Resource, ReleaseWithoutAcquireThrows) {
+  Simulator sim;
+  Resource res(sim, 1);
+  EXPECT_THROW(res.release(), ppc::InternalError);
+}
+
+TEST(Resource, ModelsContendedPipeline) {
+  // 5 jobs, each holding the resource for 2 sim seconds, capacity 2:
+  // finish times should be 2, 2, 4, 4, 6.
+  Simulator sim;
+  Resource res(sim, 2);
+  std::vector<Seconds> finish;
+  for (int i = 0; i < 5; ++i) {
+    res.acquire([&] {
+      sim.after(2.0, [&] {
+        finish.push_back(sim.now());
+        res.release();
+      });
+    });
+  }
+  sim.run();
+  ASSERT_EQ(finish.size(), 5u);
+  EXPECT_DOUBLE_EQ(finish[0], 2.0);
+  EXPECT_DOUBLE_EQ(finish[2], 4.0);
+  EXPECT_DOUBLE_EQ(finish[4], 6.0);
+}
+
+TEST(Resource, RejectsZeroCapacity) {
+  Simulator sim;
+  EXPECT_THROW(Resource(sim, 0), ppc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppc::sim

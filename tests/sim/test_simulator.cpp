@@ -1,0 +1,155 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace ppc::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, SameTimeEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  Seconds seen = -1.0;
+  sim.after(2.0, [&] {
+    sim.after(3.0, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  auto clock = sim.clock();
+  Seconds mid = -1.0;
+  sim.at(4.0, [&] { mid = clock->now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(mid, 4.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.at(1.0, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, CancelAfterExecutionIsNoop) {
+  Simulator sim;
+  const EventId id = sim.at(1.0, [] {});
+  sim.run();
+  sim.cancel(id);  // must not crash
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.at(1.0, [&] { ++count; });
+  sim.at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RejectsPastEvents) {
+  Simulator sim;
+  sim.at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(4.0, [] {}), ppc::InvalidArgument);
+  EXPECT_THROW(sim.after(-1.0, [] {}), ppc::InvalidArgument);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 10) sim.after(1.0, step);
+  };
+  sim.after(1.0, step);
+  sim.run();
+  EXPECT_EQ(chain, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, ThrowingEventPropagatesButLeavesSimulatorUsable) {
+  Simulator sim;
+  bool later_ran = false;
+  sim.at(1.0, [] { throw std::runtime_error("event failed"); });
+  sim.at(2.0, [&] { later_ran = true; });
+  EXPECT_THROW(sim.run(), std::runtime_error);
+  // The failing event was consumed; the rest of the timeline still works.
+  sim.run();
+  EXPECT_TRUE(later_ran);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, RunUntilSkipsCancelledHeadWithoutAdvancingTime) {
+  Simulator sim;
+  const EventId id = sim.at(5.0, [] {});
+  sim.at(10.0, [] {});
+  sim.cancel(id);
+  sim.run_until(7.0);  // only the cancelled event is before 7.0
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0) << "cancelled events must not advance the clock";
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, MaxEventsBoundsRun) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> loop = [&] {
+    ++count;
+    sim.after(1.0, loop);
+  };
+  sim.after(0.0, loop);
+  sim.run(100);
+  EXPECT_EQ(count, 100);
+}
+
+}  // namespace
+}  // namespace ppc::sim

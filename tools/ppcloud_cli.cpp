@@ -1,0 +1,226 @@
+// ppcloud — command-line front end to the library.
+//
+//   ppcloud catalog                      print Tables 1-2 (instance types)
+//   ppcloud features                     print Table 3 (framework features)
+//   ppcloud experiment <id>              regenerate a paper experiment:
+//                                        fig3 fig5 fig7 fig9 fig10 fig12
+//                                        fig14 table4 variability
+//   ppcloud simulate [options]           one simulated run, any app on any
+//                                        framework and deployment:
+//     --app cap3|blast|gtm               (default cap3)
+//     --framework classic|hadoop|dryad   (default classic)
+//     --type <catalog name>              (default EC2-HCXL; see `catalog`)
+//     --instances N --workers W          (default 2 x 8)
+//     --threads T                        threads per worker (default 1)
+//     --files N                          task count (default 256)
+//     --reads R / --queries Q / --points P   per-file work
+//     --visibility S                     visibility timeout (classic only)
+//     --seed S                           RNG seed (default 42)
+//   ppcloud assemble --reads N [--seed S]
+//                                        run the real Cap3-style assembler
+//                                        on a simulated read set, print the
+//                                        report
+//
+// Exit status: 0 on success, 1 on bad usage or a failed run.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/cap3/assembler.h"
+#include "apps/cap3/read_simulator.h"
+#include "common/error.h"
+#include "common/string_util.h"
+#include "core/drivers.h"
+#include "core/experiments.h"
+#include "core/feature_matrix.h"
+
+using namespace ppc;
+using namespace ppc::core;
+
+namespace {
+
+using Options = std::map<std::string, std::string>;
+
+Options parse_options(int argc, char** argv, int first) {
+  Options opts;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    PPC_REQUIRE(key.size() > 2 && key[0] == '-' && key[1] == '-', "expected --option: " + key);
+    PPC_REQUIRE(i + 1 < argc, "missing value for " + key);
+    opts[key.substr(2)] = argv[++i];
+  }
+  return opts;
+}
+
+std::string opt(const Options& opts, const std::string& key, const std::string& fallback) {
+  const auto it = opts.find(key);
+  return it == opts.end() ? fallback : it->second;
+}
+
+int opt_int(const Options& opts, const std::string& key, int fallback) {
+  const auto it = opts.find(key);
+  return it == opts.end() ? fallback : std::stoi(it->second);
+}
+
+int cmd_catalog() {
+  auto print = [](const std::string& title, const std::vector<cloud::InstanceType>& types) {
+    Table table(title);
+    table.set_header({"Name", "Cores", "Clock GHz", "Memory GB", "Cost/hour $"});
+    for (const auto& t : types) {
+      table.add_row({t.name, std::to_string(t.cpu_cores), Table::num(t.clock_ghz, 2),
+                     Table::num(t.memory_gb, 1), Table::num(t.cost_per_hour, 2)});
+    }
+    table.print();
+  };
+  print("Table 1: Amazon EC2", cloud::ec2_catalog());
+  print("Table 2: Windows Azure", cloud::azure_catalog());
+  print("Bare metal", {cloud::bare_metal_cap3_node(), cloud::bare_metal_idataplex_node(),
+                       cloud::bare_metal_hpcs_node(), cloud::bare_metal_gtm_hadoop_node(),
+                       cloud::bare_metal_cost_cluster_node()});
+  return 0;
+}
+
+int cmd_simulate(const Options& opts) {
+  const std::string app_name = opt(opts, "app", "cap3");
+  AppKind app;
+  int files = opt_int(opts, "files", 256);
+  Workload workload;
+  if (app_name == "cap3") {
+    app = AppKind::kCap3;
+    workload = make_cap3_workload(files, opt_int(opts, "reads", 458));
+  } else if (app_name == "blast") {
+    app = AppKind::kBlast;
+    workload = make_blast_workload(files, opt_int(opts, "queries", 100),
+                                   static_cast<unsigned>(opt_int(opts, "seed", 42)));
+  } else if (app_name == "gtm") {
+    app = AppKind::kGtm;
+    workload = make_gtm_workload(files, opt_int(opts, "points", 100000));
+  } else {
+    throw InvalidArgument("unknown --app: " + app_name);
+  }
+
+  const Deployment d = make_deployment(cloud::find_type(opt(opts, "type", "EC2-HCXL")),
+                                       opt_int(opts, "instances", 2),
+                                       opt_int(opts, "workers", 8), opt_int(opts, "threads", 1));
+  const ExecutionModel model(app);
+  SimRunParams params;
+  params.seed = static_cast<unsigned>(opt_int(opts, "seed", 42));
+  params.visibility_timeout = std::stod(opt(opts, "visibility", "7200"));
+
+  const std::string framework = opt(opts, "framework", "classic");
+  RunResult r;
+  if (framework == "classic") {
+    r = run_classic_cloud_sim(workload, d, model, params);
+  } else if (framework == "hadoop") {
+    r = run_mapreduce_sim(workload, d, model, params);
+  } else if (framework == "dryad") {
+    r = run_dryad_sim(workload, d, model, params);
+  } else {
+    throw InvalidArgument("unknown --framework: " + framework);
+  }
+
+  Table table("Simulation result");
+  table.set_header({"Metric", "Value"});
+  table.add_row({"Framework", r.framework});
+  table.add_row({"Deployment", r.deployment_label});
+  table.add_row({"Tasks completed", std::to_string(r.completed) + "/" + std::to_string(r.tasks)});
+  table.add_row({"Makespan", format_duration(r.makespan)});
+  table.add_row({"Parallel efficiency (Eq 1)", Table::num(r.parallel_efficiency, 3)});
+  table.add_row({"Per-core time per task (Eq 2)", Table::num(r.per_core_task_seconds, 1) + " s"});
+  table.add_row({"Duplicate executions", std::to_string(r.duplicate_executions)});
+  if (r.compute_cost_hour_units > 0.0) {
+    table.add_row({"Compute cost (hour units)", "$" + Table::num(r.compute_cost_hour_units, 2)});
+    table.add_row({"Compute cost (amortized)", "$" + Table::num(r.compute_cost_amortized, 2)});
+    table.add_row({"Queue request cost", "$" + Table::num(r.queue_request_cost, 4)});
+  }
+  table.print();
+  return r.completed == r.tasks ? 0 : 1;
+}
+
+int cmd_assemble(const Options& opts) {
+  Rng rng(static_cast<unsigned>(opt_int(opts, "seed", 42)));
+  const int reads = opt_int(opts, "reads", 200);
+  const std::string fasta = apps::cap3::make_cap3_input(static_cast<std::size_t>(reads), rng);
+  std::fputs(apps::cap3::assemble_fasta_file(fasta).c_str(), stdout);
+  return 0;
+}
+
+int cmd_experiment(const std::string& id) {
+  // Reuse the bench logic through the experiment API.
+  if (id == "table4") {
+    const auto report = run_table4_cost_comparison();
+    report.ec2.to_table().print();
+    report.azure.to_table().print();
+    for (const auto& [util, cost] : report.cluster_costs) {
+      std::printf("owned cluster @ %2.0f%%: $%.2f\n", util * 100, cost);
+    }
+    return 0;
+  }
+  if (id == "variability") {
+    const auto report = run_sustained_variability_study();
+    std::printf("EC2 CV %.2f%% (paper 1.56%%), Azure CV %.2f%% (paper 2.25%%)\n",
+                report.ec2_cv * 100, report.azure_cv * 100);
+    return 0;
+  }
+  auto print_rows = [](const std::vector<InstanceTypeRow>& rows) {
+    for (const auto& r : rows) {
+      std::printf("%-20s time=%-12s hour-units=$%-8.2f amortized=$%.2f\n", r.label.c_str(),
+                  format_duration(r.compute_time).c_str(), r.cost_hour_units, r.cost_amortized);
+    }
+    return 0;
+  };
+  auto print_points = [](const std::vector<ScalingPoint>& points) {
+    for (const auto& p : points) {
+      std::printf("%-20s %-24s files=%-5d eff=%-6.3f eq2=%.1fs\n", p.framework.c_str(),
+                  p.deployment.c_str(), p.files, p.efficiency, p.per_core_task_seconds);
+    }
+    return 0;
+  };
+  if (id == "fig3") return print_rows(run_cap3_ec2_instance_study());
+  if (id == "fig7") return print_rows(run_blast_ec2_instance_study());
+  if (id == "fig12") return print_rows(run_gtm_ec2_instance_study());
+  if (id == "fig9") {
+    for (const auto& r : run_blast_azure_instance_study()) {
+      std::printf("%-26s time=%s\n", r.label.c_str(), format_duration(r.compute_time).c_str());
+    }
+    return 0;
+  }
+  if (id == "fig5") return print_points(run_cap3_scaling_study());
+  if (id == "fig10") return print_points(run_blast_scaling_study());
+  if (id == "fig14") return print_points(run_gtm_scaling_study());
+  throw InvalidArgument("unknown experiment: " + id);
+}
+
+int usage() {
+  std::fputs(
+      "usage: ppcloud <catalog|features|assemble|simulate|experiment> [options]\n"
+      "see the header comment of tools/ppcloud_cli.cpp or README.md for details\n",
+      stderr);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "catalog") return cmd_catalog();
+    if (command == "features") {
+      feature_matrix_table().print();
+      return 0;
+    }
+    if (command == "simulate") return cmd_simulate(parse_options(argc, argv, 2));
+    if (command == "assemble") return cmd_assemble(parse_options(argc, argv, 2));
+    if (command == "experiment") {
+      if (argc < 3) return usage();
+      return cmd_experiment(argv[2]);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ppcloud: %s\n", e.what());
+    return 1;
+  }
+}
