@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "common/table.h"
 #include "core/drivers.h"
+#include "runtime/metrics.h"
 
 using namespace ppc;
 using namespace ppc::core;
@@ -24,15 +25,21 @@ int main() {
 
   Table table("Visibility timeout sweep");
   table.set_header({"Visibility timeout s", "Makespan", "Duplicate executions",
-                    "Amortized compute $"});
+                    "Parallel efficiency (Eq 1)", "Amortized compute $"});
   for (double timeout : {30.0, 60.0, 90.0, 120.0, 240.0, 600.0, 3600.0}) {
     SimRunParams params;
     params.seed = 42;
     params.provider_variability = false;
     params.visibility_timeout = timeout;
+    // Efficiency and duplicate work are read back from the run's
+    // MetricsRegistry — the same counters/gauges every substrate publishes.
+    ppc::runtime::MetricsRegistry metrics;
+    params.metrics = &metrics;
     const RunResult r = run_classic_cloud_sim(workload, d, model, params);
+    const std::string prefix = r.framework + ".";
     table.add_row({Table::num(timeout, 0), format_duration(r.makespan),
-                   std::to_string(r.duplicate_executions),
+                   std::to_string(metrics.counter_value(prefix + "duplicate_executions")),
+                   Table::num(metrics.gauge(prefix + "parallel_efficiency"), 3),
                    Table::num(r.compute_cost_amortized, 2)});
   }
   table.print();

@@ -16,6 +16,7 @@
 #include "cloudq/queue_service.h"
 #include "common/clock.h"
 #include "common/rng.h"
+#include "runtime/fault_injector.h"
 
 using namespace ppc;
 
@@ -52,11 +53,11 @@ int main() {
   // Phase 1: a 2-worker cloud fleet starts alone; one worker is flaky and
   // dies after its third task (an instance failure).
   std::atomic<int> flaky_tasks{0};
+  runtime::FaultInjector faults;
+  faults.crash_when(classiccloud::sites::kAfterExecute,
+                    [&flaky_tasks](const std::string&) { return flaky_tasks.fetch_add(1) == 2; });
   classiccloud::WorkerConfig flaky_config = config;
-  flaky_config.crash_at = [&flaky_tasks](classiccloud::CrashPoint p,
-                                         const classiccloud::TaskSpec&) {
-    return p == classiccloud::CrashPoint::kAfterExecute && flaky_tasks.fetch_add(1) == 2;
-  };
+  flaky_config.faults = &faults;
   classiccloud::Worker steady("cloud-0", store, client.task_queue(), client.monitor_queue(),
                               search, config);
   classiccloud::Worker flaky("cloud-1", store, client.task_queue(), client.monitor_queue(),

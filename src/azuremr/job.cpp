@@ -14,6 +14,10 @@ AzureMapReduce::AzureMapReduce(blobstore::BlobStore& store, cloudq::QueueService
                                int num_workers, MrWorkerConfig worker_config)
     : store_(store), queues_(queues), num_workers_(num_workers), worker_config_(worker_config) {
   PPC_REQUIRE(num_workers >= 1, "need at least one worker");
+  // One registry for every worker role this runtime provisions; callers may
+  // pre-seed worker_config.metrics to share it even wider.
+  if (!worker_config_.metrics) worker_config_.metrics = std::make_shared<runtime::MetricsRegistry>();
+  metrics_ = worker_config_.metrics;
 }
 
 AzureMapReduce::~AzureMapReduce() = default;
@@ -161,6 +165,7 @@ JobResult AzureMapReduce::run(const JobSpec& spec) {
     total.reduce_tasks += s.reduce_tasks;
     total.cache_hits += s.cache_hits;
     total.cache_misses += s.cache_misses;
+    total.crashed = total.crashed || s.crashed;
   }
   last_stats_ = total;
   return result;

@@ -34,12 +34,16 @@ class AzureMapReduce {
   /// Aggregate statistics of the last run's workers.
   MrWorkerStats last_run_worker_stats() const { return last_stats_; }
 
+  /// The registry every worker role publishes to (worker-scoped counters).
+  runtime::MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
   blobstore::BlobStore& store_;
   cloudq::QueueService& queues_;
   int num_workers_;
   MrWorkerConfig worker_config_;
   MrWorkerStats last_stats_;
+  std::shared_ptr<runtime::MetricsRegistry> metrics_;
 };
 
 }  // namespace ppc::azuremr

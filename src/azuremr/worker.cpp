@@ -1,16 +1,19 @@
 #include "azuremr/worker.h"
 
-#include <chrono>
+#include <utility>
 
 #include "common/error.h"
-#include "common/log.h"
 #include "common/string_util.h"
 
 namespace ppc::azuremr {
 
 namespace {
-void sleep_seconds(Seconds s) {
-  if (s > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(s));
+runtime::LifecycleConfig lifecycle_config(const MrWorkerConfig& config) {
+  runtime::LifecycleConfig lc;
+  lc.poll_interval = config.poll_interval;
+  lc.visibility_timeout = config.visibility_timeout;
+  lc.fetch_retry = config.download_retry;
+  return lc;
 }
 }  // namespace
 
@@ -19,107 +22,81 @@ MrWorker::MrWorker(std::string id, blobstore::BlobStore& store,
                    std::shared_ptr<cloudq::MessageQueue> monitor_queue, MapFn map,
                    ReduceFn reduce, CombineFn combine, int num_reduce_tasks, std::string bucket,
                    MrWorkerConfig config)
-    : id_(std::move(id)),
-      store_(store),
-      task_queue_(std::move(task_queue)),
+    : store_(store),
       monitor_queue_(std::move(monitor_queue)),
       map_(std::move(map)),
       reduce_(std::move(reduce)),
       combine_(std::move(combine)),
       num_reduce_tasks_(num_reduce_tasks),
-      bucket_(std::move(bucket)),
-      config_(config) {
-  PPC_REQUIRE(task_queue_ != nullptr && monitor_queue_ != nullptr, "worker needs both queues");
+      bucket_(std::move(bucket)) {
+  PPC_REQUIRE(monitor_queue_ != nullptr, "worker needs both queues");
   PPC_REQUIRE(map_ != nullptr && reduce_ != nullptr, "worker needs map and reduce functions");
   PPC_REQUIRE(num_reduce_tasks_ >= 1, "need at least one reduce task");
+  lifecycle_ = std::make_unique<runtime::TaskLifecycle>(
+      std::move(id), std::move(task_queue),
+      [this](runtime::TaskContext& ctx) { return process(ctx); }, lifecycle_config(config),
+      config.metrics, config.faults);
 }
 
-MrWorker::~MrWorker() {
-  request_stop();
-  if (thread_.joinable()) thread_.join();
-}
+void MrWorker::start() { lifecycle_->start(); }
 
-void MrWorker::start() {
-  PPC_REQUIRE(!thread_.joinable(), "worker already started");
-  thread_ = std::thread([this] { poll_loop(); });
-}
+void MrWorker::request_stop() { lifecycle_->request_stop(); }
 
-void MrWorker::request_stop() { stop_requested_.store(true); }
-
-void MrWorker::join() {
-  if (thread_.joinable()) thread_.join();
-}
+void MrWorker::join() { lifecycle_->join(); }
 
 MrWorkerStats MrWorker::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  MrWorkerStats s;
+  s.map_tasks = static_cast<int>(lifecycle_->counter("map_tasks"));
+  s.reduce_tasks = static_cast<int>(lifecycle_->counter("reduce_tasks"));
+  s.cache_hits = static_cast<int>(lifecycle_->counter("cache_hits"));
+  s.cache_misses = static_cast<int>(lifecycle_->counter("cache_misses"));
+  s.crashed = lifecycle_->crashed();
+  return s;
 }
 
-void MrWorker::poll_loop() {
-  while (!stop_requested_.load()) {
-    auto message = task_queue_->receive(config_.visibility_timeout);
-    if (!message) {
-      sleep_seconds(config_.poll_interval);
-      continue;
-    }
-    const auto task = decode_kv(message->body);
-    try {
-      const std::string& op = task.at("op");
-      std::string task_key;
-      if (op == "map") {
-        run_map(task);
-        task_key = task.at("input");
-      } else if (op == "reduce") {
-        run_reduce(task);
-        task_key = task.at("part");
-      } else {
-        throw ppc::InvalidArgument("unknown op: " + op);
-      }
-      if (config_.crash_at && config_.crash_at(op, task_key)) {
-        // The instance dies before deleting the message: it will resurface
-        // after its visibility timeout and another worker redoes the task
-        // (idempotently — the blobs it wrote get overwritten identically).
-        std::lock_guard lock(mu_);
-        stats_.crashed = true;
-        return;
-      }
-      task_queue_->delete_message(message->receipt_handle);
-    } catch (const std::exception& e) {
-      // Leave the message; it reappears after the visibility timeout.
-      PPC_WARN << "azuremr worker " << id_ << " task failed: " << e.what();
-    }
+runtime::TaskOutcome MrWorker::process(runtime::TaskContext& ctx) {
+  using runtime::TaskOutcome;
+  const auto task = ppc::decode_kv(ctx.message().body);
+  const std::string& op = task.at("op");
+  if (op == "map") {
+    run_map(ctx, task);
+    if (ctx.crash_site(sites::kAfterMap, task.at("input"))) return TaskOutcome::kCrashed;
+  } else if (op == "reduce") {
+    run_reduce(ctx, task);
+    if (ctx.crash_site(sites::kAfterReduce, task.at("part"))) return TaskOutcome::kCrashed;
+  } else {
+    throw ppc::InvalidArgument("unknown op: " + op);
   }
+  return TaskOutcome::kCompleted;
 }
 
-std::string MrWorker::must_download(const std::string& key) {
-  for (int attempt = 0; attempt <= config_.download_retries; ++attempt) {
-    auto data = store_.get(bucket_, key);
-    if (data) return std::move(*data);
-    sleep_seconds(config_.download_retry_interval);
-  }
-  throw ppc::InternalError("blob never became visible: " + key);
+std::string MrWorker::must_download(runtime::TaskContext& ctx, const std::string& key) {
+  auto data = ctx.fetch(store_, bucket_, key);
+  if (!data) throw ppc::InternalError("blob never became visible: " + key);
+  return std::move(*data);
 }
 
-std::string MrWorker::cached_input(const std::string& name) {
+std::string MrWorker::cached_input(runtime::TaskContext& ctx, const std::string& name) {
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(cache_mu_);
     auto it = input_cache_.find(name);
     if (it != input_cache_.end()) {
-      ++stats_.cache_hits;
+      ctx.count("cache_hits");
       return it->second;
     }
   }
-  std::string data = must_download("input/" + name);
-  std::lock_guard lock(mu_);
-  ++stats_.cache_misses;
+  std::string data = must_download(ctx, "input/" + name);
+  std::lock_guard lock(cache_mu_);
+  ctx.count("cache_misses");
   return input_cache_.emplace(name, std::move(data)).first->second;
 }
 
-void MrWorker::run_map(const std::map<std::string, std::string>& task) {
+void MrWorker::run_map(runtime::TaskContext& ctx,
+                       const std::map<std::string, std::string>& task) {
   const std::string& iter = task.at("iter");
   const std::string& input = task.at("input");
-  const std::string data = cached_input(input);
-  const std::string broadcast = must_download("broadcast/" + iter);
+  const std::string data = cached_input(ctx, input);
+  const std::string broadcast = must_download(ctx, "broadcast/" + iter);
 
   std::vector<KeyValue> records = map_(input, data, broadcast);
 
@@ -143,13 +120,13 @@ void MrWorker::run_map(const std::map<std::string, std::string>& task) {
                encode_records(partitions[r]));
   }
 
-  monitor_queue_->send(encode_kv(
-      {{"task", "map-" + iter + "-" + input}, {"status", "done"}, {"worker", id_}}));
-  std::lock_guard lock(mu_);
-  ++stats_.map_tasks;
+  monitor_queue_->send(ppc::encode_kv(
+      {{"task", "map-" + iter + "-" + input}, {"status", "done"}, {"worker", id()}}));
+  ctx.count("map_tasks");
 }
 
-void MrWorker::run_reduce(const std::map<std::string, std::string>& task) {
+void MrWorker::run_reduce(runtime::TaskContext& ctx,
+                          const std::map<std::string, std::string>& task) {
   const std::string& iter = task.at("iter");
   const std::string& part = task.at("part");
   const int expected_maps = std::stoi(task.at("maps"));
@@ -157,24 +134,23 @@ void MrWorker::run_reduce(const std::map<std::string, std::string>& task) {
   // Collect every map task's partition blob for this reducer. The listing
   // may lag under eventual consistency, so insist on the full set.
   const std::string suffix = "/" + part;
-  std::vector<std::string> keys;
-  for (int attempt = 0; attempt <= config_.download_retries; ++attempt) {
-    keys.clear();
+  auto list_partitions = [&]() -> std::optional<std::vector<std::string>> {
+    std::vector<std::string> found;
     for (const std::string& key : store_.list(bucket_, "mout/" + iter + "/")) {
       if (key.size() >= suffix.size() &&
           key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0) {
-        keys.push_back(key);
+        found.push_back(key);
       }
     }
-    if (static_cast<int>(keys.size()) >= expected_maps) break;
-    sleep_seconds(config_.download_retry_interval);
-  }
-  PPC_CHECK(static_cast<int>(keys.size()) >= expected_maps,
-            "reduce input blobs missing for partition " + part);
+    if (static_cast<int>(found.size()) < expected_maps) return std::nullopt;
+    return found;
+  };
+  auto keys = ctx.retry(list_partitions);
+  PPC_CHECK(keys.has_value(), "reduce input blobs missing for partition " + part);
 
   std::vector<KeyValue> all;
-  for (const std::string& key : keys) {
-    const auto records = decode_records(must_download(key));
+  for (const std::string& key : *keys) {
+    const auto records = decode_records(must_download(ctx, key));
     all.insert(all.end(), records.begin(), records.end());
   }
 
@@ -184,10 +160,9 @@ void MrWorker::run_reduce(const std::map<std::string, std::string>& task) {
   }
   store_.put(bucket_, "rout/" + iter + "/" + part, encode_records(outputs));
 
-  monitor_queue_->send(encode_kv(
-      {{"task", "reduce-" + iter + "-" + part}, {"status", "done"}, {"worker", id_}}));
-  std::lock_guard lock(mu_);
-  ++stats_.reduce_tasks;
+  monitor_queue_->send(ppc::encode_kv(
+      {{"task", "reduce-" + iter + "-" + part}, {"status", "done"}, {"worker", id()}}));
+  ctx.count("reduce_tasks");
 }
 
 }  // namespace ppc::azuremr

@@ -1,35 +1,48 @@
-// The azuremr worker role: a thread that polls the shared task queue and
-// executes map or reduce tasks, exactly as an Azure worker role instance
-// would. Inputs are cached across iterations; everything else flows through
-// blob storage. Fault tolerance is inherited from the substrate: tasks are
-// deleted only after completion, so crashes redeliver; map/reduce functions
-// must be deterministic so re-execution overwrites blobs idempotently.
+// The azuremr worker role: an Azure worker-role instance that polls the
+// shared task queue and executes map or reduce tasks. The poll loop
+// (receive → handle → delete-after-completion) is runtime::TaskLifecycle;
+// this adapter supplies the map/reduce handler. Inputs are cached across
+// iterations; everything else flows through blob storage. Fault tolerance
+// is inherited from the substrate: tasks are deleted only after completion,
+// so crashes redeliver; map/reduce functions must be deterministic so
+// re-execution overwrites blobs idempotently.
 #pragma once
 
-#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 
 #include "azuremr/job.h"
 #include "blobstore/blob_store.h"
 #include "cloudq/message_queue.h"
+#include "runtime/task_lifecycle.h"
 
 namespace ppc::azuremr {
+
+/// Fault-injection sites fired right after a task's work is done — blobs
+/// written, monitor record sent — but before the task message is deleted.
+/// The task resurfaces via the visibility timeout. Keys: the map input name
+/// / the reduce partition.
+namespace sites {
+inline const std::string kAfterMap = "azuremr.after_map";
+inline const std::string kAfterReduce = "azuremr.after_reduce";
+}  // namespace sites
 
 struct MrWorkerConfig {
   Seconds poll_interval = 0.002;
   Seconds visibility_timeout = 30.0;
-  int download_retries = 200;
-  Seconds download_retry_interval = 0.001;
-  /// Fault injection: return true to kill the worker right after it
-  /// finishes computing (before the task message is deleted). The task
-  /// resurfaces via the visibility timeout. Null = never.
-  std::function<bool(const std::string& op, const std::string& task_key)> crash_at;
+  /// Backoff schedule for eventually-consistent blob reads and shuffle
+  /// listings.
+  runtime::RetryPolicy download_retry =
+      runtime::RetryPolicy::exponential(40, 0.0005, 2.0, 0.05);
+  /// Fault injection (borrowed, not owned). Null = never.
+  runtime::FaultInjector* faults = nullptr;
+  /// Metrics registry shared across the pool; null = private registry.
+  std::shared_ptr<runtime::MetricsRegistry> metrics;
 };
 
+/// Snapshot view over the worker's counters in the MetricsRegistry.
 struct MrWorkerStats {
   int map_tasks = 0;
   int reduce_tasks = 0;
@@ -46,8 +59,6 @@ class MrWorker {
            CombineFn combine, int num_reduce_tasks, std::string bucket,
            MrWorkerConfig config = {});
 
-  ~MrWorker();
-
   MrWorker(const MrWorker&) = delete;
   MrWorker& operator=(const MrWorker&) = delete;
 
@@ -56,33 +67,29 @@ class MrWorker {
   void join();
 
   MrWorkerStats stats() const;
-  const std::string& id() const { return id_; }
+  const std::string& id() const { return lifecycle_->id(); }
+  runtime::MetricsRegistry& metrics() const { return lifecycle_->metrics(); }
 
  private:
-  void poll_loop();
-  void run_map(const std::map<std::string, std::string>& task);
-  void run_reduce(const std::map<std::string, std::string>& task);
-  /// Blocking blob download with retries (eventual consistency).
-  std::string must_download(const std::string& key);
+  runtime::TaskOutcome process(runtime::TaskContext& ctx);
+  void run_map(runtime::TaskContext& ctx, const std::map<std::string, std::string>& task);
+  void run_reduce(runtime::TaskContext& ctx, const std::map<std::string, std::string>& task);
+  /// Blocking blob download with the retry policy (eventual consistency).
+  std::string must_download(runtime::TaskContext& ctx, const std::string& key);
   /// Input chunks are static across iterations: download once, cache.
-  std::string cached_input(const std::string& name);
+  std::string cached_input(runtime::TaskContext& ctx, const std::string& name);
 
-  const std::string id_;
   blobstore::BlobStore& store_;
-  std::shared_ptr<cloudq::MessageQueue> task_queue_;
   std::shared_ptr<cloudq::MessageQueue> monitor_queue_;
   MapFn map_;
   ReduceFn reduce_;
   CombineFn combine_;  // may be null
   int num_reduce_tasks_;
   const std::string bucket_;
-  MrWorkerConfig config_;
 
-  std::thread thread_;
-  std::atomic<bool> stop_requested_{false};
-  mutable std::mutex mu_;
+  std::mutex cache_mu_;
   std::map<std::string, std::string> input_cache_;
-  MrWorkerStats stats_;
+  std::unique_ptr<runtime::TaskLifecycle> lifecycle_;
 };
 
 }  // namespace ppc::azuremr

@@ -91,6 +91,8 @@ WorkerPool::WorkerPool(blobstore::BlobStore& store,
                        std::shared_ptr<cloudq::MessageQueue> monitor_queue, TaskExecutor executor,
                        WorkerConfig config, int num_workers, std::string id_prefix) {
   PPC_REQUIRE(num_workers >= 1, "need at least one worker");
+  if (!config.metrics) config.metrics = std::make_shared<runtime::MetricsRegistry>();
+  metrics_ = config.metrics;
   workers_.reserve(static_cast<std::size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(id_prefix + "-" + std::to_string(i), store,

@@ -89,6 +89,9 @@ class JobClient {
 /// queues).
 class WorkerPool {
  public:
+  /// All workers in the pool publish into one runtime::MetricsRegistry
+  /// (config.metrics when supplied, a fresh shared one otherwise), scoped
+  /// by worker id.
   WorkerPool(blobstore::BlobStore& store, std::shared_ptr<cloudq::MessageQueue> task_queue,
              std::shared_ptr<cloudq::MessageQueue> monitor_queue, TaskExecutor executor,
              WorkerConfig config, int num_workers, std::string id_prefix = "worker");
@@ -103,7 +106,11 @@ class WorkerPool {
   /// Sum of the per-worker stats.
   WorkerStats aggregate_stats() const;
 
+  /// The registry every worker in the pool publishes to.
+  runtime::MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
+  std::shared_ptr<runtime::MetricsRegistry> metrics_;
   std::vector<std::unique_ptr<Worker>> workers_;
 };
 

@@ -1,6 +1,6 @@
 #include "classiccloud/worker.h"
 
-#include <chrono>
+#include <utility>
 
 #include "common/clock.h"
 #include "common/error.h"
@@ -9,8 +9,13 @@
 namespace ppc::classiccloud {
 
 namespace {
-void sleep_seconds(Seconds s) {
-  if (s > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(s));
+runtime::LifecycleConfig lifecycle_config(const WorkerConfig& config) {
+  runtime::LifecycleConfig lc;
+  lc.poll_interval = config.poll_interval;
+  lc.visibility_timeout = config.visibility_timeout;
+  lc.max_idle_polls = config.max_idle_polls;
+  lc.fetch_retry = config.download_retry;
+  return lc;
 }
 }  // namespace
 
@@ -18,89 +23,48 @@ Worker::Worker(std::string id, blobstore::BlobStore& store,
                std::shared_ptr<cloudq::MessageQueue> task_queue,
                std::shared_ptr<cloudq::MessageQueue> monitor_queue, TaskExecutor executor,
                WorkerConfig config)
-    : id_(std::move(id)),
-      store_(store),
-      task_queue_(std::move(task_queue)),
+    : store_(store),
       monitor_queue_(std::move(monitor_queue)),
       executor_(std::move(executor)),
       config_(std::move(config)) {
-  PPC_REQUIRE(task_queue_ != nullptr, "worker needs a task queue");
   PPC_REQUIRE(monitor_queue_ != nullptr, "worker needs a monitor queue");
   PPC_REQUIRE(executor_ != nullptr, "worker needs an executor");
-  PPC_REQUIRE(config_.visibility_timeout > 0.0, "visibility timeout must be positive");
+  lifecycle_ = std::make_unique<runtime::TaskLifecycle>(
+      std::move(id), std::move(task_queue),
+      [this](runtime::TaskContext& ctx) { return process(ctx); }, lifecycle_config(config_),
+      config_.metrics, config_.faults);
 }
 
-Worker::~Worker() {
-  request_stop();
-  if (thread_.joinable()) thread_.join();
-}
+void Worker::start() { lifecycle_->start(); }
 
-void Worker::start() {
-  PPC_REQUIRE(!thread_.joinable(), "worker already started");
-  running_.store(true);
-  thread_ = std::thread([this] { poll_loop(); });
-}
+void Worker::request_stop() { lifecycle_->request_stop(); }
 
-void Worker::request_stop() { stop_requested_.store(true); }
-
-void Worker::join() {
-  if (thread_.joinable()) thread_.join();
-}
+void Worker::join() { lifecycle_->join(); }
 
 WorkerStats Worker::stats() const {
-  std::lock_guard lock(stats_mu_);
-  return stats_;
+  namespace c = runtime::counters;
+  WorkerStats s;
+  s.messages_received = static_cast<int>(lifecycle_->counter(c::kMessagesReceived));
+  s.tasks_completed = static_cast<int>(lifecycle_->counter(c::kTasksCompleted));
+  s.deletes_failed = static_cast<int>(lifecycle_->counter(c::kDeletesFailed));
+  s.downloads_missed = static_cast<int>(lifecycle_->counter(c::kDownloadsMissed));
+  s.executions_failed = static_cast<int>(lifecycle_->counter(c::kExecutionsFailed));
+  s.crashed = lifecycle_->crashed();
+  return s;
 }
 
-void Worker::poll_loop() {
-  int idle_polls = 0;
-  while (!stop_requested_.load()) {
-    auto message = task_queue_->receive(config_.visibility_timeout);
-    if (!message) {
-      ++idle_polls;
-      if (config_.max_idle_polls >= 0 && idle_polls >= config_.max_idle_polls) break;
-      sleep_seconds(config_.poll_interval);
-      continue;
-    }
-    idle_polls = 0;
-    {
-      std::lock_guard lock(stats_mu_);
-      ++stats_.messages_received;
-    }
-    if (!process(*message)) {
-      // Crash injected: the worker dies mid-task. The message it held stays
-      // invisible until its timeout lapses, then another worker picks it up.
-      std::lock_guard lock(stats_mu_);
-      stats_.crashed = true;
-      break;
-    }
-  }
-  running_.store(false);
-}
-
-bool Worker::process(const cloudq::Message& message) {
-  const TaskSpec task = decode_task(message.body);
-  auto crash = [this, &task](CrashPoint p) {
-    return config_.crash_at && config_.crash_at(p, task);
-  };
-  if (crash(CrashPoint::kAfterReceive)) return false;
+runtime::TaskOutcome Worker::process(runtime::TaskContext& ctx) {
+  using runtime::TaskOutcome;
+  const TaskSpec task = decode_task(ctx.message().body);
+  if (ctx.crash_site(sites::kAfterReceive, task.task_id)) return TaskOutcome::kCrashed;
 
   // Download the input, riding out read-after-write visibility lag.
-  std::optional<std::string> input;
-  for (int attempt = 0; attempt <= config_.download_retries; ++attempt) {
-    input = store_.get(config_.bucket, task.input_key);
-    if (input) break;
-    {
-      std::lock_guard lock(stats_mu_);
-      ++stats_.downloads_missed;
-    }
-    sleep_seconds(config_.download_retry_interval);
-  }
+  auto input = ctx.fetch(store_, config_.bucket, task.input_key);
   if (!input) {
     // Give up on this delivery; the message reappears after its timeout and
     // by then the blob will be visible (eventual availability).
-    PPC_WARN << "worker " << id_ << ": input blob not yet visible: " << task.input_key;
-    return true;
+    PPC_WARN << "worker " << id() << ": input blob not yet visible: " << task.input_key;
+    return TaskOutcome::kAbandoned;
   }
 
   ppc::SystemClock timer;
@@ -108,30 +72,25 @@ bool Worker::process(const cloudq::Message& message) {
   try {
     output = executor_(task, *input);
   } catch (const std::exception& e) {
-    std::lock_guard lock(stats_mu_);
-    ++stats_.executions_failed;
-    PPC_WARN << "worker " << id_ << ": execution failed for " << task.task_id << ": " << e.what();
-    return true;  // leave the message to time out and be retried
+    ctx.count(runtime::counters::kExecutionsFailed);
+    PPC_WARN << "worker " << id() << ": execution failed for " << task.task_id << ": "
+             << e.what();
+    return TaskOutcome::kAbandoned;  // leave the message to time out and be retried
   }
   const Seconds duration = timer.now();
-  if (crash(CrashPoint::kAfterExecute)) return false;
+  if (ctx.crash_site(sites::kAfterExecute, task.task_id)) return TaskOutcome::kCrashed;
 
   store_.put(config_.bucket, task.output_key, std::move(output));
-  if (crash(CrashPoint::kAfterUpload)) return false;
+  if (ctx.crash_site(sites::kAfterUpload, task.task_id)) return TaskOutcome::kCrashed;
 
   MonitorRecord record;
   record.task_id = task.task_id;
-  record.worker_id = id_;
+  record.worker_id = id();
   record.status = "done";
   record.duration = duration;
   monitor_queue_->send(encode_monitor(record));
-
-  // Delete only after completion — the heart of the fault-tolerance story.
-  const bool deleted = task_queue_->delete_message(message.receipt_handle);
-  std::lock_guard lock(stats_mu_);
-  ++stats_.tasks_completed;
-  if (!deleted) ++stats_.deletes_failed;  // a twin re-ran it; idempotency saves us
-  return true;
+  ctx.observe("task_seconds", duration);
+  return TaskOutcome::kCompleted;
 }
 
 }  // namespace ppc::classiccloud

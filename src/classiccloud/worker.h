@@ -1,33 +1,31 @@
 // The Classic Cloud worker — the process that runs inside each EC2/Azure
 // instance (§2.1.3, Figure 1).
 //
-// Poll loop, exactly as the paper describes:
-//  1. receive a task message from the scheduling queue (visibility timeout
-//     hides it from other workers);
-//  2. "retrieve the input files from the cloud storage through the web
-//     service interface" (with retries — the store is eventually
-//     consistent);
-//  3. process them with the configured executable (here: a C++ callable);
-//  4. upload the result to cloud storage;
-//  5. publish a status record to the monitoring queue;
-//  6. "delete the task (message) in the queue only after the completion of
-//     the task" — so a worker crash before this point makes the task
-//     reappear for someone else, and a stale delete after a redelivery
-//     simply fails (idempotent tasks make either outcome correct).
+// The poll loop itself (receive → handle → delete-after-completion, idle
+// backoff, crash accounting) lives in runtime::TaskLifecycle; this adapter
+// supplies the Classic Cloud task handler, exactly as the paper describes:
 //
-// Fault injection hooks let the tests crash a worker at any of these points
-// and assert the at-least-once / no-lost-task properties end to end.
+//  1. "retrieve the input files from the cloud storage through the web
+//     service interface" (with the lifecycle's retry policy — the store is
+//     eventually consistent);
+//  2. process them with the configured executable (here: a C++ callable);
+//  3. upload the result to cloud storage;
+//  4. publish a status record to the monitoring queue.
+//
+// Fault injection goes through runtime::FaultInjector at the named sites
+// below, so tests crash a worker at any step and assert the at-least-once /
+// no-lost-task properties end to end. Stats are views over the lifecycle's
+// MetricsRegistry — shared across a pool, scoped by worker id.
 #pragma once
 
-#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 
 #include "blobstore/blob_store.h"
 #include "classiccloud/task.h"
 #include "cloudq/message_queue.h"
+#include "runtime/task_lifecycle.h"
 
 namespace ppc::classiccloud {
 
@@ -38,12 +36,16 @@ namespace ppc::classiccloud {
 using TaskExecutor =
     std::function<std::string(const TaskSpec& task, const std::string& input)>;
 
-/// Where a fault-injection crash can be triggered.
-enum class CrashPoint {
-  kAfterReceive,   // got the message, did nothing yet
-  kAfterExecute,   // computed the output, nothing uploaded
-  kAfterUpload,    // output uploaded, message not deleted
-};
+/// Fault-injection sites fired by the worker, keyed by task id. Arm them on
+/// a runtime::FaultInjector to crash a worker at the matching step.
+namespace sites {
+/// Got the message, did nothing yet.
+inline const std::string kAfterReceive = "classiccloud.after_receive";
+/// Computed the output, nothing uploaded.
+inline const std::string kAfterExecute = "classiccloud.after_execute";
+/// Output uploaded, message not deleted.
+inline const std::string kAfterUpload = "classiccloud.after_upload";
+}  // namespace sites
 
 struct WorkerConfig {
   std::string bucket = "job";
@@ -56,14 +58,15 @@ struct WorkerConfig {
   /// Stop after this many consecutive empty polls; <0 means run until
   /// request_stop().
   int max_idle_polls = -1;
-  /// Download retries for eventually-consistent blob reads.
-  int download_retries = 50;
-  Seconds download_retry_interval = 0.002;
-  /// Fault injection: return true to crash the worker at this point for
-  /// this task. Null = never.
-  std::function<bool(CrashPoint, const TaskSpec&)> crash_at;
+  /// Backoff schedule for eventually-consistent blob reads.
+  runtime::RetryPolicy download_retry = runtime::RetryPolicy::eventual_consistency();
+  /// Fault injection (borrowed, not owned). Null = never.
+  runtime::FaultInjector* faults = nullptr;
+  /// Metrics registry shared across the pool; null = private registry.
+  std::shared_ptr<runtime::MetricsRegistry> metrics;
 };
 
+/// Snapshot view over the worker's counters in the MetricsRegistry.
 struct WorkerStats {
   int messages_received = 0;
   int tasks_completed = 0;   // executed + uploaded + monitor sent
@@ -80,8 +83,6 @@ class Worker {
          std::shared_ptr<cloudq::MessageQueue> monitor_queue, TaskExecutor executor,
          WorkerConfig config);
 
-  ~Worker();
-
   Worker(const Worker&) = delete;
   Worker& operator=(const Worker&) = delete;
 
@@ -94,27 +95,19 @@ class Worker {
   /// Blocks until the loop has exited.
   void join();
 
-  bool running() const { return running_.load(); }
-  const std::string& id() const { return id_; }
+  bool running() const { return lifecycle_->running(); }
+  const std::string& id() const { return lifecycle_->id(); }
   WorkerStats stats() const;
+  runtime::MetricsRegistry& metrics() const { return lifecycle_->metrics(); }
 
  private:
-  void poll_loop();
-  /// Processes one received message; returns false when the worker crashed.
-  bool process(const cloudq::Message& message);
+  runtime::TaskOutcome process(runtime::TaskContext& ctx);
 
-  const std::string id_;
   blobstore::BlobStore& store_;
-  std::shared_ptr<cloudq::MessageQueue> task_queue_;
   std::shared_ptr<cloudq::MessageQueue> monitor_queue_;
   TaskExecutor executor_;
   WorkerConfig config_;
-
-  std::thread thread_;
-  std::atomic<bool> stop_requested_{false};
-  std::atomic<bool> running_{false};
-  mutable std::mutex stats_mu_;
-  WorkerStats stats_;
+  std::unique_ptr<runtime::TaskLifecycle> lifecycle_;
 };
 
 }  // namespace ppc::classiccloud

@@ -7,6 +7,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -24,14 +25,25 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `fn`; the future carries its return value or exception.
+  /// Throws std::runtime_error when the pool is shutting down — prefer
+  /// try_submit() where a drain-time race is possible.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    auto fut = try_submit(std::forward<F>(fn));
+    if (!fut) throw std::runtime_error("ThreadPool is shutting down");
+    return std::move(*fut);
+  }
+
+  /// Like submit(), but returns nullopt instead of throwing when the pool
+  /// is already shutting down, so callers racing a drain degrade gracefully.
+  template <typename F>
+  auto try_submit(F&& fn) -> std::optional<std::future<std::invoke_result_t<F>>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mu_);
-      if (stopping_) throw std::runtime_error("ThreadPool is shutting down");
+      if (stopping_) return std::nullopt;
       work_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "classiccloud/task.h"
+#include "classiccloud/worker.h"
 #include "cloud/fleet.h"
 #include "common/error.h"
 #include "dryad/partitioned_table.h"
@@ -42,6 +43,23 @@ void finalize_metrics(RunResult& result, const Workload& workload, const Deploym
     result.per_core_task_seconds =
         result.makespan * p / static_cast<double>(workload.size());  // Equation 2
   }
+}
+
+void publish_run_metrics(const RunResult& result, runtime::MetricsRegistry& metrics) {
+  const std::string prefix = result.framework + ".";
+  metrics.counter(prefix + "tasks").inc(result.tasks);
+  metrics.counter(prefix + "completed").inc(result.completed);
+  metrics.counter(prefix + "duplicate_executions").inc(result.duplicate_executions);
+  metrics.set_gauge(prefix + "parallel_efficiency", result.parallel_efficiency);
+  metrics.set_gauge(prefix + "per_core_task_seconds", result.per_core_task_seconds);
+  metrics.set_gauge(prefix + "makespan_seconds", result.makespan);
+  metrics.set_gauge(prefix + "t1_seconds", result.t1_seconds);
+  auto& histogram = metrics.histogram(prefix + "task_exec_seconds");
+  for (double x : result.exec_times.samples()) histogram.record(x);
+  metrics.emit({"run.finished",
+                {{"framework", result.framework},
+                 {"deployment", result.deployment_label},
+                 {"completed", std::to_string(result.completed)}}});
 }
 
 // ---------------------------------------------------------------------------
@@ -159,6 +177,12 @@ struct ClassicSim {
         if (params.worker_crash_prob > 0.0 && wrng2.bernoulli(params.worker_crash_prob)) {
           return;  // worker dies: no upload, no delete — message resurfaces
         }
+        // Same named site the real-thread worker fires — one FaultInjector
+        // arming drives both execution modes.
+        if (params.faults != nullptr &&
+            params.faults->fire(classiccloud::sites::kAfterExecute, spec.task_id)) {
+          return;
+        }
         const Seconds ul = store.sample_put_time(task.output_size, wrng2);
         sim.after(ul, [this, w, msg, spec, &task, ex, ul] {
           store.put_logical(kBucket, spec.output_key, task.output_size);
@@ -220,6 +244,7 @@ RunResult run_classic_cloud_sim(const Workload& workload, const Deployment& depl
   r.bytes_in = meter.bytes_in;
   r.bytes_out = meter.bytes_out;
   finalize_metrics(r, workload, deployment, model);
+  if (params.metrics != nullptr) publish_run_metrics(r, *params.metrics);
   return r;
 }
 
@@ -370,6 +395,7 @@ RunResult run_mapreduce_sim(const Workload& workload, const Deployment& deployme
   r.local_reads = static_cast<std::uint64_t>(r.scheduler_stats.local_assignments);
   r.remote_reads = static_cast<std::uint64_t>(r.scheduler_stats.remote_assignments);
   finalize_metrics(r, workload, deployment, model);
+  if (params.metrics != nullptr) publish_run_metrics(r, *params.metrics);
   return r;
 }
 
@@ -490,6 +516,7 @@ RunResult run_dryad_sim(const Workload& workload, const Deployment& deployment,
   r.trace = std::move(ds.trace);
   r.local_reads = ds.share.stats().local_reads;
   finalize_metrics(r, workload, deployment, model);
+  if (params.metrics != nullptr) publish_run_metrics(r, *params.metrics);
   return r;
 }
 

@@ -21,6 +21,8 @@
 #include "dryad/file_share.h"
 #include "mapreduce/scheduler.h"
 #include "minihdfs/mini_hdfs.h"
+#include "runtime/fault_injector.h"
+#include "runtime/metrics.h"
 
 namespace ppc::core {
 
@@ -75,6 +77,16 @@ struct SimRunParams {
   bool provider_variability = true;
   /// Record per-task execution intervals into RunResult::trace.
   bool record_trace = false;
+
+  // -- unified runtime hooks (borrowed, not owned; null = disabled) --
+  /// Fault injection at the same named sites the real-thread workers fire
+  /// (e.g. classiccloud::sites::kAfterExecute), so one arming drives both
+  /// execution modes.
+  runtime::FaultInjector* faults = nullptr;
+  /// When set, each driver publishes its run metrics here (counters,
+  /// "<framework>.parallel_efficiency" gauges, exec-time histogram) via
+  /// publish_run_metrics().
+  runtime::MetricsRegistry* metrics = nullptr;
 };
 
 /// One task execution interval, for Gantt-style inspection and the DES
@@ -137,5 +149,13 @@ RunResult run_dryad_sim(const Workload& workload, const Deployment& deployment,
 /// (Eq 2). Called by the drivers; exposed for tests.
 void finalize_metrics(RunResult& result, const Workload& workload, const Deployment& deployment,
                       const ExecutionModel& model);
+
+/// Publishes a finished run into `metrics` under the "<framework>." prefix:
+/// counters (tasks, completed, duplicate_executions), gauges
+/// (parallel_efficiency = Eq 1, per_core_task_seconds = Eq 2, makespan,
+/// t1_seconds) and the "task_exec_seconds" histogram. The drivers call this
+/// when SimRunParams::metrics is set; CLI and benches read Eq 1/Eq 2 from
+/// the registry instead of the per-substrate result struct.
+void publish_run_metrics(const RunResult& result, runtime::MetricsRegistry& metrics);
 
 }  // namespace ppc::core

@@ -2,11 +2,12 @@
 
 #include <condition_variable>
 #include <deque>
+#include <future>
 #include <mutex>
-#include <thread>
 
 #include "common/clock.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace ppc::dryad {
 
@@ -65,7 +66,11 @@ RunReport DryadRuntime::run(const Dag& dag) {
 
       lock.unlock();
       try {
-        if (config_.attempt_hook) config_.attempt_hook(v, attempt);
+        if (config_.faults != nullptr &&
+            config_.faults->fire(sites::kVertexAttempt,
+                                 std::to_string(v) + ":" + std::to_string(attempt))) {
+          throw runtime::InjectedFault("injected crash at " + sites::kVertexAttempt);
+        }
         dag.vertex(v).fn();
         record.succeeded = true;
       } catch (const std::exception& e) {
@@ -95,15 +100,34 @@ RunReport DryadRuntime::run(const Dag& dag) {
   };
 
   {
-    std::vector<std::jthread> slots;
-    slots.reserve(static_cast<std::size_t>(config_.num_nodes * config_.slots_per_node));
+    // Vertex slots run on the shared pool; try_submit degrades gracefully
+    // if a slot races pool shutdown (it simply contributes no slot).
+    ppc::ThreadPool pool(static_cast<std::size_t>(config_.num_nodes * config_.slots_per_node));
+    std::vector<std::future<void>> slots;
+    slots.reserve(pool.size());
     for (int node = 0; node < config_.num_nodes; ++node) {
-      for (int s = 0; s < config_.slots_per_node; ++s) slots.emplace_back(slot_loop, node);
+      for (int s = 0; s < config_.slots_per_node; ++s) {
+        if (auto slot = pool.try_submit([&slot_loop, node] { slot_loop(node); })) {
+          slots.push_back(std::move(*slot));
+        }
+      }
     }
+    for (auto& slot : slots) slot.get();
   }
 
   report.elapsed = clock.now() - t0;
   report.succeeded = (finished == n);
+  if (config_.metrics) {
+    std::int64_t failed = 0;
+    for (const VertexAttempt& a : report.attempts) {
+      if (!a.succeeded) ++failed;
+    }
+    config_.metrics->counter("dryad.vertex_attempts").inc(
+        static_cast<std::int64_t>(report.attempts.size()));
+    config_.metrics->counter("dryad.failed_attempts").inc(failed);
+    config_.metrics->counter("dryad.vertices_completed").inc(static_cast<std::int64_t>(finished));
+    config_.metrics->set_gauge("dryad.elapsed_seconds", report.elapsed);
+  }
   return report;
 }
 

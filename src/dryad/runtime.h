@@ -14,6 +14,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,15 +22,26 @@
 #include "dryad/dag.h"
 #include "dryad/file_share.h"
 #include "dryad/partitioned_table.h"
+#include "runtime/fault_injector.h"
+#include "runtime/metrics.h"
 
 namespace ppc::dryad {
+
+/// Fault-injection site fired before each vertex attempt, keyed
+/// "<vertex_id>:<attempt>". Arm error_times()/crash_* to fail attempts
+/// (re-executed up to the retry budget, §2.3).
+namespace sites {
+inline const std::string kVertexAttempt = "dryad.vertex_attempt";
+}  // namespace sites
 
 struct RuntimeConfig {
   int num_nodes = 4;
   int slots_per_node = 1;
   int max_attempts = 4;
-  /// Test hook called before each vertex attempt; may throw to fail it.
-  std::function<void(int vertex_id, int attempt)> attempt_hook;
+  /// Fault injection (borrowed, not owned). Null = never.
+  runtime::FaultInjector* faults = nullptr;
+  /// Engine counters land here ("dryad.*"); null = private registry.
+  std::shared_ptr<runtime::MetricsRegistry> metrics;
 };
 
 struct VertexAttempt {

@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "common/thread_pool.h"
 
 namespace ppc::mapreduce {
 
@@ -36,6 +37,9 @@ JobResult LocalJobRunner::run(const std::vector<std::string>& input_paths, const
   TaskScheduler scheduler(std::move(tasks), config.scheduler);
   ppc::SystemClock clock;
 
+  auto metrics = config.metrics ? config.metrics
+                                : std::make_shared<runtime::MetricsRegistry>();
+
   JobResult result;
   std::mutex result_mu;
 
@@ -51,7 +55,11 @@ JobResult LocalJobRunner::run(const std::vector<std::string>& input_paths, const
       record.start = clock.now();
       const std::string& path = input_paths[static_cast<std::size_t>(assignment->task_id)];
       try {
-        if (config.attempt_hook) config.attempt_hook(*assignment);
+        if (config.faults != nullptr &&
+            config.faults->fire(sites::kMapAttempt, std::to_string(assignment->task_id) + ":" +
+                                                        std::to_string(assignment->attempt_id))) {
+          throw runtime::InjectedFault("injected crash at " + sites::kMapAttempt);
+        }
         const auto contents = hdfs_.read_from(path, node);
         PPC_CHECK(contents.has_value(), "input vanished from HDFS: " + path);
         FileRecord rec;
@@ -61,21 +69,27 @@ JobResult LocalJobRunner::run(const std::vector<std::string>& input_paths, const
         record.end = clock.now();
         record.succeeded = true;
         const bool first = scheduler.report_completed(*assignment, record.end);
+        metrics->histogram("mapreduce.attempt_seconds").record(record.end - record.start);
         if (first) {
           // Commit: write the output to HDFS pinned to this node (the map
           // task "uploads the result file to the HDFS").
           const std::string out_path = config.output_dir + "/" + rec.name;
           hdfs_.write(out_path, std::move(output), node);
           record.output_committed = true;
+          metrics->counter("mapreduce.tasks_completed").inc();
           std::lock_guard lock(result_mu);
           result.outputs[rec.name] = out_path;
+        } else {
+          metrics->counter("mapreduce.wasted_attempts").inc();
         }
       } catch (const std::exception& e) {
         record.end = clock.now();
         record.error = e.what();
         scheduler.report_failed(*assignment, record.end);
+        metrics->counter("mapreduce.failed_attempts").inc();
         PPC_DEBUG << "attempt failed on node " << node << ": " << e.what();
       }
+      metrics->counter("mapreduce.attempts").inc();
       {
         std::lock_guard lock(result_mu);
         result.attempts.push_back(record);
@@ -85,17 +99,27 @@ JobResult LocalJobRunner::run(const std::vector<std::string>& input_paths, const
 
   const Seconds t0 = clock.now();
   {
-    std::vector<std::jthread> slots;
-    slots.reserve(static_cast<std::size_t>(config.num_nodes * config.slots_per_node));
+    // Executor slots run on the shared pool; try_submit degrades gracefully
+    // if a slot races pool shutdown (it simply contributes no slot).
+    ppc::ThreadPool pool(static_cast<std::size_t>(config.num_nodes * config.slots_per_node));
+    std::vector<std::future<void>> slots;
+    slots.reserve(pool.size());
     for (int node = 0; node < config.num_nodes; ++node) {
       for (int s = 0; s < config.slots_per_node; ++s) {
-        slots.emplace_back(slot_loop, node);
+        if (auto slot = pool.try_submit([&slot_loop, node] { slot_loop(node); })) {
+          slots.push_back(std::move(*slot));
+        }
       }
     }
-  }  // jthreads join here
+    for (auto& slot : slots) slot.get();
+  }
   result.elapsed = clock.now() - t0;
   result.succeeded = scheduler.job_succeeded();
   result.scheduler_stats = scheduler.stats();
+  metrics->set_gauge("mapreduce.elapsed_seconds", result.elapsed);
+  metrics->emit({"mapreduce.job_finished",
+                 {{"succeeded", result.succeeded ? "true" : "false"},
+                  {"tasks", std::to_string(result.outputs.size())}}});
   return result;
 }
 

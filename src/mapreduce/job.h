@@ -15,12 +15,15 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mapreduce/input_format.h"
 #include "mapreduce/scheduler.h"
 #include "minihdfs/mini_hdfs.h"
+#include "runtime/fault_injector.h"
+#include "runtime/metrics.h"
 
 namespace ppc::mapreduce {
 
@@ -29,14 +32,23 @@ namespace ppc::mapreduce {
 using MapFn =
     std::function<std::string(const FileRecord& record, const std::string& contents)>;
 
+/// Fault-injection site fired on the executor thread right before each map
+/// attempt, keyed "<task_id>:<attempt>". Arm error_times() to fail attempts
+/// (they are retried per the scheduler config) or a crash to kill the slot's
+/// current attempt.
+namespace sites {
+inline const std::string kMapAttempt = "mapreduce.map_attempt";
+}  // namespace sites
+
 struct JobConfig {
   int num_nodes = 4;
   int slots_per_node = 2;
   std::string output_dir = "/out";
   SchedulerConfig scheduler;
-  /// Test hook, called on the executor thread right before the map function;
-  /// may throw to simulate an attempt crash. Null = disabled.
-  std::function<void(const Assignment&)> attempt_hook;
+  /// Fault injection (borrowed, not owned). Null = never.
+  runtime::FaultInjector* faults = nullptr;
+  /// Engine counters/histograms land here ("mapreduce.*"); null = private.
+  std::shared_ptr<runtime::MetricsRegistry> metrics;
 };
 
 struct AttemptRecord {

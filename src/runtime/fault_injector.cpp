@@ -1,0 +1,103 @@
+#include "runtime/fault_injector.h"
+
+#include <utility>
+
+#include "runtime/retry_policy.h"
+
+namespace ppc::runtime {
+
+void FaultInjector::crash_once(const std::string& site) { crash_times(site, 1); }
+
+void FaultInjector::crash_times(const std::string& site, int times) {
+  PPC_REQUIRE(times >= 1, "crash_times needs a positive count");
+  std::lock_guard lock(mu_);
+  sites_[site].crash_budget += times;
+}
+
+void FaultInjector::crash_always(const std::string& site) {
+  std::lock_guard lock(mu_);
+  sites_[site].crash_always = true;
+}
+
+void FaultInjector::crash_when(const std::string& site, Predicate pred) {
+  PPC_REQUIRE(pred != nullptr, "crash_when needs a predicate");
+  std::lock_guard lock(mu_);
+  sites_[site].crash_pred = std::move(pred);
+}
+
+void FaultInjector::error_times(const std::string& site, std::string what, int times) {
+  PPC_REQUIRE(times >= 1, "error_times needs a positive count");
+  std::lock_guard lock(mu_);
+  Site& s = sites_[site];
+  s.error_budget += times;
+  s.error_what = std::move(what);
+}
+
+void FaultInjector::delay(const std::string& site, Seconds duration, int times) {
+  PPC_REQUIRE(duration >= 0.0, "delay must be non-negative");
+  std::lock_guard lock(mu_);
+  Site& s = sites_[site];
+  s.delay_duration = duration;
+  s.delay_budget = times;
+}
+
+void FaultInjector::reset() {
+  std::lock_guard lock(mu_);
+  sites_.clear();
+}
+
+bool FaultInjector::fire(const std::string& site, const std::string& key) {
+  Seconds sleep = 0.0;
+  bool throw_error = false;
+  std::string error_what;
+  bool crash = false;
+  {
+    std::lock_guard lock(mu_);
+    Site& s = sites_[site];
+    ++s.hits;
+    if (s.delay_budget != 0 && s.delay_duration > 0.0) {
+      sleep = s.delay_duration;
+      if (s.delay_budget > 0) --s.delay_budget;
+    }
+    if (s.error_budget > 0) {
+      --s.error_budget;
+      throw_error = true;
+      error_what = s.error_what;
+    } else if (s.crash_always) {
+      crash = true;
+    } else if (s.crash_budget > 0) {
+      --s.crash_budget;
+      crash = true;
+    } else if (s.crash_pred && s.crash_pred(key)) {
+      crash = true;
+    }
+    if (crash) ++s.crashes;
+  }
+  if (sleep > 0.0) sleep_for(sleep);
+  if (throw_error) {
+    throw InjectedFault("injected fault at " + site +
+                        (key.empty() ? "" : " (" + key + ")") + ": " + error_what);
+  }
+  return crash;
+}
+
+std::int64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::int64_t FaultInjector::crashes(const std::string& site) const {
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.crashes;
+}
+
+std::int64_t FaultInjector::total_crashes() const {
+  std::lock_guard lock(mu_);
+  std::int64_t total = 0;
+  for (const auto& [_, s] : sites_) total += s.crashes;
+  return total;
+}
+
+}  // namespace ppc::runtime

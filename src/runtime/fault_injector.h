@@ -1,0 +1,100 @@
+// Unified fault injection for every substrate and the simulator.
+//
+// The seed had two incompatible crash hooks — classiccloud's
+// `crash_at(CrashPoint, TaskSpec)` and azuremr's `crash_at(op, task_key)` —
+// plus per-engine `attempt_hook`s. This injector replaces all of them with
+// *named sites*: instrumented code calls `fire("classiccloud.after_upload",
+// task_id)` at the points where the paper's fault-tolerance story is
+// exercised, and tests arm crashes, delays, or thrown errors against those
+// site names. One arming API drives all four substrates, so the same
+// "crash after execute, before delete" scenario can be expressed identically
+// against the Classic Cloud worker, the azuremr worker role, the MapReduce
+// engine, and the discrete-event drivers.
+//
+// Thread-safe: workers fire concurrently; tests arm before starting them
+// (arming while firing is also safe, just racy by nature).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace ppc::runtime {
+
+/// Thrown by FaultInjector::fire() for sites armed with error_times().
+class InjectedFault : public ppc::Error {
+ public:
+  using Error::Error;
+};
+
+class FaultInjector {
+ public:
+  /// Decides per firing whether to crash; receives the site's key (task id,
+  /// input name, ...). Runs under the injector lock — keep it cheap.
+  using Predicate = std::function<bool(const std::string& key)>;
+
+  // -- arming ---------------------------------------------------------
+
+  /// Crash the caller the first time the site fires, then disarm.
+  void crash_once(const std::string& site);
+
+  /// Crash the first `times` firings of the site.
+  void crash_times(const std::string& site, int times);
+
+  /// Crash every firing of the site (e.g. "all workers die mid-task").
+  void crash_always(const std::string& site);
+
+  /// Crash when `pred(key)` returns true.
+  void crash_when(const std::string& site, Predicate pred);
+
+  /// Throw InjectedFault(what) from the first `times` firings.
+  void error_times(const std::string& site, std::string what, int times);
+
+  /// Sleep `duration` real seconds on each firing; `times` < 0 = every time.
+  void delay(const std::string& site, Seconds duration, int times = -1);
+
+  /// Disarms every site and zeroes all counters.
+  void reset();
+
+  // -- firing ---------------------------------------------------------
+
+  /// Called by instrumented code at a named site. Applies any armed delay,
+  /// throws InjectedFault when an error is armed, and returns true when the
+  /// caller should crash (die without completing / deleting its message).
+  /// Unarmed sites return false.
+  bool fire(const std::string& site, const std::string& key = "");
+
+  // -- observability --------------------------------------------------
+
+  /// Times the site has fired (armed or not).
+  std::int64_t hits(const std::string& site) const;
+
+  /// Crashes this site has triggered.
+  std::int64_t crashes(const std::string& site) const;
+
+  /// Crashes across all sites.
+  std::int64_t total_crashes() const;
+
+ private:
+  struct Site {
+    int crash_budget = 0;
+    bool crash_always = false;
+    Predicate crash_pred;
+    int error_budget = 0;
+    std::string error_what;
+    Seconds delay_duration = 0.0;
+    int delay_budget = 0;  // < 0 = unlimited
+    std::int64_t hits = 0;
+    std::int64_t crashes = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site> sites_;
+};
+
+}  // namespace ppc::runtime

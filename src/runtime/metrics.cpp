@@ -1,0 +1,98 @@
+#include "runtime/metrics.h"
+
+namespace ppc::runtime {
+
+void HistogramMetric::record(double x) {
+  std::lock_guard lock(mu_);
+  samples_.add(x);
+}
+
+ppc::SampleSet HistogramMetric::snapshot() const {
+  std::lock_guard lock(mu_);
+  return samples_;
+}
+
+std::size_t HistogramMetric::count() const {
+  std::lock_guard lock(mu_);
+  return samples_.count();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>();
+  return *slot;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard lock(mu_);
+  gauges_[name] = value;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::int64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::int64_t MetricsRegistry::sum_counters(std::string_view suffix) const {
+  std::lock_guard lock(mu_);
+  std::int64_t total = 0;
+  for (const auto& [name, counter] : counters_) {
+    if (name.size() >= suffix.size() &&
+        std::string_view(name).substr(name.size() - suffix.size()) == suffix) {
+      total += counter->value();
+    }
+  }
+  return total;
+}
+
+void MetricsRegistry::emit(MetricEvent event) {
+  EventSink sink;
+  {
+    std::lock_guard lock(mu_);
+    sink = sink_;
+  }
+  if (sink) sink(event);
+}
+
+void MetricsRegistry::set_event_sink(EventSink sink) {
+  std::lock_guard lock(mu_);
+  sink_ = std::move(sink);
+}
+
+std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::counters() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) out.emplace_back(name, counter->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  std::lock_guard lock(mu_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, _] : histograms_) out.push_back(name);
+  return out;
+}
+
+}  // namespace ppc::runtime

@@ -1,0 +1,64 @@
+#include "runtime/retry_policy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/error.h"
+
+namespace ppc::runtime {
+
+RetryPolicy RetryPolicy::fixed(int attempts, Seconds interval) {
+  PPC_REQUIRE(attempts >= 1, "retry policy needs at least one attempt");
+  RetryPolicy p;
+  p.max_attempts = attempts;
+  p.initial_backoff = interval;
+  p.multiplier = 1.0;
+  p.max_backoff = interval;
+  p.jitter = 0.0;
+  return p;
+}
+
+RetryPolicy RetryPolicy::exponential(int attempts, Seconds initial, double multiplier,
+                                     Seconds cap, double jitter) {
+  PPC_REQUIRE(attempts >= 1, "retry policy needs at least one attempt");
+  PPC_REQUIRE(multiplier >= 1.0, "backoff multiplier must be >= 1");
+  PPC_REQUIRE(jitter >= 0.0 && jitter < 1.0, "jitter must be in [0, 1)");
+  RetryPolicy p;
+  p.max_attempts = attempts;
+  p.initial_backoff = initial;
+  p.multiplier = multiplier;
+  p.max_backoff = cap;
+  p.jitter = jitter;
+  return p;
+}
+
+RetryPolicy RetryPolicy::eventual_consistency() {
+  return exponential(/*attempts=*/30, /*initial=*/0.0005, /*multiplier=*/2.0,
+                     /*cap=*/0.05, /*jitter=*/0.2);
+}
+
+Seconds RetryPolicy::backoff(int attempt, Rng& rng) const {
+  if (attempt < 0) attempt = 0;
+  double sleep = initial_backoff * std::pow(multiplier, static_cast<double>(attempt));
+  sleep = std::min(sleep, max_backoff);
+  if (jitter > 0.0) sleep *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+  return std::max(sleep, 0.0);
+}
+
+Seconds RetryPolicy::total_backoff_budget() const {
+  double total = 0.0;
+  double sleep = initial_backoff;
+  for (int i = 0; i + 1 < max_attempts; ++i) {
+    total += std::min(sleep, max_backoff);
+    sleep *= multiplier;
+  }
+  return total;
+}
+
+void sleep_for(Seconds s) {
+  if (s > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+}  // namespace ppc::runtime

@@ -1,0 +1,68 @@
+// Shared retry/backoff schedule for riding out transient cloud failures —
+// the "retries" every framework in the paper leans on: eventually-consistent
+// blob reads (§2.1.1), queue redeliveries, and listing lag during the
+// reduce-stage shuffle. The seed carried two independent fixed-interval
+// implementations (classiccloud::Worker and azuremr::MrWorker); this policy
+// replaces both with exponential backoff + jitter, so a blob that becomes
+// visible quickly costs one or two polls and a slow one does not hammer the
+// storage service at a fixed rate.
+#pragma once
+
+#include <utility>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ppc::runtime {
+
+struct RetryPolicy {
+  /// Total attempts, including the first (>= 1).
+  int max_attempts = 30;
+  /// Sleep after the first miss.
+  Seconds initial_backoff = 0.0005;
+  /// Growth factor per subsequent miss (>= 1).
+  double multiplier = 2.0;
+  /// Ceiling on a single sleep.
+  Seconds max_backoff = 0.05;
+  /// Uniform +/- fraction applied to each sleep (0 = deterministic).
+  double jitter = 0.2;
+
+  /// The seed's old behaviour: `attempts` tries at a constant interval.
+  static RetryPolicy fixed(int attempts, Seconds interval);
+
+  static RetryPolicy exponential(int attempts, Seconds initial, double multiplier,
+                                 Seconds cap, double jitter = 0.2);
+
+  /// Tuned for 2010-era S3/Azure read-after-write lag: sub-millisecond first
+  /// retry, ~1 s total budget — fewer wasted polls than the seed's 50-200
+  /// fixed-interval probes, with a larger worst-case budget.
+  static RetryPolicy eventual_consistency();
+
+  /// Sleep before attempt `attempt + 1` (0-based attempt that just missed).
+  Seconds backoff(int attempt, Rng& rng) const;
+
+  /// Sum of all sleeps, ignoring jitter — the worst-case wait budget.
+  Seconds total_backoff_budget() const;
+};
+
+/// Real-thread sleep helper shared by the lifecycle and retry loops.
+void sleep_for(Seconds s);
+
+/// Retries `fn` (returning something truthy-testable, e.g. std::optional)
+/// until it yields a value or the policy's attempt budget is spent.
+/// `on_miss(attempt)` is invoked after each miss (for counters); the final
+/// miss does not sleep. Returns fn()'s last (empty) result on exhaustion.
+template <typename Fn, typename OnMiss>
+auto with_retry(const RetryPolicy& policy, Rng& rng, Fn&& fn, OnMiss&& on_miss)
+    -> decltype(fn()) {
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 0;; ++attempt) {
+    auto result = fn();
+    if (result) return result;
+    on_miss(attempt);
+    if (attempt + 1 >= attempts) return result;
+    sleep_for(policy.backoff(attempt, rng));
+  }
+}
+
+}  // namespace ppc::runtime

@@ -1,0 +1,125 @@
+#include "runtime/task_lifecycle.h"
+
+#include <functional>
+
+#include "common/log.h"
+
+namespace ppc::runtime {
+
+const std::string& TaskContext::worker_id() const { return owner_.id(); }
+
+bool TaskContext::crash_site(const std::string& site, const std::string& key) {
+  FaultInjector* faults = owner_.faults();
+  return faults != nullptr && faults->fire(site, key);
+}
+
+std::optional<std::string> TaskContext::fetch(blobstore::BlobStore& store,
+                                              const std::string& bucket,
+                                              const std::string& key) {
+  return retry([&] { return store.get(bucket, key); });
+}
+
+void TaskContext::count(std::string_view name, std::int64_t delta) {
+  owner_.metrics().counter(owner_.scoped(name)).inc(delta);
+}
+
+void TaskContext::observe(std::string_view name, double value) {
+  owner_.metrics().histogram(owner_.scoped(name)).record(value);
+}
+
+MetricsRegistry& TaskContext::metrics() { return owner_.metrics(); }
+
+TaskLifecycle::TaskLifecycle(std::string id, std::shared_ptr<cloudq::MessageQueue> task_queue,
+                             TaskHandler handler, LifecycleConfig config,
+                             std::shared_ptr<MetricsRegistry> metrics, FaultInjector* faults)
+    : id_(std::move(id)),
+      task_queue_(std::move(task_queue)),
+      handler_(std::move(handler)),
+      config_(config),
+      metrics_(metrics ? std::move(metrics) : std::make_shared<MetricsRegistry>()),
+      faults_(faults),
+      rng_(std::hash<std::string>{}(id_)) {
+  PPC_REQUIRE(task_queue_ != nullptr, "task lifecycle needs a task queue");
+  PPC_REQUIRE(handler_ != nullptr, "task lifecycle needs a handler");
+  PPC_REQUIRE(config_.visibility_timeout > 0.0, "visibility timeout must be positive");
+}
+
+TaskLifecycle::~TaskLifecycle() {
+  request_stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TaskLifecycle::start() {
+  PPC_REQUIRE(!thread_.joinable(), "task lifecycle already started");
+  running_.store(true);
+  thread_ = std::thread([this] { poll_loop(); });
+}
+
+void TaskLifecycle::request_stop() { stop_requested_.store(true); }
+
+void TaskLifecycle::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+std::string TaskLifecycle::scoped(std::string_view name) const {
+  std::string out;
+  out.reserve(id_.size() + 1 + name.size());
+  out += id_;
+  out += '.';
+  out += name;
+  return out;
+}
+
+std::int64_t TaskLifecycle::counter(std::string_view name) const {
+  return metrics_->counter_value(scoped(name));
+}
+
+void TaskLifecycle::die(const std::string& reason) {
+  metrics_->counter(scoped(counters::kCrashed)).inc();
+  metrics_->emit({"worker.crashed", {{"worker", id_}, {"reason", reason}}});
+}
+
+void TaskLifecycle::poll_loop() {
+  int idle_polls = 0;
+  while (!stop_requested_.load()) {
+    auto message = task_queue_->receive(config_.visibility_timeout);
+    if (!message) {
+      ++idle_polls;
+      if (config_.max_idle_polls >= 0 && idle_polls >= config_.max_idle_polls) break;
+      sleep_for(config_.poll_interval);
+      continue;
+    }
+    idle_polls = 0;
+    metrics_->counter(scoped(counters::kMessagesReceived)).inc();
+
+    TaskContext ctx(*this, *message);
+    TaskOutcome outcome;
+    try {
+      outcome = handler_(ctx);
+    } catch (const std::exception& e) {
+      // Leave the message; it reappears after its visibility timeout.
+      metrics_->counter(scoped(counters::kExecutionsFailed)).inc();
+      PPC_WARN << "worker " << id_ << ": task failed: " << e.what();
+      outcome = TaskOutcome::kAbandoned;
+    }
+
+    if (outcome == TaskOutcome::kCrashed) {
+      // The worker dies mid-task. The message it held stays invisible until
+      // its timeout lapses, then another worker picks it up.
+      die("fault injection");
+      break;
+    }
+    if (outcome == TaskOutcome::kCompleted) {
+      // Delete only after completion — a stale receipt (someone else re-ran
+      // the task after a visibility timeout) just fails, and idempotent
+      // tasks make either outcome correct.
+      const bool deleted = task_queue_->delete_message(message->receipt_handle);
+      metrics_->counter(scoped(counters::kTasksCompleted)).inc();
+      if (!deleted) metrics_->counter(scoped(counters::kDeletesFailed)).inc();
+      metrics_->emit({"task.completed", {{"worker", id_}, {"message", message->id}}});
+    }
+  }
+  running_.store(false);
+}
+
+}  // namespace ppc::runtime

@@ -1,0 +1,180 @@
+// The shared worker poll loop of §2.1.3, extracted once for every
+// queue-driven substrate:
+//
+//   1. receive a task message (visibility timeout hides it from twins);
+//   2. hand it to the substrate's handler, which fetches inputs with the
+//      retry policy, executes, uploads, and reports to its monitor queue;
+//   3. delete the message only after completion — the heart of the paper's
+//      fault-tolerance story: a crash before this point makes the task
+//      reappear, and a stale delete after a redelivery simply fails.
+//
+// classiccloud::Worker and azuremr::MrWorker are thin adapters over this
+// driver: they supply a TaskHandler and read their stats back out of the
+// lifecycle's MetricsRegistry. Fault injection (crash/delay/error at named
+// sites) and per-worker counters come for free.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "blobstore/blob_store.h"
+#include "cloudq/message_queue.h"
+#include "runtime/fault_injector.h"
+#include "runtime/metrics.h"
+#include "runtime/retry_policy.h"
+
+namespace ppc::runtime {
+
+/// Canonical lifecycle counter names; each worker scopes them by its id
+/// ("<id>.tasks_completed").
+namespace counters {
+inline constexpr std::string_view kMessagesReceived = "messages_received";
+inline constexpr std::string_view kTasksCompleted = "tasks_completed";
+inline constexpr std::string_view kDeletesFailed = "deletes_failed";
+inline constexpr std::string_view kDownloadsMissed = "downloads_missed";
+inline constexpr std::string_view kExecutionsFailed = "executions_failed";
+inline constexpr std::string_view kCrashed = "crashed";
+}  // namespace counters
+
+struct LifecycleConfig {
+  /// Sleep between empty polls (real seconds — keep small in tests).
+  Seconds poll_interval = 0.005;
+  /// Visibility timeout requested on receive. Must exceed the worst-case
+  /// task duration or tasks get double-processed.
+  Seconds visibility_timeout = 30.0;
+  /// Stop after this many consecutive empty polls; < 0 = run until
+  /// request_stop().
+  int max_idle_polls = -1;
+  /// Backoff schedule for eventually-consistent blob fetches.
+  RetryPolicy fetch_retry = RetryPolicy::eventual_consistency();
+};
+
+/// Verdict of one handled delivery.
+enum class TaskOutcome {
+  /// Success: the lifecycle deletes the message (delete-after-completion).
+  kCompleted,
+  /// Transient failure: leave the message to time out and be redelivered.
+  kAbandoned,
+  /// Fault injection killed the worker mid-task; the loop exits without
+  /// deleting, so the message resurfaces for another worker.
+  kCrashed,
+};
+
+class TaskLifecycle;
+
+/// Handed to the handler for one delivery: the message, plus lifecycle
+/// services (retrying fetches, fault sites, scoped metrics).
+class TaskContext {
+ public:
+  const cloudq::Message& message() const { return *message_; }
+  const std::string& worker_id() const;
+
+  /// Fires the named fault site; true = the worker should crash (the
+  /// handler returns TaskOutcome::kCrashed).
+  bool crash_site(const std::string& site, const std::string& key = "");
+
+  /// Blob download that rides out read-after-write lag with the lifecycle's
+  /// retry policy, counting `downloads_missed` per miss. nullopt when the
+  /// retry budget is exhausted (abandon the delivery; the blob will be
+  /// visible by the time the message reappears).
+  std::optional<std::string> fetch(blobstore::BlobStore& store, const std::string& bucket,
+                                   const std::string& key);
+
+  /// Generic retry with the lifecycle's policy: `fn` returns an optional-
+  /// like value; misses count as `downloads_missed`.
+  template <typename Fn>
+  auto retry(Fn&& fn) -> decltype(fn());
+
+  /// Increments the worker-scoped counter "<id>.<name>".
+  void count(std::string_view name, std::int64_t delta = 1);
+
+  /// Records into the worker-scoped histogram "<id>.<name>".
+  void observe(std::string_view name, double value);
+
+  MetricsRegistry& metrics();
+
+ private:
+  friend class TaskLifecycle;
+  TaskContext(TaskLifecycle& owner, const cloudq::Message& message)
+      : owner_(owner), message_(&message) {}
+
+  TaskLifecycle& owner_;
+  const cloudq::Message* message_;
+};
+
+using TaskHandler = std::function<TaskOutcome(TaskContext&)>;
+
+class TaskLifecycle {
+ public:
+  /// `metrics` may be shared across a pool (each lifecycle scopes its
+  /// counters by id); null creates a private registry. `faults` is borrowed,
+  /// not owned; null disables injection.
+  TaskLifecycle(std::string id, std::shared_ptr<cloudq::MessageQueue> task_queue,
+                TaskHandler handler, LifecycleConfig config = {},
+                std::shared_ptr<MetricsRegistry> metrics = nullptr,
+                FaultInjector* faults = nullptr);
+
+  ~TaskLifecycle();
+
+  TaskLifecycle(const TaskLifecycle&) = delete;
+  TaskLifecycle& operator=(const TaskLifecycle&) = delete;
+
+  /// Starts the poll loop on its own thread.
+  void start();
+
+  /// Asks the loop to exit after the current task.
+  void request_stop();
+
+  /// Blocks until the loop has exited.
+  void join();
+
+  bool running() const { return running_.load(); }
+  const std::string& id() const { return id_; }
+  const LifecycleConfig& config() const { return config_; }
+
+  MetricsRegistry& metrics() const { return *metrics_; }
+  std::shared_ptr<MetricsRegistry> metrics_ptr() const { return metrics_; }
+  FaultInjector* faults() const { return faults_; }
+
+  /// "<id>.<name>" — the scope used for this worker's metrics.
+  std::string scoped(std::string_view name) const;
+
+  /// Reads the worker-scoped counter "<id>.<name>".
+  std::int64_t counter(std::string_view name) const;
+
+  /// True once fault injection has killed this worker.
+  bool crashed() const { return counter(counters::kCrashed) > 0; }
+
+  /// The lifecycle thread's RNG (jittered backoff). Only touch from the
+  /// handler, which runs on that thread.
+  Rng& rng() { return rng_; }
+
+ private:
+  void poll_loop();
+  void die(const std::string& reason);
+
+  const std::string id_;
+  std::shared_ptr<cloudq::MessageQueue> task_queue_;
+  TaskHandler handler_;
+  LifecycleConfig config_;
+  std::shared_ptr<MetricsRegistry> metrics_;
+  FaultInjector* faults_;
+  Rng rng_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+};
+
+template <typename Fn>
+auto TaskContext::retry(Fn&& fn) -> decltype(fn()) {
+  return with_retry(owner_.config().fetch_retry, owner_.rng(), std::forward<Fn>(fn),
+                    [this](int) { count(counters::kDownloadsMissed); });
+}
+
+}  // namespace ppc::runtime

@@ -273,12 +273,11 @@ TEST_F(AzureMrTest, WorkerCrashBeforeDeleteIsRecovered) {
   // A worker dies after computing a map task but before deleting the
   // message; the task resurfaces and a surviving worker redoes it. The job
   // must still produce correct output.
-  std::atomic<bool> crashed_once{false};
+  runtime::FaultInjector faults;
+  faults.crash_once(sites::kAfterMap);
   MrWorkerConfig config;
   config.visibility_timeout = 0.2;
-  config.crash_at = [&crashed_once](const std::string& op, const std::string&) {
-    return op == "map" && !crashed_once.exchange(true);
-  };
+  config.faults = &faults;
 
   JobSpec spec;
   spec.job_id = "crashy";
@@ -294,7 +293,7 @@ TEST_F(AzureMrTest, WorkerCrashBeforeDeleteIsRecovered) {
   AzureMapReduce runtime(store_, queues_, /*num_workers=*/3, config);
   const JobResult result = runtime.run(spec);
   ASSERT_TRUE(result.succeeded);
-  EXPECT_TRUE(crashed_once.load());
+  EXPECT_EQ(faults.crashes(sites::kAfterMap), 1);
   EXPECT_EQ(result.outputs.at("a"), "1");
   EXPECT_EQ(result.outputs.at("b"), "2");
   EXPECT_EQ(result.outputs.at("c"), "3");

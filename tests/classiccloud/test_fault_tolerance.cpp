@@ -8,8 +8,9 @@
 //    failed task will not affect the result due to the idempotent nature of
 //    the independent tasks."
 //
-// These tests crash workers at every stage of the pipeline and assert that
-// no task is ever lost and results stay correct.
+// These tests crash workers at every stage of the pipeline — armed through
+// the unified runtime::FaultInjector at the worker's named sites — and
+// assert that no task is ever lost and results stay correct.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -21,11 +22,12 @@
 #include "classiccloud/job_client.h"
 #include "cloudq/queue_service.h"
 #include "common/clock.h"
+#include "runtime/fault_injector.h"
 
 namespace ppc::classiccloud {
 namespace {
 
-class FaultToleranceTest : public ::testing::TestWithParam<CrashPoint> {
+class FaultToleranceTest : public ::testing::TestWithParam<std::string> {
  protected:
   std::shared_ptr<SystemClock> clock_ = std::make_shared<SystemClock>();
   blobstore::BlobStore store_{clock_};
@@ -47,18 +49,17 @@ class FaultToleranceTest : public ::testing::TestWithParam<CrashPoint> {
 };
 
 TEST_P(FaultToleranceTest, CrashedWorkerNeverLosesTasks) {
-  const CrashPoint crash_point = GetParam();
+  const std::string& crash_site = GetParam();
   JobClient client(store_, queues_, "job");
   std::vector<std::pair<std::string, std::string>> files;
   for (int i = 0; i < 12; ++i) files.emplace_back("f" + std::to_string(i), "payload");
   client.submit(files);
 
-  // The saboteur crashes on its first task at the parameterized point.
-  std::atomic<bool> crashed_once{false};
+  // The saboteur crashes on its first task at the parameterized site.
+  runtime::FaultInjector faults;
+  faults.crash_once(crash_site);
   WorkerConfig saboteur_config = base_config(/*visibility=*/0.3);
-  saboteur_config.crash_at = [&crashed_once, crash_point](CrashPoint p, const TaskSpec&) {
-    return p == crash_point && !crashed_once.exchange(true);
-  };
+  saboteur_config.faults = &faults;
   Worker saboteur("saboteur", store_, client.task_queue(), client.monitor_queue(),
                   echo_executor(), saboteur_config);
 
@@ -75,6 +76,7 @@ TEST_P(FaultToleranceTest, CrashedWorkerNeverLosesTasks) {
   saboteur.join();
 
   EXPECT_TRUE(saboteur.stats().crashed);
+  EXPECT_EQ(faults.crashes(crash_site), 1);
   // Every output present and correct — idempotency means re-execution did
   // not corrupt anything.
   for (const TaskSpec& task : client.tasks()) {
@@ -85,16 +87,21 @@ TEST_P(FaultToleranceTest, CrashedWorkerNeverLosesTasks) {
 }
 
 INSTANTIATE_TEST_SUITE_P(CrashPoints, FaultToleranceTest,
-                         ::testing::Values(CrashPoint::kAfterReceive,
-                                           CrashPoint::kAfterExecute,
-                                           CrashPoint::kAfterUpload),
-                         [](const ::testing::TestParamInfo<CrashPoint>& info) {
-                           switch (info.param) {
-                             case CrashPoint::kAfterReceive: return "AfterReceive";
-                             case CrashPoint::kAfterExecute: return "AfterExecute";
-                             case CrashPoint::kAfterUpload: return "AfterUpload";
+                         ::testing::Values(sites::kAfterReceive, sites::kAfterExecute,
+                                           sites::kAfterUpload),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           // "classiccloud.after_receive" -> "AfterReceive"-style names.
+                           std::string name;
+                           bool upper = true;
+                           for (char c : info.param.substr(info.param.find('.') + 1)) {
+                             if (c == '_') {
+                               upper = true;
+                             } else {
+                               name += upper ? static_cast<char>(std::toupper(c)) : c;
+                               upper = false;
+                             }
                            }
-                           return "Unknown";
+                           return name;
                          });
 
 TEST(FaultTolerance, VisibilityTimeoutCausesDuplicateProcessingNotLoss) {
@@ -143,13 +150,13 @@ TEST(FaultTolerance, AllWorkersCrashThenFreshPoolFinishes) {
   for (int i = 0; i < 8; ++i) files.emplace_back("f" + std::to_string(i), "v");
   client.submit(files);
 
+  runtime::FaultInjector faults;
+  faults.crash_always(sites::kAfterExecute);  // crash every time
   WorkerConfig doomed_config;
   doomed_config.bucket = "job";
   doomed_config.poll_interval = 0.001;
   doomed_config.visibility_timeout = 0.2;
-  doomed_config.crash_at = [](CrashPoint p, const TaskSpec&) {
-    return p == CrashPoint::kAfterExecute;  // crash every time
-  };
+  doomed_config.faults = &faults;
   TaskExecutor echo = [](const TaskSpec&, const std::string& input) { return input; };
   WorkerPool doomed(store, client.task_queue(), client.monitor_queue(), echo, doomed_config, 2,
                     "doomed");

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
+#include <thread>
 
 #include "common/error.h"
 
@@ -42,6 +45,36 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     }
   }  // destructor must wait for all 50
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, TrySubmitAcceptsWorkWhileRunning) {
+  ThreadPool pool(2);
+  auto fut = pool.try_submit([] { return 7; });
+  ASSERT_TRUE(fut.has_value());
+  EXPECT_EQ(fut->get(), 7);
+}
+
+TEST(ThreadPool, TrySubmitRejectsWorkDuringShutdown) {
+  // A worker task observes the pool's destruction from the inside: once the
+  // destructor flips the pool into draining mode, try_submit must return
+  // nullopt instead of throwing or enqueueing.
+  std::atomic<bool> saw_rejection{false};
+  std::promise<void> task_started;
+  auto pool = std::make_unique<ThreadPool>(1);
+  ThreadPool* raw = pool.get();
+  (void)pool->try_submit([&] {
+    task_started.set_value();
+    for (int i = 0; i < 5000; ++i) {
+      if (!raw->try_submit([] {}).has_value()) {
+        saw_rejection = true;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  task_started.get_future().wait();
+  pool.reset();  // destructor flips stopping_, then drains and joins
+  EXPECT_TRUE(saw_rejection.load());
 }
 
 TEST(ThreadPool, RejectsZeroThreads) {

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/error.h"
+#include "runtime/fault_injector.h"
 
 namespace ppc::mapreduce {
 namespace {
@@ -70,11 +71,10 @@ TEST_F(LocalJobRunnerTest, MapReceivesNameAndPathKeyValue) {
 TEST_F(LocalJobRunnerTest, RetriesFailedAttempts) {
   const auto paths = write_inputs(6);
   LocalJobRunner runner(hdfs_);
-  std::atomic<int> failures_left{3};
+  runtime::FaultInjector faults;
+  faults.error_times(sites::kMapAttempt, "injected crash", 3);
   JobConfig config;
-  config.attempt_hook = [&](const Assignment&) {
-    if (failures_left.fetch_sub(1) > 0) throw std::runtime_error("injected crash");
-  };
+  config.faults = &faults;
   const auto result = runner.run(
       paths, [](const FileRecord&, const std::string&) { return std::string("out"); }, config);
   EXPECT_TRUE(result.succeeded);

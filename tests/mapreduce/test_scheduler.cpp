@@ -164,6 +164,80 @@ TEST(TaskScheduler, FailureAfterTwinCompletionDoesNotRequeue) {
   EXPECT_FALSE(sched.next_task(0, 107.0).has_value());
 }
 
+TEST(TaskScheduler, NoSpeculationBelowMinCompletions) {
+  // With fewer completions than the configured floor there is no reliable
+  // median to judge stragglers against, so no duplicates may launch no
+  // matter how long an attempt has been running.
+  SchedulerConfig config;
+  config.min_completions_for_speculation = 3;
+  TaskScheduler sched(make_tasks(4), config);
+  auto a0 = sched.next_task(0, 0.0);
+  auto a1 = sched.next_task(0, 0.0);
+  sched.report_completed(*a0, 10.0);
+  sched.report_completed(*a1, 10.0);  // only 2 completions: below the floor
+  auto straggler = sched.next_task(0, 10.0);
+  auto other = sched.next_task(0, 10.0);
+  ASSERT_TRUE(straggler.has_value());
+  ASSERT_TRUE(other.has_value());
+  // Both remaining tasks run absurdly long; an idle node still gets nothing.
+  EXPECT_FALSE(sched.next_task(1, 100000.0).has_value());
+  EXPECT_EQ(sched.stats().speculative_assignments, 0);
+}
+
+TEST(TaskScheduler, OriginalCompletionWinsRaceAgainstSpeculativeTwin) {
+  // The mirror image of the twin-wins case: the original attempt finishes
+  // first, so the speculative duplicate's completion must be rejected and
+  // recorded as wasted work — and the task completes exactly once.
+  SchedulerConfig config;
+  config.min_completions_for_speculation = 1;
+  TaskScheduler sched(make_tasks(2), config);
+  auto fast = sched.next_task(0, 0.0);
+  sched.report_completed(*fast, 5.0);
+  auto original = sched.next_task(0, 5.0);
+  auto twin = sched.next_task(1, 100.0);
+  ASSERT_TRUE(twin.has_value());
+  EXPECT_TRUE(twin->speculative);
+  EXPECT_EQ(twin->task_id, original->task_id);
+
+  EXPECT_TRUE(sched.report_completed(*original, 101.0));
+  EXPECT_FALSE(sched.attempt_useful(*twin));  // engines may kill it here
+  EXPECT_FALSE(sched.report_completed(*twin, 102.0));
+  EXPECT_EQ(sched.stats().wasted_attempts, 1);
+  EXPECT_EQ(sched.stats().completed_tasks, 2);
+  EXPECT_TRUE(sched.job_succeeded());
+}
+
+TEST(TaskScheduler, RetryBudgetExhaustionFailsJobWhileOthersComplete) {
+  // One poisoned task burns its whole attempt budget while healthy tasks
+  // complete around it: the job must end, be marked failed, and hand out no
+  // further attempts for the dead task.
+  SchedulerConfig config;
+  config.max_attempts = 3;
+  TaskScheduler sched(make_tasks(3), config);
+  int failures = 0;
+  Seconds now = 0.0;
+  while (!sched.job_done()) {
+    ASSERT_LT(now, 1000.0) << "scheduler failed to converge";
+    const auto a = sched.next_task(0, now);
+    now += 1.0;
+    if (!a.has_value()) continue;
+    if (a->task_id == 1) {
+      sched.report_failed(*a, now);
+      ++failures;
+    } else {
+      sched.report_completed(*a, now);
+    }
+  }
+  EXPECT_EQ(failures, 3);  // exactly max_attempts failures before giving up
+  EXPECT_FALSE(sched.job_succeeded());
+  EXPECT_FALSE(sched.task_completed(1));
+  EXPECT_TRUE(sched.task_completed(0));
+  EXPECT_TRUE(sched.task_completed(2));
+  EXPECT_EQ(sched.stats().failed_attempts, 3);
+  EXPECT_EQ(sched.stats().completed_tasks, 2);
+  EXPECT_FALSE(sched.next_task(0, now).has_value());
+}
+
 TEST(TaskScheduler, RejectsMalformedConstruction) {
   EXPECT_THROW(TaskScheduler({}, {}), ppc::InvalidArgument);
   std::vector<TaskInfo> bad = make_tasks(2);

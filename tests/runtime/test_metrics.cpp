@@ -1,0 +1,100 @@
+#include "runtime/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ppc::runtime {
+namespace {
+
+TEST(MetricsRegistry, CountersCreateOnDemandAndAccumulate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter_value("w0.tasks_completed"), 0);  // never touched
+  reg.counter("w0.tasks_completed").inc();
+  reg.counter("w0.tasks_completed").inc(4);
+  EXPECT_EQ(reg.counter_value("w0.tasks_completed"), 5);
+}
+
+TEST(MetricsRegistry, CounterReferencesStayValidAsRegistryGrows) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("hot");
+  // Creating many more counters must not invalidate the earlier reference.
+  for (int i = 0; i < 100; ++i) reg.counter("c" + std::to_string(i)).inc();
+  first.inc(3);
+  EXPECT_EQ(reg.counter_value("hot"), 3);
+}
+
+TEST(MetricsRegistry, SumCountersAggregatesWorkerScopedNames) {
+  MetricsRegistry reg;
+  reg.counter("w0.tasks_completed").inc(2);
+  reg.counter("w1.tasks_completed").inc(3);
+  reg.counter("w0.deletes_failed").inc(9);  // different suffix: excluded
+  EXPECT_EQ(reg.sum_counters(".tasks_completed"), 5);
+  EXPECT_EQ(reg.sum_counters(".deletes_failed"), 9);
+  EXPECT_EQ(reg.sum_counters(".absent"), 0);
+}
+
+TEST(MetricsRegistry, GaugesHoldTheLastValue) {
+  MetricsRegistry reg;
+  EXPECT_DOUBLE_EQ(reg.gauge("eff"), 0.0);
+  reg.set_gauge("eff", 0.913);
+  reg.set_gauge("eff", 0.924);
+  EXPECT_DOUBLE_EQ(reg.gauge("eff"), 0.924);
+}
+
+TEST(MetricsRegistry, HistogramsRecordIntoSampleSets) {
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.histogram("task_seconds");
+  h.record(1.0);
+  h.record(3.0);
+  EXPECT_EQ(h.count(), 2u);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count(), 2u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 2.0);
+  EXPECT_EQ(reg.histogram_names(), (std::vector<std::string>{"task_seconds"}));
+}
+
+TEST(MetricsRegistry, SnapshotsListEveryName) {
+  MetricsRegistry reg;
+  reg.counter("a").inc();
+  reg.counter("b").inc(2);
+  reg.set_gauge("g", 1.5);
+  const auto counters = reg.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a");
+  EXPECT_EQ(counters[0].second, 1);
+  EXPECT_EQ(counters[1].first, "b");
+  EXPECT_EQ(counters[1].second, 2);
+  const auto gauges = reg.gauges();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].first, "g");
+}
+
+TEST(MetricsRegistry, EventsReachTheSinkAndDropWithoutOne) {
+  MetricsRegistry reg;
+  reg.emit({"ignored.event", {}});  // no sink: must not crash
+  std::vector<MetricEvent> seen;
+  reg.set_event_sink([&seen](const MetricEvent& e) { seen.push_back(e); });
+  reg.emit({"task.completed", {{"worker", "w0"}, {"task", "t3"}}});
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].name, "task.completed");
+  ASSERT_EQ(seen[0].fields.size(), 2u);
+  EXPECT_EQ(seen[0].fields[0].second, "w0");
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("shared");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter_value("shared"), 40000);
+}
+
+}  // namespace
+}  // namespace ppc::runtime

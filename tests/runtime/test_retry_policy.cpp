@@ -1,0 +1,107 @@
+#include "runtime/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppc::runtime {
+namespace {
+
+// Deterministic schedules use jitter = 0 so backoff() is exact.
+
+TEST(RetryPolicy, FixedPolicyKeepsConstantInterval) {
+  const RetryPolicy p = RetryPolicy::fixed(5, 0.01);
+  Rng rng(1);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_DOUBLE_EQ(p.backoff(attempt, rng), 0.01);
+  }
+  EXPECT_DOUBLE_EQ(p.total_backoff_budget(), 4 * 0.01);  // no sleep after the last miss
+}
+
+TEST(RetryPolicy, ExponentialGrowsAndCaps) {
+  const RetryPolicy p = RetryPolicy::exponential(6, 0.001, 2.0, 0.004, /*jitter=*/0.0);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(p.backoff(0, rng), 0.001);
+  EXPECT_DOUBLE_EQ(p.backoff(1, rng), 0.002);
+  EXPECT_DOUBLE_EQ(p.backoff(2, rng), 0.004);
+  EXPECT_DOUBLE_EQ(p.backoff(3, rng), 0.004);  // capped
+  EXPECT_DOUBLE_EQ(p.backoff(9, rng), 0.004);
+}
+
+TEST(RetryPolicy, JitterStaysWithinBand) {
+  const RetryPolicy p = RetryPolicy::exponential(3, 0.01, 1.0, 0.01, /*jitter=*/0.2);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Seconds s = p.backoff(0, rng);
+    EXPECT_GE(s, 0.008);
+    EXPECT_LE(s, 0.012);
+  }
+}
+
+TEST(RetryPolicy, EventualConsistencyBudgetIsSubSecondFriendly) {
+  const RetryPolicy p = RetryPolicy::eventual_consistency();
+  EXPECT_GE(p.max_attempts, 10);
+  EXPECT_LT(p.initial_backoff, 0.01);   // first retry is cheap
+  EXPECT_GT(p.total_backoff_budget(), 0.5);  // but the total budget rides out real lag
+}
+
+TEST(WithRetry, ImmediateSuccessNeverSleepsOrCountsMisses) {
+  const RetryPolicy p = RetryPolicy::fixed(5, 10.0);  // a sleep would hang the test
+  Rng rng(1);
+  int misses = 0;
+  const auto result =
+      with_retry(p, rng, [] { return std::optional<int>(42); }, [&](int) { ++misses; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(misses, 0);
+}
+
+TEST(WithRetry, SucceedsMidBudgetAfterCountedMisses) {
+  const RetryPolicy p = RetryPolicy::fixed(10, 0.0001);
+  Rng rng(1);
+  int calls = 0;
+  std::vector<int> miss_attempts;
+  const auto result = with_retry(
+      p, rng,
+      [&]() -> std::optional<int> {
+        ++calls;
+        if (calls < 4) return std::nullopt;
+        return 7;
+      },
+      [&](int attempt) { miss_attempts.push_back(attempt); });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 7);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(miss_attempts, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(WithRetry, ExhaustionReturnsEmptyAfterMaxAttempts) {
+  const RetryPolicy p = RetryPolicy::fixed(4, 0.0001);
+  Rng rng(1);
+  int calls = 0;
+  int misses = 0;
+  const auto result = with_retry(
+      p, rng, [&]() -> std::optional<int> { ++calls; return std::nullopt; },
+      [&](int) { ++misses; });
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(misses, 4);
+}
+
+TEST(WithRetry, DegenerateAttemptBudgetStillRunsOnce) {
+  RetryPolicy p = RetryPolicy::fixed(1, 0.0001);
+  p.max_attempts = 0;  // misconfigured; must behave like 1
+  Rng rng(1);
+  int calls = 0;
+  const auto result =
+      with_retry(p, rng, [&]() -> std::optional<int> { ++calls; return std::nullopt; },
+                 [](int) {});
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace ppc::runtime

@@ -35,6 +35,7 @@
 #include "core/drivers.h"
 #include "core/experiments.h"
 #include "core/feature_matrix.h"
+#include "runtime/metrics.h"
 
 using namespace ppc;
 using namespace ppc::core;
@@ -109,6 +110,11 @@ int cmd_simulate(const Options& opts) {
   params.seed = static_cast<unsigned>(opt_int(opts, "seed", 42));
   params.visibility_timeout = std::stod(opt(opts, "visibility", "7200"));
 
+  // All frameworks publish into one MetricsRegistry; the report below reads
+  // Eq 1 / Eq 2 from it rather than from the per-substrate result struct.
+  runtime::MetricsRegistry metrics;
+  params.metrics = &metrics;
+
   const std::string framework = opt(opts, "framework", "classic");
   RunResult r;
   if (framework == "classic") {
@@ -121,15 +127,21 @@ int cmd_simulate(const Options& opts) {
     throw InvalidArgument("unknown --framework: " + framework);
   }
 
+  const std::string prefix = r.framework + ".";
   Table table("Simulation result");
   table.set_header({"Metric", "Value"});
   table.add_row({"Framework", r.framework});
   table.add_row({"Deployment", r.deployment_label});
-  table.add_row({"Tasks completed", std::to_string(r.completed) + "/" + std::to_string(r.tasks)});
-  table.add_row({"Makespan", format_duration(r.makespan)});
-  table.add_row({"Parallel efficiency (Eq 1)", Table::num(r.parallel_efficiency, 3)});
-  table.add_row({"Per-core time per task (Eq 2)", Table::num(r.per_core_task_seconds, 1) + " s"});
-  table.add_row({"Duplicate executions", std::to_string(r.duplicate_executions)});
+  table.add_row({"Tasks completed",
+                 std::to_string(metrics.counter_value(prefix + "completed")) + "/" +
+                     std::to_string(metrics.counter_value(prefix + "tasks"))});
+  table.add_row({"Makespan", format_duration(metrics.gauge(prefix + "makespan_seconds"))});
+  table.add_row({"Parallel efficiency (Eq 1)",
+                 Table::num(metrics.gauge(prefix + "parallel_efficiency"), 3)});
+  table.add_row({"Per-core time per task (Eq 2)",
+                 Table::num(metrics.gauge(prefix + "per_core_task_seconds"), 1) + " s"});
+  table.add_row({"Duplicate executions",
+                 std::to_string(metrics.counter_value(prefix + "duplicate_executions"))});
   if (r.compute_cost_hour_units > 0.0) {
     table.add_row({"Compute cost (hour units)", "$" + Table::num(r.compute_cost_hour_units, 2)});
     table.add_row({"Compute cost (amortized)", "$" + Table::num(r.compute_cost_amortized, 2)});
