@@ -1,0 +1,448 @@
+// Machine-readable performance baseline: times each optimized kernel
+// against a naive reference compiled into this binary (the seed's
+// algorithms), plus each substrate end to end on a fixed micro workload,
+// and emits BENCH_micro.json. CI runs `bench_json --check bench/baseline.json`
+// and fails when any kernel regresses more than 2x against the checked-in
+// baseline.
+//
+// Timing discipline: every kernel sample is the MINIMUM of several runs —
+// on a shared core the minimum estimates the uncontended cost, where mean
+// and median absorb scheduler noise.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/blast/aligner.h"
+#include "apps/blast/db.h"
+#include "apps/blast/protein.h"
+#include "apps/gtm/matrix.h"
+#include "blobstore/blob_store.h"
+#include "classiccloud/job_client.h"
+#include "cloudq/queue_service.h"
+#include "azuremr/runtime.h"
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace ppc;
+using apps::gtm::Matrix;
+
+// --------------------------------------------------------------------------
+// Timing
+// --------------------------------------------------------------------------
+
+template <typename Fn>
+double min_seconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct KernelResult {
+  std::string name;
+  double ns_per_op = 0.0;        // optimized kernel
+  double naive_ns_per_op = 0.0;  // reference compiled into this binary
+  double speedup = 0.0;
+};
+
+struct SubstrateResult {
+  std::string name;
+  int tasks = 0;
+  double seconds = 0.0;
+  double tasks_per_second = 0.0;
+};
+
+// --------------------------------------------------------------------------
+// Naive kernel references (the seed's algorithms)
+// --------------------------------------------------------------------------
+
+/// The seed's multiply: i-k-j loop order streaming B row-wise.
+Matrix naive_multiply(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* b_row = &b.data()[k * b.cols()];
+      double* c_row = &c.data()[i * b.cols()];
+      for (std::size_t j = 0; j < b.cols(); ++j) c_row[j] += aik * b_row[j];
+    }
+  }
+  return c;
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+/// The seed's string-keyed BLAST index: one substring allocation and one
+/// string hash per database position, rebuilt here as the build+search
+/// reference.
+class NaiveBlastIndex {
+ public:
+  NaiveBlastIndex(const apps::blast::SequenceDb& db, apps::blast::AlignerConfig config)
+      : db_(db), config_(config) {
+    for (std::size_t s = 0; s < db_.size(); ++s) {
+      const std::string& seq = db_.record(s).seq;
+      if (seq.size() < config_.k) continue;
+      for (std::size_t p = 0; p + config_.k <= seq.size(); ++p) {
+        bool standard = true;
+        for (std::size_t i = 0; i < config_.k; ++i) {
+          standard = standard && apps::blast::amino_index(seq[p + i]) >= 0;
+        }
+        if (standard) index_[seq.substr(p, config_.k)].push_back({s, p});
+      }
+    }
+  }
+
+  int search(const apps::blast::FastaRecord& query) const {
+    const std::string& q = query.seq;
+    if (q.size() < config_.k) return 0;
+    std::map<std::size_t, int> best_per_subject;
+    for (std::size_t qp = 0; qp + config_.k <= q.size(); ++qp) {
+      int seed_score = 0;
+      bool standard = true;
+      for (std::size_t i = 0; i < config_.k; ++i) {
+        standard = standard && apps::blast::amino_index(q[qp + i]) >= 0;
+        seed_score += apps::blast::blosum62(q[qp + i], q[qp + i]);
+      }
+      if (!standard || seed_score < config_.seed_threshold) continue;
+      const auto it = index_.find(q.substr(qp, config_.k));
+      if (it == index_.end()) continue;
+      for (const auto& [sidx, sp] : it->second) {
+        const std::string& s = db_.record(sidx).seq;
+        int best_score = seed_score;
+        std::size_t best_right = config_.k;
+        int run = seed_score;
+        for (std::size_t i = config_.k; qp + i < q.size() && sp + i < s.size();) {
+          run += apps::blast::blosum62(q[qp + i], s[sp + i]);
+          ++i;
+          if (run > best_score) {
+            best_score = run;
+            best_right = i;
+          } else if (run < best_score - config_.x_drop) {
+            break;
+          }
+        }
+        int local_best = best_score;
+        run = best_score;
+        for (std::size_t i = 0; qp > i && sp > i;) {
+          ++i;
+          run += apps::blast::blosum62(q[qp - i], s[sp - i]);
+          if (run > local_best) {
+            local_best = run;
+          } else if (run < local_best - config_.x_drop) {
+            break;
+          }
+        }
+        (void)best_right;
+        if (local_best < config_.score_cutoff) continue;
+        int& cur = best_per_subject[sidx];
+        cur = std::max(cur, local_best);
+      }
+    }
+    int total = 0;
+    for (const auto& [_, score] : best_per_subject) total += score;
+    return total;
+  }
+
+ private:
+  apps::blast::SequenceDb db_;
+  apps::blast::AlignerConfig config_;
+  std::map<std::string, std::vector<std::pair<std::size_t, std::size_t>>> index_;
+};
+
+// --------------------------------------------------------------------------
+// Kernel benchmarks
+// --------------------------------------------------------------------------
+
+KernelResult bench_matrix_multiply() {
+  Rng rng(1);
+  const std::size_t n = 512;
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  volatile double sink = 0.0;
+
+  const double fast = min_seconds(7, [&] { sink = a.multiply(b)(0, 0); });
+  const double naive = min_seconds(5, [&] { sink = naive_multiply(a, b)(0, 0); });
+  (void)sink;
+  return {"matrix_multiply_512", fast * 1e9, naive * 1e9, naive / fast};
+}
+
+KernelResult bench_cholesky() {
+  Rng rng(2);
+  const std::size_t n = 160, cols = 32;
+  const Matrix b0 = random_matrix(n, n, rng);
+  Matrix a = b0.multiply(b0.transpose());
+  a.add_diagonal(static_cast<double>(n));
+  const Matrix rhs = random_matrix(n, cols, rng);
+  volatile double sink = 0.0;
+
+  const double fast =
+      min_seconds(9, [&] { sink = apps::gtm::cholesky_solve_matrix(a, rhs)(0, 0); });
+  // The seed's behavior: one full factorization per right-hand-side column.
+  const double naive = min_seconds(5, [&] {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      std::vector<double> col(n);
+      for (std::size_t r = 0; r < n; ++r) col[r] = rhs(r, c);
+      acc += apps::gtm::cholesky_solve(a, col)[0];
+    }
+    sink = acc;
+  });
+  (void)sink;
+  return {"cholesky_solve_matrix_160x32", fast * 1e9, naive * 1e9, naive / fast};
+}
+
+KernelResult bench_blast() {
+  Rng rng(3);
+  apps::blast::DbGenConfig db_config;
+  db_config.num_sequences = 60;
+  const auto db = apps::blast::SequenceDb::generate(db_config, rng);
+  std::vector<apps::blast::FastaRecord> queries;
+  for (int i = 0; i < 20; ++i) {
+    queries.push_back({"q" + std::to_string(i),
+                       apps::blast::plant_query(db, static_cast<std::size_t>(i % 60), 120,
+                                                i % 3 == 0 ? 0.0 : 0.1, rng)});
+  }
+  volatile int sink = 0;
+
+  const double fast = min_seconds(7, [&] {
+    apps::blast::BlastIndex index(db);
+    int acc = 0;
+    for (const auto& q : queries) acc += static_cast<int>(index.search(q).size());
+    sink = acc;
+  });
+  const double naive = min_seconds(5, [&] {
+    NaiveBlastIndex index(db, apps::blast::AlignerConfig{});
+    int acc = 0;
+    for (const auto& q : queries) acc += index.search(q);
+    sink = acc;
+  });
+  (void)sink;
+  return {"blast_build_search_60x20", fast * 1e9, naive * 1e9, naive / fast};
+}
+
+// --------------------------------------------------------------------------
+// Substrate end-to-end micro workload
+// --------------------------------------------------------------------------
+
+SubstrateResult bench_classiccloud() {
+  const int kTasks = 24;
+  auto run_once = [&] {
+    auto clock = std::make_shared<SystemClock>();
+    blobstore::BlobStore store(clock);
+    cloudq::QueueService queues(clock);
+    classiccloud::JobClient client(store, queues, "bench-job");
+    std::vector<std::pair<std::string, std::string>> files;
+    for (int i = 0; i < kTasks; ++i) {
+      files.emplace_back("f" + std::to_string(i), std::string(4096, 'x'));
+    }
+    client.submit(files);
+    classiccloud::TaskExecutor executor =
+        [](const classiccloud::TaskSpec&, const std::string& input) { return input; };
+    classiccloud::WorkerConfig config;
+    config.poll_interval = 0.0005;
+    classiccloud::WorkerPool pool(store, client.task_queue(), client.monitor_queue(), executor,
+                                  config, 3);
+    pool.start_all();
+    const bool done = client.wait_for_completion(30.0, 0.0005);
+    pool.stop_all();
+    pool.join_all();
+    if (!done) std::fprintf(stderr, "classiccloud micro workload timed out\n");
+  };
+  const double secs = min_seconds(3, run_once);
+  return {"classiccloud", kTasks, secs, kTasks / secs};
+}
+
+SubstrateResult bench_azuremr() {
+  const int kMaps = 4, kReduces = 2;
+  auto run_once = [&] {
+    auto clock = std::make_shared<SystemClock>();
+    blobstore::BlobStore store(clock);
+    cloudq::QueueService queues(clock);
+    azuremr::AzureMapReduce mr(store, queues, 2);
+    azuremr::JobSpec spec;
+    spec.job_id = "bench-mr";
+    for (int i = 0; i < kMaps; ++i) {
+      spec.inputs.emplace_back("in" + std::to_string(i), std::string(4096, 'y'));
+    }
+    spec.num_reduce_tasks = kReduces;
+    spec.map = [](const std::string& name, const std::string& data, const std::string&) {
+      return std::vector<azuremr::KeyValue>{{name, std::to_string(data.size())}};
+    };
+    spec.reduce = [](const std::string&, const std::vector<std::string>& values) {
+      return values.front();
+    };
+    const auto result = mr.run(spec);
+    if (!result.succeeded) std::fprintf(stderr, "azuremr micro workload failed\n");
+  };
+  const double secs = min_seconds(3, run_once);
+  const int tasks = kMaps + kReduces;
+  return {"azuremr", tasks, secs, tasks / secs};
+}
+
+SubstrateResult bench_data_plane() {
+  // Raw data-plane round trip: 1 MB blob put+get plus a queue
+  // send/receive/delete per task — the per-task substrate overhead every
+  // framework pays.
+  const int kOps = 200;
+  auto clock = std::make_shared<ManualClock>();
+  blobstore::BlobStore store(clock);
+  cloudq::MessageQueue queue("q", clock);
+  const std::string payload(1024 * 1024, 'z');
+  const double secs = min_seconds(5, [&] {
+    for (int i = 0; i < kOps; ++i) {
+      const std::string key = "k" + std::to_string(i % 16);
+      store.put("b", key, payload);
+      auto blob = store.get("b", key);
+      queue.send("task=" + key);
+      const auto msg = queue.receive(30.0);
+      queue.delete_message(msg->receipt_handle);
+      if (!blob || blob->size() != payload.size()) {
+        std::fprintf(stderr, "data plane round trip corrupted\n");
+      }
+    }
+  });
+  return {"data_plane_1mb_roundtrip", kOps, secs, kOps / secs};
+}
+
+// --------------------------------------------------------------------------
+// JSON emit / baseline check
+// --------------------------------------------------------------------------
+
+std::string to_json(const std::vector<KernelResult>& kernels,
+                    const std::vector<SubstrateResult>& substrates) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << "{\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const auto& k = kernels[i];
+    os << "    {\"name\": \"" << k.name << "\", \"ns_per_op\": " << k.ns_per_op
+       << ", \"naive_ns_per_op\": " << k.naive_ns_per_op << ", \"speedup\": ";
+    os.precision(2);
+    os << k.speedup;
+    os.precision(1);
+    os << "}" << (i + 1 < kernels.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"substrates\": [\n";
+  for (std::size_t i = 0; i < substrates.size(); ++i) {
+    const auto& s = substrates[i];
+    os << "    {\"name\": \"" << s.name << "\", \"tasks\": " << s.tasks
+       << ", \"seconds\": ";
+    os.precision(4);
+    os << s.seconds;
+    os.precision(1);
+    os << ", \"tasks_per_second\": " << s.tasks_per_second << "}"
+       << (i + 1 < substrates.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+/// Pulls {"name", "ns_per_op"} pairs out of a baseline file written by this
+/// binary. Not a general JSON parser; it understands exactly our format.
+std::map<std::string, double> parse_baseline_kernels(const std::string& text) {
+  std::map<std::string, double> out;
+  std::size_t pos = 0;
+  while ((pos = text.find("\"name\": \"", pos)) != std::string::npos) {
+    pos += std::strlen("\"name\": \"");
+    const std::size_t name_end = text.find('"', pos);
+    if (name_end == std::string::npos) break;
+    const std::string name = text.substr(pos, name_end - pos);
+    const std::size_t ns_key = text.find("\"ns_per_op\": ", name_end);
+    if (ns_key == std::string::npos) break;
+    out[name] = std::strtod(text.c_str() + ns_key + std::strlen("\"ns_per_op\": "), nullptr);
+    pos = name_end;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output_path = "BENCH_micro.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      output_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--check BASELINE.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<KernelResult> kernels;
+  kernels.push_back(bench_matrix_multiply());
+  std::fprintf(stderr, "%-30s %12.0f ns/op  (naive %12.0f, %.2fx)\n", kernels.back().name.c_str(),
+               kernels.back().ns_per_op, kernels.back().naive_ns_per_op, kernels.back().speedup);
+  kernels.push_back(bench_cholesky());
+  std::fprintf(stderr, "%-30s %12.0f ns/op  (naive %12.0f, %.2fx)\n", kernels.back().name.c_str(),
+               kernels.back().ns_per_op, kernels.back().naive_ns_per_op, kernels.back().speedup);
+  kernels.push_back(bench_blast());
+  std::fprintf(stderr, "%-30s %12.0f ns/op  (naive %12.0f, %.2fx)\n", kernels.back().name.c_str(),
+               kernels.back().ns_per_op, kernels.back().naive_ns_per_op, kernels.back().speedup);
+
+  std::vector<SubstrateResult> substrates;
+  substrates.push_back(bench_classiccloud());
+  substrates.push_back(bench_azuremr());
+  substrates.push_back(bench_data_plane());
+  for (const auto& s : substrates) {
+    std::fprintf(stderr, "%-30s %8.1f tasks/s (%d tasks in %.4fs)\n", s.name.c_str(),
+                 s.tasks_per_second, s.tasks, s.seconds);
+  }
+
+  const std::string json = to_json(kernels, substrates);
+  std::ofstream out(output_path);
+  out << json;
+  out.close();
+  std::fprintf(stderr, "wrote %s\n", output_path.c_str());
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const auto baseline = parse_baseline_kernels(buf.str());
+    bool ok = true;
+    for (const auto& k : kernels) {
+      const auto it = baseline.find(k.name);
+      if (it == baseline.end()) {
+        std::fprintf(stderr, "NOTE: %s has no baseline entry (new kernel?)\n", k.name.c_str());
+        continue;
+      }
+      const double ratio = k.ns_per_op / it->second;
+      if (ratio > 2.0) {
+        std::fprintf(stderr, "FAIL: %s is %.2fx slower than baseline (%.0f vs %.0f ns/op)\n",
+                     k.name.c_str(), ratio, k.ns_per_op, it->second);
+        ok = false;
+      } else {
+        std::fprintf(stderr, "OK:   %s at %.2fx of baseline\n", k.name.c_str(), ratio);
+      }
+    }
+    if (!ok) return 1;
+  }
+  return 0;
+}

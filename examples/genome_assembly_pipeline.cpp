@@ -58,7 +58,8 @@ int main() {
     pool.stop_all();
     pool.join_all();
     for (const auto& task : client.tasks()) {
-      classic_out[task.input_key.substr(6)] = client.fetch_output(task).value_or("");
+      const auto out = client.fetch_output(task);
+      classic_out[task.input_key.substr(6)] = out ? *out : "";
     }
     std::printf("Classic Cloud : %zu outputs via queue '%s'\n", classic_out.size(),
                 client.task_queue()->name().c_str());

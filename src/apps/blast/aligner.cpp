@@ -1,7 +1,6 @@
 #include "apps/blast/aligner.h"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 
 #include "apps/blast/protein.h"
@@ -11,24 +10,53 @@
 namespace ppc::apps::blast {
 
 namespace {
-int kmer_self_score(const std::string& kmer) {
-  int s = 0;
-  for (char c : kmer) s += blosum62(c, c);
-  return s;
+
+constexpr unsigned kBitsPerResidue = 5;
+
+/// Walks `seq` emitting the packed code of every k-mer whose residues are
+/// all standard, as fn(position, code). Rolling: one table lookup, one
+/// shift-or and one mask per position instead of a substring + hash.
+template <typename Fn>
+void for_each_kmer(const std::string& seq, std::size_t k, Fn&& fn) {
+  if (seq.size() < k) return;
+  const std::uint32_t mask = (std::uint32_t{1} << (kBitsPerResidue * k)) - 1;
+  std::uint32_t code = 0;
+  std::size_t run = 0;  // consecutive standard residues ending here
+  for (std::size_t p = 0; p < seq.size(); ++p) {
+    const int idx = amino_index(seq[p]);
+    if (idx < 0) {
+      run = 0;
+      code = 0;
+      continue;
+    }
+    code = ((code << kBitsPerResidue) | static_cast<std::uint32_t>(idx)) & mask;
+    if (++run >= k) fn(p + 1 - k, code);
+  }
 }
+
+/// BLOSUM62 self-scores of every query position (b(c,c); -4 for ambiguity
+/// codes), prefix-summed so a k-mer's self-score is one subtraction —
+/// computed once per query instead of once per position per posting walk.
+std::vector<int> self_score_prefix(const std::string& seq) {
+  std::vector<int> prefix(seq.size() + 1, 0);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    prefix[i + 1] = prefix[i] + blosum62(seq[i], seq[i]);
+  }
+  return prefix;
+}
+
 }  // namespace
 
 BlastIndex::BlastIndex(const SequenceDb& db, AlignerConfig config)
     : db_(db), config_(config) {
   PPC_REQUIRE(config_.k >= 2 && config_.k <= 6, "k must be in [2, 6]");
   PPC_REQUIRE(db_.size() >= 1, "database is empty");
+  index_.reserve(db_.total_residues());
   for (std::size_t s = 0; s < db_.size(); ++s) {
     const std::string& seq = db_.record(s).seq;
-    if (seq.size() < config_.k) continue;
-    for (std::size_t p = 0; p + config_.k <= seq.size(); ++p) {
-      index_[seq.substr(p, config_.k)].push_back(
-          {static_cast<std::uint32_t>(s), static_cast<std::uint32_t>(p)});
-    }
+    for_each_kmer(seq, config_.k, [&](std::size_t p, KmerCode code) {
+      index_[code].push_back({static_cast<std::uint32_t>(s), static_cast<std::uint32_t>(p)});
+    });
   }
 }
 
@@ -40,26 +68,25 @@ std::vector<Hit> BlastIndex::search(const FastaRecord& query) const {
     std::size_t qstart = 0;
     std::size_t sstart = 0;
   };
-  std::map<std::uint32_t, Best> best_per_subject;
+  std::unordered_map<std::uint32_t, Best> best_per_subject;
+  best_per_subject.reserve(64);
 
   const std::string& q = query.seq;
   if (q.size() < config_.k) return {};
 
-  for (std::size_t qp = 0; qp + config_.k <= q.size(); ++qp) {
-    const std::string kmer = q.substr(qp, config_.k);
-    if (kmer_self_score(kmer) < config_.seed_threshold) continue;
-    const auto it = index_.find(kmer);
-    if (it == index_.end()) continue;
+  const std::vector<int> self_prefix = self_score_prefix(q);
+
+  for_each_kmer(q, config_.k, [&](std::size_t qp, KmerCode code) {
+    if (self_prefix[qp + config_.k] - self_prefix[qp] < config_.seed_threshold) return;
+    const auto it = index_.find(code);
+    if (it == index_.end()) return;
 
     for (const Posting& posting : it->second) {
       const std::string& s = db_.record(posting.seq).seq;
       const std::size_t sp = posting.pos;
 
-      // Seed score.
-      int score = 0;
-      for (std::size_t i = 0; i < config_.k; ++i) {
-        score += blosum62(q[qp + i], s[sp + i]);
-      }
+      // Seed score: the k-mer matches exactly, so it is the self-score.
+      int score = self_prefix[qp + config_.k] - self_prefix[qp];
 
       // Extend right with X-drop.
       int best_score = score;
@@ -112,7 +139,7 @@ std::vector<Hit> BlastIndex::search(const FastaRecord& query) const {
         cur = {best_score, align_len, identical, qstart, sstart};
       }
     }
-  }
+  });
 
   std::vector<Hit> hits;
   hits.reserve(best_per_subject.size());

@@ -47,7 +47,11 @@ struct Hit {
 class BlastIndex {
  public:
   /// Builds the k-mer index over the database (the expensive, shared step —
-  /// the analog of formatdb/makeblastdb).
+  /// the analog of formatdb/makeblastdb). K-mers are packed into integer
+  /// codes (5 bits per residue), so the index hashes machine words instead
+  /// of allocating a substring per database position. K-mers containing a
+  /// non-standard residue are unindexable and skipped — seeding requires
+  /// exact residues; extension still scores ambiguity codes as mismatches.
   BlastIndex(const SequenceDb& db, AlignerConfig config = {});
 
   const SequenceDb& db() const { return db_; }
@@ -68,9 +72,13 @@ class BlastIndex {
     std::uint32_t pos = 0;
   };
 
+  /// Packed k-mer: 5 bits per residue, most recent residue in the low bits
+  /// (k <= 6 fits in 30 bits).
+  using KmerCode = std::uint32_t;
+
   SequenceDb db_;
   AlignerConfig config_;
-  std::unordered_map<std::string, std::vector<Posting>> index_;
+  std::unordered_map<KmerCode, std::vector<Posting>> index_;
 };
 
 /// Renders hits in BLAST -outfmt 6 style (tab separated).

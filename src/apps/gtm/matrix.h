@@ -3,7 +3,10 @@
 // Deliberately self-contained (no BLAS dependency): the GTM Interpolation
 // application the paper runs is a dense linear-algebra code, and its
 // memory-bandwidth-bound character (§6) comes from exactly these streaming
-// matrix products.
+// matrix products. multiply() runs a packed, register-tiled micro-kernel
+// (SIMD via function multi-versioning where the toolchain supports it) and
+// fans large products out over row bands on a shared ThreadPool; see
+// DESIGN.md "Kernel performance".
 #pragma once
 
 #include <cstddef>
@@ -55,11 +58,35 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// Cholesky factorization of a symmetric positive-definite matrix, computed
+/// once (O(n^3)) and reusable for any number of right-hand sides (O(n^2)
+/// each). Throws ppc::InvalidArgument when A is not SPD (within tolerance).
+class CholeskyFactorization {
+ public:
+  explicit CholeskyFactorization(const Matrix& a);
+
+  std::size_t dim() const { return l_.rows(); }
+
+  /// The lower-triangular factor L (A = L L^T).
+  const Matrix& factor() const { return l_; }
+
+  /// Solves A x = b via forward/backward substitution on the cached factor.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solves A X = B for every column of B, reusing the factor.
+  Matrix solve(const Matrix& b) const;
+
+ private:
+  Matrix l_;
+};
+
 /// Solves A x = b for symmetric positive-definite A via Cholesky; returns x.
 /// Throws ppc::InvalidArgument when A is not SPD (within tolerance).
+/// One-shot convenience over CholeskyFactorization.
 std::vector<double> cholesky_solve(const Matrix& a, const std::vector<double>& b);
 
-/// Solves A X = B column-wise for SPD A (B given as a Matrix).
+/// Solves A X = B column-wise for SPD A (B given as a Matrix). Factors A
+/// once and back-substitutes every column of B against the cached factor.
 Matrix cholesky_solve_matrix(const Matrix& a, const Matrix& b);
 
 /// Squared Euclidean distance between two equal-length vectors.

@@ -31,7 +31,7 @@ bool wait_for_tasks(cloudq::MessageQueue& monitor, const std::set<std::string>& 
   ppc::SystemClock clock;
   while (clock.now() < timeout) {
     while (auto message = monitor.receive(5.0)) {
-      const auto record = ppc::decode_kv(message->body);
+      const auto record = ppc::decode_kv(message->body());
       if (record.contains("task")) done.insert(record.at("task"));
       monitor.delete_message(message->receipt_handle);
     }
@@ -124,12 +124,12 @@ JobResult AzureMapReduce::run(const JobSpec& spec) {
     result.outputs.clear();
     for (int r = 0; r < spec.num_reduce_tasks; ++r) {
       const std::string key = "rout/" + iter_str + "/" + std::to_string(r);
-      std::optional<std::string> blob;
+      std::shared_ptr<const std::string> blob;
       for (int attempt = 0; attempt < 2000 && !blob; ++attempt) {
         blob = store_.get(bucket, key);
         if (!blob) std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
-      PPC_CHECK(blob.has_value(), "reduce output never became visible: " + key);
+      PPC_CHECK(blob != nullptr, "reduce output never became visible: " + key);
       for (const KeyValue& kv : decode_records(*blob)) {
         result.outputs[kv.key] = kv.value;
       }

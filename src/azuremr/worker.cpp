@@ -56,7 +56,7 @@ MrWorkerStats MrWorker::stats() const {
 
 runtime::TaskOutcome MrWorker::process(runtime::TaskContext& ctx) {
   using runtime::TaskOutcome;
-  const auto task = ppc::decode_kv(ctx.message().body);
+  const auto task = ppc::decode_kv(ctx.message().body());
   const std::string& op = task.at("op");
   if (op == "map") {
     run_map(ctx, task);
@@ -70,13 +70,15 @@ runtime::TaskOutcome MrWorker::process(runtime::TaskContext& ctx) {
   return TaskOutcome::kCompleted;
 }
 
-std::string MrWorker::must_download(runtime::TaskContext& ctx, const std::string& key) {
+std::shared_ptr<const std::string> MrWorker::must_download(runtime::TaskContext& ctx,
+                                                           const std::string& key) {
   auto data = ctx.fetch(store_, bucket_, key);
   if (!data) throw ppc::InternalError("blob never became visible: " + key);
-  return std::move(*data);
+  return data;
 }
 
-std::string MrWorker::cached_input(runtime::TaskContext& ctx, const std::string& name) {
+std::shared_ptr<const std::string> MrWorker::cached_input(runtime::TaskContext& ctx,
+                                                          const std::string& name) {
   {
     std::lock_guard lock(cache_mu_);
     auto it = input_cache_.find(name);
@@ -85,7 +87,7 @@ std::string MrWorker::cached_input(runtime::TaskContext& ctx, const std::string&
       return it->second;
     }
   }
-  std::string data = must_download(ctx, "input/" + name);
+  auto data = must_download(ctx, "input/" + name);
   std::lock_guard lock(cache_mu_);
   ctx.count("cache_misses");
   return input_cache_.emplace(name, std::move(data)).first->second;
@@ -95,10 +97,10 @@ void MrWorker::run_map(runtime::TaskContext& ctx,
                        const std::map<std::string, std::string>& task) {
   const std::string& iter = task.at("iter");
   const std::string& input = task.at("input");
-  const std::string data = cached_input(ctx, input);
-  const std::string broadcast = must_download(ctx, "broadcast/" + iter);
+  const auto data = cached_input(ctx, input);
+  const auto broadcast = must_download(ctx, "broadcast/" + iter);
 
-  std::vector<KeyValue> records = map_(input, data, broadcast);
+  std::vector<KeyValue> records = map_(input, *data, *broadcast);
 
   // Combiner: fold this map task's records per key before they cross the
   // network, exactly like Hadoop's combiner.
@@ -150,7 +152,7 @@ void MrWorker::run_reduce(runtime::TaskContext& ctx,
 
   std::vector<KeyValue> all;
   for (const std::string& key : *keys) {
-    const auto records = decode_records(must_download(ctx, key));
+    const auto records = decode_records(*must_download(ctx, key));
     all.insert(all.end(), records.begin(), records.end());
   }
 

@@ -75,9 +75,13 @@ class MrWorker {
   void run_map(runtime::TaskContext& ctx, const std::map<std::string, std::string>& task);
   void run_reduce(runtime::TaskContext& ctx, const std::map<std::string, std::string>& task);
   /// Blocking blob download with the retry policy (eventual consistency).
-  std::string must_download(runtime::TaskContext& ctx, const std::string& key);
-  /// Input chunks are static across iterations: download once, cache.
-  std::string cached_input(runtime::TaskContext& ctx, const std::string& name);
+  /// The payload aliases the stored blob (zero-copy).
+  std::shared_ptr<const std::string> must_download(runtime::TaskContext& ctx,
+                                                   const std::string& key);
+  /// Input chunks are static across iterations: download once, cache. The
+  /// cache holds aliases of the stored blobs, so hits copy a pointer.
+  std::shared_ptr<const std::string> cached_input(runtime::TaskContext& ctx,
+                                                  const std::string& name);
 
   blobstore::BlobStore& store_;
   std::shared_ptr<cloudq::MessageQueue> monitor_queue_;
@@ -88,7 +92,7 @@ class MrWorker {
   const std::string bucket_;
 
   std::mutex cache_mu_;
-  std::map<std::string, std::string> input_cache_;
+  std::map<std::string, std::shared_ptr<const std::string>> input_cache_;
   std::unique_ptr<runtime::TaskLifecycle> lifecycle_;
 };
 

@@ -13,15 +13,26 @@ BlobStore::BlobStore(std::shared_ptr<const ppc::Clock> clock, BlobStoreConfig co
   PPC_REQUIRE(config_.upload_bandwidth_per_s > 0.0, "upload bandwidth must be positive");
 }
 
+std::shared_ptr<BlobStore::Bucket> BlobStore::find_bucket(const std::string& bucket) const {
+  std::shared_lock lock(registry_mu_);
+  auto it = buckets_.find(bucket);
+  return it == buckets_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<BlobStore::Bucket> BlobStore::get_or_create_bucket(const std::string& bucket) {
+  if (auto existing = find_bucket(bucket)) return existing;
+  std::unique_lock lock(registry_mu_);
+  auto [it, _] = buckets_.try_emplace(bucket, std::make_shared<Bucket>());
+  return it->second;
+}
+
 void BlobStore::create_bucket(const std::string& bucket) {
   PPC_REQUIRE(!bucket.empty(), "bucket name must be non-empty");
-  std::lock_guard lock(mu_);
-  buckets_.try_emplace(bucket);
+  get_or_create_bucket(bucket);
 }
 
 bool BlobStore::bucket_exists(const std::string& bucket) const {
-  std::lock_guard lock(mu_);
-  return buckets_.contains(bucket);
+  return find_bucket(bucket) != nullptr;
 }
 
 void BlobStore::put(const std::string& bucket, const std::string& key, std::string data) {
@@ -37,52 +48,71 @@ void BlobStore::put_logical(const std::string& bucket, const std::string& key, B
 void BlobStore::put_impl(const std::string& bucket, const std::string& key, std::string data,
                          Bytes logical_size) {
   PPC_REQUIRE(!bucket.empty() && !key.empty(), "bucket and key must be non-empty");
-  std::lock_guard lock(mu_);
-  ++meter_.puts;
-  meter_.bytes_in += logical_size;
-  auto& objects = buckets_[bucket];
-  auto it = objects.find(key);
-  if (it == objects.end()) {
+  auto payload = std::make_shared<const std::string>(std::move(data));
+  auto b = get_or_create_bucket(bucket);
+  Seconds lag = 0.0;
+  {
+    std::lock_guard lock(meter_mu_);
+    ++meter_.puts;
+    meter_.bytes_in += logical_size;
+    if (config_.read_after_write_lag_mean > 0.0) {
+      lag = rng_.exponential(config_.read_after_write_lag_mean);
+    }
+  }
+  std::lock_guard lock(b->mu);
+  auto it = b->objects.find(key);
+  if (it == b->objects.end()) {
     Object obj;
-    obj.data = std::move(data);
+    obj.data = std::move(payload);
     obj.logical_size = logical_size;
-    const Seconds lag = config_.read_after_write_lag_mean > 0.0
-                            ? rng_.exponential(config_.read_after_write_lag_mean)
-                            : 0.0;
     obj.visible_at = clock_->now() + lag;
     obj.is_new = true;
-    objects.emplace(key, std::move(obj));
+    b->objects.emplace(key, std::move(obj));
   } else {
     // Overwrite of an existing key: immediately visible (S3 gave
     // read-after-write anomalies on new objects; overwrites were
     // eventually consistent too, but our framework never overwrites, so we
     // keep this simple and visible).
-    it->second.data = std::move(data);
+    it->second.data = std::move(payload);
     it->second.logical_size = logical_size;
     it->second.is_new = false;
     it->second.visible_at = clock_->now();
   }
 }
 
-std::optional<std::string> BlobStore::get(const std::string& bucket, const std::string& key) {
-  std::lock_guard lock(mu_);
-  ++meter_.gets;
-  auto bucket_it = buckets_.find(bucket);
-  if (bucket_it == buckets_.end()) return std::nullopt;
-  auto it = bucket_it->second.find(key);
-  if (it == bucket_it->second.end()) return std::nullopt;
-  if (it->second.visible_at > clock_->now()) return std::nullopt;  // not yet visible
-  meter_.bytes_out += it->second.logical_size;
-  return it->second.data;
+std::shared_ptr<const std::string> BlobStore::get(const std::string& bucket,
+                                                  const std::string& key) {
+  {
+    std::lock_guard lock(meter_mu_);
+    ++meter_.gets;
+  }
+  auto b = find_bucket(bucket);
+  if (b == nullptr) return nullptr;
+  std::shared_ptr<const std::string> data;
+  Bytes size = 0.0;
+  {
+    std::lock_guard lock(b->mu);
+    auto it = b->objects.find(key);
+    if (it == b->objects.end()) return nullptr;
+    if (it->second.visible_at > clock_->now()) return nullptr;  // not yet visible
+    data = it->second.data;
+    size = it->second.logical_size;
+  }
+  std::lock_guard lock(meter_mu_);
+  meter_.bytes_out += size;
+  return data;
 }
 
 std::optional<Bytes> BlobStore::head(const std::string& bucket, const std::string& key) {
-  std::lock_guard lock(mu_);
-  ++meter_.gets;
-  auto bucket_it = buckets_.find(bucket);
-  if (bucket_it == buckets_.end()) return std::nullopt;
-  auto it = bucket_it->second.find(key);
-  if (it == bucket_it->second.end() || it->second.visible_at > clock_->now()) return std::nullopt;
+  {
+    std::lock_guard lock(meter_mu_);
+    ++meter_.gets;
+  }
+  auto b = find_bucket(bucket);
+  if (b == nullptr) return std::nullopt;
+  std::lock_guard lock(b->mu);
+  auto it = b->objects.find(key);
+  if (it == b->objects.end() || it->second.visible_at > clock_->now()) return std::nullopt;
   return it->second.logical_size;
 }
 
@@ -91,41 +121,53 @@ bool BlobStore::exists(const std::string& bucket, const std::string& key) {
 }
 
 bool BlobStore::remove(const std::string& bucket, const std::string& key) {
-  std::lock_guard lock(mu_);
-  ++meter_.deletes;
-  auto bucket_it = buckets_.find(bucket);
-  if (bucket_it == buckets_.end()) return false;
-  return bucket_it->second.erase(key) > 0;
+  {
+    std::lock_guard lock(meter_mu_);
+    ++meter_.deletes;
+  }
+  auto b = find_bucket(bucket);
+  if (b == nullptr) return false;
+  std::lock_guard lock(b->mu);
+  return b->objects.erase(key) > 0;
 }
 
 std::vector<std::string> BlobStore::list(const std::string& bucket, const std::string& prefix) {
-  std::lock_guard lock(mu_);
-  ++meter_.lists;
+  {
+    std::lock_guard lock(meter_mu_);
+    ++meter_.lists;
+  }
   std::vector<std::string> keys;
-  auto bucket_it = buckets_.find(bucket);
-  if (bucket_it == buckets_.end()) return keys;
-  for (const auto& [key, _] : bucket_it->second) {
+  auto b = find_bucket(bucket);
+  if (b == nullptr) return keys;
+  std::lock_guard lock(b->mu);
+  for (const auto& [key, _] : b->objects) {
     if (prefix.empty() || ppc::starts_with(key, prefix)) keys.push_back(key);
   }
   return keys;  // std::map iteration => already sorted
 }
 
 Bytes BlobStore::stored_bytes() const {
-  std::lock_guard lock(mu_);
+  std::vector<std::shared_ptr<Bucket>> all;
+  {
+    std::shared_lock lock(registry_mu_);
+    all.reserve(buckets_.size());
+    for (const auto& [_, b] : buckets_) all.push_back(b);
+  }
   Bytes total = 0.0;
-  for (const auto& [_, objects] : buckets_) {
-    for (const auto& [__, obj] : objects) total += obj.logical_size;
+  for (const auto& b : all) {
+    std::lock_guard lock(b->mu);
+    for (const auto& [_, obj] : b->objects) total += obj.logical_size;
   }
   return total;
 }
 
 TransferMeter BlobStore::meter() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(meter_mu_);
   return meter_;
 }
 
 Dollars BlobStore::transfer_and_request_cost() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(meter_mu_);
   const double gb_in = to_gigabytes(meter_.bytes_in);
   const double gb_out = to_gigabytes(meter_.bytes_out);
   return gb_in * config_.transfer_in_cost_per_gb + gb_out * config_.transfer_out_cost_per_gb +

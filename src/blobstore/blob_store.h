@@ -14,7 +14,10 @@
 //    operations complete immediately (the data is in memory) and the model
 //    is ignored.
 //
-// Thread-safe; time comes from an injected ppc::Clock.
+// Thread-safe; time comes from an injected ppc::Clock. Payloads are held as
+// shared immutable strings, so get() hands back an aliasing pointer instead
+// of copying the object, and the lock is sharded per bucket so concurrent
+// workers hitting different buckets never serialize on one global mutex.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +25,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -84,8 +88,10 @@ class BlobStore {
   /// objects; get() on a logical object returns an empty payload.
   void put_logical(const std::string& bucket, const std::string& key, Bytes size);
 
-  /// Fetches the object, or nullopt when absent / not yet visible.
-  std::optional<std::string> get(const std::string& bucket, const std::string& key);
+  /// Fetches the object, or null when absent / not yet visible. The result
+  /// aliases the stored payload (zero-copy); it stays valid after overwrite
+  /// or removal of the key (immutable snapshot semantics).
+  std::shared_ptr<const std::string> get(const std::string& bucket, const std::string& key);
 
   /// Size of the object in bytes, or nullopt. Metered as a GET (HEAD).
   std::optional<Bytes> head(const std::string& bucket, const std::string& key);
@@ -119,20 +125,36 @@ class BlobStore {
 
  private:
   struct Object {
-    std::string data;
-    Bytes logical_size = 0.0;  // == data.size() for real objects
+    std::shared_ptr<const std::string> data;  // immutable payload, shared with readers
+    Bytes logical_size = 0.0;                 // == data->size() for real objects
     Seconds visible_at = 0.0;
     bool is_new = true;  // false once overwritten (overwrite => visible)
   };
 
+  /// One lock per bucket: workers on different buckets (jobs) proceed in
+  /// parallel. Buckets are never destroyed, so a looked-up shared_ptr stays
+  /// valid after the registry lock is released.
+  struct Bucket {
+    mutable std::mutex mu;
+    std::map<std::string, Object> objects;
+  };
+
   void put_impl(const std::string& bucket, const std::string& key, std::string data,
                 Bytes logical_size);
+  std::shared_ptr<Bucket> find_bucket(const std::string& bucket) const;
+  std::shared_ptr<Bucket> get_or_create_bucket(const std::string& bucket);
 
   std::shared_ptr<const ppc::Clock> clock_;
   BlobStoreConfig config_;
-  mutable std::mutex mu_;
+
+  /// Guards the bucket registry only (shared for lookups, exclusive for
+  /// bucket creation); per-object state is under each Bucket's mutex.
+  mutable std::shared_mutex registry_mu_;
+  std::map<std::string, std::shared_ptr<Bucket>> buckets_;
+
+  /// Guards the meter and the visibility-lag RNG (leaf lock).
+  mutable std::mutex meter_mu_;
   ppc::Rng rng_;
-  std::map<std::string, std::map<std::string, Object>> buckets_;
   TransferMeter meter_;
 };
 

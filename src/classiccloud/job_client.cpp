@@ -44,7 +44,7 @@ void JobClient::drain_monitor_queue() {
   while (true) {
     auto message = monitor_queue_->receive(5.0);
     if (!message) return;
-    const MonitorRecord record = decode_monitor(message->body);
+    const MonitorRecord record = decode_monitor(message->body());
     completions_.emplace(record.task_id, record);  // first completion wins
     monitor_queue_->delete_message(message->receipt_handle);
   }
@@ -68,7 +68,7 @@ bool JobClient::wait_for_completion(Seconds timeout, Seconds poll_interval) {
   return false;
 }
 
-std::optional<std::string> JobClient::fetch_output(const TaskSpec& task) {
+std::shared_ptr<const std::string> JobClient::fetch_output(const TaskSpec& task) {
   return store_.get(bucket_, task.output_key);
 }
 

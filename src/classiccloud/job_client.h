@@ -64,8 +64,9 @@ class JobClient {
   };
   Progress progress();
 
-  /// Fetches the output blob of a task, if visible.
-  std::optional<std::string> fetch_output(const TaskSpec& task);
+  /// Fetches the output blob of a task, if visible. The payload aliases the
+  /// stored blob (zero-copy); null when not yet visible.
+  std::shared_ptr<const std::string> fetch_output(const TaskSpec& task);
 
   const std::vector<TaskSpec>& tasks() const { return tasks_; }
 

@@ -55,7 +55,7 @@ WorkerStats Worker::stats() const {
 
 runtime::TaskOutcome Worker::process(runtime::TaskContext& ctx) {
   using runtime::TaskOutcome;
-  const TaskSpec task = decode_task(ctx.message().body);
+  const TaskSpec task = decode_task(ctx.message().body());
   if (ctx.crash_site(sites::kAfterReceive, task.task_id)) return TaskOutcome::kCrashed;
 
   // Download the input, riding out read-after-write visibility lag.

@@ -40,7 +40,7 @@ std::vector<std::string> MessageQueue::send_batch(const std::vector<std::string>
 std::string MessageQueue::enqueue_locked(std::string body) {
   Entry e;
   e.id = "m-" + std::to_string(next_msg_++);
-  e.body = std::move(body);
+  e.body = std::make_shared<const std::string>(std::move(body));
   const Seconds lag =
       config_.visibility_lag_mean > 0.0 ? rng_.exponential(config_.visibility_lag_mean) : 0.0;
   e.visible_at = clock_->now() + lag;
@@ -81,7 +81,7 @@ std::optional<Message> MessageQueue::receive(Seconds visibility_timeout) {
 
   Message m;
   m.id = e.id;
-  m.body = e.body;
+  m.payload = e.body;  // aliases the stored body: delivery copies a pointer
   m.receipt_handle = make_receipt(idx, e.current_receipt_serial);
   m.receive_count = e.receive_count;
   return m;

@@ -60,9 +60,13 @@ struct QueueConfig {
 /// A delivered message. `receipt_handle` must be presented to delete_message.
 struct Message {
   std::string id;
-  std::string body;
+  /// Shared immutable body: aliases the queue's stored payload, so a receive
+  /// (and every redelivery) is zero-copy.
+  std::shared_ptr<const std::string> payload;
   std::string receipt_handle;
   int receive_count = 0;  // how many times this message has been delivered
+
+  const std::string& body() const { return *payload; }
 };
 
 /// Per-queue API request accounting.
@@ -128,7 +132,7 @@ class MessageQueue {
  private:
   struct Entry {
     std::string id;
-    std::string body;
+    std::shared_ptr<const std::string> body;  // immutable, shared with deliveries
     Seconds visible_at = 0.0;  // message is deliverable when now >= visible_at
     int receive_count = 0;
     std::uint64_t current_receipt_serial = 0;  // 0 = never delivered

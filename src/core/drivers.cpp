@@ -163,7 +163,7 @@ struct ClassicSim {
 
   void handle(int w, const cloudq::Message& msg) {
     auto& rng = worker_rng[static_cast<std::size_t>(w)];
-    const classiccloud::TaskSpec spec = classiccloud::decode_task(msg.body);
+    const classiccloud::TaskSpec spec = classiccloud::decode_task(msg.body());
     const SimTask& task = task_of(spec);
 
     const Seconds dl = store.sample_get_time(task.input_size, rng);

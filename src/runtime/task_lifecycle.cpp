@@ -13,9 +13,9 @@ bool TaskContext::crash_site(const std::string& site, const std::string& key) {
   return faults != nullptr && faults->fire(site, key);
 }
 
-std::optional<std::string> TaskContext::fetch(blobstore::BlobStore& store,
-                                              const std::string& bucket,
-                                              const std::string& key) {
+std::shared_ptr<const std::string> TaskContext::fetch(blobstore::BlobStore& store,
+                                                      const std::string& bucket,
+                                                      const std::string& key) {
   return retry([&] { return store.get(bucket, key); });
 }
 

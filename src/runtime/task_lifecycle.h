@@ -79,11 +79,12 @@ class TaskContext {
   bool crash_site(const std::string& site, const std::string& key = "");
 
   /// Blob download that rides out read-after-write lag with the lifecycle's
-  /// retry policy, counting `downloads_missed` per miss. nullopt when the
-  /// retry budget is exhausted (abandon the delivery; the blob will be
-  /// visible by the time the message reappears).
-  std::optional<std::string> fetch(blobstore::BlobStore& store, const std::string& bucket,
-                                   const std::string& key);
+  /// retry policy, counting `downloads_missed` per miss. The payload aliases
+  /// the stored blob (zero-copy). Null when the retry budget is exhausted
+  /// (abandon the delivery; the blob will be visible by the time the message
+  /// reappears).
+  std::shared_ptr<const std::string> fetch(blobstore::BlobStore& store,
+                                           const std::string& bucket, const std::string& key);
 
   /// Generic retry with the lifecycle's policy: `fn` returns an optional-
   /// like value; misses count as `downloads_missed`.

@@ -23,15 +23,31 @@ TEST_F(BlobStoreTest, PutGetRoundTrip) {
   auto store = make_store();
   store.put("bucket", "key", "payload");
   const auto got = store.get("bucket", "key");
-  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got != nullptr);
   EXPECT_EQ(*got, "payload");
+}
+
+TEST_F(BlobStoreTest, GetAliasesStoredPayload) {
+  auto store = make_store();
+  store.put("bucket", "key", "payload");
+  const auto first = store.get("bucket", "key");
+  const auto second = store.get("bucket", "key");
+  ASSERT_TRUE(first != nullptr);
+  // Zero-copy: every get hands out a pointer to the one stored string.
+  EXPECT_EQ(first.get(), second.get());
+  // Snapshots stay valid (and unchanged) across overwrite and removal.
+  store.put("bucket", "key", "replacement");
+  EXPECT_EQ(*first, "payload");
+  EXPECT_EQ(*store.get("bucket", "key"), "replacement");
+  store.remove("bucket", "key");
+  EXPECT_EQ(*first, "payload");
 }
 
 TEST_F(BlobStoreTest, GetMissingReturnsNothing) {
   auto store = make_store();
-  EXPECT_FALSE(store.get("bucket", "nope").has_value());
+  EXPECT_EQ(store.get("bucket", "nope"), nullptr);
   store.create_bucket("bucket");
-  EXPECT_FALSE(store.get("bucket", "nope").has_value());
+  EXPECT_EQ(store.get("bucket", "nope"), nullptr);
 }
 
 TEST_F(BlobStoreTest, PutCreatesBucketImplicitly) {
@@ -82,12 +98,12 @@ TEST_F(BlobStoreTest, ReadAfterWriteLagHidesNewObjects) {
   int visible_immediately = 0;
   for (int i = 0; i < 20; ++i) {
     store.put("b", "k" + std::to_string(i), "v");
-    if (store.get("b", "k" + std::to_string(i)).has_value()) ++visible_immediately;
+    if (store.get("b", "k" + std::to_string(i)) != nullptr) ++visible_immediately;
   }
   EXPECT_LT(visible_immediately, 20);  // some reads miss the fresh object
   clock_->advance(1000.0);
   for (int i = 0; i < 20; ++i) {
-    EXPECT_TRUE(store.get("b", "k" + std::to_string(i)).has_value());
+    EXPECT_TRUE(store.get("b", "k" + std::to_string(i)) != nullptr);
   }
 }
 
@@ -97,7 +113,7 @@ TEST_F(BlobStoreTest, OverwriteIsImmediatelyVisible) {
   auto store = make_store(config);
   store.put("b", "k", "old");
   clock_->advance(2e6);
-  ASSERT_TRUE(store.get("b", "k").has_value());
+  ASSERT_TRUE(store.get("b", "k") != nullptr);
   store.put("b", "k", "new");  // overwrite: no lag
   EXPECT_EQ(*store.get("b", "k"), "new");
 }
@@ -123,7 +139,7 @@ TEST_F(BlobStoreTest, LogicalObjectsMeterDeclaredSize) {
   store.put_logical("b", "big", 2.0_GB);
   EXPECT_DOUBLE_EQ(*store.head("b", "big"), 2.0_GB);
   const auto got = store.get("b", "big");
-  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got != nullptr);
   EXPECT_TRUE(got->empty());  // no bytes materialized
   EXPECT_DOUBLE_EQ(store.meter().bytes_out, 2.0_GB);
   EXPECT_DOUBLE_EQ(store.stored_bytes(), 2.0_GB);

@@ -81,7 +81,7 @@ TEST_P(FaultToleranceTest, CrashedWorkerNeverLosesTasks) {
   // not corrupt anything.
   for (const TaskSpec& task : client.tasks()) {
     const auto out = client.fetch_output(task);
-    ASSERT_TRUE(out.has_value());
+    ASSERT_TRUE(out != nullptr);
     EXPECT_EQ(*out, task.task_id + "|payload");
   }
 }

@@ -25,9 +25,22 @@ TEST_F(MessageQueueTest, SendThenReceiveRoundTrips) {
   const std::string id = q.send("hello");
   const auto msg = q.receive();
   ASSERT_TRUE(msg.has_value());
-  EXPECT_EQ(msg->body, "hello");
+  EXPECT_EQ(msg->body(), "hello");
   EXPECT_EQ(msg->id, id);
   EXPECT_EQ(msg->receive_count, 1);
+}
+
+TEST_F(MessageQueueTest, DeliveryAliasesStoredBody) {
+  auto q = make_queue();
+  q.send("payload");
+  const auto first = q.receive(5.0);
+  ASSERT_TRUE(first.has_value());
+  clock_->advance(5.0);
+  const auto second = q.receive();  // redelivery of the same message
+  ASSERT_TRUE(second.has_value());
+  // Zero-copy: every delivery aliases the one stored body.
+  EXPECT_EQ(first->payload.get(), second->payload.get());
+  EXPECT_EQ(second->body(), "payload");
 }
 
 TEST_F(MessageQueueTest, EmptyQueueReturnsNothing) {
@@ -166,7 +179,7 @@ TEST_F(MessageQueueTest, UnorderedDelivery) {
   for (int i = 0; i < 30; ++i) {
     const auto msg = q.receive(1000.0);
     ASSERT_TRUE(msg.has_value());
-    order.push_back(msg->body);
+    order.push_back(msg->body());
   }
   EXPECT_NE(order, insertion) << "queue should not guarantee FIFO order";
   EXPECT_EQ(std::set<std::string>(order.begin(), order.end()).size(), 30u)
@@ -184,7 +197,7 @@ TEST_F(MessageQueueTest, BatchSendDeliversEveryMessage) {
   for (int i = 0; i < 25; ++i) {
     const auto msg = q.receive(1000.0);
     ASSERT_TRUE(msg.has_value());
-    received.insert(msg->body);
+    received.insert(msg->body());
   }
   EXPECT_EQ(received.size(), 25u);
 }

@@ -45,7 +45,7 @@ TEST(QueueConcurrency, ManyProducersManyConsumersDrainExactly) {
           if (queue.delete_message(msg->receipt_handle)) {
             consumed.fetch_add(1);
             std::lock_guard lock(seen_mu);
-            seen_bodies.insert(msg->body);
+            seen_bodies.insert(msg->body());
           }
         }
       });
@@ -88,7 +88,7 @@ TEST(BlobConcurrency, ParallelPutsAndGetsAreConsistent) {
           const std::string key = "t" + std::to_string(t) + "-k" + std::to_string(k);
           store.put("b", key, key + "-payload");
           const auto got = store.get("b", key);
-          ASSERT_TRUE(got.has_value());
+          ASSERT_TRUE(got != nullptr);
           EXPECT_EQ(*got, key + "-payload");
         }
       });

@@ -73,8 +73,8 @@ TEST_F(QueueServiceTest, QueuesGetDistinctRngStreams) {
   }
   std::vector<std::string> oa, ob;
   for (int i = 0; i < 20; ++i) {
-    oa.push_back(a->receive(1000.0)->body);
-    ob.push_back(b->receive(1000.0)->body);
+    oa.push_back(a->receive(1000.0)->body());
+    ob.push_back(b->receive(1000.0)->body());
   }
   EXPECT_NE(oa, ob);
 }

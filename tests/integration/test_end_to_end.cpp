@@ -125,9 +125,9 @@ Outputs run_on_classic_cloud(const std::string& app) {
   Outputs outputs;
   for (const auto& task : client.tasks()) {
     const auto out = client.fetch_output(task);
-    EXPECT_TRUE(out.has_value());
+    EXPECT_TRUE(out != nullptr);
     const auto name = task.input_key.substr(std::string("input/").size());
-    outputs[name] = out.value_or("");
+    outputs[name] = out ? *out : "";
   }
   return outputs;
 }

@@ -56,7 +56,7 @@ TEST_F(TaskLifecycleTest, CompletesTasksAndDeletesOnlyAfterCompletion) {
       "w0", queue_,
       [&](TaskContext& ctx) {
         std::lock_guard lock(mu);
-        handled.push_back(ctx.message().body);
+        handled.push_back(ctx.message().body());
         return TaskOutcome::kCompleted;
       },
       config);
@@ -148,7 +148,7 @@ TEST_F(TaskLifecycleTest, FetchExhaustsRetryBudgetOnMissingBlob) {
   TaskLifecycle worker(
       "w0", queue_,
       [&](TaskContext& ctx) {
-        fetched = ctx.fetch(store, "bucket", "absent-key").has_value();
+        fetched = ctx.fetch(store, "bucket", "absent-key") != nullptr;
         return TaskOutcome::kCompleted;
       },
       config);
