@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <set>
+#include <string_view>
 #include <thread>
 
 #include "common/clock.h"
@@ -23,6 +24,19 @@ AzureMapReduce::AzureMapReduce(blobstore::BlobStore& store, cloudq::QueueService
 AzureMapReduce::~AzureMapReduce() = default;
 
 namespace {
+
+/// Sum of registry counters named "<some worker id>.<suffix>" for worker ids
+/// starting with `prefix` — aggregates a run's workers across every
+/// incarnation the supervisor provisioned ("job-w0", "job-w0#1", ...).
+std::int64_t sum_worker_counters(const runtime::MetricsRegistry& metrics,
+                                 const std::string& prefix, std::string_view suffix) {
+  std::int64_t total = 0;
+  for (const auto& [name, value] : metrics.counters()) {
+    const std::string_view sv(name);
+    if (sv.starts_with(prefix) && sv.ends_with(suffix)) total += value;
+  }
+  return total;
+}
 
 /// Drains the monitor queue into `done` until the expected task ids are all
 /// present or the timeout lapses. Duplicate completions collapse.
@@ -64,18 +78,43 @@ JobResult AzureMapReduce::run(const JobSpec& spec) {
 
   const std::string bucket = spec.job_id;
   store_.create_bucket(bucket);
-  auto task_queue = queues_.create_queue(spec.job_id + "-mr-tasks");
+  auto task_queue =
+      worker_config_.task_max_receive_count > 0
+          ? queues_.create_queue_with_dlq(spec.job_id + "-mr-tasks",
+                                          worker_config_.task_max_receive_count)
+          : queues_.create_queue(spec.job_id + "-mr-tasks");
   auto monitor_queue = queues_.create_queue(spec.job_id + "-mr-monitor");
 
-  // Provision the worker pool (the Azure role instances).
-  std::vector<std::unique_ptr<MrWorker>> workers;
-  workers.reserve(static_cast<std::size_t>(num_workers_));
-  for (int i = 0; i < num_workers_; ++i) {
-    workers.push_back(std::make_unique<MrWorker>(
-        spec.job_id + "-w" + std::to_string(i), store_, task_queue, monitor_queue, spec.map,
-        spec.reduce, spec.combine, spec.num_reduce_tasks, bucket, worker_config_));
-    workers.back()->start();
-  }
+  // Per-run stats are registry deltas (workers of every incarnation write to
+  // the shared registry; the supervisor may add incarnations mid-run).
+  const std::string worker_prefix = spec.job_id + "-w";
+  const std::int64_t base_maps = sum_worker_counters(*metrics_, worker_prefix, ".map_tasks");
+  const std::int64_t base_reduces =
+      sum_worker_counters(*metrics_, worker_prefix, ".reduce_tasks");
+  const std::int64_t base_hits = sum_worker_counters(*metrics_, worker_prefix, ".cache_hits");
+  const std::int64_t base_misses =
+      sum_worker_counters(*metrics_, worker_prefix, ".cache_misses");
+  const std::int64_t base_crashes = sum_worker_counters(*metrics_, worker_prefix, ".crashed");
+  const std::int64_t base_restarts = metrics_->counter_value("supervisor.restarts");
+
+  // Provision the worker pool (the Azure role instances) under a supervisor:
+  // a worker that dies mid-run is detected and replaced with a fresh
+  // incarnation, the way the Azure fabric controller re-provisions a dead
+  // role instance.
+  runtime::SupervisorConfig sup_config = supervisor_config;
+  sup_config.num_workers = num_workers_;
+  sup_config.id_prefix = worker_prefix;
+  sup_config.metrics = metrics_;
+  runtime::WorkerSupervisor supervisor(
+      [&](const std::string& worker_id, int /*incarnation*/) {
+        auto worker = std::make_shared<MrWorker>(worker_id, store_, task_queue, monitor_queue,
+                                                 spec.map, spec.reduce, spec.combine,
+                                                 spec.num_reduce_tasks, bucket, worker_config_);
+        worker->start();
+        return runtime::SupervisedWorker{worker, &worker->lifecycle()};
+      },
+      sup_config);
+  supervisor.start();
 
   // Upload the static inputs once; workers cache them across iterations.
   for (const auto& [name, data] : spec.inputs) {
@@ -99,8 +138,7 @@ JobResult AzureMapReduce::run(const JobSpec& spec) {
     }
     if (!wait_for_tasks(*monitor_queue, expected, done, spec.stage_timeout)) {
       result.succeeded = false;
-      for (auto& w : workers) w->request_stop();
-      for (auto& w : workers) w->join();
+      supervisor.stop();
       return result;
     }
 
@@ -115,8 +153,7 @@ JobResult AzureMapReduce::run(const JobSpec& spec) {
     }
     if (!wait_for_tasks(*monitor_queue, expected, done, spec.stage_timeout)) {
       result.succeeded = false;
-      for (auto& w : workers) w->request_stop();
-      for (auto& w : workers) w->join();
+      supervisor.stop();
       return result;
     }
 
@@ -156,18 +193,20 @@ JobResult AzureMapReduce::run(const JobSpec& spec) {
   result.final_broadcast = broadcast;
   result.succeeded = true;
 
-  for (auto& w : workers) w->request_stop();
+  supervisor.stop();
   MrWorkerStats total;
-  for (auto& w : workers) {
-    w->join();
-    const auto s = w->stats();
-    total.map_tasks += s.map_tasks;
-    total.reduce_tasks += s.reduce_tasks;
-    total.cache_hits += s.cache_hits;
-    total.cache_misses += s.cache_misses;
-    total.crashed = total.crashed || s.crashed;
-  }
+  total.map_tasks = static_cast<int>(
+      sum_worker_counters(*metrics_, worker_prefix, ".map_tasks") - base_maps);
+  total.reduce_tasks = static_cast<int>(
+      sum_worker_counters(*metrics_, worker_prefix, ".reduce_tasks") - base_reduces);
+  total.cache_hits = static_cast<int>(
+      sum_worker_counters(*metrics_, worker_prefix, ".cache_hits") - base_hits);
+  total.cache_misses = static_cast<int>(
+      sum_worker_counters(*metrics_, worker_prefix, ".cache_misses") - base_misses);
+  total.crashed =
+      sum_worker_counters(*metrics_, worker_prefix, ".crashed") - base_crashes > 0;
   last_stats_ = total;
+  last_restarts_ = metrics_->counter_value("supervisor.restarts") - base_restarts;
   return result;
 }
 

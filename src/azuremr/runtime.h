@@ -11,6 +11,7 @@
 #include "azuremr/job.h"
 #include "azuremr/worker.h"
 #include "cloudq/queue_service.h"
+#include "runtime/worker_supervisor.h"
 
 namespace ppc::azuremr {
 
@@ -20,6 +21,11 @@ class AzureMapReduce {
   /// the first run() call and reused across jobs with the same functions).
   AzureMapReduce(blobstore::BlobStore& store, cloudq::QueueService& queues, int num_workers,
                  MrWorkerConfig worker_config = {});
+
+  /// Tuning for the per-run worker-pool supervisor (restart budget, backoff,
+  /// stall detection). num_workers / id_prefix / metrics are overwritten on
+  /// every run; adjust the rest before calling run().
+  runtime::SupervisorConfig supervisor_config;
 
   ~AzureMapReduce();
 
@@ -31,8 +37,12 @@ class AzureMapReduce {
   /// deployment-package upload of a real Azure role.
   JobResult run(const JobSpec& spec);
 
-  /// Aggregate statistics of the last run's workers.
+  /// Aggregate statistics of the last run's workers (every incarnation the
+  /// supervisor provisioned, computed as registry deltas over the run).
   MrWorkerStats last_run_worker_stats() const { return last_stats_; }
+
+  /// Workers the supervisor replaced during the last run.
+  std::int64_t last_run_restarts() const { return last_restarts_; }
 
   /// The registry every worker role publishes to (worker-scoped counters).
   runtime::MetricsRegistry& metrics() const { return *metrics_; }
@@ -43,6 +53,7 @@ class AzureMapReduce {
   int num_workers_;
   MrWorkerConfig worker_config_;
   MrWorkerStats last_stats_;
+  std::int64_t last_restarts_ = 0;
   std::shared_ptr<runtime::MetricsRegistry> metrics_;
 };
 

@@ -13,6 +13,7 @@ runtime::LifecycleConfig lifecycle_config(const MrWorkerConfig& config) {
   lc.poll_interval = config.poll_interval;
   lc.visibility_timeout = config.visibility_timeout;
   lc.fetch_retry = config.download_retry;
+  lc.abandon_visibility = config.abandon_visibility;
   return lc;
 }
 }  // namespace

@@ -36,6 +36,12 @@ struct MrWorkerConfig {
   /// listings.
   runtime::RetryPolicy download_retry =
       runtime::RetryPolicy::exponential(40, 0.0005, 2.0, 0.05);
+  /// Visibility applied to deliveries this worker failed (prompt retry);
+  /// < 0 leaves the original visibility window. See LifecycleConfig.
+  Seconds abandon_visibility = -1.0;
+  /// > 0 makes AzureMapReduce attach a dead-letter queue to the job task
+  /// queue with this redrive threshold (poison-message handling).
+  int task_max_receive_count = 0;
   /// Fault injection (borrowed, not owned). Null = never.
   runtime::FaultInjector* faults = nullptr;
   /// Metrics registry shared across the pool; null = private registry.
@@ -68,7 +74,12 @@ class MrWorker {
 
   MrWorkerStats stats() const;
   const std::string& id() const { return lifecycle_->id(); }
+  bool running() const { return lifecycle_->running(); }
+  bool crashed() const { return lifecycle_->crashed(); }
   runtime::MetricsRegistry& metrics() const { return lifecycle_->metrics(); }
+
+  /// The underlying poll loop — what a runtime::WorkerSupervisor watches.
+  runtime::TaskLifecycle& lifecycle() { return *lifecycle_; }
 
  private:
   runtime::TaskOutcome process(runtime::TaskContext& ctx);

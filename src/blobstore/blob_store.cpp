@@ -48,6 +48,20 @@ void BlobStore::put_logical(const std::string& bucket, const std::string& key, B
 void BlobStore::put_impl(const std::string& bucket, const std::string& key, std::string data,
                          Bytes logical_size) {
   PPC_REQUIRE(!bucket.empty() && !key.empty(), "bucket and key must be non-empty");
+  if (ppc::FaultHook* hook = hook_.load()) {
+    ppc::PayloadRef in_flight(&data);
+    const ppc::FaultDecision d =
+        hook->on_operation("blobstore." + bucket + ".put", key, &in_flight);
+    // A corrupted upload is caught by the service's content checksum
+    // (Content-MD5) and rejected just like a plain failed request; either
+    // way nothing is stored and the caller must retry.
+    if (d.fail) throw ppc::Error("injected blobstore put failure: " + bucket + "/" + key);
+    if (d.corrupted) {
+      throw ppc::Error("blobstore put checksum mismatch (corrupted in flight): " + bucket +
+                       "/" + key);
+    }
+  }
+  const std::uint64_t etag = ppc::fnv1a64(data);
   auto payload = std::make_shared<const std::string>(std::move(data));
   auto b = get_or_create_bucket(bucket);
   Seconds lag = 0.0;
@@ -65,6 +79,7 @@ void BlobStore::put_impl(const std::string& bucket, const std::string& key, std:
     Object obj;
     obj.data = std::move(payload);
     obj.logical_size = logical_size;
+    obj.etag = etag;
     obj.visible_at = clock_->now() + lag;
     obj.is_new = true;
     b->objects.emplace(key, std::move(obj));
@@ -75,6 +90,7 @@ void BlobStore::put_impl(const std::string& bucket, const std::string& key, std:
     // keep this simple and visible).
     it->second.data = std::move(payload);
     it->second.logical_size = logical_size;
+    it->second.etag = etag;
     it->second.is_new = false;
     it->second.visible_at = clock_->now();
   }
@@ -98,9 +114,32 @@ std::shared_ptr<const std::string> BlobStore::get(const std::string& bucket,
     data = it->second.data;
     size = it->second.logical_size;
   }
-  std::lock_guard lock(meter_mu_);
-  meter_.bytes_out += size;
+  {
+    std::lock_guard lock(meter_mu_);
+    meter_.bytes_out += size;
+  }
+  if (ppc::FaultHook* hook = hook_.load()) {
+    ppc::PayloadRef delivered(data.get());
+    const ppc::FaultDecision d =
+        hook->on_operation("blobstore." + bucket + ".get", key, &delivered);
+    if (d.fail) return nullptr;  // response lost in flight
+    if (d.corrupted) {
+      // The stored object is intact; only this delivery carries flipped
+      // bytes. Readers detect it by checking against etag().
+      return std::make_shared<const std::string>(delivered.take());
+    }
+  }
   return data;
+}
+
+std::optional<std::uint64_t> BlobStore::etag(const std::string& bucket,
+                                             const std::string& key) const {
+  auto b = find_bucket(bucket);
+  if (b == nullptr) return std::nullopt;
+  std::lock_guard lock(b->mu);
+  auto it = b->objects.find(key);
+  if (it == b->objects.end() || it->second.visible_at > clock_->now()) return std::nullopt;
+  return it->second.etag;
 }
 
 std::optional<Bytes> BlobStore::head(const std::string& bucket, const std::string& key) {
@@ -135,6 +174,11 @@ std::vector<std::string> BlobStore::list(const std::string& bucket, const std::s
   {
     std::lock_guard lock(meter_mu_);
     ++meter_.lists;
+  }
+  if (ppc::FaultHook* hook = hook_.load()) {
+    const ppc::FaultDecision d =
+        hook->on_operation("blobstore." + bucket + ".list", prefix, nullptr);
+    if (d.fail) return {};  // lost response: an empty page, caller re-lists
   }
   std::vector<std::string> keys;
   auto b = find_bucket(bucket);

@@ -20,6 +20,7 @@
 // workers hitting different buckets never serialize on one global mutex.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/fault_hook.h"
 #include "common/rng.h"
 #include "common/units.h"
 
@@ -71,6 +73,14 @@ class BlobStore {
 
   const BlobStoreConfig& config() const { return config_; }
 
+  /// Installs a fault hook fired on every put/get/list (sites
+  /// "blobstore.<bucket>.put" / ".get" / ".list"). A failing get reports
+  /// not-found, a failing list reports an empty (lost) response, a failing
+  /// or corrupted put is rejected like an S3 Content-MD5 mismatch, and a
+  /// corrupted get delivers flipped bytes — detectable against etag().
+  /// Non-owning; pass nullptr to clear. The hook must outlive its use.
+  void set_fault_hook(ppc::FaultHook* hook) { hook_.store(hook); }
+
   /// Creates a bucket; idempotent.
   void create_bucket(const std::string& bucket);
 
@@ -98,6 +108,12 @@ class BlobStore {
 
   /// True when the object exists and is visible. Metered as a GET.
   bool exists(const std::string& bucket, const std::string& key);
+
+  /// Content hash (fnv1a64 — our stand-in for the S3 ETag) of the stored
+  /// object, or nullopt when absent / not yet visible. Unmetered and immune
+  /// to injected faults: it models the checksum the service returned with
+  /// the original upload, which readers keep to validate downloads.
+  std::optional<std::uint64_t> etag(const std::string& bucket, const std::string& key) const;
 
   /// Removes the object; returns false when absent.
   bool remove(const std::string& bucket, const std::string& key);
@@ -127,6 +143,7 @@ class BlobStore {
   struct Object {
     std::shared_ptr<const std::string> data;  // immutable payload, shared with readers
     Bytes logical_size = 0.0;                 // == data->size() for real objects
+    std::uint64_t etag = 0;                   // fnv1a64 of data at put time
     Seconds visible_at = 0.0;
     bool is_new = true;  // false once overwritten (overwrite => visible)
   };
@@ -146,6 +163,7 @@ class BlobStore {
 
   std::shared_ptr<const ppc::Clock> clock_;
   BlobStoreConfig config_;
+  std::atomic<ppc::FaultHook*> hook_{nullptr};
 
   /// Guards the bucket registry only (shared for lookups, exclusive for
   /// bucket creation); per-object state is under each Bucket's mutex.

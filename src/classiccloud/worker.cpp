@@ -15,6 +15,7 @@ runtime::LifecycleConfig lifecycle_config(const WorkerConfig& config) {
   lc.visibility_timeout = config.visibility_timeout;
   lc.max_idle_polls = config.max_idle_polls;
   lc.fetch_retry = config.download_retry;
+  lc.abandon_visibility = config.abandon_visibility;
   return lc;
 }
 }  // namespace

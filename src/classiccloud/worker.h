@@ -60,6 +60,9 @@ struct WorkerConfig {
   int max_idle_polls = -1;
   /// Backoff schedule for eventually-consistent blob reads.
   runtime::RetryPolicy download_retry = runtime::RetryPolicy::eventual_consistency();
+  /// Visibility applied to deliveries this worker failed (prompt retry);
+  /// < 0 leaves the original visibility window. See LifecycleConfig.
+  Seconds abandon_visibility = -1.0;
   /// Fault injection (borrowed, not owned). Null = never.
   runtime::FaultInjector* faults = nullptr;
   /// Metrics registry shared across the pool; null = private registry.
@@ -97,8 +100,12 @@ class Worker {
 
   bool running() const { return lifecycle_->running(); }
   const std::string& id() const { return lifecycle_->id(); }
+  bool crashed() const { return lifecycle_->crashed(); }
   WorkerStats stats() const;
   runtime::MetricsRegistry& metrics() const { return lifecycle_->metrics(); }
+
+  /// The underlying poll loop — what a runtime::WorkerSupervisor watches.
+  runtime::TaskLifecycle& lifecycle() { return *lifecycle_; }
 
  private:
   runtime::TaskOutcome process(runtime::TaskContext& ctx);

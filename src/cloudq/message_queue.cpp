@@ -21,6 +21,15 @@ MessageQueue::MessageQueue(std::string name, std::shared_ptr<const ppc::Clock> c
 }
 
 std::string MessageQueue::send(std::string body) {
+  if (ppc::FaultHook* hook = hook_.load()) {
+    ppc::PayloadRef in_flight(&body);
+    const ppc::FaultDecision d = hook->on_operation("cloudq." + name_ + ".send", "", &in_flight);
+    if (d.fail) throw ppc::Error("injected send failure on queue " + name_);
+    // Send-side corruption is *stored*: the service received flipped bytes
+    // and checksummed what it got, so every delivery of this message is
+    // garbage that passes intact() — a poison message.
+    if (d.corrupted) body = in_flight.take();
+  }
   std::lock_guard lock(mu_);
   ++meter_.sends;
   return enqueue_locked(std::move(body));
@@ -40,6 +49,7 @@ std::vector<std::string> MessageQueue::send_batch(const std::vector<std::string>
 std::string MessageQueue::enqueue_locked(std::string body) {
   Entry e;
   e.id = "m-" + std::to_string(next_msg_++);
+  e.body_hash = ppc::fnv1a64(body);
   e.body = std::make_shared<const std::string>(std::move(body));
   const Seconds lag =
       config_.visibility_lag_mean > 0.0 ? rng_.exponential(config_.visibility_lag_mean) : 0.0;
@@ -48,50 +58,180 @@ std::string MessageQueue::enqueue_locked(std::string body) {
   return entries_.back().id;
 }
 
-std::optional<Message> MessageQueue::receive(Seconds visibility_timeout) {
+void MessageQueue::enable_dead_letter(std::shared_ptr<MessageQueue> dlq, int max_receive_count) {
+  PPC_REQUIRE(dlq != nullptr, "enable_dead_letter needs a queue");
+  PPC_REQUIRE(dlq.get() != this, "a queue cannot be its own dead-letter queue");
+  PPC_REQUIRE(max_receive_count >= 1, "max_receive_count must be >= 1");
   std::lock_guard lock(mu_);
-  ++meter_.receives;
-  const Seconds now = clock_->now();
+  dlq_ = std::move(dlq);
+  max_receive_count_ = max_receive_count;
+}
+
+bool MessageQueue::has_dead_letter_queue() const {
+  std::lock_guard lock(mu_);
+  return dlq_ != nullptr;
+}
+
+int MessageQueue::max_receive_count() const {
+  std::lock_guard lock(mu_);
+  return max_receive_count_;
+}
+
+std::shared_ptr<MessageQueue> MessageQueue::dead_letter_queue() const {
+  std::lock_guard lock(mu_);
+  return dlq_;
+}
+
+std::size_t MessageQueue::dlq_depth() const {
+  std::shared_ptr<MessageQueue> dlq;
+  {
+    std::lock_guard lock(mu_);
+    dlq = dlq_;
+  }
+  return dlq == nullptr ? 0 : dlq->undeleted();
+}
+
+bool MessageQueue::move_to_dlq(const std::string& receipt_handle) {
+  std::shared_ptr<MessageQueue> dlq;
+  std::shared_ptr<const std::string> body;
+  {
+    std::lock_guard lock(mu_);
+    if (dlq_ == nullptr) return false;
+    Entry* e = lookup_locked(receipt_handle);
+    if (e == nullptr) return false;
+    e->deleted = true;
+    body = e->body;
+    dlq = dlq_;
+    ++meter_.dlq_moves;
+  }
+  dlq->send(std::string(*body));
+  return true;
+}
+
+std::vector<std::shared_ptr<const std::string>> MessageQueue::sweep_exhausted_locked(
+    Seconds now) {
+  std::vector<std::shared_ptr<const std::string>> moved;
+  if (dlq_ == nullptr || max_receive_count_ <= 0) return moved;
+  for (Entry& e : entries_) {
+    // A message that came back (visible again) after max_receive_count
+    // deliveries is poison: redrive it instead of delivering again.
+    if (!e.deleted && e.visible_at <= now && e.receive_count >= max_receive_count_) {
+      e.deleted = true;
+      moved.push_back(e.body);
+      ++meter_.dlq_moves;
+    }
+  }
+  return moved;
+}
+
+std::optional<Message> MessageQueue::receive(Seconds visibility_timeout) {
   const Seconds timeout =
       visibility_timeout < 0.0 ? config_.default_visibility_timeout : visibility_timeout;
   PPC_REQUIRE(timeout > 0.0, "visibility timeout must be positive");
 
-  if (config_.receive_miss_prob > 0.0 && rng_.bernoulli(config_.receive_miss_prob)) {
-    return std::nullopt;  // eventually-consistent miss; retry later
-  }
+  std::shared_ptr<MessageQueue> dlq;
+  std::vector<std::shared_ptr<const std::string>> exhausted;
+  std::optional<Message> delivered;
+  std::size_t delivered_idx = 0;
+  std::uint64_t delivered_serial = 0;
+  {
+    std::lock_guard lock(mu_);
+    ++meter_.receives;
+    const Seconds now = clock_->now();
+    const bool missed =
+        config_.receive_miss_prob > 0.0 && rng_.bernoulli(config_.receive_miss_prob);
 
-  std::vector<std::size_t> visible;
-  visible.reserve(entries_.size());
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    const Entry& e = entries_[i];
-    if (!e.deleted && e.visible_at <= now) visible.push_back(i);
-  }
-  if (visible.empty()) return std::nullopt;
+    // The redrive sweep runs even on an eventually-consistent miss: it is
+    // the service noticing exhausted messages, not the caller.
+    exhausted = sweep_exhausted_locked(now);
+    dlq = dlq_;
 
-  const std::size_t idx = visible[rng_.index(visible.size())];
-  Entry& e = entries_[idx];
-  ++e.receive_count;
-  e.current_receipt_serial = next_receipt_serial_++;
-  if (!(config_.duplicate_delivery_prob > 0.0 && rng_.bernoulli(config_.duplicate_delivery_prob))) {
-    e.visible_at = now + timeout;  // normal path: hide until timeout
-  }
-  // Duplicate-delivery path: the message stays visible, so a second reader
-  // can receive it immediately; the second delivery will supersede this
-  // receipt, making the first delete fail — at-least-once in action.
+    if (!missed) {
+      std::vector<std::size_t> visible;
+      visible.reserve(entries_.size());
+      for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry& e = entries_[i];
+        if (!e.deleted && e.visible_at <= now) visible.push_back(i);
+      }
+      if (!visible.empty()) {
+        const std::size_t idx = visible[rng_.index(visible.size())];
+        Entry& e = entries_[idx];
+        ++e.receive_count;
+        e.current_receipt_serial = next_receipt_serial_++;
+        if (!(config_.duplicate_delivery_prob > 0.0 &&
+              rng_.bernoulli(config_.duplicate_delivery_prob))) {
+          e.visible_at = now + timeout;  // normal path: hide until timeout
+        }
+        // Duplicate-delivery path: the message stays visible, so a second
+        // reader can receive it immediately; the second delivery will
+        // supersede this receipt, making the first delete fail —
+        // at-least-once in action.
 
-  Message m;
-  m.id = e.id;
-  m.payload = e.body;  // aliases the stored body: delivery copies a pointer
-  m.receipt_handle = make_receipt(idx, e.current_receipt_serial);
-  m.receive_count = e.receive_count;
-  return m;
+        Message m;
+        m.id = e.id;
+        m.payload = e.body;  // aliases the stored body: delivery copies a pointer
+        m.receipt_handle = make_receipt(idx, e.current_receipt_serial);
+        m.receive_count = e.receive_count;
+        m.body_hash = e.body_hash;
+        delivered = std::move(m);
+        delivered_idx = idx;
+        delivered_serial = e.current_receipt_serial;
+      }
+    }
+  }
+  for (const auto& body : exhausted) dlq->send(std::string(*body));
+  if (!delivered) return std::nullopt;
+
+  if (ppc::FaultHook* hook = hook_.load()) {
+    ppc::PayloadRef in_flight(delivered->payload.get());
+    const ppc::FaultDecision d =
+        hook->on_operation("cloudq." + name_ + ".receive", delivered->id, &in_flight);
+    if (d.fail) {
+      // The response was lost after the service hid the message. Making the
+      // caller wait out the full visibility timeout for a message nobody
+      // holds would just stall the run, so the entry becomes immediately
+      // redeliverable; its receive_count bump stands (the service *did*
+      // deliver).
+      std::lock_guard lock(mu_);
+      Entry& e = entries_[delivered_idx];
+      if (!e.deleted && e.current_receipt_serial == delivered_serial) {
+        e.visible_at = clock_->now();
+      }
+      return std::nullopt;
+    }
+    if (d.corrupted) {
+      // Only this delivery is tainted; body_hash still describes the stored
+      // bytes, so Message::intact() flags the mismatch.
+      delivered->payload = std::make_shared<const std::string>(in_flight.take());
+    }
+  }
+  return delivered;
 }
 
 bool MessageQueue::delete_message(const std::string& receipt_handle) {
+  if (ppc::FaultHook* hook = hook_.load()) {
+    const ppc::FaultDecision d =
+        hook->on_operation("cloudq." + name_ + ".delete", receipt_handle, nullptr);
+    if (d.fail) {
+      // Request lost in flight: still billed, nothing deleted. The message
+      // will time out and be redelivered; idempotency absorbs it.
+      std::lock_guard lock(mu_);
+      ++meter_.deletes;
+      return false;
+    }
+  }
   std::lock_guard lock(mu_);
   ++meter_.deletes;
   Entry* e = lookup_locked(receipt_handle);
   if (e == nullptr) return false;
+  if (e->visible_at <= clock_->now()) {
+    // The receipt's visibility timeout lapsed: the message is back in the
+    // queue and may be redelivered at any moment, so honoring the delete
+    // would race that redelivery. Detected no-op (satellite bugfix) —
+    // previously this succeeded whenever the serial still matched.
+    ++meter_.stale_deletes;
+    return false;
+  }
   e->deleted = true;
   return true;
 }

@@ -13,8 +13,16 @@
 //  * occasional duplicate delivery — with small probability a delivered
 //    message is left visible so another reader can obtain it concurrently;
 //  * stale receipts — deleting with a receipt that has been superseded by a
-//    redelivery fails, which is exactly what makes idempotent tasks a
-//    requirement in the paper's fault-tolerance story;
+//    redelivery, or whose visibility timeout has already lapsed (the message
+//    is back in the queue and may be redelivered at any moment), fails; this
+//    is exactly what makes idempotent tasks a requirement in the paper's
+//    fault-tolerance story;
+//  * dead-letter queues — with enable_dead_letter(), a message delivered
+//    max_receive_count times without a delete is moved to a companion queue
+//    on the next receive sweep (the SQS redrive policy), which is how poison
+//    tasks stop livelocking a worker pool;
+//  * body checksums — deliveries carry the fnv1a64 of the stored body (our
+//    MD5OfBody), so receivers can detect payloads corrupted in flight;
 //  * request metering — SQS bills per API request; the meter feeds Table 4's
 //    "Queue messages (~10,000) : $0.01" line.
 //
@@ -23,6 +31,7 @@
 // simulation (figure benches).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -31,7 +40,9 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/fault_hook.h"
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "common/units.h"
 
 namespace ppc::cloudq {
@@ -61,12 +72,21 @@ struct QueueConfig {
 struct Message {
   std::string id;
   /// Shared immutable body: aliases the queue's stored payload, so a receive
-  /// (and every redelivery) is zero-copy.
+  /// (and every redelivery) is zero-copy. A delivery corrupted by a fault
+  /// hook carries a private flipped copy instead — intact() exposes it.
   std::shared_ptr<const std::string> payload;
   std::string receipt_handle;
   int receive_count = 0;  // how many times this message has been delivered
+  /// fnv1a64 of the *stored* body, stamped at send time (our MD5OfBody).
+  /// 0 = unknown (hand-built messages in tests), treated as intact.
+  std::uint64_t body_hash = 0;
 
   const std::string& body() const { return *payload; }
+
+  /// True when the delivered bytes match the send-time checksum. A false
+  /// return means this delivery was corrupted in flight; the stored message
+  /// is intact and a redelivery will carry clean bytes.
+  bool intact() const { return body_hash == 0 || ppc::fnv1a64(*payload) == body_hash; }
 };
 
 /// Per-queue API request accounting.
@@ -75,6 +95,12 @@ struct RequestMeter {
   std::uint64_t receives = 0;  // including empty receives
   std::uint64_t deletes = 0;
   std::uint64_t visibility_changes = 0;
+  /// Deletes presented with the current receipt *after* its visibility
+  /// timeout lapsed — detected no-ops (the message is deliverable again, so
+  /// honoring the delete would race a concurrent redelivery).
+  std::uint64_t stale_deletes = 0;
+  /// Messages moved to the dead-letter queue (sweeps + explicit moves).
+  std::uint64_t dlq_moves = 0;
 
   std::uint64_t total() const { return sends + receives + deletes + visibility_changes; }
 };
@@ -86,6 +112,38 @@ class MessageQueue {
 
   const std::string& name() const { return name_; }
   const QueueConfig& config() const { return config_; }
+
+  /// Installs a fault hook fired on every send/receive/delete (sites
+  /// "cloudq.<name>.send" / ".receive" / ".delete"). A failing send throws,
+  /// a failing receive loses the response (the selected message becomes
+  /// immediately redeliverable — its receive_count increment stands, exactly
+  /// like a reply lost after the service acted), a failing delete is dropped,
+  /// and a corrupted send/receive flips payload bits (send-side corruption is
+  /// *stored* — the poison-message generator; receive-side corruption taints
+  /// one delivery only, detectable via Message::intact()).
+  /// Non-owning; pass nullptr to clear. The hook must outlive its use.
+  void set_fault_hook(ppc::FaultHook* hook) { hook_.store(hook); }
+
+  /// Attaches a dead-letter queue (the SQS redrive policy): once a message
+  /// has been delivered `max_receive_count` times without being deleted, the
+  /// next receive sweep moves it to `dlq` instead of redelivering it.
+  /// `dlq` must be a different queue and DLQ chains must be acyclic.
+  void enable_dead_letter(std::shared_ptr<MessageQueue> dlq, int max_receive_count);
+
+  bool has_dead_letter_queue() const;
+
+  /// The redrive threshold, or 0 when no DLQ is attached.
+  int max_receive_count() const;
+
+  std::shared_ptr<MessageQueue> dead_letter_queue() const;
+
+  /// Undeleted messages sitting in the attached DLQ (0 without one).
+  std::size_t dlq_depth() const;
+
+  /// Explicitly moves an in-flight message to the dead-letter queue — the
+  /// receiver recognized a poison payload and refuses to process it again.
+  /// Returns false on a stale receipt or when no DLQ is attached.
+  bool move_to_dlq(const std::string& receipt_handle);
 
   /// Enqueues a message body; returns the service-assigned message id.
   std::string send(std::string body);
@@ -105,9 +163,10 @@ class MessageQueue {
   std::optional<Message> receive(Seconds visibility_timeout = -1.0);
 
   /// Deletes the message identified by `receipt_handle`. Returns false when
-  /// the receipt is stale (the message timed out and was redelivered, or was
-  /// already deleted) — the caller's work, if completed, stands thanks to
-  /// task idempotency.
+  /// the receipt is stale (the message timed out — even if not yet
+  /// redelivered — was redelivered, or was already deleted) — the caller's
+  /// work, if completed, stands thanks to task idempotency. Lapsed-receipt
+  /// no-ops are counted in RequestMeter::stale_deletes.
   bool delete_message(const std::string& receipt_handle);
 
   /// Extends/shrinks the hidden period of an in-flight message. Returns
@@ -133,6 +192,7 @@ class MessageQueue {
   struct Entry {
     std::string id;
     std::shared_ptr<const std::string> body;  // immutable, shared with deliveries
+    std::uint64_t body_hash = 0;              // fnv1a64 of *body at send time
     Seconds visible_at = 0.0;  // message is deliverable when now >= visible_at
     int receive_count = 0;
     std::uint64_t current_receipt_serial = 0;  // 0 = never delivered
@@ -149,9 +209,16 @@ class MessageQueue {
   // Locates the entry for a receipt and validates freshness. Caller holds mu_.
   Entry* lookup_locked(const std::string& receipt_handle);
 
+  /// Marks entries whose receive_count reached the redrive threshold as
+  /// deleted and collects their bodies; caller holds mu_ and must send the
+  /// returned bodies to dlq_ after unlocking (the DLQ has its own mutex;
+  /// sending under ours would make chained queues a lock-order hazard).
+  std::vector<std::shared_ptr<const std::string>> sweep_exhausted_locked(Seconds now);
+
   const std::string name_;
   std::shared_ptr<const ppc::Clock> clock_;
   QueueConfig config_;
+  std::atomic<ppc::FaultHook*> hook_{nullptr};
 
   mutable std::mutex mu_;
   ppc::Rng rng_;
@@ -159,6 +226,8 @@ class MessageQueue {
   std::uint64_t next_msg_ = 1;
   std::uint64_t next_receipt_serial_ = 1;
   RequestMeter meter_;
+  std::shared_ptr<MessageQueue> dlq_;  // guarded by mu_; set once
+  int max_receive_count_ = 0;          // 0 = no redrive
 };
 
 }  // namespace ppc::cloudq

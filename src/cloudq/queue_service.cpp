@@ -16,8 +16,23 @@ std::shared_ptr<MessageQueue> QueueService::create_queue(const std::string& name
   auto it = queues_.find(name);
   if (it != queues_.end()) return it->second;
   auto q = std::make_shared<MessageQueue>(name, clock_, config_, rng_.split());
+  q->set_fault_hook(hook_);
   queues_.emplace(name, q);
   return q;
+}
+
+std::shared_ptr<MessageQueue> QueueService::create_queue_with_dlq(const std::string& name,
+                                                                  int max_receive_count) {
+  auto main = create_queue(name);
+  auto dlq = create_queue(name + "-dlq");
+  main->enable_dead_letter(dlq, max_receive_count);
+  return main;
+}
+
+void QueueService::set_fault_hook(ppc::FaultHook* hook) {
+  std::lock_guard lock(mu_);
+  hook_ = hook;
+  for (const auto& [_, q] : queues_) q->set_fault_hook(hook);
 }
 
 std::shared_ptr<MessageQueue> QueueService::get_queue(const std::string& name) const {

@@ -24,6 +24,15 @@ class QueueService {
   /// Creates (or returns the existing) queue with this name.
   std::shared_ptr<MessageQueue> create_queue(const std::string& name);
 
+  /// Creates queue `name` (if needed) plus a companion "<name>-dlq" queue
+  /// and wires the redrive policy between them. Returns the main queue.
+  std::shared_ptr<MessageQueue> create_queue_with_dlq(const std::string& name,
+                                                      int max_receive_count);
+
+  /// Installs `hook` on every existing queue and every queue created later
+  /// (account-wide chaos instrumentation). Non-owning; nullptr clears.
+  void set_fault_hook(ppc::FaultHook* hook);
+
   /// Returns the queue or nullptr when it does not exist.
   std::shared_ptr<MessageQueue> get_queue(const std::string& name) const;
 
@@ -41,6 +50,7 @@ class QueueService {
   QueueConfig config_;
   mutable std::mutex mu_;
   ppc::Rng rng_;
+  ppc::FaultHook* hook_ = nullptr;  // applied to new queues; guarded by mu_
   std::map<std::string, std::shared_ptr<MessageQueue>> queues_;
 };
 

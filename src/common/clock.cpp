@@ -13,6 +13,11 @@ Seconds steady_seconds() {
 }
 }  // namespace
 
+Seconds monotonic_now() {
+  static const Seconds epoch = steady_seconds();
+  return steady_seconds() - epoch;
+}
+
 SystemClock::SystemClock() : epoch_(steady_seconds()) {}
 
 Seconds SystemClock::now() const { return steady_seconds() - epoch_; }

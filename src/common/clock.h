@@ -18,6 +18,12 @@ class Clock {
   virtual Seconds now() const = 0;
 };
 
+/// Process-wide monotonic seconds (std::chrono::steady_clock; epoch = first
+/// call). Use when two components must compare timestamps — per-instance
+/// SystemClock epochs differ, so a worker heartbeat stamped with one clock
+/// cannot be aged against a supervisor's clock. This shared timebase can.
+Seconds monotonic_now();
+
 /// Real wall-clock backed by std::chrono::steady_clock; epoch = construction.
 class SystemClock final : public Clock {
  public:

@@ -1,0 +1,79 @@
+// Service-layer fault injection seam.
+//
+// The cloud-service reproductions (blobstore::BlobStore, cloudq::MessageQueue)
+// sit *below* the runtime layer, so they cannot depend on
+// runtime::FaultInjector directly. This header defines the narrow interface
+// they fire instead: each instrumented operation (put/get/list,
+// send/receive/delete) calls `on_operation(site, key, payload)` and the
+// installed hook decides whether the operation is delayed (the hook sleeps),
+// fails (returns fail=true), or delivers corrupted bytes (the hook mutates a
+// lazily materialized copy of the payload). runtime::FaultInjector implements
+// this interface, which is how a chaos FaultPlan scripts storage and queue
+// misbehaviour without the service layer knowing anything about plans.
+//
+// The payload is handed over as a PayloadRef so the zero-copy delivery path
+// is untouched unless a corruption actually happens: mutate() copies the
+// stored bytes on first call, and only then does the service swap the
+// delivered pointer for the corrupted copy.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ppc {
+
+/// Verdict of one hooked operation. Delays happen inside the hook itself
+/// (it sleeps before returning), so they need no field here.
+struct FaultDecision {
+  /// The operation should report failure: a get returns not-found, a list
+  /// returns an empty (lost) response, a send/put throws, a delete is
+  /// dropped. The stored state is untouched — failures are response-level.
+  bool fail = false;
+  /// The payload copy was mutated; the caller must deliver the copy instead
+  /// of the shared original.
+  bool corrupted = false;
+};
+
+/// Lazy copy-on-write view of an operation's payload. Hooks that corrupt
+/// call mutate(); everything else leaves the original untouched.
+class PayloadRef {
+ public:
+  explicit PayloadRef(const std::string* original) : original_(original) {}
+
+  /// Materializes a private copy of the payload on first call and returns a
+  /// mutable pointer to it. Returns nullptr when the operation has no
+  /// payload (e.g. a delete).
+  std::string* mutate() {
+    if (original_ == nullptr) return nullptr;
+    if (!copy_) copy_ = *original_;
+    return &*copy_;
+  }
+
+  bool mutated() const { return copy_.has_value(); }
+
+  /// Moves the corrupted copy out (call only when mutated()).
+  std::string take() { return std::move(*copy_); }
+
+ private:
+  const std::string* original_;
+  std::optional<std::string> copy_;
+};
+
+/// Implemented by runtime::FaultInjector; installed on services with their
+/// set_fault_hook(). Implementations must be thread-safe — services fire
+/// from every worker thread, outside their own locks.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Called once per instrumented operation. `site` names the operation
+  /// ("cloudq.<queue>.receive", "blobstore.<bucket>.get", ...), `key`
+  /// identifies the object (message id, blob key). `payload` may be null
+  /// for payload-less operations. May sleep (delay faults) but must not
+  /// throw — failures are reported through the decision.
+  virtual FaultDecision on_operation(const std::string& site, const std::string& key,
+                                     PayloadRef* payload) = 0;
+};
+
+}  // namespace ppc

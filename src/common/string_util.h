@@ -3,12 +3,19 @@
 // SQS messages are short self-describing task records, §2.1.3).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace ppc {
+
+/// FNV-1a 64-bit content hash. Stands in for the MD5 checksums the real
+/// services attach to payloads (SQS's MD5OfBody, S3's ETag): queues and the
+/// blob store stamp stored bodies with it, and consumers verify deliveries
+/// against the stamp to detect corrupted-in-flight copies.
+std::uint64_t fnv1a64(std::string_view s);
 
 /// Splits `s` on `sep`; keeps empty fields.
 std::vector<std::string> split(std::string_view s, char sep);

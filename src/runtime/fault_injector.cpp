@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/string_util.h"
 #include "runtime/retry_policy.h"
 
 namespace ppc::runtime {
@@ -41,63 +42,189 @@ void FaultInjector::delay(const std::string& site, Seconds duration, int times) 
   s.delay_budget = times;
 }
 
+void FaultInjector::arm_plan(const FaultPlan& plan) {
+  std::lock_guard lock(mu_);
+  for (const FaultRule& rule : plan.rules) {
+    Site& s = sites_[rule.site];
+    if (s.rules.empty()) s.rng = ppc::Rng(plan.seed ^ fnv1a64(rule.site));
+    ArmedRule armed;
+    armed.rule = rule;
+    armed.remaining_skips = rule.skip_first;
+    armed.remaining_budget = rule.budget;
+    s.rules.push_back(std::move(armed));
+  }
+}
+
 void FaultInjector::reset() {
   std::lock_guard lock(mu_);
   sites_.clear();
 }
 
-bool FaultInjector::fire(const std::string& site, const std::string& key) {
-  Seconds sleep = 0.0;
-  bool throw_error = false;
-  std::string error_what;
-  bool crash = false;
-  {
-    std::lock_guard lock(mu_);
-    Site& s = sites_[site];
-    ++s.hits;
-    if (s.delay_budget != 0 && s.delay_duration > 0.0) {
-      sleep = s.delay_duration;
-      if (s.delay_budget > 0) --s.delay_budget;
-    }
-    if (s.error_budget > 0) {
-      --s.error_budget;
-      throw_error = true;
-      error_what = s.error_what;
-    } else if (s.crash_always) {
-      crash = true;
+FaultInjector::Outcome FaultInjector::evaluate_locked(Site& s, const std::string& key,
+                                                      bool service_op) {
+  ++s.hits;
+  Outcome out;
+
+  // Legacy imperative armings first — they predate plans and tests rely on
+  // their exact precedence (delay stacks with error/crash; error beats crash).
+  if (s.delay_budget != 0 && s.delay_duration > 0.0) {
+    out.sleep = s.delay_duration;
+    if (s.delay_budget > 0) --s.delay_budget;
+    ++s.delays;
+  }
+  if (s.error_budget > 0) {
+    --s.error_budget;
+    out.error = true;
+    out.error_what = s.error_what;
+    ++s.errors;
+  } else if (!service_op) {
+    if (s.crash_always) {
+      out.crash = true;
     } else if (s.crash_budget > 0) {
       --s.crash_budget;
-      crash = true;
+      out.crash = true;
     } else if (s.crash_pred && s.crash_pred(key)) {
-      crash = true;
+      out.crash = true;
     }
-    if (crash) ++s.crashes;
   }
-  if (sleep > 0.0) sleep_for(sleep);
-  if (throw_error) {
+
+  // Plan rules. Each rule decides independently; within one firing, delay
+  // stacks with at most one terminal action (error/crash/corrupt, first
+  // armed rule wins) so a single firing stays interpretable.
+  for (ArmedRule& ar : s.rules) {
+    const FaultAction action = ar.rule.action;
+    // Crash rules only make sense at lifecycle sites; corrupt rules only at
+    // service operations that carry a payload. Mismatched rules stay armed.
+    if (action == FaultAction::kCrash && service_op) continue;
+    if (action == FaultAction::kCorrupt && !service_op) continue;
+    if (ar.remaining_budget == 0) continue;
+    const bool terminal_taken = out.error || out.crash || out.corrupt;
+    if (action != FaultAction::kDelay && terminal_taken) continue;
+    if (ar.rule.probability < 1.0 && !s.rng.bernoulli(ar.rule.probability)) continue;
+    if (ar.remaining_skips > 0) {
+      --ar.remaining_skips;
+      continue;
+    }
+    if (ar.remaining_budget > 0) --ar.remaining_budget;
+    switch (action) {
+      case FaultAction::kDelay:
+        out.sleep += ar.rule.delay;
+        ++s.delays;
+        break;
+      case FaultAction::kError:
+        out.error = true;
+        out.error_what = ar.rule.what;
+        ++s.errors;
+        break;
+      case FaultAction::kCrash:
+        out.crash = true;
+        break;
+      case FaultAction::kCorrupt:
+        // Counted in on_operation(), and only when bytes actually flip —
+        // a payload-less or empty operation yields no corruption.
+        out.corrupt = true;
+        out.corrupt_salt = s.rng.next_u64();
+        break;
+    }
+  }
+  if (out.crash) ++s.crashes;
+  return out;
+}
+
+bool FaultInjector::fire(const std::string& site, const std::string& key) {
+  Outcome out;
+  {
+    std::lock_guard lock(mu_);
+    out = evaluate_locked(sites_[site], key, /*service_op=*/false);
+  }
+  if (out.sleep > 0.0) sleep_for(out.sleep);
+  if (out.error) {
     throw InjectedFault("injected fault at " + site +
-                        (key.empty() ? "" : " (" + key + ")") + ": " + error_what);
+                        (key.empty() ? "" : " (" + key + ")") + ": " + out.error_what);
   }
-  return crash;
+  return out.crash;
+}
+
+ppc::FaultDecision FaultInjector::on_operation(const std::string& site,
+                                               const std::string& key,
+                                               ppc::PayloadRef* payload) {
+  Outcome out;
+  {
+    std::lock_guard lock(mu_);
+    out = evaluate_locked(sites_[site], key, /*service_op=*/true);
+  }
+  if (out.sleep > 0.0) sleep_for(out.sleep);
+  ppc::FaultDecision decision;
+  decision.fail = out.error;
+  if (out.corrupt && payload != nullptr) {
+    if (std::string* bytes = payload->mutate(); bytes != nullptr && !bytes->empty()) {
+      const std::size_t offset = out.corrupt_salt % bytes->size();
+      const unsigned bit = static_cast<unsigned>((out.corrupt_salt >> 32) % 8);
+      (*bytes)[offset] = static_cast<char>(
+          static_cast<unsigned char>((*bytes)[offset]) ^ (1u << bit));
+      decision.corrupted = true;
+      std::lock_guard lock(mu_);
+      ++sites_[site].corruptions;
+    }
+  }
+  return decision;
+}
+
+std::int64_t FaultInjector::site_stat_locked(const std::string& site,
+                                             std::int64_t Site::*member) const {
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.*member;
+}
+
+std::int64_t FaultInjector::total_stat_locked(std::int64_t Site::*member) const {
+  std::int64_t total = 0;
+  for (const auto& [_, s] : sites_) total += s.*member;
+  return total;
 }
 
 std::int64_t FaultInjector::hits(const std::string& site) const {
   std::lock_guard lock(mu_);
-  auto it = sites_.find(site);
-  return it == sites_.end() ? 0 : it->second.hits;
+  return site_stat_locked(site, &Site::hits);
 }
 
 std::int64_t FaultInjector::crashes(const std::string& site) const {
   std::lock_guard lock(mu_);
-  auto it = sites_.find(site);
-  return it == sites_.end() ? 0 : it->second.crashes;
+  return site_stat_locked(site, &Site::crashes);
+}
+
+std::int64_t FaultInjector::delays_injected(const std::string& site) const {
+  std::lock_guard lock(mu_);
+  return site_stat_locked(site, &Site::delays);
+}
+
+std::int64_t FaultInjector::errors_injected(const std::string& site) const {
+  std::lock_guard lock(mu_);
+  return site_stat_locked(site, &Site::errors);
+}
+
+std::int64_t FaultInjector::corruptions_injected(const std::string& site) const {
+  std::lock_guard lock(mu_);
+  return site_stat_locked(site, &Site::corruptions);
 }
 
 std::int64_t FaultInjector::total_crashes() const {
   std::lock_guard lock(mu_);
-  std::int64_t total = 0;
-  for (const auto& [_, s] : sites_) total += s.crashes;
-  return total;
+  return total_stat_locked(&Site::crashes);
+}
+
+std::int64_t FaultInjector::total_delays() const {
+  std::lock_guard lock(mu_);
+  return total_stat_locked(&Site::delays);
+}
+
+std::int64_t FaultInjector::total_errors() const {
+  std::lock_guard lock(mu_);
+  return total_stat_locked(&Site::errors);
+}
+
+std::int64_t FaultInjector::total_corruptions() const {
+  std::lock_guard lock(mu_);
+  return total_stat_locked(&Site::corruptions);
 }
 
 }  // namespace ppc::runtime

@@ -11,6 +11,20 @@
 // against the Classic Cloud worker, the azuremr worker role, the MapReduce
 // engine, and the discrete-event drivers.
 //
+// Two firing surfaces share the armed state:
+//
+//  * fire(site, key) — worker-side lifecycle sites. Applies delays, throws
+//    InjectedFault for errors, returns true for crashes.
+//  * on_operation(site, key, payload) — the ppc::FaultHook interface the
+//    service layer (BlobStore, MessageQueue) fires on every put/get/list/
+//    send/receive/delete. Applies delays, reports errors as fail=true, and
+//    corrupts payload copies (bit flip at an RNG-chosen position). Crash
+//    rules are ignored here: a storage service cannot kill its caller.
+//
+// Besides the imperative arming calls, `arm_plan(FaultPlan)` installs a
+// declarative schedule with deterministic per-site RNG streams
+// (seed ^ fnv1a64(site)) — the chaos-campaign surface.
+//
 // Thread-safe: workers fire concurrently; tests arm before starting them
 // (arming while firing is also safe, just racy by nature).
 #pragma once
@@ -22,17 +36,21 @@
 #include <string>
 
 #include "common/error.h"
+#include "common/fault_hook.h"
+#include "common/rng.h"
 #include "common/units.h"
+#include "runtime/fault_plan.h"
 
 namespace ppc::runtime {
 
-/// Thrown by FaultInjector::fire() for sites armed with error_times().
+/// Thrown by FaultInjector::fire() for sites armed with error_times() or an
+/// error-action plan rule.
 class InjectedFault : public ppc::Error {
  public:
   using Error::Error;
 };
 
-class FaultInjector {
+class FaultInjector : public ppc::FaultHook {
  public:
   /// Decides per firing whether to crash; receives the site's key (task id,
   /// input name, ...). Runs under the injector lock — keep it cheap.
@@ -58,6 +76,12 @@ class FaultInjector {
   /// Sleep `duration` real seconds on each firing; `times` < 0 = every time.
   void delay(const std::string& site, Seconds duration, int times = -1);
 
+  /// Installs every rule of a declarative plan. Each armed site gets its own
+  /// deterministic RNG stream (plan.seed ^ fnv1a64(site)) for probability
+  /// draws and corruption positions. May be called repeatedly; rules
+  /// accumulate.
+  void arm_plan(const FaultPlan& plan);
+
   /// Disarms every site and zeroes all counters.
   void reset();
 
@@ -69,6 +93,12 @@ class FaultInjector {
   /// Unarmed sites return false.
   bool fire(const std::string& site, const std::string& key = "");
 
+  /// ppc::FaultHook — fired by BlobStore / MessageQueue operations. Never
+  /// throws; errors surface as FaultDecision::fail and corruptions mutate
+  /// the payload copy. Crash rules do not apply to service operations.
+  ppc::FaultDecision on_operation(const std::string& site, const std::string& key,
+                                  ppc::PayloadRef* payload) override;
+
   // -- observability --------------------------------------------------
 
   /// Times the site has fired (armed or not).
@@ -77,10 +107,24 @@ class FaultInjector {
   /// Crashes this site has triggered.
   std::int64_t crashes(const std::string& site) const;
 
+  std::int64_t delays_injected(const std::string& site) const;
+  std::int64_t errors_injected(const std::string& site) const;
+  std::int64_t corruptions_injected(const std::string& site) const;
+
   /// Crashes across all sites.
   std::int64_t total_crashes() const;
 
+  std::int64_t total_delays() const;
+  std::int64_t total_errors() const;
+  std::int64_t total_corruptions() const;
+
  private:
+  struct ArmedRule {
+    FaultRule rule;
+    int remaining_skips = 0;
+    int remaining_budget = 0;  // < 0 = unlimited
+  };
+
   struct Site {
     int crash_budget = 0;
     bool crash_always = false;
@@ -89,9 +133,33 @@ class FaultInjector {
     std::string error_what;
     Seconds delay_duration = 0.0;
     int delay_budget = 0;  // < 0 = unlimited
+    std::vector<ArmedRule> rules;
+    ppc::Rng rng{0};  // reseeded by arm_plan
     std::int64_t hits = 0;
     std::int64_t crashes = 0;
+    std::int64_t delays = 0;
+    std::int64_t errors = 0;
+    std::int64_t corruptions = 0;
   };
+
+  /// What one firing should do; computed under the lock, applied outside it.
+  struct Outcome {
+    Seconds sleep = 0.0;
+    bool error = false;
+    std::string error_what;
+    bool crash = false;
+    bool corrupt = false;
+    std::uint64_t corrupt_salt = 0;  // picks the flipped bit
+  };
+
+  /// Evaluates legacy armings + plan rules for one firing. `service_op`
+  /// selects the hook interpretation: corrupt rules apply, crash rules do
+  /// not. Caller holds mu_.
+  Outcome evaluate_locked(Site& site, const std::string& key, bool service_op);
+
+  std::int64_t site_stat_locked(const std::string& site,
+                                std::int64_t Site::*member) const;
+  std::int64_t total_stat_locked(std::int64_t Site::*member) const;
 
   mutable std::mutex mu_;
   std::map<std::string, Site> sites_;

@@ -1,0 +1,70 @@
+// Scripted fault schedules for chaos campaigns.
+//
+// The original FaultInjector API is imperative — a test arms `crash_once` /
+// `error_times` / `delay` against one site at a time. A chaos campaign wants
+// the opposite: one declarative *plan*, sampled from a seed, that scripts
+// every misbehaviour of a run up front. A FaultPlan is a list of FaultRules;
+// each rule names a site, one of the four fault actions the paper's
+// fault-tolerance story must survive —
+//
+//   crash    the worker dies at the site (lifecycle sites only);
+//   delay    the operation stalls for a fixed duration (straggler model);
+//   error    the operation reports failure (lost response, 5xx);
+//   corrupt  the delivered payload is bit-flipped (detected via checksums);
+//
+// — plus a probability, a firing budget, and an optional skip count. Arming
+// a plan gives every site its own RNG stream derived deterministically from
+// `seed ^ fnv1a64(site)`, so two runs of the same plan make identical
+// per-site decisions regardless of which other sites exist or fire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ppc::runtime {
+
+enum class FaultAction { kCrash, kDelay, kError, kCorrupt };
+
+const char* fault_action_name(FaultAction action);
+
+struct FaultRule {
+  std::string site;
+  FaultAction action = FaultAction::kError;
+  /// Chance the rule triggers on an eligible firing, decided by the site's
+  /// plan RNG. 1.0 = every eligible firing.
+  double probability = 1.0;
+  /// Firings that may take the action before the rule disarms; < 0 = no cap.
+  int budget = 1;
+  /// Eligible firings to let pass untouched before the rule activates —
+  /// "the third upload fails" is skip_first=2, budget=1.
+  int skip_first = 0;
+  /// Stall duration for kDelay.
+  Seconds delay = 0.0;
+  /// Failure message for kError.
+  std::string what = "injected fault";
+};
+
+struct FaultPlan {
+  /// Per-site RNG streams derive from this; same seed => same decisions.
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+
+  // Fluent builders, so campaigns read as schedules:
+  //   plan.crash(sites::kAfterExecute).delay(receive_site, 0.02, 3);
+  FaultPlan& crash(const std::string& site, int budget = 1, double probability = 1.0,
+                   int skip_first = 0);
+  FaultPlan& delay(const std::string& site, Seconds duration, int budget = -1,
+                   double probability = 1.0, int skip_first = 0);
+  FaultPlan& error(const std::string& site, std::string what = "injected fault",
+                   int budget = 1, double probability = 1.0, int skip_first = 0);
+  FaultPlan& corrupt(const std::string& site, int budget = 1, double probability = 1.0,
+                     int skip_first = 0);
+
+  /// One line per rule, for campaign logs ("crash x1 @ site (p=1.00)").
+  std::string summary() const;
+};
+
+}  // namespace ppc::runtime

@@ -1,6 +1,19 @@
 #include "runtime/metrics.h"
 
+#include <sstream>
+
 namespace ppc::runtime {
+
+namespace {
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+}  // namespace
 
 void HistogramMetric::record(double x) {
   std::lock_guard lock(mu_);
@@ -93,6 +106,51 @@ std::vector<std::string> MetricsRegistry::histogram_names() const {
   out.reserve(histograms_.size());
   for (const auto& [name, _] : histograms_) out.push_back(name);
   return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::vector<std::pair<std::string, std::int64_t>> counter_snap;
+  std::vector<std::pair<std::string, double>> gauge_snap;
+  std::vector<std::pair<std::string, ppc::SampleSet>> histogram_snap;
+  {
+    std::lock_guard lock(mu_);
+    counter_snap.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) counter_snap.emplace_back(name, c->value());
+    gauge_snap.assign(gauges_.begin(), gauges_.end());
+    histogram_snap.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) histogram_snap.emplace_back(name, h->snapshot());
+  }
+
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counter_snap.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ");
+    append_json_string(os, counter_snap[i].first);
+    os << ": " << counter_snap[i].second;
+  }
+  os << (counter_snap.empty() ? "},\n" : "\n  },\n");
+  os << "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauge_snap.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ");
+    append_json_string(os, gauge_snap[i].first);
+    os << ": " << gauge_snap[i].second;
+  }
+  os << (gauge_snap.empty() ? "},\n" : "\n  },\n");
+  os << "  \"histograms\": {";
+  for (std::size_t i = 0; i < histogram_snap.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ");
+    append_json_string(os, histogram_snap[i].first);
+    const ppc::SampleSet& s = histogram_snap[i].second;
+    os << ": {\"count\": " << s.count();
+    if (s.count() > 0) {
+      os << ", \"mean\": " << s.mean() << ", \"max\": " << s.max()
+         << ", \"p50\": " << s.percentile(50.0) << ", \"p95\": " << s.percentile(95.0);
+    }
+    os << "}";
+  }
+  os << (histogram_snap.empty() ? "}\n" : "\n  }\n");
+  os << "}\n";
+  return os.str();
 }
 
 }  // namespace ppc::runtime

@@ -92,6 +92,12 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, double>> gauges() const;
   std::vector<std::string> histogram_names() const;
 
+  /// Whole-registry snapshot as a JSON object — {"counters": {...},
+  /// "gauges": {...}, "histograms": {name: {count, mean, max, p50, p95}}} —
+  /// the artifact format the bench/CI jobs archive chaos and recovery
+  /// metrics in.
+  std::string to_json() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;

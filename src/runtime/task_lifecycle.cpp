@@ -2,7 +2,9 @@
 
 #include <functional>
 
+#include "common/clock.h"
 #include "common/log.h"
+#include "common/string_util.h"
 
 namespace ppc::runtime {
 
@@ -16,7 +18,15 @@ bool TaskContext::crash_site(const std::string& site, const std::string& key) {
 std::shared_ptr<const std::string> TaskContext::fetch(blobstore::BlobStore& store,
                                                       const std::string& bucket,
                                                       const std::string& key) {
-  return retry([&] { return store.get(bucket, key); });
+  return retry([&]() -> std::shared_ptr<const std::string> {
+    auto data = store.get(bucket, key);
+    if (data == nullptr) return nullptr;
+    // Validate the download against the upload-time checksum (ETag): a
+    // delivery corrupted in flight counts as a miss and is re-fetched.
+    const auto expected = store.etag(bucket, key);
+    if (expected.has_value() && ppc::fnv1a64(*data) != *expected) return nullptr;
+    return data;
+  });
 }
 
 void TaskContext::count(std::string_view name, std::int64_t delta) {
@@ -79,9 +89,31 @@ void TaskLifecycle::die(const std::string& reason) {
   metrics_->emit({"worker.crashed", {{"worker", id_}, {"reason", reason}}});
 }
 
+void TaskLifecycle::after_failed_delivery(const cloudq::Message& message) {
+  const int max_rc = task_queue_->max_receive_count();
+  if (max_rc > 0 && message.receive_count >= max_rc) {
+    // This delivery used up the message's last permitted receive: rather
+    // than letting the redrive sweep find it later, park it in the DLQ now
+    // so siblings never see it again (poison-message handling).
+    if (task_queue_->move_to_dlq(message.receipt_handle)) {
+      metrics_->counter(scoped(counters::kPoisonTasks)).inc();
+      metrics_->set_gauge("cloudq." + task_queue_->name() + ".dlq_depth",
+                          static_cast<double>(task_queue_->dlq_depth()));
+      metrics_->emit({"task.poisoned", {{"worker", id_}, {"message", message.id}}});
+      return;
+    }
+  }
+  if (config_.abandon_visibility >= 0.0) {
+    // The attempt is over; no point making the retry wait out the rest of
+    // the visibility window.
+    task_queue_->change_visibility(message.receipt_handle, config_.abandon_visibility);
+  }
+}
+
 void TaskLifecycle::poll_loop() {
   int idle_polls = 0;
   while (!stop_requested_.load()) {
+    last_heartbeat_.store(ppc::monotonic_now());
     auto message = task_queue_->receive(config_.visibility_timeout);
     if (!message) {
       ++idle_polls;
@@ -91,6 +123,17 @@ void TaskLifecycle::poll_loop() {
     }
     idle_polls = 0;
     metrics_->counter(scoped(counters::kMessagesReceived)).inc();
+    if (message->receive_count > 1) {
+      metrics_->counter(scoped(counters::kRedeliveries)).inc();
+    }
+    if (!message->intact()) {
+      // The payload failed its body checksum: this delivery was corrupted in
+      // flight. The stored message is fine — abandon and let a clean
+      // redelivery carry the real bytes.
+      metrics_->counter(scoped(counters::kCorruptDeliveries)).inc();
+      after_failed_delivery(*message);
+      continue;
+    }
 
     TaskContext ctx(*this, *message);
     TaskOutcome outcome;
@@ -102,6 +145,7 @@ void TaskLifecycle::poll_loop() {
       PPC_WARN << "worker " << id_ << ": task failed: " << e.what();
       outcome = TaskOutcome::kAbandoned;
     }
+    last_heartbeat_.store(ppc::monotonic_now());
 
     if (outcome == TaskOutcome::kCrashed) {
       // The worker dies mid-task. The message it held stays invisible until
@@ -117,6 +161,8 @@ void TaskLifecycle::poll_loop() {
       metrics_->counter(scoped(counters::kTasksCompleted)).inc();
       if (!deleted) metrics_->counter(scoped(counters::kDeletesFailed)).inc();
       metrics_->emit({"task.completed", {{"worker", id_}, {"message", message->id}}});
+    } else if (outcome == TaskOutcome::kAbandoned) {
+      after_failed_delivery(*message);
     }
   }
   running_.store(false);

@@ -39,6 +39,15 @@ inline constexpr std::string_view kDeletesFailed = "deletes_failed";
 inline constexpr std::string_view kDownloadsMissed = "downloads_missed";
 inline constexpr std::string_view kExecutionsFailed = "executions_failed";
 inline constexpr std::string_view kCrashed = "crashed";
+/// Deliveries of a message some worker had already received (receive_count
+/// > 1): the at-least-once tax that idempotency absorbs.
+inline constexpr std::string_view kRedeliveries = "redeliveries";
+/// Permanently failing deliveries this worker routed to the dead-letter
+/// queue instead of abandoning again.
+inline constexpr std::string_view kPoisonTasks = "poison_tasks";
+/// Deliveries rejected before execution because the payload failed its
+/// body checksum (Message::intact() == false).
+inline constexpr std::string_view kCorruptDeliveries = "corrupt_deliveries";
 }  // namespace counters
 
 struct LifecycleConfig {
@@ -52,6 +61,12 @@ struct LifecycleConfig {
   int max_idle_polls = -1;
   /// Backoff schedule for eventually-consistent blob fetches.
   RetryPolicy fetch_retry = RetryPolicy::eventual_consistency();
+  /// Visibility applied to a delivery this worker failed (abandoned /
+  /// corrupt): the worker knows the attempt is over, so shrinking the
+  /// window makes the retry prompt instead of waiting out the full
+  /// visibility_timeout. < 0 keeps the original window (legacy behavior,
+  /// and what a worker that simply *dies* gets regardless).
+  Seconds abandon_visibility = -1.0;
 };
 
 /// Verdict of one handled delivery.
@@ -151,6 +166,11 @@ class TaskLifecycle {
   /// True once fault injection has killed this worker.
   bool crashed() const { return counter(counters::kCrashed) > 0; }
 
+  /// monotonic_now() timestamp of this worker's last sign of life (loop
+  /// iteration started / task finished). 0 until start(). A supervisor
+  /// compares this against its own monotonic_now() to detect stalls.
+  Seconds last_heartbeat() const { return last_heartbeat_.load(); }
+
   /// The lifecycle thread's RNG (jittered backoff). Only touch from the
   /// handler, which runs on that thread.
   Rng& rng() { return rng_; }
@@ -158,6 +178,12 @@ class TaskLifecycle {
  private:
   void poll_loop();
   void die(const std::string& reason);
+
+  /// Post-mortem of a delivery this worker gave up on: routes poison
+  /// messages (receive_count at the queue's redrive threshold) to the DLQ
+  /// immediately, otherwise shortens the leftover visibility window when
+  /// abandon_visibility says so.
+  void after_failed_delivery(const cloudq::Message& message);
 
   const std::string id_;
   std::shared_ptr<cloudq::MessageQueue> task_queue_;
@@ -170,6 +196,7 @@ class TaskLifecycle {
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> running_{false};
+  std::atomic<double> last_heartbeat_{0.0};
 };
 
 template <typename Fn>

@@ -1,0 +1,91 @@
+// Chaos campaign harness — the repo's executable fault-tolerance argument.
+//
+// The paper's frameworks claim to survive the cloud's failure modes with
+// nothing but visibility timeouts, delete-after-completion, and idempotent
+// re-execution (§2.1.3). A chaos campaign makes that claim falsifiable: it
+// runs the same small Cap3 / BLAST / GTM job twice on one substrate — once
+// fault-free (the baseline), once under a seeded runtime::FaultPlan that
+// scripts crashes, delays, errors, and payload corruption against the
+// substrate's queues, blobs, and lifecycle sites — and asserts the outputs
+// are byte-identical. Alongside the correctness verdict it reports what the
+// run actually absorbed: retries, failed/stale deletes, checksum-detected
+// corruptions, dead-lettered poison tasks, and supervisor restarts with
+// time-to-recovery percentiles.
+//
+// Campaigns are reproducible: every fault decision derives from
+// ChaosConfig::seed, so a failing run reported by CI replays exactly with
+// `ppcloud chaos --seed N --substrate X`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ppc::sim {
+
+struct ChaosConfig {
+  /// Drives the sampled FaultPlan (and nothing else — the job corpus is
+  /// fixed so every seed chases the same baseline).
+  std::uint64_t seed = 42;
+  /// "classiccloud", "azuremr", or "mapreduce".
+  std::string substrate = "classiccloud";
+  /// "cap3", "blast", or "gtm".
+  std::string app = "cap3";
+  int num_files = 4;
+  int num_workers = 3;
+  /// Deliveries before a failing task is dead-lettered (queue substrates).
+  /// High enough that a real task hit by several independent faults (a
+  /// corrupt delivery + a crash + a failed delete) still completes; only
+  /// the always-failing poison sentinel exhausts it.
+  int max_receive_count = 5;
+  /// Queue visibility timeout for the runs — small, so crash redeliveries
+  /// resolve quickly.
+  Seconds visibility_timeout = 1.5;
+  /// Wall-clock budget per run; the campaign fails rather than hangs.
+  Seconds run_timeout = 60.0;
+};
+
+struct ChaosReport {
+  bool passed = false;
+  std::uint64_t seed = 0;
+  std::string substrate;
+  std::string app;
+  /// One line per armed rule (FaultPlan::summary()).
+  std::string plan_summary;
+  /// Human-readable reasons when !passed; empty otherwise.
+  std::vector<std::string> failures;
+
+  // What the plan injected (FaultInjector totals).
+  std::int64_t crashes = 0;
+  std::int64_t delays = 0;
+  std::int64_t errors = 0;
+  std::int64_t corruptions = 0;
+
+  // What the substrate absorbed.
+  std::int64_t redeliveries = 0;        // at-least-once retries observed
+  std::int64_t deletes_failed = 0;      // failed / injected delete attempts
+  std::int64_t stale_deletes = 0;       // lapsed-receipt deletes suppressed
+  std::int64_t corrupt_deliveries = 0;  // checksum-detected bad deliveries
+  std::int64_t dlq_entries = 0;         // tasks dead-lettered
+  std::int64_t poison_tasks = 0;        // lifecycle-routed poison tasks
+  std::int64_t supervisor_restarts = 0;
+  double recovery_p50 = 0.0;  // supervisor time-to-recovery (seconds)
+  double recovery_max = 0.0;
+
+  /// Full MetricsRegistry::to_json() snapshot of the chaos run — the
+  /// artifact CI archives.
+  std::string metrics_json;
+
+  /// Multi-line campaign summary for terminals/logs.
+  std::string to_text() const;
+};
+
+/// Runs one campaign: fault-free baseline, then the seeded chaos run, then
+/// the byte-identical comparison plus the injected-fault coverage checks.
+/// Campaign failures land in the report (`passed` / `failures`); only
+/// configuration errors (unknown substrate/app) throw.
+ChaosReport run_chaos_campaign(const ChaosConfig& config);
+
+}  // namespace ppc::sim

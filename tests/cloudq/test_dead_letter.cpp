@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cloudq/message_queue.h"
+#include "cloudq/queue_service.h"
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace ppc::cloudq {
+namespace {
+
+class DeadLetterTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<ManualClock> clock_ = std::make_shared<ManualClock>();
+
+  std::shared_ptr<MessageQueue> make_queue(const std::string& name) {
+    return std::make_shared<MessageQueue>(name, clock_, QueueConfig{}, Rng(1));
+  }
+};
+
+TEST_F(DeadLetterTest, EnableRejectsBadArguments) {
+  auto q = make_queue("q");
+  EXPECT_THROW(q->enable_dead_letter(nullptr, 3), ppc::Error);
+  EXPECT_THROW(q->enable_dead_letter(q, 3), ppc::Error);
+  auto dlq = make_queue("q-dlq");
+  EXPECT_THROW(q->enable_dead_letter(dlq, 0), ppc::Error);
+  q->enable_dead_letter(dlq, 3);
+  EXPECT_TRUE(q->has_dead_letter_queue());
+  EXPECT_EQ(q->max_receive_count(), 3);
+  EXPECT_EQ(q->dead_letter_queue().get(), dlq.get());
+}
+
+TEST_F(DeadLetterTest, ReceiveSweepRedrivesExhaustedMessages) {
+  auto q = make_queue("q");
+  auto dlq = make_queue("q-dlq");
+  q->enable_dead_letter(dlq, /*max_receive_count=*/3);
+  q->send("poison");
+
+  // Three deliveries, each abandoned to timeout.
+  for (int i = 0; i < 3; ++i) {
+    const auto m = q->receive(5.0);
+    ASSERT_TRUE(m.has_value()) << "delivery " << i;
+    EXPECT_EQ(m->receive_count, i + 1);
+    clock_->advance(6.0);
+  }
+
+  // Fourth receive: the sweep redrives instead of redelivering.
+  EXPECT_FALSE(q->receive(5.0).has_value());
+  EXPECT_EQ(q->dlq_depth(), 1u);
+  EXPECT_EQ(q->undeleted(), 0u);
+  EXPECT_EQ(q->meter().dlq_moves, 1u);
+
+  // The dead-lettered body is intact and inspectable.
+  const auto parked = dlq->receive(5.0);
+  ASSERT_TRUE(parked.has_value());
+  EXPECT_EQ(parked->body(), "poison");
+}
+
+TEST_F(DeadLetterTest, HealthyMessagesAreNotRedriven) {
+  auto q = make_queue("q");
+  q->enable_dead_letter(make_queue("q-dlq"), 3);
+  q->send("fine");
+  const auto m = q->receive(5.0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(q->delete_message(m->receipt_handle));
+  clock_->advance(100.0);
+  EXPECT_FALSE(q->receive(5.0).has_value());
+  EXPECT_EQ(q->dlq_depth(), 0u);
+}
+
+TEST_F(DeadLetterTest, MoveToDlqParksAnInFlightMessage) {
+  auto q = make_queue("q");
+  auto dlq = make_queue("q-dlq");
+  q->enable_dead_letter(dlq, 10);
+  q->send("recognized poison");
+  const auto m = q->receive(5.0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(q->move_to_dlq(m->receipt_handle));
+  EXPECT_EQ(q->dlq_depth(), 1u);
+  // The message is gone from the main queue even after its timeout.
+  clock_->advance(100.0);
+  EXPECT_FALSE(q->receive(5.0).has_value());
+  // A second move through the same (now consumed) receipt fails.
+  EXPECT_FALSE(q->move_to_dlq(m->receipt_handle));
+}
+
+TEST_F(DeadLetterTest, MoveToDlqWithoutDlqFails) {
+  auto q = make_queue("q");
+  q->send("m");
+  const auto m = q->receive(5.0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_FALSE(q->move_to_dlq(m->receipt_handle));
+}
+
+TEST_F(DeadLetterTest, QueueServiceWiresCompanionDlq) {
+  QueueService service(clock_);
+  auto q = service.create_queue_with_dlq("tasks", 4);
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(q->has_dead_letter_queue());
+  EXPECT_EQ(q->max_receive_count(), 4);
+  auto dlq = service.get_queue("tasks-dlq");
+  ASSERT_NE(dlq, nullptr);
+  EXPECT_EQ(q->dead_letter_queue().get(), dlq.get());
+  // Idempotent: re-creating attaches to the same queues.
+  EXPECT_EQ(service.create_queue_with_dlq("tasks", 4).get(), q.get());
+}
+
+TEST_F(DeadLetterTest, SiblingsSurviveAPoisonNeighbor) {
+  // One poison message burning its redrive budget must not disturb the
+  // healthy messages sharing the queue.
+  auto q = make_queue("q");
+  q->enable_dead_letter(make_queue("q-dlq"), 2);
+  q->send("poison");
+  const auto poison = q->receive(5.0);  // delivery 1, abandoned
+  ASSERT_TRUE(poison.has_value());
+  q->send("healthy-1");
+  q->send("healthy-2");
+
+  int healthy_done = 0;
+  clock_->advance(6.0);
+  // Drain: the poison gets redelivered once more, the healthy ones complete.
+  for (int i = 0; i < 10 && healthy_done < 2; ++i) {
+    const auto m = q->receive(5.0);
+    if (!m.has_value()) {
+      clock_->advance(6.0);
+      continue;
+    }
+    if (m->body() == "poison") continue;  // abandon: let it time out
+    EXPECT_TRUE(q->delete_message(m->receipt_handle));
+    ++healthy_done;
+  }
+  EXPECT_EQ(healthy_done, 2);
+  // Flush the poison through the sweep.
+  clock_->advance(6.0);
+  while (q->receive(5.0).has_value()) clock_->advance(6.0);
+  EXPECT_EQ(q->dlq_depth(), 1u);
+  EXPECT_EQ(q->undeleted(), 0u);
+}
+
+}  // namespace
+}  // namespace ppc::cloudq

@@ -70,14 +70,19 @@ TEST_F(MessageQueueTest, DeleteWithCurrentReceiptSucceeds) {
   EXPECT_EQ(q.undeleted(), 0u);
 }
 
-TEST_F(MessageQueueTest, DeleteAfterTimeoutStillWorksIfNotRedelivered) {
-  // SQS semantics: the receipt stays valid until another reader receives
-  // the message.
+TEST_F(MessageQueueTest, DeleteAfterTimeoutIsSuppressedAsStale) {
+  // Once the visibility timeout lapses the message is deliverable again, so
+  // honoring the delete would race a concurrent redelivery. The delete is a
+  // detected no-op and the message stays live for the next reader.
   auto q = make_queue();
   q.send("x");
   const auto msg = q.receive(5.0);
   clock_->advance(6.0);  // timed out, but nobody else picked it up
-  EXPECT_TRUE(q.delete_message(msg->receipt_handle));
+  EXPECT_FALSE(q.delete_message(msg->receipt_handle));
+  EXPECT_EQ(q.meter().stale_deletes, 1u);
+  const auto again = q.receive(5.0);  // still deliverable
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(q.delete_message(again->receipt_handle));
 }
 
 TEST_F(MessageQueueTest, StaleReceiptAfterRedeliveryFails) {
@@ -166,8 +171,15 @@ TEST_F(MessageQueueTest, DuplicateDeliveryLeavesMessageVisible) {
   ASSERT_TRUE(b.has_value());
   EXPECT_EQ(a->id, b->id);
   EXPECT_NE(a->receipt_handle, b->receipt_handle);
-  // Only the most recent receipt deletes.
+  // The first receipt was superseded by the second delivery; the second is
+  // current but the message is still visible, so its delete is suppressed
+  // as stale (it would race another redelivery).
   EXPECT_FALSE(q.delete_message(a->receipt_handle));
+  EXPECT_FALSE(q.delete_message(b->receipt_handle));
+  EXPECT_EQ(q.meter().stale_deletes, 1u);  // only b's receipt resolved
+  // The current receipt can still claim the message: hide it first, then
+  // the delete is honored.
+  EXPECT_TRUE(q.change_visibility(b->receipt_handle, 50.0));
   EXPECT_TRUE(q.delete_message(b->receipt_handle));
 }
 

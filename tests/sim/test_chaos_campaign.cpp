@@ -1,0 +1,57 @@
+// End-to-end chaos campaigns: each substrate must produce byte-identical
+// outputs under a seeded fault schedule, and the report must show the
+// schedule actually exercised the fault machinery (crashes, delays, errors,
+// and — on the queue substrates — corruption and poison handling).
+#include "sim/chaos_campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ppc::sim {
+namespace {
+
+class ChaosCampaign : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ChaosCampaign, SurvivesSeededFaultSchedule) {
+  ChaosConfig config;
+  config.seed = 42;
+  config.substrate = GetParam();
+  const ChaosReport report = run_chaos_campaign(config);
+  EXPECT_TRUE(report.passed) << report.to_text();
+
+  // The campaign is only meaningful if faults actually fired.
+  EXPECT_GE(report.crashes, 1);
+  EXPECT_GE(report.delays, 1);
+  EXPECT_GE(report.errors, 1);
+  if (config.substrate != "mapreduce") {
+    EXPECT_GE(report.corruptions, 1);
+    EXPECT_GE(report.dlq_entries, 1);
+    EXPECT_GE(report.poison_tasks, 1);
+  }
+  EXPECT_GE(report.redeliveries, 1);
+  EXPECT_FALSE(report.plan_summary.empty());
+  EXPECT_FALSE(report.metrics_json.empty());
+  EXPECT_NE(report.to_text().find("PASS"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Substrates, ChaosCampaign,
+                         ::testing::Values("classiccloud", "azuremr", "mapreduce"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(ChaosCampaignConfig, UnknownSubstrateThrows) {
+  ChaosConfig config;
+  config.substrate = "telepathy";
+  EXPECT_THROW(run_chaos_campaign(config), std::exception);
+}
+
+TEST(ChaosCampaignConfig, UnknownAppThrows) {
+  ChaosConfig config;
+  config.app = "folding";
+  EXPECT_THROW(run_chaos_campaign(config), std::exception);
+}
+
+}  // namespace
+}  // namespace ppc::sim

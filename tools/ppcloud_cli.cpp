@@ -20,8 +20,19 @@
 //                                        run the real Cap3-style assembler
 //                                        on a simulated read set, print the
 //                                        report
+//   ppcloud chaos [options]              run a seeded chaos campaign: the
+//                                        same small job fault-free and under
+//                                        an injected fault schedule, outputs
+//                                        must match byte for byte:
+//     --seed N                           fault-schedule seed (default 42)
+//     --substrate classiccloud|azuremr|mapreduce|all   (default all)
+//     --app cap3|blast|gtm               (default cap3)
+//     --files N --workers W              job size (default 4 x 3)
+//     --json 1                           also print the metrics snapshot
 //
-// Exit status: 0 on success, 1 on bad usage or a failed run.
+// Exit status: 0 on success, 1 on bad usage or a failed run (a failed chaos
+// campaign prints the seed that reproduces it).
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -36,6 +47,7 @@
 #include "core/experiments.h"
 #include "core/feature_matrix.h"
 #include "runtime/metrics.h"
+#include "sim/chaos_campaign.h"
 
 using namespace ppc;
 using namespace ppc::core;
@@ -159,6 +171,39 @@ int cmd_assemble(const Options& opts) {
   return 0;
 }
 
+int cmd_chaos(const Options& opts) {
+  sim::ChaosConfig base;
+  base.seed = static_cast<std::uint64_t>(std::stoull(opt(opts, "seed", "42")));
+  base.app = opt(opts, "app", "cap3");
+  base.num_files = opt_int(opts, "files", 4);
+  base.num_workers = opt_int(opts, "workers", 3);
+  const bool print_json = opt(opts, "json", "0") != "0";
+
+  const std::string substrate = opt(opts, "substrate", "all");
+  std::vector<std::string> substrates;
+  if (substrate == "all") {
+    substrates = {"classiccloud", "azuremr", "mapreduce"};
+  } else {
+    substrates = {substrate};
+  }
+
+  bool all_passed = true;
+  for (const std::string& s : substrates) {
+    sim::ChaosConfig config = base;
+    config.substrate = s;
+    const sim::ChaosReport report = sim::run_chaos_campaign(config);
+    std::fputs(report.to_text().c_str(), stdout);
+    if (print_json) std::printf("%s\n", report.metrics_json.c_str());
+    if (!report.passed) {
+      all_passed = false;
+      std::printf("reproduce with: ppcloud chaos --seed %llu --substrate %s --app %s\n",
+                  static_cast<unsigned long long>(report.seed), s.c_str(),
+                  base.app.c_str());
+    }
+  }
+  return all_passed ? 0 : 1;
+}
+
 int cmd_experiment(const std::string& id) {
   // Reuse the bench logic through the experiment API.
   if (id == "table4") {
@@ -207,7 +252,7 @@ int cmd_experiment(const std::string& id) {
 
 int usage() {
   std::fputs(
-      "usage: ppcloud <catalog|features|assemble|simulate|experiment> [options]\n"
+      "usage: ppcloud <catalog|features|assemble|simulate|experiment|chaos> [options]\n"
       "see the header comment of tools/ppcloud_cli.cpp or README.md for details\n",
       stderr);
   return 1;
@@ -226,6 +271,7 @@ int main(int argc, char** argv) {
     }
     if (command == "simulate") return cmd_simulate(parse_options(argc, argv, 2));
     if (command == "assemble") return cmd_assemble(parse_options(argc, argv, 2));
+    if (command == "chaos") return cmd_chaos(parse_options(argc, argv, 2));
     if (command == "experiment") {
       if (argc < 3) return usage();
       return cmd_experiment(argv[2]);
