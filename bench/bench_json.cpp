@@ -30,6 +30,7 @@
 #include "azuremr/runtime.h"
 #include "common/clock.h"
 #include "common/rng.h"
+#include "runtime/tracer.h"
 
 namespace {
 
@@ -298,17 +299,19 @@ SubstrateResult bench_azuremr() {
   return {"azuremr", tasks, secs, tasks / secs};
 }
 
-SubstrateResult bench_data_plane() {
-  // Raw data-plane round trip: 1 MB blob put+get plus a queue
-  // send/receive/delete per task — the per-task substrate overhead every
-  // framework pays.
-  const int kOps = 200;
+/// Raw data-plane round trip: 1 MB blob put+get plus a queue
+/// send/receive/delete per task — the per-task substrate overhead every
+/// framework pays. `tracer` (nullable) is installed on both services, which
+/// is how the tracing-off overhead is measured.
+double data_plane_seconds(int ops, ppc::TraceHook* tracer) {
   auto clock = std::make_shared<ManualClock>();
   blobstore::BlobStore store(clock);
   cloudq::MessageQueue queue("q", clock);
+  store.set_tracer(tracer);
+  queue.set_tracer(tracer);
   const std::string payload(1024 * 1024, 'z');
-  const double secs = min_seconds(5, [&] {
-    for (int i = 0; i < kOps; ++i) {
+  return min_seconds(5, [&] {
+    for (int i = 0; i < ops; ++i) {
       const std::string key = "k" + std::to_string(i % 16);
       store.put("b", key, payload);
       auto blob = store.get("b", key);
@@ -320,7 +323,36 @@ SubstrateResult bench_data_plane() {
       }
     }
   });
+}
+
+SubstrateResult bench_data_plane() {
+  const int kOps = 200;
+  const double secs = data_plane_seconds(kOps, nullptr);
   return {"data_plane_1mb_roundtrip", kOps, secs, kOps / secs};
+}
+
+struct TracingOverhead {
+  double plain_seconds = 0.0;
+  double traced_off_seconds = 0.0;  // disabled Tracer installed
+  double ratio = 0.0;
+};
+
+/// The tentpole's overhead contract: with a Tracer attached but DISABLED,
+/// the data plane must not regress measurably (< 3%, checked in --check
+/// mode). Interleaved paired samples so CPU-frequency drift hits both arms.
+TracingOverhead bench_tracing_overhead() {
+  const int kOps = 200;
+  runtime::Tracer tracer;  // never enabled
+  TracingOverhead result;
+  result.plain_seconds = 1e300;
+  result.traced_off_seconds = 1e300;
+  for (int round = 0; round < 3; ++round) {
+    result.plain_seconds = std::min(result.plain_seconds, data_plane_seconds(kOps, nullptr));
+    result.traced_off_seconds =
+        std::min(result.traced_off_seconds, data_plane_seconds(kOps, &tracer));
+  }
+  result.ratio = result.traced_off_seconds / result.plain_seconds;
+  return result;
 }
 
 // --------------------------------------------------------------------------
@@ -328,7 +360,8 @@ SubstrateResult bench_data_plane() {
 // --------------------------------------------------------------------------
 
 std::string to_json(const std::vector<KernelResult>& kernels,
-                    const std::vector<SubstrateResult>& substrates) {
+                    const std::vector<SubstrateResult>& substrates,
+                    const TracingOverhead& tracing) {
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(1);
@@ -353,7 +386,14 @@ std::string to_json(const std::vector<KernelResult>& kernels,
     os << ", \"tasks_per_second\": " << s.tasks_per_second << "}"
        << (i + 1 < substrates.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ],\n  \"tracing_overhead\": {";
+  os.precision(4);
+  os << "\"plain_seconds\": " << tracing.plain_seconds
+     << ", \"traced_off_seconds\": " << tracing.traced_off_seconds << ", \"ratio\": ";
+  os.precision(3);
+  os << tracing.ratio;
+  os.precision(1);
+  os << "}\n}\n";
   return os.str();
 }
 
@@ -411,7 +451,11 @@ int main(int argc, char** argv) {
                  s.tasks_per_second, s.tasks, s.seconds);
   }
 
-  const std::string json = to_json(kernels, substrates);
+  const TracingOverhead tracing = bench_tracing_overhead();
+  std::fprintf(stderr, "%-30s %8.3fx (plain %.4fs, traced-off %.4fs)\n", "tracing_off_overhead",
+               tracing.ratio, tracing.plain_seconds, tracing.traced_off_seconds);
+
+  const std::string json = to_json(kernels, substrates, tracing);
   std::ofstream out(output_path);
   out << json;
   out.close();
@@ -441,6 +485,15 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "OK:   %s at %.2fx of baseline\n", k.name.c_str(), ratio);
       }
+    }
+    if (tracing.ratio > 1.03) {
+      std::fprintf(stderr,
+                   "FAIL: disabled tracing costs %.1f%% on the data plane (budget 3%%)\n",
+                   (tracing.ratio - 1.0) * 100.0);
+      ok = false;
+    } else {
+      std::fprintf(stderr, "OK:   disabled tracing at %.3fx of plain data plane\n",
+                   tracing.ratio);
     }
     if (!ok) return 1;
   }

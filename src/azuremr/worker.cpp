@@ -14,6 +14,7 @@ runtime::LifecycleConfig lifecycle_config(const MrWorkerConfig& config) {
   lc.visibility_timeout = config.visibility_timeout;
   lc.fetch_retry = config.download_retry;
   lc.abandon_visibility = config.abandon_visibility;
+  lc.tracer = config.tracer;
   return lc;
 }
 }  // namespace
@@ -98,9 +99,14 @@ void MrWorker::run_map(runtime::TaskContext& ctx,
                        const std::map<std::string, std::string>& task) {
   const std::string& iter = task.at("iter");
   const std::string& input = task.at("input");
+  runtime::Span fetch_span = ctx.span("fetch.input");
   const auto data = cached_input(ctx, input);
   const auto broadcast = must_download(ctx, "broadcast/" + iter);
+  fetch_span.close();
 
+  runtime::Span compute_span = ctx.span("compute");
+  compute_span.arg("kind", "map");
+  compute_span.arg("input", input);
   std::vector<KeyValue> records = map_(input, *data, *broadcast);
 
   // Combiner: fold this map task's records per key before they cross the
@@ -112,8 +118,10 @@ void MrWorker::run_map(runtime::TaskContext& ctx,
     }
     records = std::move(combined);
   }
+  compute_span.close();
 
   // Shuffle: hash-partition the records into one blob per reducer.
+  runtime::Span upload_span = ctx.span("upload.output");
   std::vector<std::vector<KeyValue>> partitions(static_cast<std::size_t>(num_reduce_tasks_));
   for (const KeyValue& kv : records) {
     partitions[partition_of(kv.key, partitions.size())].push_back(kv);
@@ -122,9 +130,12 @@ void MrWorker::run_map(runtime::TaskContext& ctx,
     store_.put(bucket_, "mout/" + iter + "/" + input + "/" + std::to_string(r),
                encode_records(partitions[r]));
   }
+  upload_span.close();
 
+  runtime::Span report_span = ctx.span("monitor.report");
   monitor_queue_->send(ppc::encode_kv(
       {{"task", "map-" + iter + "-" + input}, {"status", "done"}, {"worker", id()}}));
+  report_span.close();
   ctx.count("map_tasks");
 }
 
@@ -148,6 +159,7 @@ void MrWorker::run_reduce(runtime::TaskContext& ctx,
     if (static_cast<int>(found.size()) < expected_maps) return std::nullopt;
     return found;
   };
+  runtime::Span fetch_span = ctx.span("fetch.input");
   auto keys = ctx.retry(list_partitions);
   PPC_CHECK(keys.has_value(), "reduce input blobs missing for partition " + part);
 
@@ -156,15 +168,25 @@ void MrWorker::run_reduce(runtime::TaskContext& ctx,
     const auto records = decode_records(*must_download(ctx, key));
     all.insert(all.end(), records.begin(), records.end());
   }
+  fetch_span.close();
 
+  runtime::Span compute_span = ctx.span("compute");
+  compute_span.arg("kind", "reduce");
+  compute_span.arg("part", part);
   std::vector<KeyValue> outputs;
   for (const auto& [key, values] : group_by_key(all)) {
     outputs.push_back({key, reduce_(key, values)});
   }
-  store_.put(bucket_, "rout/" + iter + "/" + part, encode_records(outputs));
+  compute_span.close();
 
+  runtime::Span upload_span = ctx.span("upload.output");
+  store_.put(bucket_, "rout/" + iter + "/" + part, encode_records(outputs));
+  upload_span.close();
+
+  runtime::Span report_span = ctx.span("monitor.report");
   monitor_queue_->send(ppc::encode_kv(
       {{"task", "reduce-" + iter + "-" + part}, {"status", "done"}, {"worker", id()}}));
+  report_span.close();
   ctx.count("reduce_tasks");
 }
 

@@ -46,6 +46,10 @@ struct MrWorkerConfig {
   runtime::FaultInjector* faults = nullptr;
   /// Metrics registry shared across the pool; null = private registry.
   std::shared_ptr<runtime::MetricsRegistry> metrics;
+  /// Tracer (borrowed, not owned). Null = no tracing. Adds fetch.input /
+  /// compute / upload.output child spans (kind=map|reduce) to the task
+  /// envelope.
+  runtime::Tracer* tracer = nullptr;
 };
 
 /// Snapshot view over the worker's counters in the MetricsRegistry.

@@ -48,6 +48,11 @@ void BlobStore::put_logical(const std::string& bucket, const std::string& key, B
 void BlobStore::put_impl(const std::string& bucket, const std::string& key, std::string data,
                          Bytes logical_size) {
   PPC_REQUIRE(!bucket.empty() && !key.empty(), "bucket and key must be non-empty");
+  ppc::TraceHook* tracer = tracer_.load(std::memory_order_relaxed);
+  std::uint64_t span = 0;
+  if (tracer != nullptr && tracer->tracing()) {
+    span = tracer->op_begin("blobstore." + bucket + ".put", key);
+  }
   if (ppc::FaultHook* hook = hook_.load()) {
     ppc::PayloadRef in_flight(&data);
     const ppc::FaultDecision d =
@@ -55,8 +60,9 @@ void BlobStore::put_impl(const std::string& bucket, const std::string& key, std:
     // A corrupted upload is caught by the service's content checksum
     // (Content-MD5) and rejected just like a plain failed request; either
     // way nothing is stored and the caller must retry.
-    if (d.fail) throw ppc::Error("injected blobstore put failure: " + bucket + "/" + key);
-    if (d.corrupted) {
+    if (d.fail || d.corrupted) {
+      if (span != 0) tracer->op_end(span, /*failed=*/true);
+      if (d.fail) throw ppc::Error("injected blobstore put failure: " + bucket + "/" + key);
       throw ppc::Error("blobstore put checksum mismatch (corrupted in flight): " + bucket +
                        "/" + key);
     }
@@ -94,10 +100,23 @@ void BlobStore::put_impl(const std::string& bucket, const std::string& key, std:
     it->second.is_new = false;
     it->second.visible_at = clock_->now();
   }
+  if (span != 0) tracer->op_end(span, /*failed=*/false);
 }
 
 std::shared_ptr<const std::string> BlobStore::get(const std::string& bucket,
                                                   const std::string& key) {
+  ppc::TraceHook* tracer = tracer_.load(std::memory_order_relaxed);
+  std::uint64_t span = 0;
+  if (tracer != nullptr && tracer->tracing()) {
+    span = tracer->op_begin("blobstore." + bucket + ".get", key);
+  }
+  auto result = get_impl(bucket, key);
+  if (span != 0) tracer->op_end(span, /*failed=*/result == nullptr);
+  return result;
+}
+
+std::shared_ptr<const std::string> BlobStore::get_impl(const std::string& bucket,
+                                                       const std::string& key) {
   {
     std::lock_guard lock(meter_mu_);
     ++meter_.gets;
@@ -171,6 +190,11 @@ bool BlobStore::remove(const std::string& bucket, const std::string& key) {
 }
 
 std::vector<std::string> BlobStore::list(const std::string& bucket, const std::string& prefix) {
+  ppc::TraceHook* tracer = tracer_.load(std::memory_order_relaxed);
+  std::uint64_t span = 0;
+  if (tracer != nullptr && tracer->tracing()) {
+    span = tracer->op_begin("blobstore." + bucket + ".list", prefix);
+  }
   {
     std::lock_guard lock(meter_mu_);
     ++meter_.lists;
@@ -178,15 +202,22 @@ std::vector<std::string> BlobStore::list(const std::string& bucket, const std::s
   if (ppc::FaultHook* hook = hook_.load()) {
     const ppc::FaultDecision d =
         hook->on_operation("blobstore." + bucket + ".list", prefix, nullptr);
-    if (d.fail) return {};  // lost response: an empty page, caller re-lists
+    if (d.fail) {
+      if (span != 0) tracer->op_end(span, /*failed=*/true);
+      return {};  // lost response: an empty page, caller re-lists
+    }
   }
   std::vector<std::string> keys;
   auto b = find_bucket(bucket);
-  if (b == nullptr) return keys;
+  if (b == nullptr) {
+    if (span != 0) tracer->op_end(span, /*failed=*/false);
+    return keys;
+  }
   std::lock_guard lock(b->mu);
   for (const auto& [key, _] : b->objects) {
     if (prefix.empty() || ppc::starts_with(key, prefix)) keys.push_back(key);
   }
+  if (span != 0) tracer->op_end(span, /*failed=*/false);
   return keys;  // std::map iteration => already sorted
 }
 

@@ -33,6 +33,7 @@
 #include "common/clock.h"
 #include "common/fault_hook.h"
 #include "common/rng.h"
+#include "common/trace_hook.h"
 #include "common/units.h"
 
 namespace ppc::blobstore {
@@ -80,6 +81,11 @@ class BlobStore {
   /// corrupted get delivers flipped bytes — detectable against etag().
   /// Non-owning; pass nullptr to clear. The hook must outlive its use.
   void set_fault_hook(ppc::FaultHook* hook) { hook_.store(hook); }
+
+  /// Installs a trace hook (runtime::Tracer) that gets a span per
+  /// put/get/list (sites "blobstore.<bucket>.put" / ".get" / ".list").
+  /// Non-owning; nullptr clears. One relaxed atomic load per call when unset.
+  void set_tracer(ppc::TraceHook* tracer) { tracer_.store(tracer); }
 
   /// Creates a bucket; idempotent.
   void create_bucket(const std::string& bucket);
@@ -158,12 +164,15 @@ class BlobStore {
 
   void put_impl(const std::string& bucket, const std::string& key, std::string data,
                 Bytes logical_size);
+  /// get() minus the tracing bracket.
+  std::shared_ptr<const std::string> get_impl(const std::string& bucket, const std::string& key);
   std::shared_ptr<Bucket> find_bucket(const std::string& bucket) const;
   std::shared_ptr<Bucket> get_or_create_bucket(const std::string& bucket);
 
   std::shared_ptr<const ppc::Clock> clock_;
   BlobStoreConfig config_;
   std::atomic<ppc::FaultHook*> hook_{nullptr};
+  std::atomic<ppc::TraceHook*> tracer_{nullptr};
 
   /// Guards the bucket registry only (shared for lookups, exclusive for
   /// bucket creation); per-object state is under each Bucket's mutex.

@@ -16,6 +16,7 @@ runtime::LifecycleConfig lifecycle_config(const WorkerConfig& config) {
   lc.max_idle_polls = config.max_idle_polls;
   lc.fetch_retry = config.download_retry;
   lc.abandon_visibility = config.abandon_visibility;
+  lc.tracer = config.tracer;
   return lc;
 }
 }  // namespace
@@ -60,7 +61,9 @@ runtime::TaskOutcome Worker::process(runtime::TaskContext& ctx) {
   if (ctx.crash_site(sites::kAfterReceive, task.task_id)) return TaskOutcome::kCrashed;
 
   // Download the input, riding out read-after-write visibility lag.
+  runtime::Span fetch_span = ctx.span("fetch.input");
   auto input = ctx.fetch(store_, config_.bucket, task.input_key);
+  fetch_span.close();
   if (!input) {
     // Give up on this delivery; the message reappears after its timeout and
     // by then the blob will be visible (eventual availability).
@@ -69,6 +72,8 @@ runtime::TaskOutcome Worker::process(runtime::TaskContext& ctx) {
   }
 
   ppc::SystemClock timer;
+  runtime::Span compute_span = ctx.span("compute");
+  compute_span.arg("task_id", task.task_id);
   std::string output;
   try {
     output = executor_(task, *input);
@@ -78,10 +83,13 @@ runtime::TaskOutcome Worker::process(runtime::TaskContext& ctx) {
              << e.what();
     return TaskOutcome::kAbandoned;  // leave the message to time out and be retried
   }
+  compute_span.close();
   const Seconds duration = timer.now();
   if (ctx.crash_site(sites::kAfterExecute, task.task_id)) return TaskOutcome::kCrashed;
 
+  runtime::Span upload_span = ctx.span("upload.output");
   store_.put(config_.bucket, task.output_key, std::move(output));
+  upload_span.close();
   if (ctx.crash_site(sites::kAfterUpload, task.task_id)) return TaskOutcome::kCrashed;
 
   MonitorRecord record;
@@ -89,7 +97,9 @@ runtime::TaskOutcome Worker::process(runtime::TaskContext& ctx) {
   record.worker_id = id();
   record.status = "done";
   record.duration = duration;
+  runtime::Span report_span = ctx.span("monitor.report");
   monitor_queue_->send(encode_monitor(record));
+  report_span.close();
   ctx.observe("task_seconds", duration);
   return TaskOutcome::kCompleted;
 }

@@ -67,6 +67,10 @@ struct WorkerConfig {
   runtime::FaultInjector* faults = nullptr;
   /// Metrics registry shared across the pool; null = private registry.
   std::shared_ptr<runtime::MetricsRegistry> metrics;
+  /// Tracer (borrowed, not owned). Null = no tracing. Adds fetch.input /
+  /// compute / upload.output / monitor.report child spans to the lifecycle's
+  /// task envelope, keyed by the task message id.
+  runtime::Tracer* tracer = nullptr;
 };
 
 /// Snapshot view over the worker's counters in the MetricsRegistry.

@@ -21,18 +21,31 @@ MessageQueue::MessageQueue(std::string name, std::shared_ptr<const ppc::Clock> c
 }
 
 std::string MessageQueue::send(std::string body) {
+  ppc::TraceHook* tracer = tracer_.load(std::memory_order_relaxed);
+  std::uint64_t span = 0;
+  if (tracer != nullptr && tracer->tracing()) {
+    span = tracer->op_begin("cloudq." + name_ + ".send", "");
+  }
   if (ppc::FaultHook* hook = hook_.load()) {
     ppc::PayloadRef in_flight(&body);
     const ppc::FaultDecision d = hook->on_operation("cloudq." + name_ + ".send", "", &in_flight);
-    if (d.fail) throw ppc::Error("injected send failure on queue " + name_);
+    if (d.fail) {
+      if (span != 0) tracer->op_end(span, /*failed=*/true);
+      throw ppc::Error("injected send failure on queue " + name_);
+    }
     // Send-side corruption is *stored*: the service received flipped bytes
     // and checksummed what it got, so every delivery of this message is
     // garbage that passes intact() — a poison message.
     if (d.corrupted) body = in_flight.take();
   }
-  std::lock_guard lock(mu_);
-  ++meter_.sends;
-  return enqueue_locked(std::move(body));
+  std::string id;
+  {
+    std::lock_guard lock(mu_);
+    ++meter_.sends;
+    id = enqueue_locked(std::move(body));
+  }
+  if (span != 0) tracer->op_end(span, /*failed=*/false);
+  return id;
 }
 
 std::vector<std::string> MessageQueue::send_batch(const std::vector<std::string>& bodies) {
@@ -129,6 +142,12 @@ std::optional<Message> MessageQueue::receive(Seconds visibility_timeout) {
       visibility_timeout < 0.0 ? config_.default_visibility_timeout : visibility_timeout;
   PPC_REQUIRE(timeout > 0.0, "visibility timeout must be positive");
 
+  ppc::TraceHook* tracer = tracer_.load(std::memory_order_relaxed);
+  std::uint64_t span = 0;
+  if (tracer != nullptr && tracer->tracing()) {
+    span = tracer->op_begin("cloudq." + name_ + ".receive", "");
+  }
+
   std::shared_ptr<MessageQueue> dlq;
   std::vector<std::shared_ptr<const std::string>> exhausted;
   std::optional<Message> delivered;
@@ -180,7 +199,11 @@ std::optional<Message> MessageQueue::receive(Seconds visibility_timeout) {
     }
   }
   for (const auto& body : exhausted) dlq->send(std::string(*body));
-  if (!delivered) return std::nullopt;
+  if (!delivered) {
+    // Empty poll: not worth a span (workers poll at high rate while idle).
+    if (span != 0) tracer->op_cancel(span);
+    return std::nullopt;
+  }
 
   if (ppc::FaultHook* hook = hook_.load()) {
     ppc::PayloadRef in_flight(delivered->payload.get());
@@ -197,6 +220,7 @@ std::optional<Message> MessageQueue::receive(Seconds visibility_timeout) {
       if (!e.deleted && e.current_receipt_serial == delivered_serial) {
         e.visible_at = clock_->now();
       }
+      if (span != 0) tracer->op_end(span, /*failed=*/true);
       return std::nullopt;
     }
     if (d.corrupted) {
@@ -205,10 +229,22 @@ std::optional<Message> MessageQueue::receive(Seconds visibility_timeout) {
       delivered->payload = std::make_shared<const std::string>(in_flight.take());
     }
   }
+  if (span != 0) tracer->op_end(span, /*failed=*/false);
   return delivered;
 }
 
 bool MessageQueue::delete_message(const std::string& receipt_handle) {
+  ppc::TraceHook* tracer = tracer_.load(std::memory_order_relaxed);
+  std::uint64_t span = 0;
+  if (tracer != nullptr && tracer->tracing()) {
+    span = tracer->op_begin("cloudq." + name_ + ".delete", receipt_handle);
+  }
+  const bool deleted = delete_message_impl(receipt_handle);
+  if (span != 0) tracer->op_end(span, /*failed=*/!deleted);
+  return deleted;
+}
+
+bool MessageQueue::delete_message_impl(const std::string& receipt_handle) {
   if (ppc::FaultHook* hook = hook_.load()) {
     const ppc::FaultDecision d =
         hook->on_operation("cloudq." + name_ + ".delete", receipt_handle, nullptr);

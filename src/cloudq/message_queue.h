@@ -42,6 +42,7 @@
 #include "common/clock.h"
 #include "common/fault_hook.h"
 #include "common/rng.h"
+#include "common/trace_hook.h"
 #include "common/string_util.h"
 #include "common/units.h"
 
@@ -124,6 +125,12 @@ class MessageQueue {
   /// Non-owning; pass nullptr to clear. The hook must outlive its use.
   void set_fault_hook(ppc::FaultHook* hook) { hook_.store(hook); }
 
+  /// Installs a trace hook (runtime::Tracer) that gets a span per
+  /// send/receive/delete (sites "cloudq.<name>.send" / ".receive" /
+  /// ".delete"); empty receives are cancelled, not recorded. Non-owning;
+  /// nullptr clears. Costs one relaxed atomic load per call when unset.
+  void set_tracer(ppc::TraceHook* tracer) { tracer_.store(tracer); }
+
   /// Attaches a dead-letter queue (the SQS redrive policy): once a message
   /// has been delivered `max_receive_count` times without being deleted, the
   /// next receive sweep moves it to `dlq` instead of redelivering it.
@@ -202,6 +209,9 @@ class MessageQueue {
   /// Appends a message entry; caller holds mu_. Returns the message id.
   std::string enqueue_locked(std::string body);
 
+  /// delete_message minus the tracing bracket.
+  bool delete_message_impl(const std::string& receipt_handle);
+
   std::string make_receipt(std::size_t entry_index, std::uint64_t serial) const;
   static std::optional<std::pair<std::size_t, std::uint64_t>> parse_receipt(
       const std::string& receipt);
@@ -219,6 +229,7 @@ class MessageQueue {
   std::shared_ptr<const ppc::Clock> clock_;
   QueueConfig config_;
   std::atomic<ppc::FaultHook*> hook_{nullptr};
+  std::atomic<ppc::TraceHook*> tracer_{nullptr};
 
   mutable std::mutex mu_;
   ppc::Rng rng_;

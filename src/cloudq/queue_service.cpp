@@ -17,6 +17,7 @@ std::shared_ptr<MessageQueue> QueueService::create_queue(const std::string& name
   if (it != queues_.end()) return it->second;
   auto q = std::make_shared<MessageQueue>(name, clock_, config_, rng_.split());
   q->set_fault_hook(hook_);
+  q->set_tracer(tracer_);
   queues_.emplace(name, q);
   return q;
 }
@@ -33,6 +34,12 @@ void QueueService::set_fault_hook(ppc::FaultHook* hook) {
   std::lock_guard lock(mu_);
   hook_ = hook;
   for (const auto& [_, q] : queues_) q->set_fault_hook(hook);
+}
+
+void QueueService::set_tracer(ppc::TraceHook* tracer) {
+  std::lock_guard lock(mu_);
+  tracer_ = tracer;
+  for (const auto& [_, q] : queues_) q->set_tracer(tracer);
 }
 
 std::shared_ptr<MessageQueue> QueueService::get_queue(const std::string& name) const {

@@ -33,6 +33,10 @@ class QueueService {
   /// (account-wide chaos instrumentation). Non-owning; nullptr clears.
   void set_fault_hook(ppc::FaultHook* hook);
 
+  /// Installs `tracer` on every existing queue and every queue created later
+  /// (account-wide tracing). Non-owning; nullptr clears.
+  void set_tracer(ppc::TraceHook* tracer);
+
   /// Returns the queue or nullptr when it does not exist.
   std::shared_ptr<MessageQueue> get_queue(const std::string& name) const;
 
@@ -50,7 +54,8 @@ class QueueService {
   QueueConfig config_;
   mutable std::mutex mu_;
   ppc::Rng rng_;
-  ppc::FaultHook* hook_ = nullptr;  // applied to new queues; guarded by mu_
+  ppc::FaultHook* hook_ = nullptr;     // applied to new queues; guarded by mu_
+  ppc::TraceHook* tracer_ = nullptr;   // applied to new queues; guarded by mu_
   std::map<std::string, std::shared_ptr<MessageQueue>> queues_;
 };
 

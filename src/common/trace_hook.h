@@ -1,0 +1,47 @@
+// Service-layer tracing seam.
+//
+// Like common/fault_hook.h, this exists because the cloud-service
+// reproductions (blobstore::BlobStore, cloudq::MessageQueue) sit *below* the
+// runtime layer and cannot depend on runtime::Tracer directly. Each
+// instrumented operation brackets itself with op_begin()/op_end(); the
+// installed hook (runtime::Tracer) turns the bracket into a span stamped
+// with the hook's own clock, so real-thread and simulated-time runs trace
+// through the same seam.
+//
+// Overhead discipline: a service with no hook installed pays one relaxed
+// atomic load per operation; a hook that is installed but disabled returns
+// false from tracing(), so callers skip the site-name construction too.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ppc {
+
+/// Implemented by runtime::Tracer; installed on services with their
+/// set_tracer(). Implementations must be thread-safe — services fire from
+/// every worker thread, outside their own locks.
+class TraceHook {
+ public:
+  virtual ~TraceHook() = default;
+
+  /// Cheap gate: when false the hook is a no-op and callers should skip all
+  /// instrumentation work (building site strings, timing).
+  virtual bool tracing() const = 0;
+
+  /// Opens a span for one service operation. `site` names the operation
+  /// ("cloudq.<queue>.receive", "blobstore.<bucket>.get", ...), `key`
+  /// identifies the object (message id, blob key). Returns an opaque token
+  /// to pass to op_end, or 0 when tracing is off (op_end ignores 0).
+  virtual std::uint64_t op_begin(std::string_view site, std::string_view key) = 0;
+
+  /// Closes the span opened by op_begin. `failed` marks operations that
+  /// reported failure (not-found, stale receipt, injected fault).
+  virtual void op_end(std::uint64_t token, bool failed) = 0;
+
+  /// Discards the span opened by op_begin without recording it — for
+  /// operations that turn out to be uninteresting (an empty receive poll).
+  virtual void op_cancel(std::uint64_t token) = 0;
+};
+
+}  // namespace ppc

@@ -46,12 +46,20 @@ RunReport DryadRuntime::run(const Dag& dag) {
   ppc::SystemClock clock;
   const Seconds t0 = clock.now();
 
-  auto slot_loop = [&](NodeId node) {
+  runtime::Tracer* tracer = config_.tracer;
+  auto slot_loop = [&](NodeId node, int slot) {
+    const std::string track =
+        "dryad.n" + std::to_string(node) + ".s" + std::to_string(slot);
+    if (tracer != nullptr) runtime::Tracer::bind_thread(track);
+    Seconds idle_since = -1.0;  // tracer-clock time this slot went idle
     std::unique_lock lock(mu);
     while (true) {
       auto& queue = ready[static_cast<std::size_t>(node)];
       if (queue.empty()) {
-        if (finished == n || job_failed) return;
+        if (finished == n || job_failed) break;
+        if (tracer != nullptr && tracer->enabled() && idle_since < 0.0) {
+          idle_since = tracer->now();
+        }
         cv.wait(lock, [&] { return !queue.empty() || finished == n || job_failed; });
         continue;
       }
@@ -65,6 +73,19 @@ RunReport DryadRuntime::run(const Dag& dag) {
       record.node = node;
 
       lock.unlock();
+      const bool tracing = tracer != nullptr && tracer->enabled();
+      const std::string& vertex_name = dag.vertex(v).name;
+      runtime::Span task_span;
+      if (tracing) {
+        if (idle_since >= 0.0) {
+          tracer->span_from(idle_since, "queue.wait", "dryad", track).close();
+          idle_since = -1.0;
+        }
+        runtime::Tracer::bind_thread_task(vertex_name);
+        task_span = tracer->span("task", "dryad", track, vertex_name);
+        task_span.arg("attempt", std::to_string(attempt));
+        task_span.arg("node", std::to_string(node));
+      }
       try {
         if (config_.faults != nullptr &&
             config_.faults->fire(sites::kVertexAttempt,
@@ -75,6 +96,11 @@ RunReport DryadRuntime::run(const Dag& dag) {
         record.succeeded = true;
       } catch (const std::exception& e) {
         record.error = e.what();
+      }
+      if (tracing) {
+        task_span.arg("outcome", record.succeeded ? "completed" : "failed");
+        task_span.close();
+        runtime::Tracer::bind_thread_task({});
       }
       lock.lock();
 
@@ -94,9 +120,10 @@ RunReport DryadRuntime::run(const Dag& dag) {
       cv.notify_all();
       if (finished == n || job_failed) {
         // Let siblings drain their queues; we are done.
-        if (job_failed) return;
+        if (job_failed) break;
       }
     }
+    if (tracer != nullptr) runtime::Tracer::clear_thread();
   };
 
   {
@@ -107,7 +134,7 @@ RunReport DryadRuntime::run(const Dag& dag) {
     slots.reserve(pool.size());
     for (int node = 0; node < config_.num_nodes; ++node) {
       for (int s = 0; s < config_.slots_per_node; ++s) {
-        if (auto slot = pool.try_submit([&slot_loop, node] { slot_loop(node); })) {
+        if (auto slot = pool.try_submit([&slot_loop, node, s] { slot_loop(node, s); })) {
           slots.push_back(std::move(*slot));
         }
       }
@@ -139,15 +166,29 @@ SelectResult dryad_select(
   std::mutex outputs_mu;
 
   Dag dag;
+  runtime::Tracer* tracer = runtime.config().tracer;
   for (const Partition& p : table.partitions()) {
     dag.add_vertex("select-part-" + std::to_string(p.index), p.node, [&, part = p] {
+      // span_here: the executor slot bound its track + the vertex name as
+      // thread context before invoking us.
+      const bool tracing = tracer != nullptr && tracer->enabled();
       for (const std::string& file : part.files) {
         // Vertex runs on the partition's node, so this read is local —
         // exactly why Dryad pre-distributes the data.
+        runtime::Span fetch_span =
+            tracing ? tracer->span_here("fetch.input", "task") : runtime::Span{};
         const auto contents = share.read(part.node, file, part.node);
+        fetch_span.close();
         PPC_CHECK(contents.has_value(), "partition file missing from share: " + file);
+        runtime::Span compute_span =
+            tracing ? tracer->span_here("compute", "task") : runtime::Span{};
+        compute_span.arg("file", file);
         std::string out = fn(file, *contents);
+        compute_span.close();
+        runtime::Span upload_span =
+            tracing ? tracer->span_here("upload.output", "task") : runtime::Span{};
         share.write(part.node, file + ".out", out);
+        upload_span.close();
         std::lock_guard lock(outputs_mu);
         result.outputs[file] = std::move(out);
       }

@@ -24,6 +24,7 @@
 #include "dryad/partitioned_table.h"
 #include "runtime/fault_injector.h"
 #include "runtime/metrics.h"
+#include "runtime/tracer.h"
 
 namespace ppc::dryad {
 
@@ -42,6 +43,12 @@ struct RuntimeConfig {
   runtime::FaultInjector* faults = nullptr;
   /// Engine counters land here ("dryad.*"); null = private registry.
   std::shared_ptr<runtime::MetricsRegistry> metrics;
+  /// Tracer (borrowed, not owned). Null = no tracing. Each executor slot is
+  /// a track "dryad.n<node>.s<slot>"; every vertex attempt gets a task
+  /// envelope span (trace id = vertex name) and dryad_select adds
+  /// fetch.input / compute / upload.output children per file. queue.wait
+  /// spans expose the static-placement idle tails of Figs 14-15.
+  runtime::Tracer* tracer = nullptr;
 };
 
 struct VertexAttempt {

@@ -43,8 +43,14 @@ JobResult LocalJobRunner::run(const std::vector<std::string>& input_paths, const
   JobResult result;
   std::mutex result_mu;
 
-  auto slot_loop = [&](minihdfs::NodeId node) {
+  runtime::Tracer* tracer = config.tracer;
+  auto slot_loop = [&](minihdfs::NodeId node, int slot) {
+    const std::string track = "mr.n" + std::to_string(node) + ".s" + std::to_string(slot);
+    if (tracer != nullptr) runtime::Tracer::bind_thread(track);
+    Seconds idle_since = -1.0;  // tracer-clock time this slot went idle
     while (!scheduler.job_done()) {
+      const bool tracing = tracer != nullptr && tracer->enabled();
+      if (tracing && idle_since < 0.0) idle_since = tracer->now();
       const auto assignment = scheduler.next_task(node, clock.now());
       if (!assignment) {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
@@ -54,18 +60,36 @@ JobResult LocalJobRunner::run(const std::vector<std::string>& input_paths, const
       record.assignment = *assignment;
       record.start = clock.now();
       const std::string& path = input_paths[static_cast<std::size_t>(assignment->task_id)];
+      const std::string task_name = FilePathInputFormat::base_name(path);
+      runtime::Span task_span;
+      if (tracing) {
+        if (idle_since >= 0.0) {
+          tracer->span_from(idle_since, "queue.wait", "mapreduce", track).close();
+          idle_since = -1.0;
+        }
+        runtime::Tracer::bind_thread_task(task_name);
+        task_span = tracer->span("task", "mapreduce", track, task_name);
+        task_span.arg("attempt", std::to_string(assignment->attempt_id));
+        task_span.arg("node", std::to_string(node));
+      }
       try {
         if (config.faults != nullptr &&
             config.faults->fire(sites::kMapAttempt, std::to_string(assignment->task_id) + ":" +
                                                         std::to_string(assignment->attempt_id))) {
           throw runtime::InjectedFault("injected crash at " + sites::kMapAttempt);
         }
+        runtime::Span fetch_span =
+            tracing ? tracer->span("fetch.input", "task", track, task_name) : runtime::Span{};
         const auto contents = hdfs_.read_from(path, node);
+        fetch_span.close();
         PPC_CHECK(contents.has_value(), "input vanished from HDFS: " + path);
         FileRecord rec;
-        rec.name = FilePathInputFormat::base_name(path);
+        rec.name = task_name;
         rec.path = path;
+        runtime::Span compute_span =
+            tracing ? tracer->span("compute", "task", track, task_name) : runtime::Span{};
         std::string output = map_fn(rec, *contents);
+        compute_span.close();
         record.end = clock.now();
         record.succeeded = true;
         const bool first = scheduler.report_completed(*assignment, record.end);
@@ -73,28 +97,38 @@ JobResult LocalJobRunner::run(const std::vector<std::string>& input_paths, const
         if (first) {
           // Commit: write the output to HDFS pinned to this node (the map
           // task "uploads the result file to the HDFS").
+          runtime::Span upload_span =
+              tracing ? tracer->span("upload.output", "task", track, task_name)
+                      : runtime::Span{};
           const std::string out_path = config.output_dir + "/" + rec.name;
           hdfs_.write(out_path, std::move(output), node);
+          upload_span.close();
           record.output_committed = true;
           metrics->counter("mapreduce.tasks_completed").inc();
+          task_span.arg("outcome", "completed");
           std::lock_guard lock(result_mu);
           result.outputs[rec.name] = out_path;
         } else {
           metrics->counter("mapreduce.wasted_attempts").inc();
+          task_span.arg("outcome", "superseded");
         }
       } catch (const std::exception& e) {
         record.end = clock.now();
         record.error = e.what();
         scheduler.report_failed(*assignment, record.end);
         metrics->counter("mapreduce.failed_attempts").inc();
+        task_span.arg("outcome", "failed");
         PPC_DEBUG << "attempt failed on node " << node << ": " << e.what();
       }
+      task_span.close();
+      if (tracing) runtime::Tracer::bind_thread_task({});
       metrics->counter("mapreduce.attempts").inc();
       {
         std::lock_guard lock(result_mu);
         result.attempts.push_back(record);
       }
     }
+    if (tracer != nullptr) runtime::Tracer::clear_thread();
   };
 
   const Seconds t0 = clock.now();
@@ -106,7 +140,7 @@ JobResult LocalJobRunner::run(const std::vector<std::string>& input_paths, const
     slots.reserve(pool.size());
     for (int node = 0; node < config.num_nodes; ++node) {
       for (int s = 0; s < config.slots_per_node; ++s) {
-        if (auto slot = pool.try_submit([&slot_loop, node] { slot_loop(node); })) {
+        if (auto slot = pool.try_submit([&slot_loop, node, s] { slot_loop(node, s); })) {
           slots.push_back(std::move(*slot));
         }
       }

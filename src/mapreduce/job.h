@@ -24,6 +24,7 @@
 #include "minihdfs/mini_hdfs.h"
 #include "runtime/fault_injector.h"
 #include "runtime/metrics.h"
+#include "runtime/tracer.h"
 
 namespace ppc::mapreduce {
 
@@ -49,6 +50,11 @@ struct JobConfig {
   runtime::FaultInjector* faults = nullptr;
   /// Engine counters/histograms land here ("mapreduce.*"); null = private.
   std::shared_ptr<runtime::MetricsRegistry> metrics;
+  /// Tracer (borrowed, not owned). Null = no tracing. Each executor slot
+  /// becomes a track "mr.n<node>.s<slot>"; every attempt gets a task
+  /// envelope span (trace id = input file name) with fetch.input / compute /
+  /// upload.output children plus queue.wait idle spans.
+  runtime::Tracer* tracer = nullptr;
 };
 
 struct AttemptRecord {

@@ -37,6 +37,12 @@ void TaskContext::observe(std::string_view name, double value) {
   owner_.metrics().histogram(owner_.scoped(name)).record(value);
 }
 
+Span TaskContext::span(std::string_view name) {
+  Tracer* tr = owner_.tracer();
+  if (tr == nullptr) return Span{};
+  return tr->span(name, "task", owner_.id(), message_->id);
+}
+
 MetricsRegistry& TaskContext::metrics() { return owner_.metrics(); }
 
 TaskLifecycle::TaskLifecycle(std::string id, std::shared_ptr<cloudq::MessageQueue> task_queue,
@@ -100,6 +106,10 @@ void TaskLifecycle::after_failed_delivery(const cloudq::Message& message) {
       metrics_->set_gauge("cloudq." + task_queue_->name() + ".dlq_depth",
                           static_cast<double>(task_queue_->dlq_depth()));
       metrics_->emit({"task.poisoned", {{"worker", id_}, {"message", message.id}}});
+      if (Tracer* tr = config_.tracer; tr != nullptr && tr->enabled()) {
+        tr->instant("dlq.park", "lifecycle", id_, message.id,
+                    {{"receive_count", std::to_string(message.receive_count)}});
+      }
       return;
     }
   }
@@ -111,30 +121,55 @@ void TaskLifecycle::after_failed_delivery(const cloudq::Message& message) {
 }
 
 void TaskLifecycle::poll_loop() {
+  Tracer* tr = config_.tracer;
+  if (tr != nullptr) Tracer::bind_thread(id_);
   int idle_polls = 0;
+  Seconds idle_since = -1.0;  // tracer-clock time this worker went idle
   while (!stop_requested_.load()) {
     last_heartbeat_.store(ppc::monotonic_now());
+    const bool tracing = tr != nullptr && tr->enabled();
+    const Seconds poll_start = tracing ? tr->now() : 0.0;
     auto message = task_queue_->receive(config_.visibility_timeout);
     if (!message) {
       ++idle_polls;
+      if (tracing && idle_since < 0.0) idle_since = poll_start;
       if (config_.max_idle_polls >= 0 && idle_polls >= config_.max_idle_polls) break;
       sleep_for(config_.poll_interval);
       continue;
     }
     idle_polls = 0;
+    if (tracing) {
+      if (idle_since >= 0.0) {
+        // One span covering the whole idle stretch, closed now that a
+        // message is in hand.
+        tr->span_from(idle_since, "queue.wait", "lifecycle", id_).close();
+        idle_since = -1.0;
+      }
+      tr->span_from(poll_start, "dequeue", "lifecycle", id_, message->id).close();
+      Tracer::bind_thread_task(message->id);
+    }
     metrics_->counter(scoped(counters::kMessagesReceived)).inc();
     if (message->receive_count > 1) {
       metrics_->counter(scoped(counters::kRedeliveries)).inc();
+      if (tracing) {
+        tr->instant("redelivery", "lifecycle", id_, message->id,
+                    {{"receive_count", std::to_string(message->receive_count)}});
+      }
     }
     if (!message->intact()) {
       // The payload failed its body checksum: this delivery was corrupted in
       // flight. The stored message is fine — abandon and let a clean
       // redelivery carry the real bytes.
       metrics_->counter(scoped(counters::kCorruptDeliveries)).inc();
+      if (tracing) tr->instant("corrupt_delivery", "lifecycle", id_, message->id);
       after_failed_delivery(*message);
+      if (tracing) Tracer::bind_thread_task({});
       continue;
     }
 
+    // Envelope span for this delivery: everything the handler does (child
+    // spans, service ops) nests inside it on this worker's track.
+    Span task_span = tracing ? tr->span("task", "lifecycle", id_, message->id) : Span{};
     TaskContext ctx(*this, *message);
     TaskOutcome outcome;
     try {
@@ -149,7 +184,11 @@ void TaskLifecycle::poll_loop() {
 
     if (outcome == TaskOutcome::kCrashed) {
       // The worker dies mid-task. The message it held stays invisible until
-      // its timeout lapses, then another worker picks it up.
+      // its timeout lapses, then another worker picks it up. The envelope
+      // span is detached, not closed: a dead process cannot close its spans,
+      // so it stays open until the supervisor reaps it (abandoned=true).
+      task_span.arg("outcome", "crashed");
+      task_span.detach();
       die("fault injection");
       break;
     }
@@ -157,15 +196,22 @@ void TaskLifecycle::poll_loop() {
       // Delete only after completion — a stale receipt (someone else re-ran
       // the task after a visibility timeout) just fails, and idempotent
       // tasks make either outcome correct.
+      Span ack = tracing ? tr->span("ack.delete", "lifecycle", id_, message->id) : Span{};
       const bool deleted = task_queue_->delete_message(message->receipt_handle);
+      ack.close();
       metrics_->counter(scoped(counters::kTasksCompleted)).inc();
       if (!deleted) metrics_->counter(scoped(counters::kDeletesFailed)).inc();
       metrics_->emit({"task.completed", {{"worker", id_}, {"message", message->id}}});
+      task_span.arg("outcome", "completed");
     } else if (outcome == TaskOutcome::kAbandoned) {
+      task_span.arg("outcome", "abandoned");
       after_failed_delivery(*message);
     }
+    task_span.close();
+    if (tracing) Tracer::bind_thread_task({});
   }
   running_.store(false);
+  if (tr != nullptr) Tracer::clear_thread();
 }
 
 }  // namespace ppc::runtime

@@ -27,6 +27,7 @@
 #include "runtime/fault_injector.h"
 #include "runtime/metrics.h"
 #include "runtime/retry_policy.h"
+#include "runtime/tracer.h"
 
 namespace ppc::runtime {
 
@@ -67,6 +68,10 @@ struct LifecycleConfig {
   /// visibility_timeout. < 0 keeps the original window (legacy behavior,
   /// and what a worker that simply *dies* gets regardless).
   Seconds abandon_visibility = -1.0;
+  /// Borrowed, not owned; null (the default) disables tracing. When set,
+  /// the poll loop records queue-wait / dequeue / task / ack spans and
+  /// redelivery / DLQ instants, all keyed by the message id as trace id.
+  Tracer* tracer = nullptr;
 };
 
 /// Verdict of one handled delivery.
@@ -112,6 +117,11 @@ class TaskContext {
   /// Records into the worker-scoped histogram "<id>.<name>".
   void observe(std::string_view name, double value);
 
+  /// Opens a child span of this delivery ("fetch.input", "compute",
+  /// "upload.output", ...) on the worker's track, keyed by the message id.
+  /// Inactive no-op guard when tracing is off.
+  Span span(std::string_view name);
+
   MetricsRegistry& metrics();
 
  private:
@@ -156,6 +166,7 @@ class TaskLifecycle {
   MetricsRegistry& metrics() const { return *metrics_; }
   std::shared_ptr<MetricsRegistry> metrics_ptr() const { return metrics_; }
   FaultInjector* faults() const { return faults_; }
+  Tracer* tracer() const { return config_.tracer; }
 
   /// "<id>.<name>" — the scope used for this worker's metrics.
   std::string scoped(std::string_view name) const;
@@ -202,7 +213,13 @@ class TaskLifecycle {
 template <typename Fn>
 auto TaskContext::retry(Fn&& fn) -> decltype(fn()) {
   return with_retry(owner_.config().fetch_retry, owner_.rng(), std::forward<Fn>(fn),
-                    [this](int) { count(counters::kDownloadsMissed); });
+                    [this](int attempt) {
+                      count(counters::kDownloadsMissed);
+                      if (Tracer* tr = owner_.tracer(); tr != nullptr && tr->enabled()) {
+                        tr->instant("retry", "task", owner_.id(), message_->id,
+                                    {{"attempt", std::to_string(attempt)}});
+                      }
+                    });
 }
 
 }  // namespace ppc::runtime

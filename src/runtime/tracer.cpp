@@ -1,0 +1,442 @@
+#include "runtime/tracer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace ppc::runtime {
+
+namespace {
+
+// Worker-thread identity for service-layer ops and span_here(). One tracer
+// is live per run, and a worker thread serves exactly one run, so plain
+// thread_locals (not per-tracer) are sufficient and keep the hot path cheap.
+thread_local std::string t_track;    // NOLINT(runtime/string)
+thread_local std::string t_task;     // NOLINT(runtime/string)
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_micros(std::string& out, Seconds s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", s * 1e6);
+  out += buf;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+// --- Span guard ---
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    close();
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (tracer_ != nullptr) tracer_->span_arg(id_, key, value);
+}
+
+void Span::close() {
+  if (tracer_ != nullptr) {
+    tracer_->close_span(id_, /*failed=*/false);
+    tracer_ = nullptr;
+  }
+}
+
+// --- Tracer ---
+
+Tracer::Tracer(std::shared_ptr<const ppc::Clock> clock) : clock_(std::move(clock)) {}
+
+Tracer::~Tracer() = default;
+
+Seconds Tracer::now() const {
+  return clock_ ? clock_->now() : ppc::monotonic_now();
+}
+
+void Tracer::bind_thread(std::string_view track) { t_track.assign(track); }
+void Tracer::bind_thread_task(std::string_view task) { t_task.assign(task); }
+void Tracer::clear_thread() {
+  t_track.clear();
+  t_task.clear();
+}
+
+std::uint64_t Tracer::open_span(std::string_view name, std::string_view category,
+                                std::string_view track, std::string_view task) {
+  return open_span_at(now(), name, category, track, task);
+}
+
+std::uint64_t Tracer::open_span_at(Seconds start, std::string_view name,
+                                   std::string_view category, std::string_view track,
+                                   std::string_view task) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  SpanRecord rec;
+  rec.id = id;
+  rec.name.assign(name);
+  rec.category.assign(category);
+  rec.track.assign(track);
+  rec.task.assign(task);
+  rec.start = start;
+  Shard& sh = shard_for(id);
+  std::lock_guard lock(sh.mu);
+  sh.open.push_back(std::move(rec));
+  return id;
+}
+
+void Tracer::close_span(std::uint64_t id, bool failed) {
+  const Seconds t = now();
+  Shard& sh = shard_for(id);
+  std::lock_guard lock(sh.mu);
+  auto it = std::find_if(sh.open.begin(), sh.open.end(),
+                         [id](const SpanRecord& r) { return r.id == id; });
+  if (it == sh.open.end()) return;  // already reaped by abandon_open_spans
+  it->end = t;
+  if (failed) it->args.emplace_back("failed", "true");
+  sh.done.push_back(std::move(*it));
+  sh.open.erase(it);
+}
+
+void Tracer::span_arg(std::uint64_t id, std::string_view key, std::string_view value) {
+  Shard& sh = shard_for(id);
+  std::lock_guard lock(sh.mu);
+  auto it = std::find_if(sh.open.begin(), sh.open.end(),
+                         [id](const SpanRecord& r) { return r.id == id; });
+  if (it == sh.open.end()) return;
+  it->args.emplace_back(std::string(key), std::string(value));
+}
+
+Span Tracer::span(std::string_view name, std::string_view category, std::string_view track,
+                  std::string_view task) {
+  if (!enabled()) return Span{};
+  return Span{this, open_span(name, category, track, task)};
+}
+
+Span Tracer::span_from(Seconds start, std::string_view name, std::string_view category,
+                       std::string_view track, std::string_view task) {
+  if (!enabled()) return Span{};
+  return Span{this, open_span_at(start, name, category, track, task)};
+}
+
+Span Tracer::span_here(std::string_view name, std::string_view category) {
+  if (!enabled()) return Span{};
+  return Span{this, open_span(name, category, t_track, t_task)};
+}
+
+void Tracer::instant(std::string_view name, std::string_view category, std::string_view track,
+                     std::string_view task,
+                     std::initializer_list<std::pair<std::string_view, std::string_view>> args) {
+  if (!enabled()) return;
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  SpanRecord rec;
+  rec.id = id;
+  rec.name.assign(name);
+  rec.category.assign(category);
+  rec.track.assign(track);
+  rec.task.assign(task);
+  rec.start = rec.end = now();
+  for (const auto& [k, v] : args) rec.args.emplace_back(std::string(k), std::string(v));
+  Shard& sh = shard_for(id);
+  std::lock_guard lock(sh.mu);
+  sh.done.push_back(std::move(rec));
+}
+
+std::size_t Tracer::abandon_open_spans(std::string_view track) {
+  const Seconds t = now();
+  std::size_t reaped = 0;
+  for (Shard& sh : shards_) {
+    std::lock_guard lock(sh.mu);
+    for (auto it = sh.open.begin(); it != sh.open.end();) {
+      if (it->track == track) {
+        it->end = t;
+        it->abandoned = true;
+        sh.done.push_back(std::move(*it));
+        it = sh.open.erase(it);
+        ++reaped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return reaped;
+}
+
+std::uint64_t Tracer::op_begin(std::string_view site, std::string_view key) {
+  if (!enabled()) return 0;
+  std::string_view category = "service";
+  if (site.rfind("cloudq.", 0) == 0) category = "queue";
+  else if (site.rfind("blobstore.", 0) == 0) category = "blob";
+  const std::uint64_t id = open_span(site, category, t_track, t_task);
+  if (!key.empty()) span_arg(id, "key", key);
+  return id;
+}
+
+void Tracer::op_end(std::uint64_t token, bool failed) {
+  if (token == 0) return;
+  close_span(token, failed);
+}
+
+void Tracer::op_cancel(std::uint64_t token) {
+  if (token == 0) return;
+  Shard& sh = shard_for(token);
+  std::lock_guard lock(sh.mu);
+  auto it = std::find_if(sh.open.begin(), sh.open.end(),
+                         [token](const SpanRecord& r) { return r.id == token; });
+  if (it != sh.open.end()) sh.open.erase(it);
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<SpanRecord> out;
+  for (const Shard& sh : shards_) {
+    std::lock_guard lock(sh.mu);
+    out.insert(out.end(), sh.done.begin(), sh.done.end());
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+std::size_t Tracer::completed_spans() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard lock(sh.mu);
+    n += sh.done.size();
+  }
+  return n;
+}
+
+std::size_t Tracer::open_spans() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard lock(sh.mu);
+    n += sh.open.size();
+  }
+  return n;
+}
+
+void Tracer::reset() {
+  for (Shard& sh : shards_) {
+    std::lock_guard lock(sh.mu);
+    sh.done.clear();
+    sh.open.clear();
+  }
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<SpanRecord> spans = snapshot();
+
+  // Stable tid assignment: tracks sorted by name.
+  std::map<std::string, int> tids;
+  for (const SpanRecord& s : spans) tids.emplace(s.track, 0);
+  int next_tid = 0;
+  for (auto& [track, tid] : tids) tid = next_tid++;
+
+  std::string out;
+  out.reserve(spans.size() * 160 + 256);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, tid] : tids) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":";
+    append_json_string(out, track);
+    out += "}}";
+  }
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, s.name);
+    out += ",\"cat\":";
+    append_json_string(out, s.category);
+    const bool is_instant = s.end <= s.start;
+    out += is_instant ? ",\"ph\":\"i\",\"s\":\"t\"" : ",\"ph\":\"X\"";
+    out += ",\"ts\":";
+    append_micros(out, s.start);
+    if (!is_instant) {
+      out += ",\"dur\":";
+      append_micros(out, s.duration());
+    }
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(tids.at(s.track));
+    out += ",\"args\":{";
+    bool first_arg = true;
+    if (!s.task.empty()) {
+      out += "\"task\":";
+      append_json_string(out, s.task);
+      first_arg = false;
+    }
+    if (s.abandoned) {
+      if (!first_arg) out += ",";
+      out += "\"abandoned\":\"true\"";
+      first_arg = false;
+    }
+    for (const auto& [k, v] : s.args) {
+      if (!first_arg) out += ",";
+      first_arg = false;
+      append_json_string(out, k);
+      out += ":";
+      append_json_string(out, v);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<TaskSummary> Tracer::task_summaries() const {
+  std::map<std::string, TaskSummary> by_task;
+  for (const SpanRecord& s : snapshot()) {
+    if (s.task.empty()) continue;
+    TaskSummary& t = by_task[s.task];
+    t.task = s.task;
+    if (s.abandoned) t.abandoned = true;
+    if (s.name == "task") {
+      ++t.attempts;
+      t.total += s.duration();
+      t.worker = s.track;  // snapshot is start-ordered: last wins
+      if (!s.abandoned) {
+        for (const auto& [k, v] : s.args) {
+          if (k == "outcome" && v == "completed") t.completed = true;
+        }
+      }
+    } else if (s.name == "compute") {
+      t.compute += s.duration();
+    } else if (s.name == "fetch.input") {
+      t.fetch += s.duration();
+    } else if (s.name == "upload.output") {
+      t.upload += s.duration();
+    } else if (s.name == "retry") {
+      ++t.retries;
+    }
+  }
+  std::vector<TaskSummary> out;
+  out.reserve(by_task.size());
+  for (auto& [task, summary] : by_task) out.push_back(std::move(summary));
+  return out;
+}
+
+std::string Tracer::summary_table() const {
+  const std::vector<TaskSummary> rows = task_summaries();
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %-14s %8s %8s %10s %10s %10s %10s %s\n", "task",
+                "worker", "attempts", "retries", "fetch_s", "compute_s", "upload_s", "total_s",
+                "state");
+  os << line;
+  for (const TaskSummary& r : rows) {
+    std::snprintf(line, sizeof(line), "%-28s %-14s %8d %8d %10.4f %10.4f %10.4f %10.4f %s\n",
+                  r.task.c_str(), r.worker.c_str(), r.attempts, r.retries, r.fetch, r.compute,
+                  r.upload, r.total,
+                  r.abandoned ? "abandoned" : (r.completed ? "completed" : "open"));
+    os << line;
+  }
+  return os.str();
+}
+
+LoadReport Tracer::load_report() const {
+  LoadReport report;
+  std::map<std::string, WorkerLoad> by_track;
+  Seconds first_start = -1.0;
+  Seconds last_end = 0.0;
+  for (const SpanRecord& s : snapshot()) {
+    if (s.name != "task") continue;
+    WorkerLoad& w = by_track[s.track];
+    w.worker = s.track;
+    ++w.tasks;
+    w.busy += s.duration();
+    w.last_end = std::max(w.last_end, s.end);
+    if (first_start < 0.0 || s.start < first_start) first_start = s.start;
+    last_end = std::max(last_end, s.end);
+  }
+  if (first_start < 0.0) return report;
+  report.makespan = last_end - first_start;
+
+  double busy_sum = 0.0;
+  double busy_max = 0.0;
+  for (auto& [track, w] : by_track) {
+    if (report.makespan > 0.0) {
+      w.idle_tail_fraction = std::clamp((last_end - w.last_end) / report.makespan, 0.0, 1.0);
+    }
+    busy_sum += w.busy;
+    busy_max = std::max(busy_max, w.busy);
+    report.workers.push_back(std::move(w));
+  }
+  if (!report.workers.empty() && busy_sum > 0.0) {
+    report.imbalance = busy_max / (busy_sum / static_cast<double>(report.workers.size()));
+  }
+
+  std::vector<double> compute;
+  for (const TaskSummary& t : task_summaries()) compute.push_back(t.compute);
+  std::sort(compute.begin(), compute.end());
+  if (!compute.empty()) {
+    report.compute_min = compute.front();
+    report.compute_max = compute.back();
+    report.compute_median = percentile(compute, 0.5);
+    report.compute_p95 = percentile(compute, 0.95);
+  }
+  return report;
+}
+
+std::string LoadReport::to_text() const {
+  std::ostringstream os;
+  char line[192];
+  std::snprintf(line, sizeof(line), "makespan %.4fs  imbalance %.3f  compute min/median/p95/max %.4f/%.4f/%.4f/%.4f s\n",
+                makespan, imbalance, compute_min, compute_median, compute_p95, compute_max);
+  os << line;
+  std::snprintf(line, sizeof(line), "%-16s %6s %10s %10s %10s\n", "worker", "tasks", "busy_s",
+                "last_end_s", "idle_tail");
+  os << line;
+  for (const WorkerLoad& w : workers) {
+    std::snprintf(line, sizeof(line), "%-16s %6d %10.4f %10.4f %9.1f%%\n", w.worker.c_str(),
+                  w.tasks, w.busy, w.last_end, w.idle_tail_fraction * 100.0);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace ppc::runtime

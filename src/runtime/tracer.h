@@ -1,0 +1,253 @@
+// Per-task distributed tracing for every substrate.
+//
+// The paper's evidence is per-task timing: per-file compute times (Figs 5-6),
+// parallel-efficiency curves (10-11), and the load imbalance DryadLINQ's
+// static node-level partitioning causes versus the dynamic global queues of
+// Hadoop / Classic Cloud (14-15). MetricsRegistry only aggregates, so none of
+// those distributions can be reconstructed from a run. The Tracer records the
+// raw material: one Span per queue-wait / dequeue / fetch / compute / upload /
+// ack, each stamped with a worker track and a task trace id, so a single
+// task's causal chain — redeliveries, retries, DLQ parking, supervisor
+// restarts — is reconstructable, and per-worker busy/idle timelines fall out.
+//
+// Exports:
+//   to_chrome_json()   Chrome trace_event JSON (about://tracing, Perfetto)
+//   task_summaries()   per-task rollup (attempts, fetch/compute/upload time)
+//   load_report()      per-worker busy / idle-tail + compute percentiles —
+//                      the static-vs-dynamic scheduling gap, from span data
+//
+// Overhead discipline: tracing is OFF by default. Every entry point loads one
+// relaxed atomic and returns; bench_json asserts < 3% regression on the
+// data-plane micro benches with a disabled tracer installed. When enabled,
+// span storage is sharded KShards ways to keep worker threads off each
+// other's locks.
+//
+// Crash semantics: a simulated crash (chaos `crash` action) makes the worker
+// loop exit mid-task; the spans it had open are detach()ed — left in the
+// open-span table, exactly like a real process death would leak them — and
+// the WorkerSupervisor closes them with abandoned=true at reap time via
+// abandon_open_spans(). Nothing is silently dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/trace_hook.h"
+#include "common/units.h"
+
+namespace ppc::runtime {
+
+/// One completed (or abandoned) span, as exported.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::string name;      // "compute", "queue.wait", "cloudq.tasks.receive", ...
+  std::string category;  // "lifecycle", "task", "queue", "blob", "supervisor"
+  std::string track;     // timeline lane: worker id / "<node>.s<slot>"
+  std::string task;      // trace id (message / attempt / vertex); may be empty
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  /// Closed by abandon_open_spans() (supervisor reap), not by its owner.
+  bool abandoned = false;
+  std::vector<std::pair<std::string, std::string>> args;
+
+  Seconds duration() const { return end - start; }
+};
+
+/// Per-task rollup derived from span data (see Tracer::task_summaries).
+struct TaskSummary {
+  std::string task;
+  std::string worker;  // track of the final "task" span
+  int attempts = 0;    // "task" envelope spans seen (1 + redeliveries)
+  int retries = 0;     // "retry" instants (fetch misses ridden out)
+  Seconds fetch = 0.0;
+  Seconds compute = 0.0;
+  Seconds upload = 0.0;
+  Seconds total = 0.0;  // summed "task" envelope time across attempts
+  bool completed = false;
+  bool abandoned = false;  // some attempt died with the worker
+};
+
+/// Per-worker busy/idle rollup (see Tracer::load_report).
+struct WorkerLoad {
+  std::string worker;
+  int tasks = 0;            // "task" envelope spans on this track
+  Seconds busy = 0.0;       // summed envelope time
+  Seconds last_end = 0.0;   // when this worker finished its final task
+  /// Fraction of the run's makespan this worker spent idle after its last
+  /// task — the paper's Fig 14-15 signature: static partitioning strands
+  /// whole nodes in the tail while dynamic queues keep everyone busy.
+  double idle_tail_fraction = 0.0;
+};
+
+struct LoadReport {
+  Seconds makespan = 0.0;  // first task start -> last task end
+  std::vector<WorkerLoad> workers;
+  // Distribution of per-task compute seconds (summed over attempts).
+  double compute_min = 0.0;
+  double compute_median = 0.0;
+  double compute_p95 = 0.0;
+  double compute_max = 0.0;
+  /// max worker busy / mean worker busy; 1.0 = perfectly balanced.
+  double imbalance = 1.0;
+
+  /// Human-readable table (one row per worker + the compute distribution).
+  std::string to_text() const;
+};
+
+class Tracer;
+
+/// RAII span guard. Default-constructed (or from a disabled tracer) it is a
+/// no-op. Destruction closes the span; detach() instead leaves it in the
+/// tracer's open-span table, modelling a worker that died holding it.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { close(); }
+
+  /// True when this guard owns a live recording span.
+  bool active() const { return tracer_ != nullptr; }
+
+  /// Attaches a key/value to the span (shown in the Chrome trace "args").
+  void arg(std::string_view key, std::string_view value);
+
+  /// Closes the span now (idempotent).
+  void close();
+
+  /// Releases the guard WITHOUT closing the span: it stays open in the
+  /// tracer until abandon_open_spans() reaps it. Call when a simulated
+  /// crash unwinds the owning thread — a real dead process cannot close
+  /// its spans either.
+  void detach() { tracer_ = nullptr; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::uint64_t id) : tracer_(tracer), id_(id) {}
+
+  Tracer* tracer_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+class Tracer final : public ppc::TraceHook {
+ public:
+  /// Timestamps come from `clock` when given, else from the process-wide
+  /// ppc::monotonic_now() timebase. Inject the sim clock so simulated-time
+  /// runs trace in simulated seconds.
+  explicit Tracer(std::shared_ptr<const ppc::Clock> clock = nullptr);
+  ~Tracer() override;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Tracing is off until enable(); every record call is then a single
+  /// relaxed atomic load + return.
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Current time on this tracer's clock.
+  Seconds now() const;
+
+  /// Opens a span. `track` is the timeline lane (worker id); `task` the
+  /// trace id tying spans of one task together. Returns an inactive guard
+  /// when disabled.
+  Span span(std::string_view name, std::string_view category, std::string_view track,
+            std::string_view task = {});
+
+  /// Like span(), but with an explicit start time (on this tracer's clock):
+  /// for intervals measured before deciding they are worth a span, e.g.
+  /// queue-wait across many empty polls.
+  Span span_from(Seconds start, std::string_view name, std::string_view category,
+                 std::string_view track, std::string_view task = {});
+
+  /// Like span(), but takes track/task from the calling thread's bound
+  /// context (see bind_thread) — for call sites that don't carry them.
+  Span span_here(std::string_view name, std::string_view category);
+
+  /// Records a zero-duration event (redelivery, DLQ parking, restart...).
+  void instant(std::string_view name, std::string_view category, std::string_view track,
+               std::string_view task = {},
+               std::initializer_list<std::pair<std::string_view, std::string_view>> args = {});
+
+  /// Binds the calling thread to a worker track (and optionally a current
+  /// task id) so service-layer TraceHook ops and span_here() attribute to
+  /// the right lane. Lifecycles bind their poll-loop thread; engines bind
+  /// each slot thread.
+  static void bind_thread(std::string_view track);
+  static void bind_thread_task(std::string_view task);
+  static void clear_thread();
+
+  /// Closes every still-open span on `track` with abandoned=true, stamped
+  /// with this tracer's current time. Called by WorkerSupervisor when it
+  /// reaps a crashed/stalled worker. Returns how many spans were reaped.
+  std::size_t abandon_open_spans(std::string_view track);
+
+  // --- ppc::TraceHook (service seam) ---
+  bool tracing() const override { return enabled(); }
+  std::uint64_t op_begin(std::string_view site, std::string_view key) override;
+  void op_end(std::uint64_t token, bool failed) override;
+  void op_cancel(std::uint64_t token) override;
+
+  // --- introspection / export ---
+  /// Completed spans, ordered by start time. Open spans are not included.
+  std::vector<SpanRecord> snapshot() const;
+  std::size_t completed_spans() const;
+  /// Spans currently open (leaked ones show up here until abandoned).
+  std::size_t open_spans() const;
+  /// Drops all recorded and open spans (reuse one tracer across runs).
+  void reset();
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}): "X" complete events in
+  /// microseconds, one tid per track with "thread_name" metadata. Loadable
+  /// in about://tracing and ui.perfetto.dev.
+  std::string to_chrome_json() const;
+
+  /// Per-task rollups, ordered by task id.
+  std::vector<TaskSummary> task_summaries() const;
+
+  /// Compact fixed-width table of task_summaries() (the "per-task summary
+  /// table" the bench figures consume).
+  std::string summary_table() const;
+
+  /// Per-worker busy/idle-tail + compute-time distribution.
+  LoadReport load_report() const;
+
+ private:
+  friend class Span;
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<SpanRecord> done;
+    /// Open spans, keyed by span id. Small: one task + a few child spans
+    /// per live worker thread.
+    std::vector<SpanRecord> open;
+  };
+
+  Shard& shard_for(std::uint64_t id) { return shards_[id % kShards]; }
+  const Shard& shard_for(std::uint64_t id) const { return shards_[id % kShards]; }
+
+  std::uint64_t open_span(std::string_view name, std::string_view category,
+                          std::string_view track, std::string_view task);
+  std::uint64_t open_span_at(Seconds start, std::string_view name, std::string_view category,
+                             std::string_view track, std::string_view task);
+  void close_span(std::uint64_t id, bool failed);
+  void span_arg(std::uint64_t id, std::string_view key, std::string_view value);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::shared_ptr<const ppc::Clock> clock_;
+  Shard shards_[kShards];
+};
+
+}  // namespace ppc::runtime

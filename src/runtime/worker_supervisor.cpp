@@ -95,6 +95,16 @@ void WorkerSupervisor::check_slot_locked(Slot& slot, Seconds now) {
                          now - lc->last_heartbeat() > config_.stall_timeout;
     if (!crashed && !stalled) return;
 
+    // Reap the dead worker's trace state first: any span it held open when
+    // it died (the mid-task envelope, a fetch in flight) is closed here with
+    // abandoned=true instead of leaking in the open-span table.
+    if (Tracer* tr = config_.tracer; tr != nullptr && tr->enabled()) {
+      const std::size_t reaped = tr->abandon_open_spans(lc->id());
+      tr->instant(crashed ? "worker.crashed" : "worker.stalled", "supervisor", "supervisor",
+                  /*task=*/{},
+                  {{"worker", lc->id()}, {"abandoned_spans", std::to_string(reaped)}});
+    }
+
     if (slot.restarts_done >= config_.max_restarts_per_slot) {
       slot.gave_up = true;
       metrics_->counter("supervisor.gave_up").inc();
@@ -129,6 +139,10 @@ void WorkerSupervisor::check_slot_locked(Slot& slot, Seconds now) {
   metrics_->counter("supervisor.restarts").inc();
   metrics_->histogram("supervisor.recovery_seconds").record(now - slot.died_at);
   metrics_->emit({"supervisor.restarted", {{"worker", new_id}}});
+  if (Tracer* tr = config_.tracer; tr != nullptr && tr->enabled()) {
+    tr->instant("worker.restarted", "supervisor", "supervisor", /*task=*/{},
+                {{"worker", new_id}});
+  }
   slot.died_at = -1.0;
 }
 

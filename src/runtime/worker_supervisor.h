@@ -37,6 +37,7 @@
 #include "common/units.h"
 #include "runtime/metrics.h"
 #include "runtime/task_lifecycle.h"
+#include "runtime/tracer.h"
 
 namespace ppc::runtime {
 
@@ -72,6 +73,11 @@ struct SupervisorConfig {
   Seconds stall_timeout = 0.0;
   /// Registry for supervisor metrics; null creates a private one.
   std::shared_ptr<MetricsRegistry> metrics;
+  /// Borrowed tracer (null disables). When set, the supervisor records
+  /// crash/stall/restart instants on the "supervisor" track AND reaps the
+  /// dead worker's leaked spans: whatever it still had open is closed with
+  /// abandoned=true at detection time (see Tracer::abandon_open_spans).
+  Tracer* tracer = nullptr;
 };
 
 class WorkerSupervisor {

@@ -1,0 +1,32 @@
+// Canned per-file workloads over the three paper applications (Cap3, BLAST,
+// GTM), shared by the chaos campaign and the trace runner. Input generation
+// is seeded with a fixed constant so a job is identical across the runs that
+// compare against each other (fault-free baseline vs chaos run; the four
+// substrates of a trace sweep).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ppc::sim {
+
+/// A campaign's workload: (name, bytes) input files plus the per-file
+/// "executable".
+struct AppJob {
+  std::vector<std::pair<std::string, std::string>> files;
+  std::function<std::string(const std::string& name, const std::string& data)> fn;
+};
+
+/// Builds `num_files` inputs for `app` ("cap3", "blast", "gtm").
+///
+/// `skew` controls inhomogeneity: 0.0 (default) gives every file the same
+/// nominal work; skew s scales file i's work by 1 + s * i / (n - 1), i.e. the
+/// last file costs (1 + s)x the first. This reproduces the paper's
+/// inhomogeneous-data experiments (§4.2, Figs 12-15), where static
+/// partitioning loses to dynamic scheduling precisely because per-file cost
+/// varies. Throws InvalidArgument on an unknown app.
+AppJob make_app_job(const std::string& app, int num_files, double skew = 0.0);
+
+}  // namespace ppc::sim

@@ -7,11 +7,6 @@
 #include <thread>
 #include <utility>
 
-#include "apps/blast/aligner.h"
-#include "apps/cap3/assembler.h"
-#include "apps/cap3/read_simulator.h"
-#include "apps/gtm/data_gen.h"
-#include "apps/gtm/gtm.h"
 #include "azuremr/runtime.h"
 #include "blobstore/blob_store.h"
 #include "classiccloud/job_client.h"
@@ -24,73 +19,15 @@
 #include "minihdfs/mini_hdfs.h"
 #include "runtime/fault_injector.h"
 #include "runtime/metrics.h"
+#include "runtime/tracer.h"
 #include "runtime/worker_supervisor.h"
+#include "sim/app_job.h"
 
 namespace ppc::sim {
 
 namespace {
 
 using Outputs = std::map<std::string, std::string>;
-
-/// A campaign's workload: (name, bytes) input files plus the per-file
-/// "executable". Fixed (independent of the chaos seed) so every seed chases
-/// the same baseline.
-struct AppJob {
-  std::vector<std::pair<std::string, std::string>> files;
-  std::function<std::string(const std::string& name, const std::string& data)> fn;
-};
-
-AppJob make_app_job(const std::string& app, int num_files) {
-  PPC_REQUIRE(num_files >= 1, "chaos campaign needs at least one input file");
-  AppJob job;
-  ppc::Rng rng(0xC0FFEE);
-  if (app == "cap3") {
-    for (int i = 0; i < num_files; ++i) {
-      job.files.emplace_back("cap3-" + std::to_string(i) + ".fa",
-                             apps::cap3::make_cap3_input(24, rng));
-    }
-    job.fn = [](const std::string&, const std::string& input) {
-      apps::cap3::AssemblerConfig config;
-      config.min_overlap = 30;
-      return apps::cap3::assemble_fasta_file(input, config);
-    };
-  } else if (app == "blast") {
-    apps::blast::DbGenConfig db_config;
-    db_config.num_sequences = 24;
-    const auto db = apps::blast::SequenceDb::generate(db_config, rng);
-    auto index = std::make_shared<apps::blast::BlastIndex>(db);
-    for (int i = 0; i < num_files; ++i) {
-      job.files.emplace_back("blast-" + std::to_string(i) + ".fa",
-                             apps::blast::make_query_file(db, 4, 0.7, rng));
-    }
-    job.fn = [index](const std::string&, const std::string& input) {
-      return index->search_file(input);
-    };
-  } else if (app == "gtm") {
-    apps::gtm::ClusterDataConfig data_config;
-    data_config.num_points = 60;
-    data_config.dims = 6;
-    const auto samples = apps::gtm::generate_clustered(data_config, rng);
-    apps::gtm::GtmConfig gtm_config;
-    gtm_config.latent_grid = 4;
-    gtm_config.rbf_grid = 3;
-    gtm_config.em_iterations = 4;
-    auto model = std::make_shared<apps::gtm::GtmModel>(
-        apps::gtm::GtmModel::train(samples, gtm_config, rng));
-    for (int i = 0; i < num_files; ++i) {
-      data_config.num_points = 12;
-      job.files.emplace_back(
-          "gtm-" + std::to_string(i) + ".csv",
-          apps::gtm::matrix_to_csv(apps::gtm::generate_clustered(data_config, rng)));
-    }
-    job.fn = [model](const std::string&, const std::string& input) {
-      return apps::gtm::interpolate_csv_file(*model, input);
-    };
-  } else {
-    throw ppc::InvalidArgument("unknown chaos app: " + app);
-  }
-  return job;
-}
 
 /// The guaranteed floor (one rule per fault action the substrate can
 /// absorb) plus seed-sampled extras. Sites that would break the *client*
@@ -184,6 +121,10 @@ struct RunContext {
   runtime::FaultInjector* faults = nullptr;
   const runtime::FaultPlan* plan = nullptr;
   std::shared_ptr<runtime::MetricsRegistry> metrics;
+  /// Enabled tracer for the chaos run (null on the baseline): the resulting
+  /// Chrome JSON is the campaign's failure artifact — every injected fault,
+  /// redelivery, DLQ parking, and supervisor reap shows up as span data.
+  runtime::Tracer* tracer = nullptr;
   ChaosReport* report = nullptr;
   std::vector<std::string>* failures = nullptr;
   const char* label = "baseline";
@@ -239,6 +180,8 @@ Outputs run_classiccloud(const ChaosConfig& cfg, const AppJob& app, RunContext& 
   if (chaos) {
     store.set_fault_hook(ctx.faults);
     queues.set_fault_hook(ctx.faults);
+    store.set_tracer(ctx.tracer);
+    queues.set_tracer(ctx.tracer);
     task_queue = queues.create_queue_with_dlq(job + "-tasks", cfg.max_receive_count);
   }
   classiccloud::JobClient client(store, queues, job);
@@ -261,10 +204,12 @@ Outputs run_classiccloud(const ChaosConfig& cfg, const AppJob& app, RunContext& 
   wc.abandon_visibility = 0.02;
   wc.faults = ctx.faults;
   wc.metrics = ctx.metrics;
+  wc.tracer = ctx.tracer;
   runtime::SupervisorConfig sc;
   sc.num_workers = cfg.num_workers;
   sc.id_prefix = job + "-w";
   sc.metrics = ctx.metrics;
+  sc.tracer = ctx.tracer;
   sc.max_restarts_per_slot = 8;
   sc.initial_backoff = 0.01;
   sc.watch_interval = 0.002;
@@ -321,6 +266,8 @@ Outputs run_azuremr(const ChaosConfig& cfg, const AppJob& app, RunContext& ctx) 
   if (chaos) {
     store.set_fault_hook(ctx.faults);
     queues.set_fault_hook(ctx.faults);
+    store.set_tracer(ctx.tracer);
+    queues.set_tracer(ctx.tracer);
     task_queue = queues.create_queue_with_dlq(job + "-mr-tasks", cfg.max_receive_count);
     // Poison sentinel: a task with an op no worker implements.
     task_queue->send(
@@ -335,7 +282,9 @@ Outputs run_azuremr(const ChaosConfig& cfg, const AppJob& app, RunContext& ctx) 
   wc.task_max_receive_count = chaos ? cfg.max_receive_count : 0;
   wc.faults = ctx.faults;
   wc.metrics = ctx.metrics;
+  wc.tracer = ctx.tracer;
   azuremr::AzureMapReduce mr(store, queues, cfg.num_workers, wc);
+  mr.supervisor_config.tracer = ctx.tracer;
   mr.supervisor_config.max_restarts_per_slot = 8;
   mr.supervisor_config.initial_backoff = 0.01;
   mr.supervisor_config.watch_interval = 0.002;
@@ -405,6 +354,7 @@ Outputs run_mapreduce(const ChaosConfig& cfg, const AppJob& app, RunContext& ctx
   jc.scheduler.max_attempts = 6;
   jc.faults = ctx.faults;
   jc.metrics = ctx.metrics;
+  jc.tracer = ctx.tracer;
   mapreduce::LocalJobRunner runner(hdfs);
   const auto result = runner.run(
       paths,
@@ -481,15 +431,20 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
   }
 
   runtime::FaultInjector faults;
+  runtime::Tracer tracer;
+  tracer.enable();
   RunContext chaos_ctx;
   chaos_ctx.faults = &faults;
   chaos_ctx.plan = &plan;
   chaos_ctx.metrics = std::make_shared<runtime::MetricsRegistry>();
+  chaos_ctx.tracer = &tracer;
   chaos_ctx.report = &report;
   chaos_ctx.failures = &failures;
   chaos_ctx.label = "chaos";
   const Outputs chaos = runner(config, app, chaos_ctx);
   report.metrics_json = chaos_ctx.metrics->to_json();
+  report.trace_json = tracer.to_chrome_json();
+  report.trace_spans = tracer.completed_spans();
 
   compare_outputs(baseline, chaos, failures);
 

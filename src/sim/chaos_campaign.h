@@ -17,6 +17,7 @@
 // `ppcloud chaos --seed N --substrate X`.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -77,6 +78,13 @@ struct ChaosReport {
   /// Full MetricsRegistry::to_json() snapshot of the chaos run — the
   /// artifact CI archives.
   std::string metrics_json;
+
+  /// Chrome trace_event JSON of the chaos run (Tracer::to_chrome_json()):
+  /// the per-task causal chain under fault injection. On a failing seed,
+  /// `ppcloud chaos` writes this next to the reproducing-seed message so the
+  /// timeline that led to the failure ships with the bug report.
+  std::string trace_json;
+  std::size_t trace_spans = 0;
 
   /// Multi-line campaign summary for terminals/logs.
   std::string to_text() const;

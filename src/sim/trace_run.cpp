@@ -1,0 +1,211 @@
+#include "sim/trace_run.h"
+
+#include <memory>
+#include <utility>
+
+#include "azuremr/runtime.h"
+#include "blobstore/blob_store.h"
+#include "classiccloud/job_client.h"
+#include "cloudq/queue_service.h"
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/string_util.h"
+#include "dryad/file_share.h"
+#include "dryad/partitioned_table.h"
+#include "dryad/runtime.h"
+#include "mapreduce/job.h"
+#include "minihdfs/mini_hdfs.h"
+#include "sim/app_job.h"
+
+namespace ppc::sim {
+
+namespace {
+
+void run_classiccloud(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer& tracer,
+                      TraceRunReport& report) {
+  auto clock = std::make_shared<ppc::SystemClock>();
+  blobstore::BlobStore store(clock);
+  cloudq::QueueService queues(clock);
+  store.set_tracer(&tracer);
+  queues.set_tracer(&tracer);
+
+  classiccloud::JobClient client(store, queues, "trace-cc");
+  client.submit(app.files);
+
+  classiccloud::TaskExecutor executor = [&app](const classiccloud::TaskSpec& task,
+                                               const std::string& input) {
+    return app.fn(task.task_id, input);
+  };
+  classiccloud::WorkerConfig wc;
+  wc.poll_interval = 0.001;
+  wc.tracer = &tracer;
+  classiccloud::WorkerPool pool(store, client.task_queue(), client.monitor_queue(), executor,
+                                wc, cfg.num_workers, "trace-cc-w");
+  pool.start_all();
+  const bool done = client.wait_for_completion(cfg.run_timeout);
+  pool.stop_all();
+  pool.join_all();
+  if (!done) {
+    report.failures.push_back("classiccloud job did not complete within " +
+                              ppc::format_fixed(cfg.run_timeout, 0) + "s");
+    return;
+  }
+  for (const auto& task : client.tasks()) {
+    if (client.fetch_output(task) != nullptr) ++report.files_processed;
+  }
+  report.succeeded = report.files_processed == app.files.size();
+  if (!report.succeeded) report.failures.push_back("classiccloud outputs missing");
+}
+
+void run_azuremr(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer& tracer,
+                 TraceRunReport& report) {
+  auto clock = std::make_shared<ppc::SystemClock>();
+  blobstore::BlobStore store(clock);
+  cloudq::QueueService queues(clock);
+  store.set_tracer(&tracer);
+  queues.set_tracer(&tracer);
+
+  azuremr::MrWorkerConfig wc;
+  wc.poll_interval = 0.001;
+  wc.tracer = &tracer;
+  azuremr::AzureMapReduce mr(store, queues, cfg.num_workers, wc);
+  mr.supervisor_config.tracer = &tracer;
+
+  azuremr::JobSpec spec;
+  spec.job_id = "trace-az";
+  spec.inputs = app.files;
+  spec.num_reduce_tasks = 2;
+  spec.stage_timeout = cfg.run_timeout;
+  const auto fn = app.fn;
+  spec.map = [fn](const std::string& name, const std::string& data, const std::string&) {
+    return std::vector<azuremr::KeyValue>{{name, fn(name, data)}};
+  };
+  spec.reduce = [](const std::string&, const std::vector<std::string>& values) {
+    return values.front();
+  };
+  const auto result = mr.run(spec);
+  report.files_processed = result.outputs.size();
+  report.succeeded = result.succeeded && report.files_processed == app.files.size();
+  if (!report.succeeded) report.failures.push_back("azuremr job failed");
+}
+
+void run_mapreduce(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer& tracer,
+                   TraceRunReport& report) {
+  minihdfs::MiniHdfs hdfs(cfg.num_workers);
+  std::vector<std::string> paths;
+  for (const auto& [name, data] : app.files) {
+    const std::string path = "/in/" + name;
+    hdfs.write(path, data);
+    paths.push_back(path);
+  }
+  const auto fn = app.fn;
+  mapreduce::JobConfig jc;
+  jc.num_nodes = cfg.num_workers;
+  // One slot per node so each trace track is a node — comparable 1:1 with
+  // the dryad run of the same job.
+  jc.slots_per_node = 1;
+  jc.tracer = &tracer;
+  mapreduce::LocalJobRunner runner(hdfs);
+  const auto result = runner.run(
+      paths,
+      [fn](const mapreduce::FileRecord& record, const std::string& contents) {
+        return fn(record.name, contents);
+      },
+      jc);
+  report.files_processed = result.outputs.size();
+  report.succeeded = result.succeeded && report.files_processed == app.files.size();
+  if (!report.succeeded) report.failures.push_back("mapreduce job failed");
+}
+
+void run_dryad(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer& tracer,
+               TraceRunReport& report) {
+  dryad::FileShare share(cfg.num_workers);
+  std::vector<std::string> names;
+  names.reserve(app.files.size());
+  for (const auto& [name, _] : app.files) names.push_back(name);
+  // Round-robin static partitioning — the layout the paper's partition tool
+  // produces without size information, and the one §4.2 blames for the
+  // imbalance on inhomogeneous data.
+  const auto table = dryad::PartitionedTable::round_robin(names, cfg.num_workers);
+  table.distribute(share, [&](const std::string& name) -> std::string {
+    for (const auto& [n, data] : app.files) {
+      if (n == name) return data;
+    }
+    throw ppc::InternalError("partition references unknown file: " + name);
+  });
+
+  dryad::RuntimeConfig rc;
+  rc.num_nodes = cfg.num_workers;
+  rc.slots_per_node = 1;
+  rc.tracer = &tracer;
+  dryad::DryadRuntime rt(rc);
+  const auto fn = app.fn;
+  const auto result = dryad_select(rt, share, table,
+                                   [fn](const std::string& name, const std::string& contents) {
+                                     return fn(name, contents);
+                                   });
+  report.files_processed = result.outputs.size();
+  report.succeeded = result.report.succeeded && report.files_processed == app.files.size();
+  if (!report.succeeded) report.failures.push_back("dryad job failed");
+}
+
+}  // namespace
+
+TraceRunReport run_traced_job(const TraceRunConfig& config) {
+  TraceRunReport report;
+  report.substrate = config.substrate;
+  report.app = config.app;
+
+  const AppJob app = make_app_job(config.app, config.num_files, config.skew);
+  runtime::Tracer tracer;
+  tracer.enable();
+
+  if (config.substrate == "classiccloud") {
+    run_classiccloud(config, app, tracer, report);
+  } else if (config.substrate == "azuremr") {
+    run_azuremr(config, app, tracer, report);
+  } else if (config.substrate == "mapreduce") {
+    run_mapreduce(config, app, tracer, report);
+  } else if (config.substrate == "dryad") {
+    run_dryad(config, app, tracer, report);
+  } else {
+    throw ppc::InvalidArgument("unknown trace substrate: " + config.substrate);
+  }
+
+  tracer.disable();
+  report.spans = tracer.completed_spans();
+  report.chrome_json = tracer.to_chrome_json();
+  report.summary_table = tracer.summary_table();
+  report.load = tracer.load_report();
+  return report;
+}
+
+std::string TraceRunReport::to_text() const {
+  std::string out = "trace run: substrate=" + substrate + " app=" + app + " -> " +
+                    (succeeded ? "OK" : "FAIL") + " (" + std::to_string(files_processed) +
+                    " files, " + std::to_string(spans) + " spans)\n";
+  for (const auto& failure : failures) out += "  FAIL: " + failure + "\n";
+  out += load.to_text();
+  out += summary_table;
+  return out;
+}
+
+std::string imbalance_comparison(const std::vector<TraceRunReport>& reports) {
+  std::string out =
+      "scheduling comparison (same job per substrate; imbalance = max/mean worker busy)\n";
+  out += "  substrate     makespan(s)  imbalance  worst-idle-tail\n";
+  for (const TraceRunReport& r : reports) {
+    double worst_tail = 0.0;
+    for (const runtime::WorkerLoad& w : r.load.workers) {
+      if (w.idle_tail_fraction > worst_tail) worst_tail = w.idle_tail_fraction;
+    }
+    std::string name = r.substrate;
+    name.resize(12, ' ');
+    out += "  " + name + "  " + ppc::format_fixed(r.load.makespan, 3) + "        " +
+           ppc::format_fixed(r.load.imbalance, 2) + "       " +
+           ppc::format_fixed(worst_tail, 2) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ppc::sim

@@ -1,0 +1,140 @@
+// Fault-tolerance coverage for the dryad engine, matching what classiccloud
+// and azuremr already have: injected transient failures absorbed by the
+// retry budget, a poison vertex that exhausts retries and fails the job
+// without taking siblings down, engine metrics, and the trace a faulty run
+// leaves behind.
+#include "dryad/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "runtime/fault_injector.h"
+#include "runtime/fault_plan.h"
+#include "runtime/metrics.h"
+#include "runtime/tracer.h"
+
+namespace ppc::dryad {
+namespace {
+
+TEST(DryadFaultTolerance, TransientInjectedErrorsAreRetried) {
+  runtime::FaultInjector faults;
+  runtime::FaultPlan plan;
+  plan.error(sites::kVertexAttempt, "transient vertex fault", /*budget=*/2);
+  faults.arm_plan(plan);
+
+  RuntimeConfig config;
+  config.num_nodes = 2;
+  config.max_attempts = 4;
+  config.faults = &faults;
+  DryadRuntime runtime(config);
+
+  Dag dag;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    dag.add_vertex("v" + std::to_string(i), i % 2, [&ran] { ran.fetch_add(1); });
+  }
+  const auto report = runtime.run(dag);
+  EXPECT_TRUE(report.succeeded);
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_EQ(faults.errors_injected(sites::kVertexAttempt), 2);
+  // The two injected failures each cost one extra attempt.
+  EXPECT_EQ(report.attempts.size(), 6u);
+  int failed = 0;
+  for (const auto& attempt : report.attempts) {
+    if (!attempt.succeeded) ++failed;
+  }
+  EXPECT_EQ(failed, 2);
+}
+
+TEST(DryadFaultTolerance, PoisonVertexExhaustsRetriesAndSkipsDependents) {
+  runtime::FaultInjector faults;
+  RuntimeConfig config;
+  config.num_nodes = 2;
+  config.max_attempts = 3;
+  config.faults = &faults;
+  config.metrics = std::make_shared<runtime::MetricsRegistry>();
+  DryadRuntime runtime(config);
+
+  Dag dag;
+  std::atomic<bool> dependent_ran{false};
+  std::atomic<bool> sibling_ran{false};
+  const int poison = dag.add_vertex("poison", 0, [] {});
+  const int dep = dag.add_vertex("dep", 0, [&] { dependent_ran.store(true); });
+  dag.add_vertex("sibling", 1, [&] { sibling_ran.store(true); });
+  dag.add_edge(poison, dep);
+  // Every attempt of the poison vertex fails; other vertices are untouched.
+  faults.crash_when(sites::kVertexAttempt, [poison](const std::string& key) {
+    return key.rfind(std::to_string(poison) + ":", 0) == 0;
+  });
+
+  const auto report = runtime.run(dag);
+  EXPECT_FALSE(report.succeeded);
+  EXPECT_FALSE(dependent_ran.load());
+  // The sibling is ready from the start on its own node and completes even
+  // though the poison vertex sinks the job.
+  EXPECT_TRUE(sibling_ran.load());
+  int poison_attempts = 0;
+  for (const auto& attempt : report.attempts) {
+    if (attempt.vertex_id == poison) {
+      ++poison_attempts;
+      EXPECT_FALSE(attempt.succeeded);
+      EXPECT_FALSE(attempt.error.empty());
+    }
+  }
+  EXPECT_EQ(poison_attempts, config.max_attempts);
+
+  EXPECT_EQ(config.metrics->counter_value("dryad.failed_attempts"),
+            config.max_attempts);
+  EXPECT_EQ(config.metrics->counter_value("dryad.vertices_completed"), 1);
+  EXPECT_EQ(config.metrics->counter_value("dryad.vertex_attempts"),
+            static_cast<std::int64_t>(report.attempts.size()));
+}
+
+TEST(DryadFaultTolerance, FaultyRunLeavesFailedAndCompletedSpans) {
+  runtime::FaultInjector faults;
+  faults.error_times(sites::kVertexAttempt, "flaky vertex", 1);
+  runtime::Tracer tracer;
+  tracer.enable();
+
+  RuntimeConfig config;
+  config.num_nodes = 1;
+  config.max_attempts = 3;
+  config.faults = &faults;
+  config.tracer = &tracer;
+  DryadRuntime runtime(config);
+
+  Dag dag;
+  dag.add_vertex("only", 0, [] {});
+  const auto report = runtime.run(dag);
+  tracer.disable();
+  ASSERT_TRUE(report.succeeded);
+  ASSERT_EQ(report.attempts.size(), 2u);
+
+  // One failed task envelope, one completed, both on the same slot track
+  // with the vertex name as the trace id — and nothing left open.
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  int failed_tasks = 0;
+  int completed_tasks = 0;
+  for (const auto& span : tracer.snapshot()) {
+    if (span.name != "task") continue;
+    EXPECT_EQ(span.track, "dryad.n0.s0");
+    EXPECT_EQ(span.task, "only");
+    for (const auto& [k, v] : span.args) {
+      if (k == "outcome" && v == "failed") ++failed_tasks;
+      if (k == "outcome" && v == "completed") ++completed_tasks;
+    }
+  }
+  EXPECT_EQ(failed_tasks, 1);
+  EXPECT_EQ(completed_tasks, 1);
+
+  const auto summaries = tracer.task_summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].attempts, 2);
+  EXPECT_TRUE(summaries[0].completed);
+}
+
+}  // namespace
+}  // namespace ppc::dryad

@@ -1,0 +1,94 @@
+// Golden-file coverage for MetricsRegistry::to_json — the artifact format
+// the bench/CI jobs archive. The exact bytes matter: stable (sorted) key
+// ordering, the empty-section shape, and string escaping are all contract.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "runtime/metrics.h"
+
+namespace ppc::runtime {
+namespace {
+
+TEST(MetricsGolden, EmptyRegistry) {
+  MetricsRegistry registry;
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {},\n"
+      "  \"gauges\": {},\n"
+      "  \"histograms\": {}\n"
+      "}\n";
+  EXPECT_EQ(registry.to_json(), expected);
+}
+
+TEST(MetricsGolden, PopulatedRegistrySortsKeysAndFormatsSections) {
+  MetricsRegistry registry;
+  // Insert out of order: std::map storage must yield sorted output.
+  registry.counter("w1.tasks_completed").inc(3);
+  registry.counter("w0.tasks_completed").inc(1);
+  registry.set_gauge("parallel_efficiency", 0.5);
+  registry.set_gauge("makespan_s", 12.0);
+  registry.histogram("compute_s").record(2.0);
+
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"w0.tasks_completed\": 1,\n"
+      "    \"w1.tasks_completed\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"makespan_s\": 12,\n"
+      "    \"parallel_efficiency\": 0.5\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"compute_s\": {\"count\": 1, \"mean\": 2, \"max\": 2, \"p50\": 2, \"p95\": 2}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(registry.to_json(), expected);
+}
+
+TEST(MetricsGolden, EmptyHistogramOmitsStats) {
+  MetricsRegistry registry;
+  registry.histogram("never_recorded");
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {},\n"
+      "  \"gauges\": {},\n"
+      "  \"histograms\": {\n"
+      "    \"never_recorded\": {\"count\": 0}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(registry.to_json(), expected);
+}
+
+TEST(MetricsGolden, GaugeOverwriteRendersLatestValue) {
+  MetricsRegistry registry;
+  registry.set_gauge("progress", 0.25);
+  registry.set_gauge("progress", 0.75);
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {},\n"
+      "  \"gauges\": {\n"
+      "    \"progress\": 0.75\n"
+      "  },\n"
+      "  \"histograms\": {}\n"
+      "}\n";
+  EXPECT_EQ(registry.to_json(), expected);
+}
+
+TEST(MetricsGolden, EscapesQuotesAndBackslashesInNames) {
+  MetricsRegistry registry;
+  registry.counter("weird\"name\\with specials").inc(7);
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"weird\\\"name\\\\with specials\": 7\n"
+      "  },\n"
+      "  \"gauges\": {},\n"
+      "  \"histograms\": {}\n"
+      "}\n";
+  EXPECT_EQ(registry.to_json(), expected);
+}
+
+}  // namespace
+}  // namespace ppc::runtime

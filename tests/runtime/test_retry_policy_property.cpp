@@ -1,0 +1,89 @@
+// Property-style randomized coverage for RetryPolicy::backoff. A thousand
+// seeded policies with random shapes, each checked against the invariants
+// the callers rely on: sleeps are never negative, the jitterless schedule is
+// monotonically non-decreasing and capped, jitter stays inside its band, and
+// the advertised budget matches the schedule it summarizes.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "runtime/retry_policy.h"
+
+namespace ppc::runtime {
+namespace {
+
+constexpr int kSeeds = 1000;
+
+TEST(RetryPolicyProperty, BackoffInvariantsHoldForRandomPolicies) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    ppc::Rng rng(seed);
+    const int attempts = static_cast<int>(rng.uniform_int(1, 20));
+    const double initial = rng.uniform(1e-6, 0.1);
+    const double cap = initial * rng.uniform(1.0, 100.0);
+    const double multiplier = rng.uniform(1.0, 4.0);
+    const double jitter = rng.uniform(0.0, 0.9);
+    const RetryPolicy policy =
+        RetryPolicy::exponential(attempts, initial, multiplier, cap, jitter);
+    RetryPolicy plain = policy;
+    plain.jitter = 0.0;
+
+    double prev_plain = 0.0;
+    for (int attempt = 0; attempt < attempts + 2; ++attempt) {
+      const double ideal =
+          std::min(initial * std::pow(multiplier, static_cast<double>(attempt)), cap);
+
+      const double jittered = policy.backoff(attempt, rng);
+      ASSERT_GE(jittered, 0.0) << "seed=" << seed << " attempt=" << attempt;
+      ASSERT_GE(jittered, ideal * (1.0 - jitter) - 1e-12)
+          << "seed=" << seed << " attempt=" << attempt;
+      ASSERT_LE(jittered, ideal * (1.0 + jitter) + 1e-12)
+          << "seed=" << seed << " attempt=" << attempt;
+      ASSERT_LE(jittered, cap * (1.0 + jitter) + 1e-12)
+          << "seed=" << seed << " attempt=" << attempt;
+
+      // The jitterless twin is deterministic (no rng draw), stays within
+      // [initial, cap], and attempts are monotonically non-decreasing.
+      const double d = plain.backoff(attempt, rng);
+      ASSERT_DOUBLE_EQ(d, ideal) << "seed=" << seed << " attempt=" << attempt;
+      ASSERT_GE(d, std::min(initial, cap) - 1e-15) << "seed=" << seed;
+      ASSERT_LE(d, cap + 1e-15) << "seed=" << seed;
+      ASSERT_GE(d, prev_plain - 1e-15)
+          << "seed=" << seed << " attempt=" << attempt << " not monotone";
+      prev_plain = d;
+    }
+
+    // Budget = sum of the jitterless sleeps between attempts.
+    double expected_budget = 0.0;
+    for (int attempt = 0; attempt + 1 < attempts; ++attempt) {
+      expected_budget +=
+          std::min(initial * std::pow(multiplier, static_cast<double>(attempt)), cap);
+    }
+    ASSERT_NEAR(policy.total_backoff_budget(), expected_budget,
+                1e-9 * std::max(1.0, expected_budget))
+        << "seed=" << seed;
+  }
+}
+
+TEST(RetryPolicyProperty, NegativeAttemptClampsToFirstSleep) {
+  ppc::Rng rng(7);
+  const RetryPolicy policy = RetryPolicy::exponential(5, 0.01, 2.0, 0.1, 0.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(-3, rng), policy.backoff(0, rng));
+}
+
+TEST(RetryPolicyProperty, FixedPolicyIsConstantAcrossAttemptsAndSeeds) {
+  const RetryPolicy policy = RetryPolicy::fixed(50, 0.2);
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    ppc::Rng rng(seed);
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      ASSERT_DOUBLE_EQ(policy.backoff(attempt, rng), 0.2)
+          << "seed=" << seed << " attempt=" << attempt;
+    }
+  }
+  EXPECT_DOUBLE_EQ(policy.total_backoff_budget(), 49 * 0.2);
+}
+
+}  // namespace
+}  // namespace ppc::runtime

@@ -1,0 +1,442 @@
+// Tracer: span recording, thread-context binding, the TraceHook service
+// seam, crash/abandon semantics (including the full FaultPlan -> lifecycle
+// -> WorkerSupervisor reap path), and the three exports (Chrome JSON,
+// per-task summaries, load report).
+#include "runtime/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloudq/message_queue.h"
+#include "common/clock.h"
+#include "runtime/fault_injector.h"
+#include "runtime/fault_plan.h"
+#include "runtime/metrics.h"
+#include "runtime/task_lifecycle.h"
+#include "runtime/worker_supervisor.h"
+
+namespace ppc::runtime {
+namespace {
+
+std::shared_ptr<ManualClock> manual_clock(Seconds start = 0.0) {
+  return std::make_shared<ManualClock>(start);
+}
+
+const SpanRecord* find_span(const std::vector<SpanRecord>& spans, const std::string& name) {
+  for (const SpanRecord& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string arg_of(const SpanRecord& span, const std::string& key) {
+  for (const auto& [k, v] : span.args) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  Span s = tracer.span("compute", "task", "w0", "t1");
+  EXPECT_FALSE(s.active());
+  s.arg("k", "v");
+  s.close();
+  tracer.instant("retry", "task", "w0");
+  EXPECT_EQ(tracer.op_begin("cloudq.q.send", "k"), 0u);
+  tracer.op_end(0, false);
+  tracer.op_cancel(0);
+  EXPECT_EQ(tracer.completed_spans(), 0u);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(Tracer, RecordsSpanWithClockTimestamps) {
+  auto clock = manual_clock(10.0);
+  Tracer tracer(clock);
+  tracer.enable();
+  {
+    Span s = tracer.span("compute", "task", "w0", "t1");
+    EXPECT_TRUE(s.active());
+    s.arg("kind", "map");
+    clock->advance(2.5);
+  }  // RAII close
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "compute");
+  EXPECT_EQ(spans[0].category, "task");
+  EXPECT_EQ(spans[0].track, "w0");
+  EXPECT_EQ(spans[0].task, "t1");
+  EXPECT_DOUBLE_EQ(spans[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(spans[0].end, 12.5);
+  EXPECT_DOUBLE_EQ(spans[0].duration(), 2.5);
+  EXPECT_FALSE(spans[0].abandoned);
+  EXPECT_EQ(arg_of(spans[0], "kind"), "map");
+}
+
+TEST(Tracer, CloseIsIdempotentAndMoveTransfersOwnership) {
+  auto clock = manual_clock();
+  Tracer tracer(clock);
+  tracer.enable();
+  Span a = tracer.span("s", "task", "w0");
+  Span b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): testing the moved-from state
+  EXPECT_TRUE(b.active());
+  b.close();
+  b.close();
+  EXPECT_EQ(tracer.completed_spans(), 1u);
+}
+
+TEST(Tracer, SpanFromBackdatesStart) {
+  auto clock = manual_clock(5.0);
+  Tracer tracer(clock);
+  tracer.enable();
+  tracer.span_from(1.0, "queue.wait", "lifecycle", "w0").close();
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(spans[0].end, 5.0);
+}
+
+TEST(Tracer, InstantIsZeroDuration) {
+  auto clock = manual_clock(3.0);
+  Tracer tracer(clock);
+  tracer.enable();
+  tracer.instant("redelivery", "lifecycle", "w0", "t1", {{"receive_count", "2"}});
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].duration(), 0.0);
+  EXPECT_EQ(arg_of(spans[0], "receive_count"), "2");
+}
+
+TEST(Tracer, SpanHereUsesBoundThreadContext) {
+  auto clock = manual_clock();
+  Tracer tracer(clock);
+  tracer.enable();
+  Tracer::bind_thread("w7");
+  Tracer::bind_thread_task("task-9");
+  tracer.span_here("compute", "task").close();
+  Tracer::clear_thread();
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].track, "w7");
+  EXPECT_EQ(spans[0].task, "task-9");
+}
+
+TEST(Tracer, TraceHookOpsMapSitesToCategories) {
+  auto clock = manual_clock();
+  Tracer tracer(clock);
+  tracer.enable();
+  Tracer::bind_thread("w0");
+
+  const auto q = tracer.op_begin("cloudq.tasks.receive", "m1");
+  clock->advance(0.1);
+  tracer.op_end(q, false);
+
+  const auto b = tracer.op_begin("blobstore.job.get", "input/f0");
+  tracer.op_end(b, true);
+
+  const auto cancelled = tracer.op_begin("cloudq.tasks.receive", "");
+  tracer.op_cancel(cancelled);
+  Tracer::clear_thread();
+
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);  // the cancelled op left nothing behind
+  const SpanRecord* recv = find_span(spans, "cloudq.tasks.receive");
+  ASSERT_NE(recv, nullptr);
+  EXPECT_EQ(recv->category, "queue");
+  EXPECT_EQ(recv->track, "w0");
+  EXPECT_EQ(arg_of(*recv, "key"), "m1");
+  const SpanRecord* get = find_span(spans, "blobstore.job.get");
+  ASSERT_NE(get, nullptr);
+  EXPECT_EQ(get->category, "blob");
+  EXPECT_EQ(arg_of(*get, "failed"), "true");
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(Tracer, DetachedSpansStayOpenUntilAbandoned) {
+  auto clock = manual_clock();
+  Tracer tracer(clock);
+  tracer.enable();
+  {
+    Span s = tracer.span("task", "lifecycle", "w0", "t1");
+    clock->advance(1.0);
+    s.detach();  // simulated crash: the owner dies without closing
+  }
+  EXPECT_EQ(tracer.completed_spans(), 0u);
+  EXPECT_EQ(tracer.open_spans(), 1u);
+
+  clock->advance(0.5);
+  EXPECT_EQ(tracer.abandon_open_spans("w-other"), 0u);  // wrong track: no-op
+  EXPECT_EQ(tracer.abandon_open_spans("w0"), 1u);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].abandoned);
+  EXPECT_DOUBLE_EQ(spans[0].end, 1.5);  // stamped at reap time
+}
+
+TEST(Tracer, CloseAfterAbandonIsANoOp) {
+  auto clock = manual_clock();
+  Tracer tracer(clock);
+  tracer.enable();
+  Tracer::bind_thread("w0");
+  const auto token = tracer.op_begin("cloudq.tasks.receive", "m1");
+  Tracer::clear_thread();
+  clock->advance(1.0);
+  // Supervisor reaps the track while the op's owner is "dead"...
+  ASSERT_EQ(tracer.abandon_open_spans("w0"), 1u);
+  // ...then the zombie's late close must not double-record or crash.
+  tracer.op_end(token, false);
+  EXPECT_EQ(tracer.completed_spans(), 1u);
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].abandoned);
+  EXPECT_DOUBLE_EQ(spans[0].end, 1.0);
+}
+
+TEST(Tracer, ResetDropsEverything) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.span("a", "task", "w0").close();
+  Span open = tracer.span("b", "task", "w0");
+  open.detach();
+  tracer.reset();
+  EXPECT_EQ(tracer.completed_spans(), 0u);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(Tracer, ChromeJsonShapeAndEscaping) {
+  auto clock = manual_clock(1.0);
+  Tracer tracer(clock);
+  tracer.enable();
+  {
+    Span s = tracer.span("compute", "task", "w0", "t\"quoted\"");
+    s.arg("path", "a\\b\nc");
+    clock->advance(0.25);
+  }
+  tracer.instant("retry", "task", "w0", "t\"quoted\"");
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\",\"s\":\"t\""), std::string::npos);
+  // Microsecond timestamps: 1.0 s -> 1000000.000 us, 0.25 s duration.
+  EXPECT_NE(json.find("\"ts\":1000000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250000.000"), std::string::npos);
+  // Quotes, backslashes, and newlines must be escaped.
+  EXPECT_NE(json.find("t\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("a\\\\b\\nc"), std::string::npos);
+  // No raw control characters may survive into the JSON.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(Tracer, TaskSummariesRollUpAttemptsRetriesAndPhases) {
+  auto clock = manual_clock();
+  Tracer tracer(clock);
+  tracer.enable();
+
+  // Attempt 1 on w0: fetch rides out one miss, then the worker crashes.
+  {
+    Span task = tracer.span("task", "lifecycle", "w0", "t1");
+    Span fetch = tracer.span("fetch.input", "task", "w0", "t1");
+    tracer.instant("retry", "task", "w0", "t1", {{"attempt", "0"}});
+    clock->advance(0.2);
+    fetch.close();
+    task.detach();
+  }
+  tracer.abandon_open_spans("w0");
+
+  // Attempt 2 on w1 completes.
+  {
+    Span task = tracer.span("task", "lifecycle", "w1", "t1");
+    Span fetch = tracer.span("fetch.input", "task", "w1", "t1");
+    clock->advance(0.1);
+    fetch.close();
+    Span compute = tracer.span("compute", "task", "w1", "t1");
+    clock->advance(0.4);
+    compute.close();
+    Span upload = tracer.span("upload.output", "task", "w1", "t1");
+    clock->advance(0.05);
+    upload.close();
+    task.arg("outcome", "completed");
+  }
+
+  const auto summaries = tracer.task_summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  const TaskSummary& t = summaries[0];
+  EXPECT_EQ(t.task, "t1");
+  EXPECT_EQ(t.worker, "w1");
+  EXPECT_EQ(t.attempts, 2);
+  EXPECT_EQ(t.retries, 1);
+  EXPECT_NEAR(t.fetch, 0.3, 1e-9);
+  EXPECT_NEAR(t.compute, 0.4, 1e-9);
+  EXPECT_NEAR(t.upload, 0.05, 1e-9);
+  EXPECT_TRUE(t.completed);
+  EXPECT_TRUE(t.abandoned);
+
+  const std::string table = tracer.summary_table();
+  EXPECT_NE(table.find("t1"), std::string::npos);
+  EXPECT_NE(table.find("w1"), std::string::npos);
+}
+
+TEST(Tracer, LoadReportComputesBusyIdleAndImbalance) {
+  auto clock = manual_clock();
+  Tracer tracer(clock);
+  tracer.enable();
+
+  // w0 runs one 1s task [0, 1]; w1 runs one 4s task [0, 4].
+  Span t0 = tracer.span("task", "lifecycle", "w0", "a");
+  Span t1 = tracer.span("task", "lifecycle", "w1", "b");
+  Span c0 = tracer.span("compute", "task", "w0", "a");
+  Span c1 = tracer.span("compute", "task", "w1", "b");
+  clock->advance(1.0);
+  c0.close();
+  t0.close();
+  clock->advance(3.0);
+  c1.close();
+  t1.close();
+
+  const LoadReport report = tracer.load_report();
+  EXPECT_DOUBLE_EQ(report.makespan, 4.0);
+  ASSERT_EQ(report.workers.size(), 2u);
+  const WorkerLoad* w0 = nullptr;
+  const WorkerLoad* w1 = nullptr;
+  for (const WorkerLoad& w : report.workers) {
+    if (w.worker == "w0") w0 = &w;
+    if (w.worker == "w1") w1 = &w;
+  }
+  ASSERT_NE(w0, nullptr);
+  ASSERT_NE(w1, nullptr);
+  EXPECT_EQ(w0->tasks, 1);
+  EXPECT_DOUBLE_EQ(w0->busy, 1.0);
+  EXPECT_DOUBLE_EQ(w0->idle_tail_fraction, 0.75);  // idle from t=1 to t=4
+  EXPECT_DOUBLE_EQ(w1->busy, 4.0);
+  EXPECT_DOUBLE_EQ(w1->idle_tail_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(report.imbalance, 4.0 / 2.5);
+  EXPECT_DOUBLE_EQ(report.compute_min, 1.0);
+  EXPECT_DOUBLE_EQ(report.compute_max, 4.0);
+  EXPECT_NE(report.to_text().find("w1"), std::string::npos);
+}
+
+TEST(Tracer, ConcurrentSpansFromManyThreadsAllLand) {
+  Tracer tracer;
+  tracer.enable();
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      const std::string track = "w" + std::to_string(t);
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span s = tracer.span("compute", "task", track, std::to_string(i));
+        s.arg("i", std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tracer.completed_spans(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Regression: spans held by a worker thread that crashes mid-task must be
+// closed as abandoned when the supervisor reaps the worker — not leaked.
+// Driven through the production path: FaultPlan -> TaskLifecycle crash ->
+// WorkerSupervisor restart.
+// --------------------------------------------------------------------------
+
+bool wait_until(const std::function<bool()>& pred, double timeout_s = 10.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+TEST(TracerSupervisorIntegration, CrashedWorkerSpansReapedAsAbandoned) {
+  auto clock = std::make_shared<SystemClock>();
+  auto queue = std::make_shared<cloudq::MessageQueue>("tasks", clock);
+  auto metrics = std::make_shared<MetricsRegistry>();
+
+  FaultInjector faults;
+  FaultPlan plan;
+  plan.crash("w.site");  // the first delivery kills its worker mid-task
+  faults.arm_plan(plan);
+
+  Tracer tracer;
+  tracer.enable();
+  queue->set_tracer(&tracer);
+  queue->send("t0");
+  queue->send("t1");
+
+  std::atomic<int> completed{0};
+  WorkerFactory factory = [&](const std::string& worker_id, int) {
+    LifecycleConfig lc;
+    lc.poll_interval = 0.001;
+    lc.visibility_timeout = 0.05;
+    lc.tracer = &tracer;
+    auto lifecycle = std::make_shared<TaskLifecycle>(
+        worker_id, queue,
+        [&](TaskContext& ctx) {
+          if (ctx.crash_site("w.site")) return TaskOutcome::kCrashed;
+          completed.fetch_add(1);
+          return TaskOutcome::kCompleted;
+        },
+        lc, metrics, &faults);
+    lifecycle->start();
+    return SupervisedWorker{lifecycle, lifecycle.get()};
+  };
+  SupervisorConfig sc;
+  sc.num_workers = 1;
+  sc.id_prefix = "w";
+  sc.metrics = metrics;
+  sc.initial_backoff = 0.005;
+  sc.watch_interval = 0.002;
+  sc.tracer = &tracer;
+  WorkerSupervisor supervisor(factory, sc);
+  supervisor.start();
+
+  ASSERT_TRUE(wait_until([&] { return completed.load() == 2 && queue->undeleted() == 0; }));
+  ASSERT_TRUE(wait_until([&] { return supervisor.restarts() >= 1; }));
+  supervisor.stop();
+  tracer.disable();
+
+  // Nothing leaked: the dead worker's open spans were closed at reap time.
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  const auto spans = tracer.snapshot();
+  const SpanRecord* abandoned_task = nullptr;
+  const SpanRecord* crash_instant = nullptr;
+  for (const SpanRecord& s : spans) {
+    if (s.name == "task" && s.abandoned) abandoned_task = &s;
+    if (s.name == "worker.crashed") crash_instant = &s;
+  }
+  ASSERT_NE(abandoned_task, nullptr);
+  EXPECT_EQ(abandoned_task->track, "w0");
+  EXPECT_EQ(arg_of(*abandoned_task, "outcome"), "crashed");
+  ASSERT_NE(crash_instant, nullptr);
+  EXPECT_EQ(crash_instant->track, "supervisor");
+  EXPECT_GE(std::stoi(arg_of(*crash_instant, "abandoned_spans")), 1);
+
+  // The task's summary records both the death and the eventual completion.
+  bool found = false;
+  for (const TaskSummary& t : tracer.task_summaries()) {
+    if (t.abandoned && t.completed && t.attempts >= 2) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(tracer.to_chrome_json().find("\"abandoned\":\"true\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppc::runtime

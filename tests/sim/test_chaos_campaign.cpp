@@ -32,6 +32,16 @@ TEST_P(ChaosCampaign, SurvivesSeededFaultSchedule) {
   EXPECT_GE(report.redeliveries, 1);
   EXPECT_FALSE(report.plan_summary.empty());
   EXPECT_FALSE(report.metrics_json.empty());
+
+  // The chaos run is traced: the report carries the Chrome trace that
+  // `ppcloud chaos --trace-dir` writes next to a failing seed.
+  EXPECT_GT(report.trace_spans, 0u);
+  EXPECT_NE(report.trace_json.find("\"traceEvents\""), std::string::npos);
+  if (config.substrate != "mapreduce") {
+    // Queue substrates run under a supervisor; the plan's guaranteed crash
+    // must show up as a reap in the timeline.
+    EXPECT_NE(report.trace_json.find("worker.crashed"), std::string::npos);
+  }
   EXPECT_NE(report.to_text().find("PASS"), std::string::npos);
 }
 

@@ -1,0 +1,78 @@
+// End-to-end traced runs: the same job on each substrate must come back
+// with a Perfetto-loadable Chrome trace, a per-task summary, and a load
+// report — the artifacts `ppcloud trace` prints and the load-imbalance
+// comparison is built from.
+#include "sim/trace_run.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+
+namespace ppc::sim {
+namespace {
+
+class TraceRun : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TraceRun, ProducesTraceSummaryAndLoadReport) {
+  TraceRunConfig config;
+  config.substrate = GetParam();
+  config.num_files = 6;
+  config.num_workers = 2;
+  config.skew = 2.0;
+  const TraceRunReport report = run_traced_job(config);
+  EXPECT_TRUE(report.succeeded) << report.to_text();
+  EXPECT_EQ(report.files_processed, 6u);
+  EXPECT_GT(report.spans, 0u);
+
+  // Chrome trace_event shape: an event array plus track-naming metadata.
+  EXPECT_NE(report.chrome_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(report.chrome_json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(report.chrome_json.find("\"ph\":\"X\""), std::string::npos);
+
+  // Every worker that ran tasks shows up in the load report.
+  EXPECT_GE(report.load.workers.size(), 1u);
+  EXPECT_GT(report.load.makespan, 0.0);
+  EXPECT_GE(report.load.imbalance, 1.0);
+  int tasks = 0;
+  for (const auto& w : report.load.workers) tasks += w.tasks;
+  EXPECT_GE(tasks, 1);
+
+  EXPECT_FALSE(report.summary_table.empty());
+  EXPECT_NE(report.to_text().find(GetParam()), std::string::npos);
+  EXPECT_NE(report.to_text().find("OK"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Substrates, TraceRun,
+                         ::testing::Values("classiccloud", "azuremr", "mapreduce", "dryad"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(TraceRunConfigTest, UnknownSubstrateThrows) {
+  TraceRunConfig config;
+  config.substrate = "telepathy";
+  EXPECT_THROW(run_traced_job(config), ppc::InvalidArgument);
+}
+
+TEST(TraceRunComparison, TableCoversEveryReport) {
+  std::vector<TraceRunReport> reports;
+  for (const std::string substrate : {"mapreduce", "dryad"}) {
+    TraceRunConfig config;
+    config.substrate = substrate;
+    config.num_files = 6;
+    config.num_workers = 2;
+    config.skew = 3.0;
+    reports.push_back(run_traced_job(config));
+    ASSERT_TRUE(reports.back().succeeded) << reports.back().to_text();
+  }
+  const std::string table = imbalance_comparison(reports);
+  EXPECT_NE(table.find("mapreduce"), std::string::npos);
+  EXPECT_NE(table.find("dryad"), std::string::npos);
+  EXPECT_NE(table.find("imbalance"), std::string::npos);
+  EXPECT_NE(table.find("worst-idle-tail"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppc::sim

@@ -29,6 +29,20 @@
 //     --app cap3|blast|gtm               (default cap3)
 //     --files N --workers W              job size (default 4 x 3)
 //     --json 1                           also print the metrics snapshot
+//     --trace-dir DIR                    on failure, write the chaos run's
+//                                        Chrome trace next to the
+//                                        reproducing-seed message
+//   ppcloud trace [options]              run one traced job, print the
+//                                        per-worker load report + per-task
+//                                        summary table:
+//     --substrate classiccloud|azuremr|mapreduce|dryad|all   (default all;
+//                                        "all" appends the static-vs-dynamic
+//                                        scheduling comparison)
+//     --app cap3|blast|gtm               (default cap3)
+//     --files N --workers W              job size (default 12 x 4)
+//     --skew S                           per-file work skew (default 3.0)
+//     --out FILE                         write Chrome trace_event JSON for
+//                                        ui.perfetto.dev (single substrate)
 //
 // Exit status: 0 on success, 1 on bad usage or a failed run (a failed chaos
 // campaign prints the seed that reproduces it).
@@ -48,6 +62,7 @@
 #include "core/feature_matrix.h"
 #include "runtime/metrics.h"
 #include "sim/chaos_campaign.h"
+#include "sim/trace_run.h"
 
 using namespace ppc;
 using namespace ppc::core;
@@ -75,6 +90,13 @@ std::string opt(const Options& opts, const std::string& key, const std::string& 
 int opt_int(const Options& opts, const std::string& key, int fallback) {
   const auto it = opts.find(key);
   return it == opts.end() ? fallback : std::stoi(it->second);
+}
+
+bool write_file(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  return (std::fclose(f) == 0) && ok;
 }
 
 int cmd_catalog() {
@@ -187,6 +209,8 @@ int cmd_chaos(const Options& opts) {
     substrates = {substrate};
   }
 
+  const std::string trace_dir = opt(opts, "trace-dir", "");
+
   bool all_passed = true;
   for (const std::string& s : substrates) {
     sim::ChaosConfig config = base;
@@ -199,9 +223,58 @@ int cmd_chaos(const Options& opts) {
       std::printf("reproduce with: ppcloud chaos --seed %llu --substrate %s --app %s\n",
                   static_cast<unsigned long long>(report.seed), s.c_str(),
                   base.app.c_str());
+      if (!trace_dir.empty() && !report.trace_json.empty()) {
+        const std::string path = trace_dir + "/chaos-trace-" + s + "-seed" +
+                                 std::to_string(report.seed) + ".json";
+        if (write_file(path, report.trace_json)) {
+          std::printf("chaos-run trace (%zu spans): %s\n", report.trace_spans, path.c_str());
+        } else {
+          std::fprintf(stderr, "ppcloud: could not write %s\n", path.c_str());
+        }
+      }
     }
   }
   return all_passed ? 0 : 1;
+}
+
+int cmd_trace(const Options& opts) {
+  sim::TraceRunConfig base;
+  base.app = opt(opts, "app", "cap3");
+  base.num_files = opt_int(opts, "files", 12);
+  base.num_workers = opt_int(opts, "workers", 4);
+  base.skew = std::stod(opt(opts, "skew", "3.0"));
+  const std::string out_path = opt(opts, "out", "");
+
+  const std::string substrate = opt(opts, "substrate", "all");
+  std::vector<std::string> substrates;
+  if (substrate == "all") {
+    substrates = {"classiccloud", "azuremr", "mapreduce", "dryad"};
+  } else {
+    substrates = {substrate};
+  }
+  PPC_REQUIRE(out_path.empty() || substrates.size() == 1,
+              "--out needs a single --substrate");
+
+  bool all_ok = true;
+  std::vector<sim::TraceRunReport> reports;
+  for (const std::string& s : substrates) {
+    sim::TraceRunConfig config = base;
+    config.substrate = s;
+    sim::TraceRunReport report = sim::run_traced_job(config);
+    std::fputs(report.to_text().c_str(), stdout);
+    if (!report.succeeded) all_ok = false;
+    if (!out_path.empty()) {
+      if (write_file(out_path, report.chrome_json)) {
+        std::printf("trace (%zu spans): %s\n", report.spans, out_path.c_str());
+      } else {
+        std::fprintf(stderr, "ppcloud: could not write %s\n", out_path.c_str());
+        all_ok = false;
+      }
+    }
+    reports.push_back(std::move(report));
+  }
+  if (reports.size() > 1) std::fputs(sim::imbalance_comparison(reports).c_str(), stdout);
+  return all_ok ? 0 : 1;
 }
 
 int cmd_experiment(const std::string& id) {
@@ -252,7 +325,7 @@ int cmd_experiment(const std::string& id) {
 
 int usage() {
   std::fputs(
-      "usage: ppcloud <catalog|features|assemble|simulate|experiment|chaos> [options]\n"
+      "usage: ppcloud <catalog|features|assemble|simulate|experiment|chaos|trace> [options]\n"
       "see the header comment of tools/ppcloud_cli.cpp or README.md for details\n",
       stderr);
   return 1;
@@ -272,6 +345,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(parse_options(argc, argv, 2));
     if (command == "assemble") return cmd_assemble(parse_options(argc, argv, 2));
     if (command == "chaos") return cmd_chaos(parse_options(argc, argv, 2));
+    if (command == "trace") return cmd_trace(parse_options(argc, argv, 2));
     if (command == "experiment") {
       if (argc < 3) return usage();
       return cmd_experiment(argv[2]);
