@@ -31,6 +31,8 @@
 #include "common/clock.h"
 #include "common/rng.h"
 #include "runtime/tracer.h"
+#include "storage/block_cache.h"
+#include "storage/fs_backends.h"
 
 namespace {
 
@@ -331,11 +333,104 @@ SubstrateResult bench_data_plane() {
   return {"data_plane_1mb_roundtrip", kOps, secs, kOps / secs};
 }
 
+/// Real wall-clock 1 MB put+get through the polymorphic StorageBackend
+/// interface. The three backends share the in-memory object map, so this
+/// measures the implementation overhead each data plane adds (contention
+/// bookkeeping, hook sites), not the simulated network — that lives in
+/// sample_get_time and is benched by the DES studies.
+double storage_backend_seconds(storage::StorageKind kind, int ops) {
+  auto clock = std::make_shared<ManualClock>();
+  const auto store = storage::make_backend(kind, clock, Rng(7));
+  const std::string payload(1024 * 1024, 's');
+  return min_seconds(5, [&] {
+    for (int i = 0; i < ops; ++i) {
+      const std::string key = "k" + std::to_string(i % 16);
+      store->put("b", key, payload);
+      const auto blob = store->get("b", key);
+      if (!blob || blob->size() != payload.size()) {
+        std::fprintf(stderr, "storage backend round trip corrupted\n");
+      }
+    }
+  });
+}
+
+SubstrateResult bench_storage_backend(storage::StorageKind kind) {
+  const int kOps = 200;
+  const double secs = storage_backend_seconds(kind, kOps);
+  return {"storage_" + std::string(storage::to_string(kind)) + "_1mb_putget", kOps, secs,
+          kOps / secs};
+}
+
+/// Block-cache hot path (every fetch hits) vs cold path (every fetch is
+/// evicted first, so it pays HEAD + GET + etag validation + insert).
+SubstrateResult bench_block_cache(bool hot) {
+  const int kOps = 200;
+  auto clock = std::make_shared<ManualClock>();
+  blobstore::BlobStore store(clock);
+  const std::string payload(1024 * 1024, 'c');
+  store.put("b", "shared", payload);
+
+  storage::BlockCacheConfig config;
+  config.name = "bench.blockcache";
+  storage::BlockCache cache(config);
+  (void)cache.fetch(store, "b", "shared");  // warm
+  const double secs = min_seconds(5, [&] {
+    for (int i = 0; i < kOps; ++i) {
+      if (!hot) cache.clear();
+      const auto r = cache.fetch(store, "b", "shared");
+      if (!r.data || r.data->size() != payload.size()) {
+        std::fprintf(stderr, "block cache round trip corrupted\n");
+      }
+    }
+  });
+  return {hot ? "block_cache_hit_1mb" : "block_cache_miss_1mb", kOps, secs, kOps / secs};
+}
+
 struct TracingOverhead {
   double plain_seconds = 0.0;
   double traced_off_seconds = 0.0;  // disabled Tracer installed
   double ratio = 0.0;
 };
+
+struct StorageOverhead {
+  double direct_seconds = 0.0;   // concrete BlobStore calls (the seed's path)
+  double backend_seconds = 0.0;  // same loop through StorageBackend, no cache
+  double ratio = 0.0;
+};
+
+/// The storage refactor's overhead contract: with the cache disabled, going
+/// through the StorageBackend interface must cost the data plane < 3%
+/// (checked in --check mode) over direct BlobStore calls. Interleaved
+/// paired samples, same discipline as bench_tracing_overhead.
+StorageOverhead bench_storage_overhead() {
+  const int kOps = 200;
+  const std::string payload(1024 * 1024, 'o');
+  auto direct_loop = [&] {
+    auto clock = std::make_shared<ManualClock>();
+    blobstore::BlobStore store(clock);
+    return min_seconds(5, [&] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "k" + std::to_string(i % 16);
+        store.put("b", key, payload);
+        const auto blob = store.get("b", key);
+        if (!blob || blob->size() != payload.size()) {
+          std::fprintf(stderr, "direct storage round trip corrupted\n");
+        }
+      }
+    });
+  };
+  StorageOverhead result;
+  result.direct_seconds = 1e300;
+  result.backend_seconds = 1e300;
+  for (int round = 0; round < 3; ++round) {
+    result.direct_seconds = std::min(result.direct_seconds, direct_loop());
+    result.backend_seconds =
+        std::min(result.backend_seconds,
+                 storage_backend_seconds(storage::StorageKind::kObject, kOps));
+  }
+  result.ratio = result.backend_seconds / result.direct_seconds;
+  return result;
+}
 
 /// The tentpole's overhead contract: with a Tracer attached but DISABLED,
 /// the data plane must not regress measurably (< 3%, checked in --check
@@ -361,7 +456,7 @@ TracingOverhead bench_tracing_overhead() {
 
 std::string to_json(const std::vector<KernelResult>& kernels,
                     const std::vector<SubstrateResult>& substrates,
-                    const TracingOverhead& tracing) {
+                    const TracingOverhead& tracing, const StorageOverhead& storage_overhead) {
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(1);
@@ -380,7 +475,7 @@ std::string to_json(const std::vector<KernelResult>& kernels,
     const auto& s = substrates[i];
     os << "    {\"name\": \"" << s.name << "\", \"tasks\": " << s.tasks
        << ", \"seconds\": ";
-    os.precision(4);
+    os.precision(6);
     os << s.seconds;
     os.precision(1);
     os << ", \"tasks_per_second\": " << s.tasks_per_second << "}"
@@ -392,25 +487,37 @@ std::string to_json(const std::vector<KernelResult>& kernels,
      << ", \"traced_off_seconds\": " << tracing.traced_off_seconds << ", \"ratio\": ";
   os.precision(3);
   os << tracing.ratio;
+  os << "},\n  \"storage_overhead\": {";
+  os.precision(4);
+  os << "\"direct_seconds\": " << storage_overhead.direct_seconds
+     << ", \"backend_seconds\": " << storage_overhead.backend_seconds << ", \"ratio\": ";
+  os.precision(3);
+  os << storage_overhead.ratio;
   os.precision(1);
   os << "}\n}\n";
   return os.str();
 }
 
-/// Pulls {"name", "ns_per_op"} pairs out of a baseline file written by this
+/// Pulls {"name", <value_key>} pairs out of a baseline file written by this
 /// binary. Not a general JSON parser; it understands exactly our format.
-std::map<std::string, double> parse_baseline_kernels(const std::string& text) {
+/// Entries whose object has no <value_key> before the next "name" are
+/// skipped (that is how kernel vs substrate entries are told apart).
+std::map<std::string, double> parse_baseline_entries(const std::string& text,
+                                                     const char* value_key) {
   std::map<std::string, double> out;
+  const std::string key = std::string("\"") + value_key + "\": ";
   std::size_t pos = 0;
   while ((pos = text.find("\"name\": \"", pos)) != std::string::npos) {
     pos += std::strlen("\"name\": \"");
     const std::size_t name_end = text.find('"', pos);
     if (name_end == std::string::npos) break;
     const std::string name = text.substr(pos, name_end - pos);
-    const std::size_t ns_key = text.find("\"ns_per_op\": ", name_end);
-    if (ns_key == std::string::npos) break;
-    out[name] = std::strtod(text.c_str() + ns_key + std::strlen("\"ns_per_op\": "), nullptr);
+    const std::size_t next_name = text.find("\"name\": \"", name_end);
+    const std::size_t value_pos = text.find(key, name_end);
     pos = name_end;
+    if (value_pos == std::string::npos) continue;
+    if (next_name != std::string::npos && value_pos > next_name) continue;
+    out[name] = std::strtod(text.c_str() + value_pos + key.size(), nullptr);
   }
   return out;
 }
@@ -446,6 +553,11 @@ int main(int argc, char** argv) {
   substrates.push_back(bench_classiccloud());
   substrates.push_back(bench_azuremr());
   substrates.push_back(bench_data_plane());
+  for (const auto kind : storage::kAllStorageKinds) {
+    substrates.push_back(bench_storage_backend(kind));
+  }
+  substrates.push_back(bench_block_cache(/*hot=*/true));
+  substrates.push_back(bench_block_cache(/*hot=*/false));
   for (const auto& s : substrates) {
     std::fprintf(stderr, "%-30s %8.1f tasks/s (%d tasks in %.4fs)\n", s.name.c_str(),
                  s.tasks_per_second, s.tasks, s.seconds);
@@ -454,8 +566,12 @@ int main(int argc, char** argv) {
   const TracingOverhead tracing = bench_tracing_overhead();
   std::fprintf(stderr, "%-30s %8.3fx (plain %.4fs, traced-off %.4fs)\n", "tracing_off_overhead",
                tracing.ratio, tracing.plain_seconds, tracing.traced_off_seconds);
+  const StorageOverhead storage_overhead = bench_storage_overhead();
+  std::fprintf(stderr, "%-30s %8.3fx (direct %.4fs, via-backend %.4fs)\n",
+               "storage_backend_overhead", storage_overhead.ratio,
+               storage_overhead.direct_seconds, storage_overhead.backend_seconds);
 
-  const std::string json = to_json(kernels, substrates, tracing);
+  const std::string json = to_json(kernels, substrates, tracing, storage_overhead);
   std::ofstream out(output_path);
   out << json;
   out.close();
@@ -469,7 +585,7 @@ int main(int argc, char** argv) {
     }
     std::stringstream buf;
     buf << in.rdbuf();
-    const auto baseline = parse_baseline_kernels(buf.str());
+    const auto baseline = parse_baseline_entries(buf.str(), "ns_per_op");
     bool ok = true;
     for (const auto& k : kernels) {
       const auto it = baseline.find(k.name);
@@ -485,6 +601,45 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "OK:   %s at %.2fx of baseline\n", k.name.c_str(), ratio);
       }
+    }
+    // Storage data-plane rows are gated like kernels: the object-store path
+    // and the cache paths may not regress more than 2x against the tracked
+    // baseline. The pre-refactor rows (classiccloud/azuremr/data_plane) stay
+    // informational — they were recorded before any gate existed and on
+    // different hardware, so holding new runs to them would be meaningless.
+    const auto baseline_secs = parse_baseline_entries(buf.str(), "seconds");
+    for (const auto& s : substrates) {
+      if (s.name.rfind("storage_", 0) != 0 && s.name.rfind("block_cache_", 0) != 0) {
+        continue;
+      }
+      const auto it = baseline_secs.find(s.name);
+      if (it == baseline_secs.end()) {
+        std::fprintf(stderr, "NOTE: %s has no baseline entry (new data-plane row?)\n",
+                     s.name.c_str());
+        continue;
+      }
+      if (it->second < 1e-9) {
+        std::fprintf(stderr, "NOTE: %s baseline is ~0s; skipping ratio gate\n", s.name.c_str());
+        continue;
+      }
+      const double ratio = s.seconds / it->second;
+      if (ratio > 2.0) {
+        std::fprintf(stderr, "FAIL: %s is %.2fx slower than baseline (%.4fs vs %.4fs)\n",
+                     s.name.c_str(), ratio, s.seconds, it->second);
+        ok = false;
+      } else {
+        std::fprintf(stderr, "OK:   %s at %.2fx of baseline\n", s.name.c_str(), ratio);
+      }
+    }
+    if (storage_overhead.ratio > 1.03) {
+      std::fprintf(stderr,
+                   "FAIL: cache-disabled StorageBackend path costs %.1f%% on the data plane "
+                   "(budget 3%%)\n",
+                   (storage_overhead.ratio - 1.0) * 100.0);
+      ok = false;
+    } else {
+      std::fprintf(stderr, "OK:   cache-disabled storage path at %.3fx of direct BlobStore\n",
+                   storage_overhead.ratio);
     }
     if (tracing.ratio > 1.03) {
       std::fprintf(stderr,

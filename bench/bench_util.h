@@ -9,14 +9,29 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
 #include "common/table.h"
 #include "core/experiments.h"
+#include "storage/storage_backend.h"
 
 namespace ppc::bench {
+
+/// Storage backends a figure bench should emit rows for. No argument keeps
+/// the checked-in object-store baseline; `<bench> sharedfs` (or parallelfs)
+/// selects one alternative data plane; `<bench> all` emits per-backend rows
+/// so the three data planes can be compared side by side.
+inline std::vector<storage::StorageKind> backends_from_args(int argc, char** argv) {
+  if (argc < 2) return {storage::StorageKind::kObject};
+  const std::string arg = argv[1];
+  if (arg == "all") {
+    return {std::begin(storage::kAllStorageKinds), std::end(storage::kAllStorageKinds)};
+  }
+  return {storage::parse_storage_kind(arg)};
+}
 
 /// "Cap3 compute time (Fig 4)" -> "cap3_compute_time_fig_4".
 inline std::string csv_slug(const std::string& title) {
@@ -51,35 +66,42 @@ inline void maybe_write_csv(const std::string& title, const std::string& header,
 inline void print_instance_type_rows(const std::string& title,
                                      const std::vector<core::InstanceTypeRow>& rows) {
   Table table(title);
-  table.set_header({"Deployment", "Compute time", "Cost (hour units) $", "Amortized cost $"});
+  table.set_header({"Deployment", "Storage", "Compute time", "Cost (hour units) $",
+                    "Amortized cost $", "FS servers $"});
   std::vector<std::string> csv_rows;
   for (const auto& r : rows) {
-    table.add_row({r.label, format_duration(r.compute_time), Table::num(r.cost_hour_units, 2),
-                   Table::num(r.cost_amortized, 2)});
-    csv_rows.push_back(r.label + "," + Table::num(r.compute_time, 1) + "," +
-                       Table::num(r.cost_hour_units, 4) + "," + Table::num(r.cost_amortized, 4));
+    table.add_row({r.label, r.storage, format_duration(r.compute_time),
+                   Table::num(r.cost_hour_units, 2), Table::num(r.cost_amortized, 2),
+                   r.storage_service_cost > 0 ? Table::num(r.storage_service_cost, 2) : "-"});
+    csv_rows.push_back(r.label + "," + r.storage + "," + Table::num(r.compute_time, 1) + "," +
+                       Table::num(r.cost_hour_units, 4) + "," + Table::num(r.cost_amortized, 4) +
+                       "," + Table::num(r.storage_service_cost, 4));
   }
   table.print();
-  maybe_write_csv(title, "deployment,compute_time_s,cost_hour_units,cost_amortized", csv_rows);
+  maybe_write_csv(title,
+                  "deployment,storage,compute_time_s,cost_hour_units,cost_amortized,"
+                  "fs_server_cost",
+                  csv_rows);
 }
 
 inline void print_scaling_points(const std::string& title,
                                  const std::vector<core::ScalingPoint>& points) {
   Table table(title);
-  table.set_header({"Framework", "Deployment", "Files", "Parallel efficiency (Eq 1)",
+  table.set_header({"Framework", "Deployment", "Storage", "Files", "Parallel efficiency (Eq 1)",
                     "Per-core time per file s (Eq 2)", "Makespan"});
   std::vector<std::string> csv_rows;
   for (const auto& p : points) {
-    table.add_row({p.framework, p.deployment, std::to_string(p.files),
+    table.add_row({p.framework, p.deployment, p.storage, std::to_string(p.files),
                    Table::num(p.efficiency, 3), Table::num(p.per_core_task_seconds, 1),
                    format_duration(p.makespan)});
-    csv_rows.push_back(p.framework + "," + p.deployment + "," + std::to_string(p.files) + "," +
-                       Table::num(p.efficiency, 4) + "," +
+    csv_rows.push_back(p.framework + "," + p.deployment + "," + p.storage + "," +
+                       std::to_string(p.files) + "," + Table::num(p.efficiency, 4) + "," +
                        Table::num(p.per_core_task_seconds, 2) + "," +
                        Table::num(p.makespan, 1));
   }
   table.print();
-  maybe_write_csv(title, "framework,deployment,files,efficiency,per_core_task_s,makespan_s",
+  maybe_write_csv(title,
+                  "framework,deployment,storage,files,efficiency,per_core_task_s,makespan_s",
                   csv_rows);
 }
 

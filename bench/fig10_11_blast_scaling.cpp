@@ -11,9 +11,14 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("== Figures 10 & 11: BLAST scalability across frameworks ==\n");
-  const auto points = ppc::core::run_blast_scaling_study(42);
+  std::vector<ppc::core::ScalingPoint> points;
+  for (const auto backend : ppc::bench::backends_from_args(argc, argv)) {
+    const auto backend_points =
+        ppc::core::run_blast_scaling_study(42, {1, 2, 3, 4, 5, 6}, backend);
+    points.insert(points.end(), backend_points.begin(), backend_points.end());
+  }
   ppc::bench::print_scaling_points(
       "BLAST parallel efficiency (Fig 10) / per-core query-file time (Fig 11)", points);
   std::puts("\nExpected shape: rising, near-linear efficiency; Azure leads, EC2 trails.");

@@ -7,10 +7,14 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("== Figures 12 & 13: GTM Interpolation on EC2 instance types ==");
   std::puts("Workload: 264 files x 100k points (26.4M points, 166-d), 16 cores\n");
-  const auto rows = ppc::core::run_gtm_ec2_instance_study(42);
+  std::vector<ppc::core::InstanceTypeRow> rows;
+  for (const auto backend : ppc::bench::backends_from_args(argc, argv)) {
+    const auto backend_rows = ppc::core::run_gtm_ec2_instance_study(42, backend);
+    rows.insert(rows.end(), backend_rows.begin(), backend_rows.end());
+  }
   ppc::bench::print_instance_type_rows("GTM compute time (Fig 13) and cost (Fig 12)", rows);
   std::puts("\nExpected shape: HM4XL fastest; Large beats HCXL/XL (fewer cores per memory");
   std::puts("bus); HCXL remains the economical choice.");

@@ -12,9 +12,13 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("== Figures 14 & 15: GTM Interpolation scalability across frameworks ==\n");
-  const auto points = ppc::core::run_gtm_scaling_study(42);
+  std::vector<ppc::core::ScalingPoint> points;
+  for (const auto backend : ppc::bench::backends_from_args(argc, argv)) {
+    const auto backend_points = ppc::core::run_gtm_scaling_study(42, {88, 176, 264}, backend);
+    points.insert(points.end(), backend_points.begin(), backend_points.end());
+  }
   ppc::bench::print_scaling_points(
       "GTM parallel efficiency (Fig 14) / per-core file time (Fig 15)", points);
   std::puts("\nExpected shape: Azure Small leads, DryadLINQ's 16-core nodes trail,");

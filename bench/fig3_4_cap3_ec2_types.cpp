@@ -7,10 +7,14 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("== Figures 3 & 4: Cap3 on EC2 instance types ==");
   std::puts("Workload: 200 files x 200 reads, 16 cores, Classic Cloud (simulated)\n");
-  const auto rows = ppc::core::run_cap3_ec2_instance_study(42);
+  std::vector<ppc::core::InstanceTypeRow> rows;
+  for (const auto backend : ppc::bench::backends_from_args(argc, argv)) {
+    const auto backend_rows = ppc::core::run_cap3_ec2_instance_study(42, backend);
+    rows.insert(rows.end(), backend_rows.begin(), backend_rows.end());
+  }
   ppc::bench::print_instance_type_rows("Cap3 compute time (Fig 4) and cost (Fig 3)", rows);
   std::puts("\nExpected shape: HM4XL fastest; HCXL cheapest; L ≈ XL (memory no bottleneck).");
   return 0;

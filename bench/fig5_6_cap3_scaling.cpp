@@ -11,9 +11,14 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("== Figures 5 & 6: Cap3 scalability across frameworks ==\n");
-  const auto points = ppc::core::run_cap3_scaling_study(42);
+  std::vector<ppc::core::ScalingPoint> points;
+  for (const auto backend : ppc::bench::backends_from_args(argc, argv)) {
+    const auto backend_points = ppc::core::run_cap3_scaling_study(
+        42, {512, 1024, 2048, 3072, 4096}, backend);
+    points.insert(points.end(), backend_points.begin(), backend_points.end());
+  }
   ppc::bench::print_scaling_points("Cap3 parallel efficiency (Fig 5) / per-core file time (Fig 6)",
                                    points);
   std::puts("\nExpected shape: comparable efficiency (within ~20%) for all four frameworks;");

@@ -7,10 +7,14 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("== Figures 7 & 8: BLAST on EC2 instance types ==");
   std::puts("Workload: 64 query files x 100 queries, 16 cores, NR-like 8.7 GB database\n");
-  const auto rows = ppc::core::run_blast_ec2_instance_study(42);
+  std::vector<ppc::core::InstanceTypeRow> rows;
+  for (const auto backend : ppc::bench::backends_from_args(argc, argv)) {
+    const auto backend_rows = ppc::core::run_blast_ec2_instance_study(42, backend);
+    rows.insert(rows.end(), backend_rows.begin(), backend_rows.end());
+  }
   ppc::bench::print_instance_type_rows("BLAST compute time (Fig 8) and cost (Fig 7)", rows);
   std::puts("\nExpected shape: XL ≈ HCXL; HM4XL fastest (clock + full DB residency);");
   std::puts("HCXL again the most cost-effective choice.");

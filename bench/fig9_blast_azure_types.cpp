@@ -6,21 +6,24 @@
 // worst; pure threads slightly slower than multiple worker processes.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "core/experiments.h"
 
 using namespace ppc;
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("== Figure 9: BLAST on Azure instance types (workers x threads grid) ==");
   std::puts("Workload: 8 query files x 100 queries; 8 cores total per configuration\n");
-  const auto rows = core::run_blast_azure_instance_study(42);
   Table table("BLAST time to process 8 query files");
-  table.set_header({"Configuration (type - instances x workers [x threads])", "Compute time",
-                    "Amortized cost $"});
-  for (const auto& r : rows) {
-    table.add_row({r.label, format_duration(r.compute_time), Table::num(r.cost_amortized, 3)});
+  table.set_header({"Configuration (type - instances x workers [x threads])", "Storage",
+                    "Compute time", "Amortized cost $"});
+  for (const auto backend : bench::backends_from_args(argc, argv)) {
+    for (const auto& r : core::run_blast_azure_instance_study(42, backend)) {
+      table.add_row({r.label, storage::to_string(backend), format_duration(r.compute_time),
+                     Table::num(r.cost_amortized, 3)});
+    }
   }
   table.print();
   std::puts("\nExpected shape: Small slowest -> XL fastest (memory ladder); within a type,");

@@ -5,30 +5,34 @@
 // 80 / 70 / 60% utilization.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/string_util.h"
 #include "core/experiments.h"
 
 using namespace ppc;
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("== Table 4: cost comparison, assembling 4096 Cap3 files ==\n");
-  const auto report = core::run_table4_cost_comparison(42);
+  for (const auto backend : bench::backends_from_args(argc, argv)) {
+    const auto report = core::run_table4_cost_comparison(42, backend);
+    std::printf("-- storage backend: %s --\n", report.storage_backend.c_str());
 
-  report.ec2.to_table().print();
-  std::printf("  (EC2 makespan: %s on 16 x HCXL)\n\n",
-              format_duration(report.ec2_makespan).c_str());
-  report.azure.to_table().print();
-  std::printf("  (Azure makespan: %s on 128 x Small)\n\n",
-              format_duration(report.azure_makespan).c_str());
+    report.ec2.to_table().print();
+    std::printf("  (EC2 makespan: %s on 16 x HCXL)\n\n",
+                format_duration(report.ec2_makespan).c_str());
+    report.azure.to_table().print();
+    std::printf("  (Azure makespan: %s on 128 x Small)\n\n",
+                format_duration(report.azure_makespan).c_str());
 
-  Table cluster("Owned cluster (32 node x 24 core, $500k/3y + $150k/y)");
-  cluster.set_header({"Utilization", "Job cost $"});
-  for (const auto& [util, cost] : report.cluster_costs) {
-    cluster.add_row({Table::num(util * 100, 0) + "%", Table::num(cost, 2)});
+    Table cluster("Owned cluster (32 node x 24 core, $500k/3y + $150k/y)");
+    cluster.set_header({"Utilization", "Job cost $"});
+    for (const auto& [util, cost] : report.cluster_costs) {
+      cluster.add_row({Table::num(util * 100, 0) + "%", Table::num(cost, 2)});
+    }
+    cluster.print();
+    std::printf("  (Hadoop job consumed %.1f core-hours on the cluster)\n",
+                report.cluster_core_hours);
   }
-  cluster.print();
-  std::printf("  (Hadoop job consumed %.1f core-hours on the cluster)\n",
-              report.cluster_core_hours);
   std::puts("\nPaper: EC2 $11.13, Azure $15.77, cluster $8.25/$9.43/$11.01 at 80/70/60%.");
   return 0;
 }

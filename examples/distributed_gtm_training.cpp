@@ -10,6 +10,7 @@
 
 #include "apps/gtm/data_gen.h"
 #include "apps/gtm_dist/distributed_train.h"
+#include "blobstore/blob_store.h"
 #include "common/clock.h"
 #include "common/rng.h"
 

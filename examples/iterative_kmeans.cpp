@@ -15,6 +15,7 @@
 #include <sstream>
 
 #include "azuremr/runtime.h"
+#include "blobstore/blob_store.h"
 #include "common/clock.h"
 #include "common/rng.h"
 #include "common/string_util.h"

@@ -11,6 +11,7 @@
 #include "apps/cap3/read_simulator.h"
 #include "apps/swg/blocks.h"
 #include "azuremr/runtime.h"
+#include "blobstore/blob_store.h"
 #include "common/clock.h"
 #include "common/rng.h"
 

@@ -11,7 +11,7 @@
 
 namespace ppc::azuremr {
 
-AzureMapReduce::AzureMapReduce(blobstore::BlobStore& store, cloudq::QueueService& queues,
+AzureMapReduce::AzureMapReduce(storage::StorageBackend& store, cloudq::QueueService& queues,
                                int num_workers, MrWorkerConfig worker_config)
     : store_(store), queues_(queues), num_workers_(num_workers), worker_config_(worker_config) {
   PPC_REQUIRE(num_workers >= 1, "need at least one worker");

@@ -19,7 +19,7 @@ class AzureMapReduce {
  public:
   /// Creates the runtime with `num_workers` worker roles (started lazily on
   /// the first run() call and reused across jobs with the same functions).
-  AzureMapReduce(blobstore::BlobStore& store, cloudq::QueueService& queues, int num_workers,
+  AzureMapReduce(storage::StorageBackend& store, cloudq::QueueService& queues, int num_workers,
                  MrWorkerConfig worker_config = {});
 
   /// Tuning for the per-run worker-pool supervisor (restart budget, backoff,
@@ -48,7 +48,7 @@ class AzureMapReduce {
   runtime::MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
-  blobstore::BlobStore& store_;
+  storage::StorageBackend& store_;
   cloudq::QueueService& queues_;
   int num_workers_;
   MrWorkerConfig worker_config_;

@@ -19,7 +19,7 @@ runtime::LifecycleConfig lifecycle_config(const MrWorkerConfig& config) {
 }
 }  // namespace
 
-MrWorker::MrWorker(std::string id, blobstore::BlobStore& store,
+MrWorker::MrWorker(std::string id, storage::StorageBackend& store,
                    std::shared_ptr<cloudq::MessageQueue> task_queue,
                    std::shared_ptr<cloudq::MessageQueue> monitor_queue, MapFn map,
                    ReduceFn reduce, CombineFn combine, int num_reduce_tasks, std::string bucket,

@@ -14,7 +14,7 @@
 #include <string>
 
 #include "azuremr/job.h"
-#include "blobstore/blob_store.h"
+#include "storage/storage_backend.h"
 #include "cloudq/message_queue.h"
 #include "runtime/task_lifecycle.h"
 
@@ -63,7 +63,7 @@ struct MrWorkerStats {
 
 class MrWorker {
  public:
-  MrWorker(std::string id, blobstore::BlobStore& store,
+  MrWorker(std::string id, storage::StorageBackend& store,
            std::shared_ptr<cloudq::MessageQueue> task_queue,
            std::shared_ptr<cloudq::MessageQueue> monitor_queue, MapFn map, ReduceFn reduce,
            CombineFn combine, int num_reduce_tasks, std::string bucket,
@@ -98,7 +98,7 @@ class MrWorker {
   std::shared_ptr<const std::string> cached_input(runtime::TaskContext& ctx,
                                                   const std::string& name);
 
-  blobstore::BlobStore& store_;
+  storage::StorageBackend& store_;
   std::shared_ptr<cloudq::MessageQueue> monitor_queue_;
   MapFn map_;
   ReduceFn reduce_;

@@ -37,16 +37,16 @@ bool BlobStore::bucket_exists(const std::string& bucket) const {
 
 void BlobStore::put(const std::string& bucket, const std::string& key, std::string data) {
   const auto size = static_cast<Bytes>(data.size());
-  put_impl(bucket, key, std::move(data), size);
+  put_impl(bucket, key, std::move(data), size, /*is_logical=*/false);
 }
 
 void BlobStore::put_logical(const std::string& bucket, const std::string& key, Bytes size) {
   PPC_REQUIRE(size >= 0.0, "logical size must be >= 0");
-  put_impl(bucket, key, std::string(), size);
+  put_impl(bucket, key, std::string(), size, /*is_logical=*/true);
 }
 
 void BlobStore::put_impl(const std::string& bucket, const std::string& key, std::string data,
-                         Bytes logical_size) {
+                         Bytes logical_size, bool is_logical) {
   PPC_REQUIRE(!bucket.empty() && !key.empty(), "bucket and key must be non-empty");
   ppc::TraceHook* tracer = tracer_.load(std::memory_order_relaxed);
   std::uint64_t span = 0;
@@ -67,7 +67,22 @@ void BlobStore::put_impl(const std::string& bucket, const std::string& key, std:
                        "/" + key);
     }
   }
-  const std::uint64_t etag = ppc::fnv1a64(data);
+  // Logical objects have no bytes to hash, so their etag is derived from the
+  // stable identity (bucket, key, declared size). That keeps the tag
+  // deterministic across runs and processes, which content-addressed caching
+  // depends on; real payloads keep the content hash.
+  std::uint64_t etag = 0;
+  if (is_logical) {
+    std::string identity = "logical:";
+    identity += bucket;
+    identity += '\0';
+    identity += key;
+    identity += '\0';
+    identity += std::to_string(static_cast<std::uint64_t>(logical_size));
+    etag = ppc::fnv1a64(identity);
+  } else {
+    etag = ppc::fnv1a64(data);
+  }
   auto payload = std::make_shared<const std::string>(std::move(data));
   auto b = get_or_create_bucket(bucket);
   Seconds lag = 0.0;
@@ -164,7 +179,9 @@ std::optional<std::uint64_t> BlobStore::etag(const std::string& bucket,
 std::optional<Bytes> BlobStore::head(const std::string& bucket, const std::string& key) {
   {
     std::lock_guard lock(meter_mu_);
-    ++meter_.gets;
+    // Metadata probe, not a download: billed as a request but kept distinct
+    // from gets so cache-validation traffic is visible in the meter.
+    ++meter_.heads;
   }
   auto b = find_bucket(bucket);
   if (b == nullptr) return std::nullopt;

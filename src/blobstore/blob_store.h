@@ -35,8 +35,14 @@
 #include "common/rng.h"
 #include "common/trace_hook.h"
 #include "common/units.h"
+#include "storage/storage_backend.h"
 
 namespace ppc::blobstore {
+
+/// Transfer accounting lives in the backend-agnostic storage layer now;
+/// re-exported here for the many call sites written against
+/// blobstore::TransferMeter.
+using storage::TransferMeter;
 
 struct BlobStoreConfig {
   /// Mean per-request latency (HTTP round trip to the storage service).
@@ -56,23 +62,15 @@ struct BlobStoreConfig {
   Dollars cost_per_10k_requests = 0.01;
 };
 
-struct TransferMeter {
-  Bytes bytes_in = 0.0;   // uploads into the store
-  Bytes bytes_out = 0.0;  // downloads out of the store
-  std::uint64_t puts = 0;
-  std::uint64_t gets = 0;  // including not-found
-  std::uint64_t lists = 0;
-  std::uint64_t deletes = 0;
-
-  std::uint64_t requests() const { return puts + gets + lists + deletes; }
-};
-
-class BlobStore {
+class BlobStore : public storage::StorageBackend {
  public:
   BlobStore(std::shared_ptr<const ppc::Clock> clock, BlobStoreConfig config = {},
             ppc::Rng rng = ppc::Rng(0xB10B));
 
   const BlobStoreConfig& config() const { return config_; }
+
+  /// The object-store data plane (§2.1.1's S3 / Azure Blob).
+  storage::StorageKind kind() const override { return storage::StorageKind::kObject; }
 
   /// Installs a fault hook fired on every put/get/list (sites
   /// "blobstore.<bucket>.put" / ".get" / ".list"). A failing get reports
@@ -80,70 +78,84 @@ class BlobStore {
   /// or corrupted put is rejected like an S3 Content-MD5 mismatch, and a
   /// corrupted get delivers flipped bytes — detectable against etag().
   /// Non-owning; pass nullptr to clear. The hook must outlive its use.
-  void set_fault_hook(ppc::FaultHook* hook) { hook_.store(hook); }
+  void set_fault_hook(ppc::FaultHook* hook) override { hook_.store(hook); }
 
   /// Installs a trace hook (runtime::Tracer) that gets a span per
   /// put/get/list (sites "blobstore.<bucket>.put" / ".get" / ".list").
   /// Non-owning; nullptr clears. One relaxed atomic load per call when unset.
-  void set_tracer(ppc::TraceHook* tracer) { tracer_.store(tracer); }
+  void set_tracer(ppc::TraceHook* tracer) override { tracer_.store(tracer); }
 
   /// Creates a bucket; idempotent.
-  void create_bucket(const std::string& bucket);
+  void create_bucket(const std::string& bucket) override;
 
-  bool bucket_exists(const std::string& bucket) const;
+  bool bucket_exists(const std::string& bucket) const override;
 
   /// Stores an object (creates the bucket implicitly, as our framework's
   /// deployment step would have done). Overwrites are immediately visible;
   /// only brand-new keys suffer the read-after-write lag.
-  void put(const std::string& bucket, const std::string& key, std::string data);
+  void put(const std::string& bucket, const std::string& key, std::string data) override;
 
   /// Stores a *logical* object: no bytes are materialized, only a declared
   /// size. Used by the discrete-event drivers to model multi-GB datasets
   /// (e.g. Table 4's 4096 Cap3 files) without holding them in memory.
   /// Metering, visibility and head/list/remove behave exactly as for real
-  /// objects; get() on a logical object returns an empty payload.
-  void put_logical(const std::string& bucket, const std::string& key, Bytes size);
+  /// objects; get() on a logical object returns an empty payload. The etag
+  /// is derived from (bucket, key, size) — stable across processes — so
+  /// content-addressed caching works for logical datasets too.
+  void put_logical(const std::string& bucket, const std::string& key, Bytes size) override;
 
   /// Fetches the object, or null when absent / not yet visible. The result
   /// aliases the stored payload (zero-copy); it stays valid after overwrite
   /// or removal of the key (immutable snapshot semantics).
-  std::shared_ptr<const std::string> get(const std::string& bucket, const std::string& key);
+  std::shared_ptr<const std::string> get(const std::string& bucket,
+                                         const std::string& key) override;
 
-  /// Size of the object in bytes, or nullopt. Metered as a GET (HEAD).
-  std::optional<Bytes> head(const std::string& bucket, const std::string& key);
+  /// Size of the object in bytes, or nullopt. Metered as a HEAD.
+  std::optional<Bytes> head(const std::string& bucket, const std::string& key) override;
 
-  /// True when the object exists and is visible. Metered as a GET.
-  bool exists(const std::string& bucket, const std::string& key);
+  /// True when the object exists and is visible. Metered as a HEAD.
+  bool exists(const std::string& bucket, const std::string& key) override;
 
   /// Content hash (fnv1a64 — our stand-in for the S3 ETag) of the stored
   /// object, or nullopt when absent / not yet visible. Unmetered and immune
   /// to injected faults: it models the checksum the service returned with
   /// the original upload, which readers keep to validate downloads.
-  std::optional<std::uint64_t> etag(const std::string& bucket, const std::string& key) const;
+  std::optional<std::uint64_t> etag(const std::string& bucket,
+                                    const std::string& key) const override;
 
   /// Removes the object; returns false when absent.
-  bool remove(const std::string& bucket, const std::string& key);
+  bool remove(const std::string& bucket, const std::string& key) override;
 
   /// Keys in the bucket starting with `prefix`, sorted. Lists see all
   /// committed objects (visibility lag applies to reads only).
-  std::vector<std::string> list(const std::string& bucket, const std::string& prefix = "");
+  std::vector<std::string> list(const std::string& bucket,
+                                const std::string& prefix = "") override;
 
   /// Total bytes currently stored (across buckets).
-  Bytes stored_bytes() const;
+  Bytes stored_bytes() const override;
 
-  TransferMeter meter() const;
+  TransferMeter meter() const override;
 
   /// Request + transfer cost so far; storage cost is charged by the billing
   /// module per month of retention (see billing::CostModel).
-  Dollars transfer_and_request_cost() const;
+  Dollars transfer_and_request_cost() const override;
+
+  storage::StoragePricing pricing() const override {
+    storage::StoragePricing p;
+    p.storage_cost_per_gb_month = config_.storage_cost_per_gb_month;
+    p.transfer_in_cost_per_gb = config_.transfer_in_cost_per_gb;
+    p.transfer_out_cost_per_gb = config_.transfer_out_cost_per_gb;
+    p.cost_per_10k_requests = config_.cost_per_10k_requests;
+    return p;  // no dedicated servers: S3 cost is entirely usage-based
+  }
 
   // -- timing model (used by the simulation drivers) --
 
   /// Samples the wall time of a GET of `size` bytes.
-  Seconds sample_get_time(Bytes size, ppc::Rng& rng) const;
+  Seconds sample_get_time(Bytes size, ppc::Rng& rng) const override;
 
   /// Samples the wall time of a PUT of `size` bytes.
-  Seconds sample_put_time(Bytes size, ppc::Rng& rng) const;
+  Seconds sample_put_time(Bytes size, ppc::Rng& rng) const override;
 
  private:
   struct Object {
@@ -163,7 +175,7 @@ class BlobStore {
   };
 
   void put_impl(const std::string& bucket, const std::string& key, std::string data,
-                Bytes logical_size);
+                Bytes logical_size, bool is_logical);
   /// get() minus the tracing bracket.
   std::shared_ptr<const std::string> get_impl(const std::string& bucket, const std::string& key);
   std::shared_ptr<Bucket> find_bucket(const std::string& bucket) const;

@@ -8,7 +8,7 @@
 
 namespace ppc::classiccloud {
 
-JobClient::JobClient(blobstore::BlobStore& store, cloudq::QueueService& queues,
+JobClient::JobClient(storage::StorageBackend& store, cloudq::QueueService& queues,
                      std::string job_id, std::string bucket)
     : store_(store), job_id_(std::move(job_id)), bucket_(std::move(bucket)) {
   PPC_REQUIRE(!job_id_.empty(), "job id must be non-empty");
@@ -18,9 +18,18 @@ JobClient::JobClient(blobstore::BlobStore& store, cloudq::QueueService& queues,
 }
 
 std::vector<TaskSpec> JobClient::submit(
-    const std::vector<std::pair<std::string, std::string>>& files) {
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const std::vector<std::pair<std::string, std::string>>& shared_files) {
   PPC_REQUIRE(!files.empty(), "submit needs at least one file");
   if (first_submit_time_ < 0.0) first_submit_time_ = clock_.now();
+  // Job-wide reference data goes up once; every task message points at it.
+  std::vector<std::string> shared_keys;
+  shared_keys.reserve(shared_files.size());
+  for (const auto& [name, data] : shared_files) {
+    const std::string key = "shared/" + name;
+    store_.put(bucket_, key, data);
+    shared_keys.push_back(key);
+  }
   std::vector<TaskSpec> submitted;
   std::vector<std::string> messages;
   submitted.reserve(files.size());
@@ -30,6 +39,7 @@ std::vector<TaskSpec> JobClient::submit(
     task.task_id = job_id_ + "/" + name;
     task.input_key = "input/" + name;
     task.output_key = "output/" + name;
+    task.shared_keys = shared_keys;
     store_.put(bucket_, task.input_key, data);
     messages.push_back(encode_task(task));
     tasks_.push_back(task);
@@ -86,7 +96,7 @@ JobClient::Progress JobClient::progress() {
   return p;
 }
 
-WorkerPool::WorkerPool(blobstore::BlobStore& store,
+WorkerPool::WorkerPool(storage::StorageBackend& store,
                        std::shared_ptr<cloudq::MessageQueue> task_queue,
                        std::shared_ptr<cloudq::MessageQueue> monitor_queue, TaskExecutor executor,
                        WorkerConfig config, int num_workers, std::string id_prefix) {

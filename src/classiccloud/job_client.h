@@ -17,11 +17,11 @@
 #include <string>
 #include <vector>
 
-#include "blobstore/blob_store.h"
 #include "classiccloud/task.h"
 #include "classiccloud/worker.h"
 #include "cloudq/queue_service.h"
 #include "common/clock.h"
+#include "storage/storage_backend.h"
 
 namespace ppc::classiccloud {
 
@@ -29,7 +29,7 @@ class JobClient {
  public:
   /// Creates/attaches the job's bucket and its two queues
   /// ("<job_id>-tasks", "<job_id>-monitor").
-  JobClient(blobstore::BlobStore& store, cloudq::QueueService& queues, std::string job_id,
+  JobClient(storage::StorageBackend& store, cloudq::QueueService& queues, std::string job_id,
             std::string bucket = "job");
 
   const std::string& job_id() const { return job_id_; }
@@ -38,8 +38,13 @@ class JobClient {
   std::shared_ptr<cloudq::MessageQueue> monitor_queue() const { return monitor_queue_; }
 
   /// Uploads each (name, data) input file as "input/<name>" and enqueues a
-  /// task message per file. Returns the task specs in submission order.
-  std::vector<TaskSpec> submit(const std::vector<std::pair<std::string, std::string>>& files);
+  /// task message per file. `shared_files` (e.g. the BLAST NR database) are
+  /// uploaded once as "shared/<name>" and referenced from every task
+  /// message, so workers fetch them through their block cache. Returns the
+  /// task specs in submission order.
+  std::vector<TaskSpec> submit(
+      const std::vector<std::pair<std::string, std::string>>& files,
+      const std::vector<std::pair<std::string, std::string>>& shared_files = {});
 
   /// Blocks until every submitted task has a "done" monitor record and a
   /// visible output blob, or until `timeout` real seconds pass. Duplicate
@@ -73,7 +78,7 @@ class JobClient {
  private:
   void drain_monitor_queue();
 
-  blobstore::BlobStore& store_;
+  storage::StorageBackend& store_;
   std::string job_id_;
   std::string bucket_;
   std::shared_ptr<cloudq::MessageQueue> task_queue_;
@@ -93,7 +98,7 @@ class WorkerPool {
   /// All workers in the pool publish into one runtime::MetricsRegistry
   /// (config.metrics when supplied, a fresh shared one otherwise), scoped
   /// by worker id.
-  WorkerPool(blobstore::BlobStore& store, std::shared_ptr<cloudq::MessageQueue> task_queue,
+  WorkerPool(storage::StorageBackend& store, std::shared_ptr<cloudq::MessageQueue> task_queue,
              std::shared_ptr<cloudq::MessageQueue> monitor_queue, TaskExecutor executor,
              WorkerConfig config, int num_workers, std::string id_prefix = "worker");
 

@@ -9,14 +9,28 @@ std::string encode_task(const TaskSpec& task) {
   PPC_REQUIRE(!task.task_id.empty(), "task_id must be non-empty");
   PPC_REQUIRE(!task.input_key.empty() && !task.output_key.empty(),
               "task must name input and output blobs");
-  return ppc::encode_kv({{"task", task.task_id}, {"in", task.input_key}, {"out", task.output_key}});
+  std::map<std::string, std::string> kv = {
+      {"task", task.task_id}, {"in", task.input_key}, {"out", task.output_key}};
+  if (!task.shared_keys.empty()) {
+    std::string joined;
+    for (const std::string& key : task.shared_keys) {
+      PPC_REQUIRE(!key.empty() && key.find(',') == std::string::npos,
+                  "shared key must be non-empty and comma-free: " + key);
+      if (!joined.empty()) joined += ',';
+      joined += key;
+    }
+    kv.emplace("shared", joined);
+  }
+  return ppc::encode_kv(kv);
 }
 
 TaskSpec decode_task(const std::string& body) {
   const auto kv = ppc::decode_kv(body);
   PPC_REQUIRE(kv.contains("task") && kv.contains("in") && kv.contains("out"),
               "malformed task message: " + body);
-  return TaskSpec{kv.at("task"), kv.at("in"), kv.at("out")};
+  TaskSpec task{kv.at("task"), kv.at("in"), kv.at("out"), {}};
+  if (kv.contains("shared")) task.shared_keys = ppc::split(kv.at("shared"), ',');
+  return task;
 }
 
 std::string encode_monitor(const MonitorRecord& record) {

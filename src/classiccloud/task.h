@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/units.h"
 
@@ -18,6 +19,12 @@ struct TaskSpec {
   std::string task_id;
   std::string input_key;   // blob key holding the input file
   std::string output_key;  // blob key the worker must write
+  /// Job-wide reference blobs every task needs besides its own input (the
+  /// BLAST NR database, the GTM training matrix). Workers fetch these
+  /// through their BlockCache, so N tasks on one worker pay one download.
+  /// Optional: absent from the wire format when empty, so task messages of
+  /// jobs without shared data are unchanged.
+  std::vector<std::string> shared_keys;
 };
 
 std::string encode_task(const TaskSpec& task);

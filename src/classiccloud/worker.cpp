@@ -21,7 +21,7 @@ runtime::LifecycleConfig lifecycle_config(const WorkerConfig& config) {
 }
 }  // namespace
 
-Worker::Worker(std::string id, blobstore::BlobStore& store,
+Worker::Worker(std::string id, storage::StorageBackend& store,
                std::shared_ptr<cloudq::MessageQueue> task_queue,
                std::shared_ptr<cloudq::MessageQueue> monitor_queue, TaskExecutor executor,
                WorkerConfig config)
@@ -35,6 +35,12 @@ Worker::Worker(std::string id, blobstore::BlobStore& store,
       std::move(id), std::move(task_queue),
       [this](runtime::TaskContext& ctx) { return process(ctx); }, lifecycle_config(config_),
       config_.metrics, config_.faults);
+  if (config_.enable_cache) {
+    storage::BlockCacheConfig cc = config_.cache;
+    cc.name = lifecycle_->id() + ".blockcache";
+    cache_ = std::make_unique<storage::BlockCache>(cc, &lifecycle_->metrics());
+    cache_->set_tracer(config_.tracer);
+  }
 }
 
 void Worker::start() { lifecycle_->start(); }
@@ -55,10 +61,37 @@ WorkerStats Worker::stats() const {
   return s;
 }
 
+std::shared_ptr<const std::string> Worker::fetch_shared(runtime::TaskContext& ctx,
+                                                        const std::string& key) {
+  if (cache_ == nullptr) return ctx.fetch(store_, config_.bucket, key);
+  // Fetch-through the block cache with the lifecycle's retry policy: a
+  // cache hit never touches the store; a miss downloads, validates against
+  // the etag and caches. `found == false` (not visible yet / corrupted in
+  // flight) counts as a miss and is retried like any other fetch.
+  return ctx.retry([&]() -> std::shared_ptr<const std::string> {
+    const storage::BlockCache::FetchResult r = cache_->fetch(store_, config_.bucket, key);
+    if (!r.found) return nullptr;
+    return r.data != nullptr ? r.data : std::make_shared<const std::string>();
+  });
+}
+
 runtime::TaskOutcome Worker::process(runtime::TaskContext& ctx) {
   using runtime::TaskOutcome;
   const TaskSpec task = decode_task(ctx.message().body());
   if (ctx.crash_site(sites::kAfterReceive, task.task_id)) return TaskOutcome::kCrashed;
+
+  // Job-wide reference data first (NR database, training matrix): served
+  // from this worker's block cache after the first task touches it.
+  for (const std::string& shared_key : task.shared_keys) {
+    runtime::Span shared_span = ctx.span("fetch.shared");
+    shared_span.arg("key", shared_key);
+    auto shared = fetch_shared(ctx, shared_key);
+    shared_span.close();
+    if (!shared) {
+      PPC_WARN << "worker " << id() << ": shared blob not yet visible: " << shared_key;
+      return TaskOutcome::kAbandoned;
+    }
+  }
 
   // Download the input, riding out read-after-write visibility lag.
   runtime::Span fetch_span = ctx.span("fetch.input");

@@ -22,10 +22,11 @@
 #include <memory>
 #include <string>
 
-#include "blobstore/blob_store.h"
 #include "classiccloud/task.h"
 #include "cloudq/message_queue.h"
 #include "runtime/task_lifecycle.h"
+#include "storage/block_cache.h"
+#include "storage/storage_backend.h"
 
 namespace ppc::classiccloud {
 
@@ -71,6 +72,13 @@ struct WorkerConfig {
   /// compute / upload.output / monitor.report child spans to the lifecycle's
   /// task envelope, keyed by the task message id.
   runtime::Tracer* tracer = nullptr;
+  /// When true each worker owns a storage::BlockCache and routes its
+  /// shared-input fetches (TaskSpec::shared_keys) through it, so the BLAST
+  /// NR database / GTM training matrix is downloaded once per worker
+  /// instead of once per task. Counters land in the pool registry under
+  /// "<worker-id>.blockcache.*".
+  bool enable_cache = false;
+  storage::BlockCacheConfig cache;
 };
 
 /// Snapshot view over the worker's counters in the MetricsRegistry.
@@ -85,7 +93,7 @@ struct WorkerStats {
 
 class Worker {
  public:
-  Worker(std::string id, blobstore::BlobStore& store,
+  Worker(std::string id, storage::StorageBackend& store,
          std::shared_ptr<cloudq::MessageQueue> task_queue,
          std::shared_ptr<cloudq::MessageQueue> monitor_queue, TaskExecutor executor,
          WorkerConfig config);
@@ -111,14 +119,20 @@ class Worker {
   /// The underlying poll loop — what a runtime::WorkerSupervisor watches.
   runtime::TaskLifecycle& lifecycle() { return *lifecycle_; }
 
+  /// This worker's block cache; null when WorkerConfig::enable_cache is off.
+  storage::BlockCache* cache() { return cache_.get(); }
+
  private:
   runtime::TaskOutcome process(runtime::TaskContext& ctx);
+  std::shared_ptr<const std::string> fetch_shared(runtime::TaskContext& ctx,
+                                                  const std::string& key);
 
-  blobstore::BlobStore& store_;
+  storage::StorageBackend& store_;
   std::shared_ptr<cloudq::MessageQueue> monitor_queue_;
   TaskExecutor executor_;
   WorkerConfig config_;
   std::unique_ptr<runtime::TaskLifecycle> lifecycle_;
+  std::unique_ptr<storage::BlockCache> cache_;
 };
 
 }  // namespace ppc::classiccloud

@@ -12,6 +12,8 @@
 #include "common/error.h"
 #include "dryad/partitioned_table.h"
 #include "sim/simulator.h"
+#include "storage/block_cache.h"
+#include "storage/fs_backends.h"
 
 namespace ppc::core {
 
@@ -26,6 +28,10 @@ Seconds with_straggler(Seconds ex, const SimRunParams& params, ppc::Rng& rng) {
     return ex * params.straggler_factor;
   }
   return ex;
+}
+
+storage::BackendTuning backend_tuning(const SimRunParams& params) {
+  return {params.blob, params.sharedfs, params.parallelfs};
 }
 
 }  // namespace
@@ -54,6 +60,11 @@ void publish_run_metrics(const RunResult& result, runtime::MetricsRegistry& metr
   metrics.set_gauge(prefix + "per_core_task_seconds", result.per_core_task_seconds);
   metrics.set_gauge(prefix + "makespan_seconds", result.makespan);
   metrics.set_gauge(prefix + "t1_seconds", result.t1_seconds);
+  if (result.cache_hits + result.cache_misses > 0) {
+    metrics.counter(prefix + "cache_hits").inc(static_cast<std::int64_t>(result.cache_hits));
+    metrics.counter(prefix + "cache_misses").inc(static_cast<std::int64_t>(result.cache_misses));
+    metrics.set_gauge(prefix + "cache_bytes_saved", result.cache_bytes_saved);
+  }
   auto& histogram = metrics.histogram(prefix + "task_exec_seconds");
   for (double x : result.exec_times.samples()) histogram.record(x);
   metrics.emit({"run.finished",
@@ -77,12 +88,14 @@ struct ClassicSim {
   const ExecutionModel& model;
   const SimRunParams& params;
 
-  blobstore::BlobStore store;
+  std::unique_ptr<storage::StorageBackend> store;
   cloudq::MessageQueue queue;
   cloudq::MessageQueue monitor;
   cloud::Fleet fleet;
   std::vector<ppc::Rng> worker_rng;
   double run_factor = 1.0;
+  /// Per-worker shared-dataset caches; empty when the cache is disabled.
+  std::vector<std::unique_ptr<storage::BlockCache>> caches;
 
   std::set<std::string> completed;
   int duplicate_executions = 0;
@@ -91,6 +104,7 @@ struct ClassicSim {
   ppc::SampleSet exec_times;
   std::vector<TaskTraceEntry> trace;
   static constexpr const char* kBucket = "job";
+  static constexpr const char* kSharedKey = "shared/dataset";
 
   ClassicSim(const Workload& w, const Deployment& dep, const ExecutionModel& m,
              const SimRunParams& p, ppc::Rng& rng)
@@ -98,7 +112,9 @@ struct ClassicSim {
         d(dep),
         model(m),
         params(p),
-        store(sim.clock(), p.blob, rng.split()),
+        // Same rng.split() position the by-value BlobStore held, so the
+        // object-store runs replay the checked-in baselines exactly.
+        store(storage::make_backend(p.storage, sim.clock(), rng.split(), backend_tuning(p))),
         queue("tasks", sim.clock(), p.queue, rng.split()),
         monitor("monitor", sim.clock(), p.queue, rng.split()),
         fleet(sim.clock()) {
@@ -108,19 +124,37 @@ struct ClassicSim {
     run_factor = params.provider_variability
                      ? m.sample_run_factor(d.type.provider, rng)
                      : 1.0;
+    if (params.enable_block_cache) {
+      storage::BlockCacheConfig base = params.block_cache;
+      // Model a worker local disk at least big enough for the shared
+      // dataset — a cache that cannot hold it would pass everything through.
+      base.capacity = std::max(base.capacity, workload.shared_input_size);
+      caches.reserve(static_cast<std::size_t>(workers));
+      for (int i = 0; i < workers; ++i) {
+        storage::BlockCacheConfig cc = base;
+        cc.name = "w" + std::to_string(i) + ".blockcache";
+        caches.push_back(std::make_unique<storage::BlockCache>(cc, params.metrics));
+      }
+    }
   }
 
   void populate() {
-    store.create_bucket(kBucket);
+    store->create_bucket(kBucket);
     fleet.launch(d.type, d.instances);
+    if (workload.shared_input_size > 0.0) {
+      // The job-wide reference dataset (BLAST NR database, GTM training
+      // matrix) goes up once; every task message points at it.
+      store->put_logical(kBucket, kSharedKey, workload.shared_input_size);
+    }
     std::vector<std::string> messages;
     messages.reserve(workload.tasks.size());
     for (const SimTask& t : workload.tasks) {
-      store.put_logical(kBucket, input_key(t), t.input_size);
+      store->put_logical(kBucket, input_key(t), t.input_size);
       classiccloud::TaskSpec spec;
       spec.task_id = "t" + std::to_string(t.id);
       spec.input_key = input_key(t);
       spec.output_key = output_key(t);
+      if (workload.shared_input_size > 0.0) spec.shared_keys = {kSharedKey};
       messages.push_back(classiccloud::encode_task(spec));
     }
     queue.send_batch(messages);
@@ -166,10 +200,26 @@ struct ClassicSim {
     const classiccloud::TaskSpec spec = classiccloud::decode_task(msg.body());
     const SimTask& task = task_of(spec);
 
-    const Seconds dl = store.sample_get_time(task.input_size, rng);
+    // Shared dataset first: a block-cache hit is served from the worker's
+    // disk and never touches the backend; a miss (or no cache) downloads it
+    // alongside the task's own input.
+    Bytes download = task.input_size;
+    for (const std::string& key : spec.shared_keys) {
+      if (!caches.empty()) {
+        const auto r = caches[static_cast<std::size_t>(w)]->fetch(*store, kBucket, key);
+        if (!r.hit) download += workload.shared_input_size;
+      } else {
+        (void)store->get(kBucket, key);  // meters the repeated download
+        download += workload.shared_input_size;
+      }
+    }
+
+    store->begin_transfer();  // shared/parallel FS contention; object: no-op
+    const Seconds dl = store->sample_get_time(download, rng);
     sim.after(dl, [this, w, msg, spec, &task] {
       auto& wrng = worker_rng[static_cast<std::size_t>(w)];
-      (void)store.get(kBucket, spec.input_key);  // meters the download
+      store->end_transfer();
+      (void)store->get(kBucket, spec.input_key);  // meters the download
       Seconds ex = model.sample(task, d, wrng) * run_factor;
       ex = with_straggler(ex, params, wrng);
       sim.after(ex, [this, w, msg, spec, &task, ex] {
@@ -183,9 +233,11 @@ struct ClassicSim {
             params.faults->fire(classiccloud::sites::kAfterExecute, spec.task_id)) {
           return;
         }
-        const Seconds ul = store.sample_put_time(task.output_size, wrng2);
+        store->begin_transfer();
+        const Seconds ul = store->sample_put_time(task.output_size, wrng2);
         sim.after(ul, [this, w, msg, spec, &task, ex, ul] {
-          store.put_logical(kBucket, spec.output_key, task.output_size);
+          store->end_transfer();
+          store->put_logical(kBucket, spec.output_key, task.output_size);
           classiccloud::MonitorRecord record;
           record.task_id = spec.task_id;
           record.worker_id = "w" + std::to_string(w);
@@ -240,9 +292,17 @@ RunResult run_classic_cloud_sim(const Workload& workload, const Deployment& depl
   r.compute_cost_hour_units = cs.fleet.hourly_billed_cost(cs.makespan);
   r.compute_cost_amortized = cs.fleet.amortized_cost(cs.makespan);
   r.queue_request_cost = cs.queue.request_cost() + cs.monitor.request_cost();
-  const auto meter = cs.store.meter();
+  const auto meter = cs.store->meter();
   r.bytes_in = meter.bytes_in;
   r.bytes_out = meter.bytes_out;
+  r.storage_backend = storage::to_string(cs.store->kind());
+  r.storage_service_cost = cs.store->service_cost(cs.makespan);
+  r.storage_heads = meter.heads;
+  for (const auto& cache : cs.caches) {
+    r.cache_hits += cache->hits();
+    r.cache_misses += cache->misses();
+    r.cache_bytes_saved += cache->bytes_saved();
+  }
   finalize_metrics(r, workload, deployment, model);
   if (params.metrics != nullptr) publish_run_metrics(r, *params.metrics);
   return r;
@@ -265,6 +325,9 @@ struct MapReduceSim {
   std::unique_ptr<mapreduce::TaskScheduler> scheduler;
   std::vector<ppc::Rng> slot_rng;
   double run_factor = 1.0;
+  /// Input-staging data plane; null unless SimRunParams::stage_inputs.
+  std::unique_ptr<storage::StorageBackend> stage_store;
+  ppc::Rng stage_rng;
 
   int completed = 0;
   int duplicate_executions = 0;
@@ -298,6 +361,21 @@ struct MapReduceSim {
       tasks.push_back(std::move(info));
     }
     scheduler = std::make_unique<mapreduce::TaskScheduler>(std::move(tasks), p.scheduler);
+    if (params.stage_inputs) {
+      // Extra splits sit after every baseline draw, so runs without staging
+      // consume the identical random stream as before.
+      stage_store =
+          storage::make_backend(p.storage, sim.clock(), rng.split(), backend_tuning(p));
+      stage_rng = rng.split();
+    }
+  }
+
+  void launch_node(int node) {
+    for (int s = 0; s < d.workers_per_instance; ++s) {
+      const int slot = node * d.workers_per_instance + s;
+      sim.after(slot_rng[static_cast<std::size_t>(slot)].uniform(0.0, 0.5),
+                [this, node, slot] { request(node, slot); });
+    }
   }
 
   void start() {
@@ -309,12 +387,29 @@ struct MapReduceSim {
         hdfs.fail_node(params.failed_node);  // replicas re-replicate
       });
     }
-    for (int node = 0; node < d.instances; ++node) {
-      for (int s = 0; s < d.workers_per_instance; ++s) {
-        const int slot = node * d.workers_per_instance + s;
-        sim.after(slot_rng[static_cast<std::size_t>(slot)].uniform(0.0, 0.5),
-                  [this, node, slot] { request(node, slot); });
+    if (stage_store != nullptr) {
+      // The paper's data distribution step: every node pulls its share of
+      // the input (plus the shared dataset, if any) from the selected
+      // backend before its slots take work. All nodes pull concurrently, so
+      // the backend's contention model shapes the staging phase.
+      stage_store->create_bucket("stage");
+      Bytes total = 0.0;
+      for (const SimTask& t : workload.tasks) total += t.input_size;
+      const Bytes per_node = total / std::max(1, d.instances) + workload.shared_input_size;
+      for (int node = 0; node < d.instances; ++node) {
+        stage_store->put_logical("stage", "in/n" + std::to_string(node), per_node);
       }
+      for (int node = 0; node < d.instances; ++node) stage_store->begin_transfer();
+      for (int node = 0; node < d.instances; ++node) {
+        const Seconds t = stage_store->sample_get_time(per_node, stage_rng);
+        sim.after(t, [this, node] {
+          stage_store->end_transfer();
+          (void)stage_store->get("stage", "in/n" + std::to_string(node));  // meters
+          launch_node(node);
+        });
+      }
+    } else {
+      for (int node = 0; node < d.instances; ++node) launch_node(node);
     }
     sim.run();
     if (!finished) makespan = sim.now();
@@ -394,6 +489,14 @@ RunResult run_mapreduce_sim(const Workload& workload, const Deployment& deployme
   r.scheduler_stats = ms.scheduler->stats();
   r.local_reads = static_cast<std::uint64_t>(r.scheduler_stats.local_assignments);
   r.remote_reads = static_cast<std::uint64_t>(r.scheduler_stats.remote_assignments);
+  if (ms.stage_store != nullptr) {
+    const auto meter = ms.stage_store->meter();
+    r.bytes_in = meter.bytes_in;
+    r.bytes_out = meter.bytes_out;
+    r.storage_backend = storage::to_string(ms.stage_store->kind());
+    r.storage_service_cost = ms.stage_store->service_cost(ms.makespan);
+    r.storage_heads = meter.heads;
+  }
   finalize_metrics(r, workload, deployment, model);
   if (params.metrics != nullptr) publish_run_metrics(r, *params.metrics);
   return r;
@@ -414,8 +517,12 @@ struct DryadSim {
 
   dryad::FileShare share;
   std::vector<std::deque<int>> node_queue;  // task ids per node (static!)
+  std::vector<Bytes> node_bytes;            // partition bytes per node
   std::vector<ppc::Rng> slot_rng;
   double run_factor = 1.0;
+  /// Partition-distribution data plane; null unless stage_inputs.
+  std::unique_ptr<storage::StorageBackend> stage_store;
+  ppc::Rng stage_rng;
 
   int completed = 0;
   Seconds makespan = 0.0;
@@ -450,23 +557,58 @@ struct DryadSim {
         params.dryad_partition_by_size
             ? dryad::PartitionedTable::by_size(names, sizes, dep.instances)
             : dryad::PartitionedTable::round_robin(names, dep.instances);
+    node_bytes.assign(static_cast<std::size_t>(dep.instances), 0.0);
     for (const auto& part : table.partitions()) {
       for (const auto& name : part.files) {
-        node_queue[static_cast<std::size_t>(part.node)].push_back(std::stoi(name));
+        const int task_id = std::stoi(name);
+        node_queue[static_cast<std::size_t>(part.node)].push_back(task_id);
+        node_bytes[static_cast<std::size_t>(part.node)] +=
+            w.tasks.at(static_cast<std::size_t>(task_id)).input_size;
         // Placeholder content: the distribution step puts every partition
         // file on its node's share so processing reads are local.
         share.write(part.node, name, std::string());
       }
     }
+    if (params.stage_inputs) {
+      // Extra splits sit after every baseline draw (see MapReduceSim).
+      stage_store =
+          storage::make_backend(p.storage, sim.clock(), rng.split(), backend_tuning(p));
+      stage_rng = rng.split();
+    }
+  }
+
+  void launch_node(int node) {
+    for (int s = 0; s < d.workers_per_instance; ++s) {
+      const int slot = node * d.workers_per_instance + s;
+      sim.after(slot_rng[static_cast<std::size_t>(slot)].uniform(0.0, 0.2),
+                [this, node, slot] { next(node, slot); });
+    }
   }
 
   void start() {
-    for (int node = 0; node < d.instances; ++node) {
-      for (int s = 0; s < d.workers_per_instance; ++s) {
-        const int slot = node * d.workers_per_instance + s;
-        sim.after(slot_rng[static_cast<std::size_t>(slot)].uniform(0.0, 0.2),
-                  [this, node, slot] { next(node, slot); });
+    if (stage_store != nullptr) {
+      // §2.3's "data partition and distribution programs", modelled against
+      // the selected backend: each node pulls exactly its partitions' bytes
+      // (plus the shared dataset) before its vertices run.
+      stage_store->create_bucket("stage");
+      for (int node = 0; node < d.instances; ++node) {
+        stage_store->put_logical(
+            "stage", "part/n" + std::to_string(node),
+            node_bytes[static_cast<std::size_t>(node)] + workload.shared_input_size);
       }
+      for (int node = 0; node < d.instances; ++node) stage_store->begin_transfer();
+      for (int node = 0; node < d.instances; ++node) {
+        const Bytes bytes =
+            node_bytes[static_cast<std::size_t>(node)] + workload.shared_input_size;
+        const Seconds t = stage_store->sample_get_time(bytes, stage_rng);
+        sim.after(t, [this, node] {
+          stage_store->end_transfer();
+          (void)stage_store->get("stage", "part/n" + std::to_string(node));  // meters
+          launch_node(node);
+        });
+      }
+    } else {
+      for (int node = 0; node < d.instances; ++node) launch_node(node);
     }
     sim.run();
   }
@@ -515,6 +657,14 @@ RunResult run_dryad_sim(const Workload& workload, const Deployment& deployment,
   r.exec_times = ds.exec_times;
   r.trace = std::move(ds.trace);
   r.local_reads = ds.share.stats().local_reads;
+  if (ds.stage_store != nullptr) {
+    const auto meter = ds.stage_store->meter();
+    r.bytes_in = meter.bytes_in;
+    r.bytes_out = meter.bytes_out;
+    r.storage_backend = storage::to_string(ds.stage_store->kind());
+    r.storage_service_cost = ds.stage_store->service_cost(ds.makespan);
+    r.storage_heads = meter.heads;
+  }
   finalize_metrics(r, workload, deployment, model);
   if (params.metrics != nullptr) publish_run_metrics(r, *params.metrics);
   return r;

@@ -23,11 +23,32 @@
 #include "minihdfs/mini_hdfs.h"
 #include "runtime/fault_injector.h"
 #include "runtime/metrics.h"
+#include "storage/block_cache.h"
+#include "storage/fs_backends.h"
 
 namespace ppc::core {
 
 struct SimRunParams {
   unsigned seed = 42;
+
+  // -- storage data plane --
+  /// Backend serving the Classic Cloud data plane (and MapReduce/Dryad
+  /// input staging when `stage_inputs` is set): the 2010 object store, an
+  /// NFS-like shared FS, or a Lustre-like parallel FS. The matching config
+  /// below (`blob`, `sharedfs`, `parallelfs`) tunes whichever is selected.
+  storage::StorageKind storage = storage::StorageKind::kObject;
+  storage::SharedFsConfig sharedfs;
+  storage::ParallelFsConfig parallelfs;
+  /// Per-worker content-addressed block cache for the workload's shared
+  /// dataset (Workload::shared_input_size — the BLAST NR database, the GTM
+  /// training matrix). Off: every task re-downloads the shared data.
+  bool enable_block_cache = false;
+  storage::BlockCacheConfig block_cache;
+  /// MapReduce/Dryad: model staging the inputs from the selected storage
+  /// backend into HDFS / node shares before the job starts (per-backend
+  /// scaling rows). Off = inputs pre-placed, as the checked-in baselines
+  /// assume.
+  bool stage_inputs = false;
 
   // -- Classic Cloud --
   cloudq::QueueConfig queue;
@@ -116,6 +137,17 @@ struct RunResult {
   Dollars queue_request_cost = 0.0;
   Bytes bytes_in = 0.0;   // into cloud storage
   Bytes bytes_out = 0.0;  // out of cloud storage
+
+  // Storage data plane. `storage_backend` is "local" when the run never
+  // touched a backend (MapReduce/Dryad without input staging).
+  std::string storage_backend = "local";
+  /// FS server-hours billed over the makespan (object store: 0 — it bills
+  /// per GB/request instead, under bytes_in/out + transfer fees).
+  Dollars storage_service_cost = 0.0;
+  std::uint64_t storage_heads = 0;  // HEAD/exists revalidation requests
+  std::uint64_t cache_hits = 0;     // summed over per-worker block caches
+  std::uint64_t cache_misses = 0;
+  Bytes cache_bytes_saved = 0.0;  // shared-dataset bytes served locally
 
   // Scheduling visibility.
   mapreduce::TaskScheduler::Stats scheduler_stats;  // MapReduce only

@@ -19,15 +19,19 @@ std::vector<Deployment> ec2_16core_deployments() {
 }
 
 InstanceTypeRow run_one_instance_row(const Workload& workload, const Deployment& d,
-                                     const ExecutionModel& model, unsigned seed) {
+                                     const ExecutionModel& model, unsigned seed,
+                                     storage::StorageKind backend) {
   SimRunParams params;
   params.seed = seed;
+  params.storage = backend;
   const RunResult r = run_classic_cloud_sim(workload, d, model, params);
   InstanceTypeRow row;
   row.label = d.label;
+  row.storage = r.storage_backend;
   row.compute_time = r.makespan;
   row.cost_hour_units = r.compute_cost_hour_units;
   row.cost_amortized = r.compute_cost_amortized;
+  row.storage_service_cost = r.storage_service_cost;
   return row;
 }
 
@@ -42,38 +46,42 @@ cloud::InstanceType windows_variant(const cloud::InstanceType& type) {
 
 }  // namespace
 
-std::vector<InstanceTypeRow> run_cap3_ec2_instance_study(unsigned seed) {
+std::vector<InstanceTypeRow> run_cap3_ec2_instance_study(unsigned seed,
+                                                         storage::StorageKind backend) {
   const Workload workload = make_cap3_workload(/*files=*/200, /*reads_per_file=*/200);
   const ExecutionModel model(AppKind::kCap3);
   std::vector<InstanceTypeRow> rows;
   for (const Deployment& d : ec2_16core_deployments()) {
-    rows.push_back(run_one_instance_row(workload, d, model, seed));
+    rows.push_back(run_one_instance_row(workload, d, model, seed, backend));
   }
   return rows;
 }
 
-std::vector<InstanceTypeRow> run_blast_ec2_instance_study(unsigned seed) {
+std::vector<InstanceTypeRow> run_blast_ec2_instance_study(unsigned seed,
+                                                          storage::StorageKind backend) {
   const Workload workload =
       make_blast_workload(/*files=*/64, /*queries_per_file=*/100, /*seed=*/seed);
   const ExecutionModel model(AppKind::kBlast);
   std::vector<InstanceTypeRow> rows;
   for (const Deployment& d : ec2_16core_deployments()) {
-    rows.push_back(run_one_instance_row(workload, d, model, seed));
+    rows.push_back(run_one_instance_row(workload, d, model, seed, backend));
   }
   return rows;
 }
 
-std::vector<InstanceTypeRow> run_gtm_ec2_instance_study(unsigned seed) {
+std::vector<InstanceTypeRow> run_gtm_ec2_instance_study(unsigned seed,
+                                                        storage::StorageKind backend) {
   const Workload workload = make_gtm_workload(/*files=*/264);
   const ExecutionModel model(AppKind::kGtm);
   std::vector<InstanceTypeRow> rows;
   for (const Deployment& d : ec2_16core_deployments()) {
-    rows.push_back(run_one_instance_row(workload, d, model, seed));
+    rows.push_back(run_one_instance_row(workload, d, model, seed, backend));
   }
   return rows;
 }
 
-std::vector<AzureBlastRow> run_blast_azure_instance_study(unsigned seed) {
+std::vector<AzureBlastRow> run_blast_azure_instance_study(unsigned seed,
+                                                          storage::StorageKind backend) {
   // §5.1 / Figure 9: 8 query files, 8 cores total, every (workers x threads)
   // factorization of each instance type's core count.
   struct Config {
@@ -104,6 +112,7 @@ std::vector<AzureBlastRow> run_blast_azure_instance_study(unsigned seed) {
     const Deployment d = make_deployment(c.type, c.instances, c.workers, c.threads);
     SimRunParams params;
     params.seed = seed;
+    params.storage = backend;
     const RunResult r = run_classic_cloud_sim(workload, d, model, params);
     AzureBlastRow row;
     row.label = d.label;
@@ -123,13 +132,18 @@ struct FrameworkSetup {
 
 std::vector<ScalingPoint> run_scaling(const std::vector<FrameworkSetup>& setups,
                                       AppKind app,
-                                      const std::vector<Workload>& workloads, unsigned seed) {
+                                      const std::vector<Workload>& workloads, unsigned seed,
+                                      storage::StorageKind backend) {
   const ExecutionModel model(app);
   std::vector<ScalingPoint> points;
   for (const FrameworkSetup& setup : setups) {
     for (const Workload& w : workloads) {
       SimRunParams params;
       params.seed = seed;
+      params.storage = backend;
+      // FS rows also model the MapReduce/Dryad input distribution through
+      // the backend; the object default keeps the baseline (pre-placed).
+      params.stage_inputs = backend != storage::StorageKind::kObject;
       RunResult r;
       switch (setup.kind) {
         case FrameworkSetup::Kind::kClassicCloud:
@@ -145,6 +159,7 @@ std::vector<ScalingPoint> run_scaling(const std::vector<FrameworkSetup>& setups,
       ScalingPoint p;
       p.framework = r.framework;
       p.deployment = setup.deployment.label;
+      p.storage = r.storage_backend;
       p.files = static_cast<int>(w.size());
       p.efficiency = r.parallel_efficiency;
       p.per_core_task_seconds = r.per_core_task_seconds;
@@ -158,7 +173,8 @@ std::vector<ScalingPoint> run_scaling(const std::vector<FrameworkSetup>& setups,
 }  // namespace
 
 std::vector<ScalingPoint> run_cap3_scaling_study(unsigned seed,
-                                                 const std::vector<int>& file_counts) {
+                                                 const std::vector<int>& file_counts,
+                                                 storage::StorageKind backend) {
   // §4.2: EC2 16 HCXL, Azure 128 Small, Hadoop/Dryad on 32 x 8-core nodes.
   const std::vector<FrameworkSetup> setups = {
       {FrameworkSetup::Kind::kClassicCloud, make_deployment(cloud::ec2_hcxl(), 16, 8)},
@@ -169,11 +185,12 @@ std::vector<ScalingPoint> run_cap3_scaling_study(unsigned seed,
   };
   std::vector<Workload> workloads;
   for (int files : file_counts) workloads.push_back(make_cap3_workload(files, 458));
-  return run_scaling(setups, AppKind::kCap3, workloads, seed);
+  return run_scaling(setups, AppKind::kCap3, workloads, seed, backend);
 }
 
 std::vector<ScalingPoint> run_blast_scaling_study(unsigned seed,
-                                                  const std::vector<int>& replications) {
+                                                  const std::vector<int>& replications,
+                                                  storage::StorageKind backend) {
   // §5.2: EC2 16 HCXL, Azure 16 Large, Hadoop on iDataplex 8-core nodes,
   // Dryad on 16-core HPCS nodes.
   const std::vector<FrameworkSetup> setups = {
@@ -187,11 +204,12 @@ std::vector<ScalingPoint> run_blast_scaling_study(unsigned seed,
   for (int k : replications) {
     workloads.push_back(make_blast_workload(128 * k, 100, seed, /*base_set=*/128));
   }
-  return run_scaling(setups, AppKind::kBlast, workloads, seed);
+  return run_scaling(setups, AppKind::kBlast, workloads, seed, backend);
 }
 
 std::vector<ScalingPoint> run_gtm_scaling_study(unsigned seed,
-                                                const std::vector<int>& file_counts) {
+                                                const std::vector<int>& file_counts,
+                                                storage::StorageKind backend) {
   // §6.2: EC2 Large / HCXL / HM4XL tested separately, Azure Small, Hadoop
   // on the 48 GB nodes (8 cores used), Dryad on 16-core nodes. ~64 cores
   // per framework.
@@ -206,11 +224,12 @@ std::vector<ScalingPoint> run_gtm_scaling_study(unsigned seed,
   };
   std::vector<Workload> workloads;
   for (int files : file_counts) workloads.push_back(make_gtm_workload(files));
-  return run_scaling(setups, AppKind::kGtm, workloads, seed);
+  return run_scaling(setups, AppKind::kGtm, workloads, seed, backend);
 }
 
-Table4Report run_table4_cost_comparison(unsigned seed) {
+Table4Report run_table4_cost_comparison(unsigned seed, storage::StorageKind backend) {
   Table4Report report;
+  report.storage_backend = storage::to_string(backend);
   const Workload workload = make_cap3_workload(/*files=*/4096, /*reads_per_file=*/458);
   const ExecutionModel model(AppKind::kCap3);
 
@@ -222,32 +241,48 @@ Table4Report run_table4_cost_comparison(unsigned seed) {
   const double gb_in = to_gigabytes(total_in);
   const double gb_out = to_gigabytes(total_out);
 
+  const bool fs_backend = backend != storage::StorageKind::kObject;
+
   // EC2: 16 HCXL instances, 128 workers.
   {
     SimRunParams params;
     params.seed = seed;
+    params.storage = backend;
     const Deployment d = make_deployment(cloud::ec2_hcxl(), 16, 8);
     const RunResult r = run_classic_cloud_sim(workload, d, model, params);
     report.ec2_makespan = r.makespan;
     report.ec2.add("Compute Cost (hour units)", r.compute_cost_hour_units);
     report.ec2.add("Queue messages", r.queue_request_cost);
-    report.ec2.add("Storage (1 month)", billing::storage_cost(total_in, 1.0, 0.14));
-    // The paper charges EC2 only for transfer in (results stay in-region).
-    report.ec2.add("Data transfer in", billing::transfer_cost(gb_in, 0.0, 0.10, 0.0));
+    if (fs_backend) {
+      // An FS data plane bills flat capacity plus server-hours instead of
+      // per-GB transfer and per-request fees.
+      report.ec2.add("FS storage (1 month)", billing::storage_cost(total_in, 1.0, 0.10));
+      report.ec2.add("FS servers", r.storage_service_cost);
+    } else {
+      report.ec2.add("Storage (1 month)", billing::storage_cost(total_in, 1.0, 0.14));
+      // The paper charges EC2 only for transfer in (results stay in-region).
+      report.ec2.add("Data transfer in", billing::transfer_cost(gb_in, 0.0, 0.10, 0.0));
+    }
   }
 
   // Azure: 128 Small instances.
   {
     SimRunParams params;
     params.seed = seed + 1;
+    params.storage = backend;
     const Deployment d = make_deployment(cloud::azure_small(), 128, 1);
     const RunResult r = run_classic_cloud_sim(workload, d, model, params);
     report.azure_makespan = r.makespan;
     report.azure.add("Compute Cost (hour units)", r.compute_cost_hour_units);
     report.azure.add("Queue messages", r.queue_request_cost);
-    report.azure.add("Storage (1 month)", billing::storage_cost(total_in, 1.0, 0.15));
-    report.azure.add("Data transfer in/out",
-                     billing::transfer_cost(gb_in, gb_out, 0.10, 0.15));
+    if (fs_backend) {
+      report.azure.add("FS storage (1 month)", billing::storage_cost(total_in, 1.0, 0.10));
+      report.azure.add("FS servers", r.storage_service_cost);
+    } else {
+      report.azure.add("Storage (1 month)", billing::storage_cost(total_in, 1.0, 0.15));
+      report.azure.add("Data transfer in/out",
+                       billing::transfer_cost(gb_in, gb_out, 0.10, 0.15));
+    }
   }
 
   // Owned cluster (§4.3): run the Hadoop analog on the 32-node 24-core

@@ -13,22 +13,32 @@
 namespace ppc::core {
 
 // --- Instance-type studies (Figures 3/4, 7/8, 12/13): 16 cores, EC2 ---
+//
+// Every study accepts a trailing storage backend selector. The default
+// (object store) reproduces the checked-in baselines byte-for-byte; the
+// shared/parallel-FS variants re-run the same figure with the data plane
+// swapped, producing the per-backend rows the storage benches print.
 
 struct InstanceTypeRow {
   std::string label;        // "EC2-HCXL - 2x8"
+  std::string storage;      // backend the data plane ran on
   Seconds compute_time = 0.0;
   Dollars cost_hour_units = 0.0;
   Dollars cost_amortized = 0.0;
+  Dollars storage_service_cost = 0.0;  // FS server-hours (object: 0)
 };
 
 /// Figures 3 & 4: Cap3, 200 files x 200 reads on 16 cores.
-std::vector<InstanceTypeRow> run_cap3_ec2_instance_study(unsigned seed = 42);
+std::vector<InstanceTypeRow> run_cap3_ec2_instance_study(
+    unsigned seed = 42, storage::StorageKind backend = storage::StorageKind::kObject);
 
 /// Figures 7 & 8: BLAST, 64 query files x 100 queries on 16 cores.
-std::vector<InstanceTypeRow> run_blast_ec2_instance_study(unsigned seed = 42);
+std::vector<InstanceTypeRow> run_blast_ec2_instance_study(
+    unsigned seed = 42, storage::StorageKind backend = storage::StorageKind::kObject);
 
 /// Figures 12 & 13: GTM Interpolation, 264 files x 100k points on 16 cores.
-std::vector<InstanceTypeRow> run_gtm_ec2_instance_study(unsigned seed = 42);
+std::vector<InstanceTypeRow> run_gtm_ec2_instance_study(
+    unsigned seed = 42, storage::StorageKind backend = storage::StorageKind::kObject);
 
 // --- Figure 9: BLAST on Azure, workers x threads grid, 8 cores total ---
 
@@ -38,13 +48,15 @@ struct AzureBlastRow {
   Dollars cost_amortized = 0.0;
 };
 
-std::vector<AzureBlastRow> run_blast_azure_instance_study(unsigned seed = 42);
+std::vector<AzureBlastRow> run_blast_azure_instance_study(
+    unsigned seed = 42, storage::StorageKind backend = storage::StorageKind::kObject);
 
 // --- Scalability studies (Figures 5/6, 10/11, 14/15) ---
 
 struct ScalingPoint {
   std::string framework;
   std::string deployment;
+  std::string storage;  // "local" for unstaged MapReduce/Dryad rows
   int files = 0;
   double efficiency = 0.0;            // Figure 5/10/14
   Seconds per_core_task_seconds = 0;  // Figure 6/11/15
@@ -53,19 +65,23 @@ struct ScalingPoint {
 
 /// Figures 5 & 6: Cap3, replicated 458-read files across four frameworks
 /// (EC2 16xHCXL, Azure 128xSmall, Hadoop & DryadLINQ on the 32x8-core
-/// bare-metal cluster).
+/// bare-metal cluster). Non-object backends also stage MapReduce/Dryad
+/// inputs through the selected backend.
 std::vector<ScalingPoint> run_cap3_scaling_study(
-    unsigned seed = 42, const std::vector<int>& file_counts = {512, 1024, 2048, 3072, 4096});
+    unsigned seed = 42, const std::vector<int>& file_counts = {512, 1024, 2048, 3072, 4096},
+    storage::StorageKind backend = storage::StorageKind::kObject);
 
 /// Figures 10 & 11: BLAST, the inhomogeneous 128-file set replicated 1-6x
 /// (EC2 16xHCXL, Azure 16xLarge, Hadoop on iDataplex, Dryad on HPCS).
 std::vector<ScalingPoint> run_blast_scaling_study(
-    unsigned seed = 42, const std::vector<int>& replications = {1, 2, 3, 4, 5, 6});
+    unsigned seed = 42, const std::vector<int>& replications = {1, 2, 3, 4, 5, 6},
+    storage::StorageKind backend = storage::StorageKind::kObject);
 
 /// Figures 14 & 15: GTM Interpolation on ~64 cores per framework, sweeping
 /// the PubChem subset size (files of 100k points).
 std::vector<ScalingPoint> run_gtm_scaling_study(
-    unsigned seed = 42, const std::vector<int>& file_counts = {88, 176, 264});
+    unsigned seed = 42, const std::vector<int>& file_counts = {88, 176, 264},
+    storage::StorageKind backend = storage::StorageKind::kObject);
 
 // --- Table 4: cost to assemble 4096 Cap3 files ---
 
@@ -74,12 +90,17 @@ struct Table4Report {
   billing::CostReport azure{"Azure (128 x Small)"};
   /// (utilization, job cost) for the owned cluster at 80/70/60%.
   std::vector<std::pair<double, Dollars>> cluster_costs;
+  std::string storage_backend = "object";
   Seconds ec2_makespan = 0.0;
   Seconds azure_makespan = 0.0;
   double cluster_core_hours = 0.0;
 };
 
-Table4Report run_table4_cost_comparison(unsigned seed = 42);
+/// With a shared/parallel-FS backend the per-GB storage/transfer line items
+/// are replaced by the FS line items: flat per-GB-month storage plus the
+/// metered server-hours for the job.
+Table4Report run_table4_cost_comparison(
+    unsigned seed = 42, storage::StorageKind backend = storage::StorageKind::kObject);
 
 // --- §3: sustained performance variability ---
 

@@ -34,12 +34,14 @@ Workload make_cap3_workload(int files, int reads_per_file) {
 }
 
 Workload make_blast_workload(int files, int queries_per_file, unsigned seed, int base_set,
-                             double inhomogeneity_cv) {
+                             double inhomogeneity_cv, Bytes nr_db_size) {
   PPC_REQUIRE(files >= 1 && queries_per_file >= 1, "invalid BLAST workload shape");
   PPC_REQUIRE(base_set >= 1, "base set must be >= 1");
+  PPC_REQUIRE(nr_db_size >= 0.0, "NR database size must be >= 0");
   Workload w;
   w.app = AppKind::kBlast;
   w.name = "blast-" + std::to_string(files) + "x" + std::to_string(queries_per_file);
+  w.shared_input_size = nr_db_size;
   w.tasks.reserve(static_cast<std::size_t>(files));
 
   // Per-file work factors for the inhomogeneous base set; replication
@@ -63,11 +65,13 @@ Workload make_blast_workload(int files, int queries_per_file, unsigned seed, int
   return w;
 }
 
-Workload make_gtm_workload(int files, double points_per_file) {
+Workload make_gtm_workload(int files, double points_per_file, Bytes training_matrix_size) {
   PPC_REQUIRE(files >= 1 && points_per_file >= 1.0, "invalid GTM workload shape");
+  PPC_REQUIRE(training_matrix_size >= 0.0, "training matrix size must be >= 0");
   Workload w;
   w.app = AppKind::kGtm;
   w.name = "gtm-" + std::to_string(files) + "files";
+  w.shared_input_size = training_matrix_size;
   w.tasks.reserve(static_cast<std::size_t>(files));
   // 100k points x 166 dims x 8 bytes ≈ 127 MB raw; compressed splits are
   // ~4x smaller (§6.2 ships compressed splits and unzips before executing).

@@ -29,6 +29,11 @@ struct Workload {
   AppKind app = AppKind::kCap3;
   std::string name;
   std::vector<SimTask> tasks;
+  /// Job-wide reference dataset every task reads in addition to its own
+  /// input (the BLAST NR database, the GTM training matrix). 0 = none.
+  /// With a worker block cache enabled this is downloaded once per worker;
+  /// without one, once per task.
+  Bytes shared_input_size = 0.0;
 
   std::size_t size() const { return tasks.size(); }
 };
@@ -42,13 +47,20 @@ Workload make_cap3_workload(int files, int reads_per_file);
 /// BLAST: `files` query files of `queries_per_file` queries (7-8 KB files,
 /// §5). The base set of `base_set` files is inhomogeneous (per-file work
 /// factors drawn once), and larger sets replicate it: "the base 128-file
-/// data set is inhomogeneous" (§5.2).
+/// data set is inhomogeneous" (§5.2). `nr_db_size` > 0 marks the NR
+/// database as a job-wide shared input every task must read (§5.1 stages it
+/// to each node); 0 keeps the database out of the modelled data plane, as
+/// the checked-in baselines assume pre-staged local copies.
 Workload make_blast_workload(int files, int queries_per_file, unsigned seed,
-                             int base_set = 128, double inhomogeneity_cv = 0.30);
+                             int base_set = 128, double inhomogeneity_cv = 0.30,
+                             Bytes nr_db_size = 0.0);
 
 /// GTM: `files` compressed splits of `points_per_file` 166-dim points
 /// (§6.2: 264 files x 100k points; "Compressed data splits ... were used
-/// due to the large size of the input data").
-Workload make_gtm_workload(int files, double points_per_file = 100000.0);
+/// due to the large size of the input data"). `training_matrix_size` > 0
+/// marks the interpolation training matrix as a job-wide shared input;
+/// 0 = pre-staged (baseline behaviour).
+Workload make_gtm_workload(int files, double points_per_file = 100000.0,
+                           Bytes training_matrix_size = 0.0);
 
 }  // namespace ppc::core

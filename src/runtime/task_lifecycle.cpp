@@ -15,7 +15,7 @@ bool TaskContext::crash_site(const std::string& site, const std::string& key) {
   return faults != nullptr && faults->fire(site, key);
 }
 
-std::shared_ptr<const std::string> TaskContext::fetch(blobstore::BlobStore& store,
+std::shared_ptr<const std::string> TaskContext::fetch(storage::StorageBackend& store,
                                                       const std::string& bucket,
                                                       const std::string& key) {
   return retry([&]() -> std::shared_ptr<const std::string> {
@@ -23,8 +23,12 @@ std::shared_ptr<const std::string> TaskContext::fetch(blobstore::BlobStore& stor
     if (data == nullptr) return nullptr;
     // Validate the download against the upload-time checksum (ETag): a
     // delivery corrupted in flight counts as a miss and is re-fetched.
+    // Logical objects (empty payload, identity-derived etag) have no bytes
+    // to validate.
     const auto expected = store.etag(bucket, key);
-    if (expected.has_value() && ppc::fnv1a64(*data) != *expected) return nullptr;
+    if (expected.has_value() && !data->empty() && ppc::fnv1a64(*data) != *expected) {
+      return nullptr;
+    }
     return data;
   });
 }

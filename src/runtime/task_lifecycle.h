@@ -22,12 +22,12 @@
 #include <string_view>
 #include <thread>
 
-#include "blobstore/blob_store.h"
 #include "cloudq/message_queue.h"
 #include "runtime/fault_injector.h"
 #include "runtime/metrics.h"
 #include "runtime/retry_policy.h"
 #include "runtime/tracer.h"
+#include "storage/storage_backend.h"
 
 namespace ppc::runtime {
 
@@ -98,12 +98,12 @@ class TaskContext {
   /// handler returns TaskOutcome::kCrashed).
   bool crash_site(const std::string& site, const std::string& key = "");
 
-  /// Blob download that rides out read-after-write lag with the lifecycle's
-  /// retry policy, counting `downloads_missed` per miss. The payload aliases
-  /// the stored blob (zero-copy). Null when the retry budget is exhausted
-  /// (abandon the delivery; the blob will be visible by the time the message
-  /// reappears).
-  std::shared_ptr<const std::string> fetch(blobstore::BlobStore& store,
+  /// Blob download (from any storage backend) that rides out
+  /// read-after-write lag with the lifecycle's retry policy, counting
+  /// `downloads_missed` per miss. The payload aliases the stored blob
+  /// (zero-copy). Null when the retry budget is exhausted (abandon the
+  /// delivery; the blob will be visible by the time the message reappears).
+  std::shared_ptr<const std::string> fetch(storage::StorageBackend& store,
                                            const std::string& bucket, const std::string& key);
 
   /// Generic retry with the lifecycle's policy: `fn` returns an optional-

@@ -206,6 +206,7 @@ std::uint64_t Tracer::op_begin(std::string_view site, std::string_view key) {
   std::string_view category = "service";
   if (site.rfind("cloudq.", 0) == 0) category = "queue";
   else if (site.rfind("blobstore.", 0) == 0) category = "blob";
+  else if (site.rfind("cache.", 0) == 0) category = "cache";
   const std::uint64_t id = open_span(site, category, t_track, t_task);
   if (!key.empty()) span_arg(id, "key", key);
   return id;

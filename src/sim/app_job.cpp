@@ -45,6 +45,10 @@ AppJob make_app_job(const std::string& app, int num_files, double skew) {
     db_config.num_sequences = 24;
     const auto db = apps::blast::SequenceDb::generate(db_config, rng);
     auto index = std::make_shared<apps::blast::BlastIndex>(db);
+    // The database rides the data plane as shared reference data (the NR
+    // database of §5.1); the executor keeps its prebuilt index so outputs
+    // stay byte-identical whether or not a cache serves the download.
+    job.shared_files.emplace_back("blast-db.fa", db.to_fasta());
     for (int i = 0; i < num_files; ++i) {
       job.files.emplace_back(
           "blast-" + std::to_string(i) + ".fa",
@@ -64,6 +68,8 @@ AppJob make_app_job(const std::string& app, int num_files, double skew) {
     gtm_config.em_iterations = 4;
     auto model = std::make_shared<apps::gtm::GtmModel>(
         apps::gtm::GtmModel::train(samples, gtm_config, rng));
+    // The training matrix is the GTM job's shared reference data (§6.2).
+    job.shared_files.emplace_back("gtm-train.csv", apps::gtm::matrix_to_csv(samples));
     for (int i = 0; i < num_files; ++i) {
       data_config.num_points = scaled(12, i, num_files, skew);
       job.files.emplace_back(

@@ -16,6 +16,11 @@ namespace ppc::sim {
 /// "executable".
 struct AppJob {
   std::vector<std::pair<std::string, std::string>> files;
+  /// Job-wide reference data every task reads besides its own input — the
+  /// BLAST sequence database, the GTM training matrix (Cap3 has none).
+  /// Substrates with a worker block cache upload these once and fetch them
+  /// content-addressed, once per worker instead of once per task.
+  std::vector<std::pair<std::string, std::string>> shared_files;
   std::function<std::string(const std::string& name, const std::string& data)> fn;
 };
 

@@ -8,7 +8,6 @@
 #include <utility>
 
 #include "azuremr/runtime.h"
-#include "blobstore/blob_store.h"
 #include "classiccloud/job_client.h"
 #include "cloudq/queue_service.h"
 #include "common/clock.h"
@@ -22,6 +21,7 @@
 #include "runtime/tracer.h"
 #include "runtime/worker_supervisor.h"
 #include "sim/app_job.h"
+#include "storage/fs_backends.h"
 
 namespace ppc::sim {
 
@@ -173,7 +173,9 @@ void harvest_registry(RunContext& ctx) {
 Outputs run_classiccloud(const ChaosConfig& cfg, const AppJob& app, RunContext& ctx) {
   const bool chaos = ctx.faults != nullptr;
   auto clock = std::make_shared<ppc::SystemClock>();
-  blobstore::BlobStore store(clock);
+  const auto store_ptr = storage::make_backend(storage::parse_storage_kind(cfg.storage), clock,
+                                               ppc::Rng(cfg.seed ^ 0xCAFE));
+  storage::StorageBackend& store = *store_ptr;
   cloudq::QueueService queues(clock);
   const std::string job = "chaos-cc";
   std::shared_ptr<cloudq::MessageQueue> task_queue;
@@ -186,7 +188,7 @@ Outputs run_classiccloud(const ChaosConfig& cfg, const AppJob& app, RunContext& 
   }
   classiccloud::JobClient client(store, queues, job);
   if (!chaos) task_queue = client.task_queue();
-  client.submit(app.files);
+  client.submit(app.files, app.shared_files);
   if (chaos) {
     // Poison sentinel: an undecodable task body. Every delivery fails, so
     // the lifecycle must dead-letter it after max_receive_count deliveries.
@@ -205,6 +207,7 @@ Outputs run_classiccloud(const ChaosConfig& cfg, const AppJob& app, RunContext& 
   wc.faults = ctx.faults;
   wc.metrics = ctx.metrics;
   wc.tracer = ctx.tracer;
+  wc.enable_cache = cfg.enable_cache;
   runtime::SupervisorConfig sc;
   sc.num_workers = cfg.num_workers;
   sc.id_prefix = job + "-w";
@@ -259,7 +262,9 @@ Outputs run_classiccloud(const ChaosConfig& cfg, const AppJob& app, RunContext& 
 Outputs run_azuremr(const ChaosConfig& cfg, const AppJob& app, RunContext& ctx) {
   const bool chaos = ctx.faults != nullptr;
   auto clock = std::make_shared<ppc::SystemClock>();
-  blobstore::BlobStore store(clock);
+  const auto store_ptr = storage::make_backend(storage::parse_storage_kind(cfg.storage), clock,
+                                               ppc::Rng(cfg.seed ^ 0xAC));
+  storage::StorageBackend& store = *store_ptr;
   cloudq::QueueService queues(clock);
   const std::string job = "chaos-az";
   std::shared_ptr<cloudq::MessageQueue> task_queue;

@@ -34,6 +34,14 @@ struct ChaosConfig {
   std::string substrate = "classiccloud";
   /// "cap3", "blast", or "gtm".
   std::string app = "cap3";
+  /// Storage backend behind the blob-backed substrates ("object",
+  /// "sharedfs", "parallelfs"). FaultHook sites are shared across backends,
+  /// so one plan chases the same faults whichever data plane is selected.
+  std::string storage = "object";
+  /// classiccloud: per-worker content-addressed block cache for the job's
+  /// shared files. A corrupted shared download must never be cached — the
+  /// cache's etag validation is itself under test here.
+  bool enable_cache = false;
   int num_files = 4;
   int num_workers = 3;
   /// Deliveries before a failing task is dead-lettered (queue substrates).

@@ -4,11 +4,11 @@
 #include <utility>
 
 #include "azuremr/runtime.h"
-#include "blobstore/blob_store.h"
 #include "classiccloud/job_client.h"
 #include "cloudq/queue_service.h"
 #include "common/clock.h"
 #include "common/error.h"
+#include "common/rng.h"
 #include "common/string_util.h"
 #include "dryad/file_share.h"
 #include "dryad/partitioned_table.h"
@@ -16,6 +16,7 @@
 #include "mapreduce/job.h"
 #include "minihdfs/mini_hdfs.h"
 #include "sim/app_job.h"
+#include "storage/fs_backends.h"
 
 namespace ppc::sim {
 
@@ -24,13 +25,14 @@ namespace {
 void run_classiccloud(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer& tracer,
                       TraceRunReport& report) {
   auto clock = std::make_shared<ppc::SystemClock>();
-  blobstore::BlobStore store(clock);
+  const auto store =
+      storage::make_backend(storage::parse_storage_kind(cfg.storage), clock, ppc::Rng(0x77ACE));
   cloudq::QueueService queues(clock);
-  store.set_tracer(&tracer);
+  store->set_tracer(&tracer);
   queues.set_tracer(&tracer);
 
-  classiccloud::JobClient client(store, queues, "trace-cc");
-  client.submit(app.files);
+  classiccloud::JobClient client(*store, queues, "trace-cc");
+  client.submit(app.files, app.shared_files);
 
   classiccloud::TaskExecutor executor = [&app](const classiccloud::TaskSpec& task,
                                                const std::string& input) {
@@ -39,7 +41,8 @@ void run_classiccloud(const TraceRunConfig& cfg, const AppJob& app, runtime::Tra
   classiccloud::WorkerConfig wc;
   wc.poll_interval = 0.001;
   wc.tracer = &tracer;
-  classiccloud::WorkerPool pool(store, client.task_queue(), client.monitor_queue(), executor,
+  wc.enable_cache = cfg.enable_cache;
+  classiccloud::WorkerPool pool(*store, client.task_queue(), client.monitor_queue(), executor,
                                 wc, cfg.num_workers, "trace-cc-w");
   pool.start_all();
   const bool done = client.wait_for_completion(cfg.run_timeout);
@@ -60,15 +63,16 @@ void run_classiccloud(const TraceRunConfig& cfg, const AppJob& app, runtime::Tra
 void run_azuremr(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer& tracer,
                  TraceRunReport& report) {
   auto clock = std::make_shared<ppc::SystemClock>();
-  blobstore::BlobStore store(clock);
+  const auto store =
+      storage::make_backend(storage::parse_storage_kind(cfg.storage), clock, ppc::Rng(0xA27ACE));
   cloudq::QueueService queues(clock);
-  store.set_tracer(&tracer);
+  store->set_tracer(&tracer);
   queues.set_tracer(&tracer);
 
   azuremr::MrWorkerConfig wc;
   wc.poll_interval = 0.001;
   wc.tracer = &tracer;
-  azuremr::AzureMapReduce mr(store, queues, cfg.num_workers, wc);
+  azuremr::AzureMapReduce mr(*store, queues, cfg.num_workers, wc);
   mr.supervisor_config.tracer = &tracer;
 
   azuremr::JobSpec spec;

@@ -36,6 +36,15 @@ struct TraceRunConfig {
   /// Per-file work inhomogeneity (AppJob skew): the last file costs
   /// (1 + skew)x the first. 0 = homogeneous.
   double skew = 3.0;
+  /// Storage backend behind the blob-backed substrates (classiccloud,
+  /// azuremr): "object", "sharedfs", or "parallelfs". The hook sites are
+  /// identical across backends, so the timeline taxonomy is unchanged.
+  /// MapReduce/Dryad substrates keep their local data planes.
+  std::string storage = "object";
+  /// classiccloud: give each worker a content-addressed block cache, so the
+  /// job's shared files (BLAST database, GTM training matrix) are fetched
+  /// once per worker. Cache hits/misses appear as "cache.*" spans.
+  bool enable_cache = false;
   /// Wall-clock budget; the run fails rather than hangs.
   Seconds run_timeout = 60.0;
 };

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "azuremr/runtime.h"
+#include "blobstore/blob_store.h"
 #include "common/clock.h"
 #include "common/error.h"
 #include "common/rng.h"

@@ -8,17 +8,26 @@ namespace ppc::classiccloud {
 namespace {
 
 TEST(TaskCodec, RoundTrip) {
-  TaskSpec task{"job1/f.fa", "input/f.fa", "output/f.fa"};
+  TaskSpec task{"job1/f.fa", "input/f.fa", "output/f.fa", {}};
   const TaskSpec decoded = decode_task(encode_task(task));
   EXPECT_EQ(decoded.task_id, task.task_id);
   EXPECT_EQ(decoded.input_key, task.input_key);
   EXPECT_EQ(decoded.output_key, task.output_key);
 }
 
+TEST(TaskCodec, RoundTripsSharedKeys) {
+  TaskSpec task{"job1/f.fa", "input/f.fa", "output/f.fa", {}};
+  task.shared_keys = {"shared/nr.db", "shared/params.cfg"};
+  const TaskSpec decoded = decode_task(encode_task(task));
+  EXPECT_EQ(decoded.shared_keys, task.shared_keys);
+  // Tasks without shared references stay shared-free after a round trip.
+  EXPECT_TRUE(decode_task(encode_task(TaskSpec{"t", "i", "o", {}})).shared_keys.empty());
+}
+
 TEST(TaskCodec, RejectsEmptyFields) {
-  EXPECT_THROW(encode_task(TaskSpec{"", "i", "o"}), ppc::InvalidArgument);
-  EXPECT_THROW(encode_task(TaskSpec{"t", "", "o"}), ppc::InvalidArgument);
-  EXPECT_THROW(encode_task(TaskSpec{"t", "i", ""}), ppc::InvalidArgument);
+  EXPECT_THROW(encode_task(TaskSpec{"", "i", "o", {}}), ppc::InvalidArgument);
+  EXPECT_THROW(encode_task(TaskSpec{"t", "", "o", {}}), ppc::InvalidArgument);
+  EXPECT_THROW(encode_task(TaskSpec{"t", "i", "", {}}), ppc::InvalidArgument);
 }
 
 TEST(TaskCodec, RejectsMalformedMessages) {
@@ -42,7 +51,7 @@ TEST(MonitorCodec, RejectsMalformed) {
 TEST(TaskCodec, MessageIsCompactEnoughForSqs) {
   // SQS limits message bodies (8 KB in 2010); our tasks are far below it.
   TaskSpec task{"job/file-with-long-name.fasta", "input/file-with-long-name.fasta",
-                "output/file-with-long-name.fasta"};
+                "output/file-with-long-name.fasta", {}};
   EXPECT_LT(encode_task(task).size(), 256u);
 }
 

@@ -1,0 +1,125 @@
+// Real-thread integration of the worker block cache: a Classic Cloud pool
+// runs a BLAST-shaped job (every task references one shared reference
+// blob), once with per-worker caches and once without. With N workers the
+// shared blob must cross the backend roughly N times instead of once per
+// task — the data-plane win the cache exists for. Also pins the acceptance
+// bar that application outputs are byte-identical across storage backends
+// and cache settings.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classiccloud/job_client.h"
+#include "cloudq/queue_service.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "storage/fs_backends.h"
+
+namespace ppc::classiccloud {
+namespace {
+
+constexpr int kTasks = 12;
+constexpr int kWorkers = 3;
+constexpr std::size_t kSharedBytes = 256 * 1024;
+
+class WorkerCacheTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<SystemClock> clock_ = std::make_shared<SystemClock>();
+
+  struct RunResult {
+    std::map<std::string, std::string> outputs;  // by task id
+    double bytes_out = 0.0;
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
+    std::int64_t cache_bytes_saved = 0;
+  };
+
+  RunResult run_job(storage::StorageBackend& store, bool enable_cache) {
+    cloudq::QueueConfig queue_config;
+    queue_config.default_visibility_timeout = 5.0;
+    cloudq::QueueService queues(clock_, queue_config);
+    JobClient client(store, queues, "job");
+
+    std::vector<std::pair<std::string, std::string>> files;
+    for (int i = 0; i < kTasks; ++i) {
+      files.emplace_back("seq" + std::to_string(i) + ".fa", "ACGT#" + std::to_string(i));
+    }
+    client.submit(files, {{"nr.db", std::string(kSharedBytes, 'n')}});
+
+    WorkerConfig config;
+    config.bucket = "job";
+    config.poll_interval = 0.001;
+    config.visibility_timeout = 5.0;
+    config.enable_cache = enable_cache;
+    const auto echo = [](const TaskSpec& task, const std::string& input) {
+      return task.task_id + "=>" + input;
+    };
+    WorkerPool pool(store, client.task_queue(), client.monitor_queue(), echo, config, kWorkers);
+    pool.start_all();
+    EXPECT_TRUE(client.wait_for_completion(20.0));
+    pool.stop_all();
+    pool.join_all();
+
+    RunResult result;
+    for (const TaskSpec& task : client.tasks()) {
+      const auto output = client.fetch_output(task);
+      EXPECT_TRUE(output != nullptr);
+      if (output != nullptr) result.outputs[task.task_id] = *output;
+    }
+    result.bytes_out = store.meter().bytes_out;
+    result.cache_hits = pool.metrics().sum_counters(".blockcache.hits");
+    result.cache_misses = pool.metrics().sum_counters(".blockcache.misses");
+    result.cache_bytes_saved = pool.metrics().sum_counters(".blockcache.bytes_saved");
+    return result;
+  }
+};
+
+TEST_F(WorkerCacheTest, SharedDatabaseCrossesBackendOncePerWorkerNotPerTask) {
+  blobstore::BlobStore uncached_store(clock_);
+  blobstore::BlobStore cached_store(clock_);
+  const RunResult uncached = run_job(uncached_store, /*enable_cache=*/false);
+  const RunResult cached = run_job(cached_store, /*enable_cache=*/true);
+
+  ASSERT_EQ(uncached.outputs.size(), static_cast<std::size_t>(kTasks));
+  // Bit-for-bit identical results — the cache is a data-plane optimization,
+  // never a semantic one.
+  EXPECT_EQ(cached.outputs, uncached.outputs);
+
+  // Without the cache every task re-downloads the shared blob; with it each
+  // worker downloads it at most once. Which worker runs how many tasks is
+  // scheduling-dependent, but the per-worker bound is not.
+  EXPECT_EQ(uncached.cache_hits + uncached.cache_misses, 0);
+  EXPECT_EQ(cached.cache_hits + cached.cache_misses, kTasks);
+  EXPECT_GE(cached.cache_hits, kTasks - kWorkers);
+  EXPECT_EQ(cached.cache_bytes_saved,
+            cached.cache_hits * static_cast<std::int64_t>(kSharedBytes));
+
+  // The shared blob dominates the data plane, so total backend egress drops
+  // to roughly misses/kTasks of the uncached run.
+  const double shared_uncached = static_cast<double>(kTasks) * kSharedBytes;
+  const double shared_cached = static_cast<double>(cached.cache_misses) * kSharedBytes;
+  EXPECT_GE(uncached.bytes_out, shared_uncached);
+  EXPECT_LT(cached.bytes_out, shared_cached + 0.1 * shared_uncached);
+}
+
+TEST_F(WorkerCacheTest, OutputsAreByteIdenticalAcrossStorageBackends) {
+  std::map<std::string, std::string> reference;
+  for (const storage::StorageKind kind : storage::kAllStorageKinds) {
+    const auto store = storage::make_backend(kind, clock_, Rng(5));
+    const RunResult run = run_job(*store, /*enable_cache=*/true);
+    ASSERT_EQ(run.outputs.size(), static_cast<std::size_t>(kTasks))
+        << storage::to_string(kind);
+    if (reference.empty()) {
+      reference = run.outputs;
+    } else {
+      // The storage backend changes cost and timing, never bytes.
+      EXPECT_EQ(run.outputs, reference) << storage::to_string(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppc::classiccloud

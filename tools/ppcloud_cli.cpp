@@ -2,9 +2,11 @@
 //
 //   ppcloud catalog                      print Tables 1-2 (instance types)
 //   ppcloud features                     print Table 3 (framework features)
-//   ppcloud experiment <id>              regenerate a paper experiment:
+//   ppcloud experiment <id> [backend]    regenerate a paper experiment:
 //                                        fig3 fig5 fig7 fig9 fig10 fig12
-//                                        fig14 table4 variability
+//                                        fig14 table4 variability; the
+//                                        optional backend re-runs it on
+//                                        object|sharedfs|parallelfs storage
 //   ppcloud simulate [options]           one simulated run, any app on any
 //                                        framework and deployment:
 //     --app cap3|blast|gtm               (default cap3)
@@ -15,6 +17,14 @@
 //     --files N                          task count (default 256)
 //     --reads R / --queries Q / --points P   per-file work
 //     --visibility S                     visibility timeout (classic only)
+//     --storage object|sharedfs|parallelfs  data plane (default object;
+//                                        hadoop/dryad stage inputs through
+//                                        non-object backends)
+//     --shared-mb M                      job-wide shared dataset of M MB
+//                                        (the BLAST NR database, the GTM
+//                                        training matrix; default 0)
+//     --cache 1                          per-worker block cache for the
+//                                        shared dataset (classic only)
 //     --seed S                           RNG seed (default 42)
 //   ppcloud assemble --reads N [--seed S]
 //                                        run the real Cap3-style assembler
@@ -27,6 +37,8 @@
 //     --seed N                           fault-schedule seed (default 42)
 //     --substrate classiccloud|azuremr|mapreduce|all   (default all)
 //     --app cap3|blast|gtm               (default cap3)
+//     --storage object|sharedfs|parallelfs  data plane (default object)
+//     --cache 1                          worker block cache (classiccloud)
 //     --files N --workers W              job size (default 4 x 3)
 //     --json 1                           also print the metrics snapshot
 //     --trace-dir DIR                    on failure, write the chaos run's
@@ -39,6 +51,8 @@
 //                                        "all" appends the static-vs-dynamic
 //                                        scheduling comparison)
 //     --app cap3|blast|gtm               (default cap3)
+//     --storage object|sharedfs|parallelfs  data plane (default object)
+//     --cache 1                          worker block cache (classiccloud)
 //     --files N --workers W              job size (default 12 x 4)
 //     --skew S                           per-file work skew (default 3.0)
 //     --out FILE                         write Chrome trace_event JSON for
@@ -63,6 +77,7 @@
 #include "runtime/metrics.h"
 #include "sim/chaos_campaign.h"
 #include "sim/trace_run.h"
+#include "storage/storage_backend.h"
 
 using namespace ppc;
 using namespace ppc::core;
@@ -139,10 +154,17 @@ int cmd_simulate(const Options& opts) {
   const Deployment d = make_deployment(cloud::find_type(opt(opts, "type", "EC2-HCXL")),
                                        opt_int(opts, "instances", 2),
                                        opt_int(opts, "workers", 8), opt_int(opts, "threads", 1));
+  const double shared_mb = std::stod(opt(opts, "shared-mb", "0"));
+  PPC_REQUIRE(shared_mb >= 0.0, "--shared-mb must be >= 0");
+  workload.shared_input_size = shared_mb * 1024.0 * 1024.0;
+
   const ExecutionModel model(app);
   SimRunParams params;
   params.seed = static_cast<unsigned>(opt_int(opts, "seed", 42));
   params.visibility_timeout = std::stod(opt(opts, "visibility", "7200"));
+  params.storage = storage::parse_storage_kind(opt(opts, "storage", "object"));
+  params.enable_block_cache = opt(opts, "cache", "0") != "0";
+  params.stage_inputs = params.storage != storage::StorageKind::kObject;
 
   // All frameworks publish into one MetricsRegistry; the report below reads
   // Eq 1 / Eq 2 from it rather than from the per-substrate result struct.
@@ -181,6 +203,16 @@ int cmd_simulate(const Options& opts) {
     table.add_row({"Compute cost (amortized)", "$" + Table::num(r.compute_cost_amortized, 2)});
     table.add_row({"Queue request cost", "$" + Table::num(r.queue_request_cost, 4)});
   }
+  table.add_row({"Storage backend", r.storage_backend});
+  if (r.storage_service_cost > 0.0) {
+    table.add_row({"FS server cost", "$" + Table::num(r.storage_service_cost, 2)});
+  }
+  if (r.cache_hits + r.cache_misses > 0) {
+    table.add_row({"Block cache hits/misses", std::to_string(r.cache_hits) + "/" +
+                                                  std::to_string(r.cache_misses)});
+    table.add_row({"Cache bytes saved",
+                   Table::num(r.cache_bytes_saved / (1024.0 * 1024.0), 1) + " MB"});
+  }
   table.print();
   return r.completed == r.tasks ? 0 : 1;
 }
@@ -199,6 +231,8 @@ int cmd_chaos(const Options& opts) {
   base.app = opt(opts, "app", "cap3");
   base.num_files = opt_int(opts, "files", 4);
   base.num_workers = opt_int(opts, "workers", 3);
+  base.storage = opt(opts, "storage", "object");
+  base.enable_cache = opt(opts, "cache", "0") != "0";
   const bool print_json = opt(opts, "json", "0") != "0";
 
   const std::string substrate = opt(opts, "substrate", "all");
@@ -243,6 +277,8 @@ int cmd_trace(const Options& opts) {
   base.num_files = opt_int(opts, "files", 12);
   base.num_workers = opt_int(opts, "workers", 4);
   base.skew = std::stod(opt(opts, "skew", "3.0"));
+  base.storage = opt(opts, "storage", "object");
+  base.enable_cache = opt(opts, "cache", "0") != "0";
   const std::string out_path = opt(opts, "out", "");
 
   const std::string substrate = opt(opts, "substrate", "all");
@@ -277,10 +313,12 @@ int cmd_trace(const Options& opts) {
   return all_ok ? 0 : 1;
 }
 
-int cmd_experiment(const std::string& id) {
+int cmd_experiment(const std::string& id, const std::string& backend_name) {
+  const storage::StorageKind backend = storage::parse_storage_kind(backend_name);
   // Reuse the bench logic through the experiment API.
   if (id == "table4") {
-    const auto report = run_table4_cost_comparison();
+    const auto report = run_table4_cost_comparison(42, backend);
+    std::printf("storage backend: %s\n", report.storage_backend.c_str());
     report.ec2.to_table().print();
     report.azure.to_table().print();
     for (const auto& [util, cost] : report.cluster_costs) {
@@ -296,30 +334,34 @@ int cmd_experiment(const std::string& id) {
   }
   auto print_rows = [](const std::vector<InstanceTypeRow>& rows) {
     for (const auto& r : rows) {
-      std::printf("%-20s time=%-12s hour-units=$%-8.2f amortized=$%.2f\n", r.label.c_str(),
-                  format_duration(r.compute_time).c_str(), r.cost_hour_units, r.cost_amortized);
+      std::printf("%-20s storage=%-10s time=%-12s hour-units=$%-8.2f amortized=$%-8.2f",
+                  r.label.c_str(), r.storage.c_str(), format_duration(r.compute_time).c_str(),
+                  r.cost_hour_units, r.cost_amortized);
+      if (r.storage_service_cost > 0) std::printf(" fs-servers=$%.2f", r.storage_service_cost);
+      std::printf("\n");
     }
     return 0;
   };
   auto print_points = [](const std::vector<ScalingPoint>& points) {
     for (const auto& p : points) {
-      std::printf("%-20s %-24s files=%-5d eff=%-6.3f eq2=%.1fs\n", p.framework.c_str(),
-                  p.deployment.c_str(), p.files, p.efficiency, p.per_core_task_seconds);
+      std::printf("%-20s %-24s storage=%-10s files=%-5d eff=%-6.3f eq2=%.1fs\n",
+                  p.framework.c_str(), p.deployment.c_str(), p.storage.c_str(), p.files,
+                  p.efficiency, p.per_core_task_seconds);
     }
     return 0;
   };
-  if (id == "fig3") return print_rows(run_cap3_ec2_instance_study());
-  if (id == "fig7") return print_rows(run_blast_ec2_instance_study());
-  if (id == "fig12") return print_rows(run_gtm_ec2_instance_study());
+  if (id == "fig3") return print_rows(run_cap3_ec2_instance_study(42, backend));
+  if (id == "fig7") return print_rows(run_blast_ec2_instance_study(42, backend));
+  if (id == "fig12") return print_rows(run_gtm_ec2_instance_study(42, backend));
   if (id == "fig9") {
-    for (const auto& r : run_blast_azure_instance_study()) {
+    for (const auto& r : run_blast_azure_instance_study(42, backend)) {
       std::printf("%-26s time=%s\n", r.label.c_str(), format_duration(r.compute_time).c_str());
     }
     return 0;
   }
-  if (id == "fig5") return print_points(run_cap3_scaling_study());
-  if (id == "fig10") return print_points(run_blast_scaling_study());
-  if (id == "fig14") return print_points(run_gtm_scaling_study());
+  if (id == "fig5") return print_points(run_cap3_scaling_study(42, {512, 1024, 2048, 3072, 4096}, backend));
+  if (id == "fig10") return print_points(run_blast_scaling_study(42, {1, 2, 3, 4, 5, 6}, backend));
+  if (id == "fig14") return print_points(run_gtm_scaling_study(42, {88, 176, 264}, backend));
   throw InvalidArgument("unknown experiment: " + id);
 }
 
@@ -348,7 +390,7 @@ int main(int argc, char** argv) {
     if (command == "trace") return cmd_trace(parse_options(argc, argv, 2));
     if (command == "experiment") {
       if (argc < 3) return usage();
-      return cmd_experiment(argv[2]);
+      return cmd_experiment(argv[2], argc >= 4 ? argv[3] : "object");
     }
     return usage();
   } catch (const std::exception& e) {
