@@ -30,6 +30,8 @@
 #include "azuremr/runtime.h"
 #include "common/clock.h"
 #include "common/rng.h"
+#include "runtime/metrics.h"
+#include "runtime/monitor.h"
 #include "runtime/tracer.h"
 #include "storage/block_cache.h"
 #include "storage/fs_backends.h"
@@ -392,6 +394,101 @@ struct TracingOverhead {
   double ratio = 0.0;
 };
 
+/// Registry scrape throughput: one single-lock scrape() pass over a
+/// registry shaped like a real run's (per-worker counters + busy gauges +
+/// queue gauges), reusing one ScrapeBuffer — the Monitor's per-tick read.
+SubstrateResult bench_metrics_scrape() {
+  const int kOps = 20000;
+  runtime::MetricsRegistry registry;
+  for (int w = 0; w < 16; ++w) {
+    const std::string id = "w" + std::to_string(w);
+    registry.counter(id + ".messages_received").inc(w);
+    registry.counter(id + ".tasks_completed").inc(w);
+    registry.counter(id + ".redeliveries");
+    registry.set_gauge(id + ".busy", w % 2);
+  }
+  registry.set_gauge("cloudq.tasks.dlq_depth", 0.0);
+  runtime::MetricsRegistry::ScrapeBuffer buffer;
+  volatile double sink = 0.0;
+  const double secs = min_seconds(5, [&] {
+    double acc = 0.0;
+    for (int i = 0; i < kOps; ++i) {
+      registry.scrape(buffer);
+      acc += buffer.counters.empty() ? 0.0 : buffer.counters[0].second;
+    }
+    sink = acc;
+  });
+  (void)sink;
+  return {"metrics_scrape_48c17g", kOps, secs, kOps / secs};
+}
+
+struct MonitorOverhead {
+  double plain_seconds = 0.0;      // no monitor attached
+  double monitored_seconds = 0.0;  // sampler thread scraping at 100 ms
+  double ratio = 0.0;
+};
+
+/// The 1 MB data-plane loop with the instrumentation writes every worker
+/// makes (counter incs + busy gauge flips), run with and without a Monitor
+/// sampler thread scraping the registry at 100 ms. `monitored` adds the
+/// real contention a live monitor causes: its scrape lock vs the hot-path
+/// counter increments.
+double monitored_data_plane_seconds(int ops, bool monitored) {
+  auto clock = std::make_shared<ManualClock>();
+  blobstore::BlobStore store(clock);
+  cloudq::MessageQueue queue("q", clock);
+  runtime::MetricsRegistry registry;
+  for (int w = 0; w < 8; ++w) {
+    registry.counter("w" + std::to_string(w) + ".tasks_completed");
+    registry.set_gauge("w" + std::to_string(w) + ".busy", 0.0);
+  }
+  std::unique_ptr<runtime::Monitor> monitor;
+  if (monitored) {
+    runtime::MonitorConfig config;
+    config.period = 0.1;
+    monitor = std::make_unique<runtime::Monitor>(registry, config);
+    monitor->start();
+  }
+  const std::string payload(1024 * 1024, 'm');
+  const double secs = min_seconds(5, [&] {
+    for (int i = 0; i < ops; ++i) {
+      const std::string key = "k" + std::to_string(i % 16);
+      registry.set_gauge("w0.busy", 1.0);
+      store.put("b", key, payload);
+      auto blob = store.get("b", key);
+      queue.send("task=" + key);
+      const auto msg = queue.receive(30.0);
+      queue.delete_message(msg->receipt_handle);
+      registry.counter("w0.tasks_completed").inc();
+      registry.set_gauge("w0.busy", 0.0);
+      if (!blob || blob->size() != payload.size()) {
+        std::fprintf(stderr, "monitored data plane round trip corrupted\n");
+      }
+    }
+  });
+  if (monitor) monitor->stop();
+  return secs;
+}
+
+/// The monitoring plane's overhead contract: a Monitor scraping the
+/// registry at 100 ms must cost the 1 MB data-plane loop < 3% over the same
+/// loop with no monitor (checked in --check mode). Interleaved paired
+/// samples so CPU-frequency drift hits both arms.
+MonitorOverhead bench_monitor_overhead() {
+  const int kOps = 200;
+  MonitorOverhead result;
+  result.plain_seconds = 1e300;
+  result.monitored_seconds = 1e300;
+  for (int round = 0; round < 3; ++round) {
+    result.plain_seconds =
+        std::min(result.plain_seconds, monitored_data_plane_seconds(kOps, false));
+    result.monitored_seconds =
+        std::min(result.monitored_seconds, monitored_data_plane_seconds(kOps, true));
+  }
+  result.ratio = result.monitored_seconds / result.plain_seconds;
+  return result;
+}
+
 struct StorageOverhead {
   double direct_seconds = 0.0;   // concrete BlobStore calls (the seed's path)
   double backend_seconds = 0.0;  // same loop through StorageBackend, no cache
@@ -456,7 +553,8 @@ TracingOverhead bench_tracing_overhead() {
 
 std::string to_json(const std::vector<KernelResult>& kernels,
                     const std::vector<SubstrateResult>& substrates,
-                    const TracingOverhead& tracing, const StorageOverhead& storage_overhead) {
+                    const TracingOverhead& tracing, const StorageOverhead& storage_overhead,
+                    const MonitorOverhead& monitor_overhead) {
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(1);
@@ -493,6 +591,12 @@ std::string to_json(const std::vector<KernelResult>& kernels,
      << ", \"backend_seconds\": " << storage_overhead.backend_seconds << ", \"ratio\": ";
   os.precision(3);
   os << storage_overhead.ratio;
+  os << "},\n  \"monitor_overhead\": {";
+  os.precision(4);
+  os << "\"plain_seconds\": " << monitor_overhead.plain_seconds
+     << ", \"monitored_seconds\": " << monitor_overhead.monitored_seconds << ", \"ratio\": ";
+  os.precision(3);
+  os << monitor_overhead.ratio;
   os.precision(1);
   os << "}\n}\n";
   return os.str();
@@ -558,6 +662,7 @@ int main(int argc, char** argv) {
   }
   substrates.push_back(bench_block_cache(/*hot=*/true));
   substrates.push_back(bench_block_cache(/*hot=*/false));
+  substrates.push_back(bench_metrics_scrape());
   for (const auto& s : substrates) {
     std::fprintf(stderr, "%-30s %8.1f tasks/s (%d tasks in %.4fs)\n", s.name.c_str(),
                  s.tasks_per_second, s.tasks, s.seconds);
@@ -570,8 +675,13 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "%-30s %8.3fx (direct %.4fs, via-backend %.4fs)\n",
                "storage_backend_overhead", storage_overhead.ratio,
                storage_overhead.direct_seconds, storage_overhead.backend_seconds);
+  const MonitorOverhead monitor_overhead = bench_monitor_overhead();
+  std::fprintf(stderr, "%-30s %8.3fx (plain %.4fs, monitored %.4fs)\n", "monitor_overhead",
+               monitor_overhead.ratio, monitor_overhead.plain_seconds,
+               monitor_overhead.monitored_seconds);
 
-  const std::string json = to_json(kernels, substrates, tracing, storage_overhead);
+  const std::string json =
+      to_json(kernels, substrates, tracing, storage_overhead, monitor_overhead);
   std::ofstream out(output_path);
   out << json;
   out.close();
@@ -649,6 +759,15 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "OK:   disabled tracing at %.3fx of plain data plane\n",
                    tracing.ratio);
+    }
+    if (monitor_overhead.ratio > 1.03) {
+      std::fprintf(stderr,
+                   "FAIL: 100ms monitor scraping costs %.1f%% on the data plane (budget 3%%)\n",
+                   (monitor_overhead.ratio - 1.0) * 100.0);
+      ok = false;
+    } else {
+      std::fprintf(stderr, "OK:   100ms monitor scraping at %.3fx of unmonitored data plane\n",
+                   monitor_overhead.ratio);
     }
     if (!ok) return 1;
   }

@@ -34,6 +34,18 @@ storage::BackendTuning backend_tuning(const SimRunParams& params) {
   return {params.blob, params.sharedfs, params.parallelfs};
 }
 
+/// Recurring Monitor tick on the simulation clock. Parasitic: it reschedules
+/// only while the sim holds other pending events (events_pending() excludes
+/// the tick currently executing), so the chain ends on its own when the run
+/// drains — including stranded runs that never set a done flag. The final
+/// tick therefore samples the drained end state (queue depth 0).
+void monitor_tick(sim::Simulator& sim, runtime::Monitor& monitor) {
+  monitor.sample_at(sim.now());
+  if (sim.events_pending() == 0) return;
+  sim.after(monitor.config().period,
+            [&sim, &monitor] { monitor_tick(sim, monitor); });
+}
+
 }  // namespace
 
 void finalize_metrics(RunResult& result, const Workload& workload, const Deployment& deployment,
@@ -99,6 +111,7 @@ struct ClassicSim {
 
   std::set<std::string> completed;
   int duplicate_executions = 0;
+  int busy = 0;  // workers currently in handle() (download..upload)
   bool done = false;
   Seconds makespan = 0.0;
   ppc::SampleSet exec_times;
@@ -165,6 +178,50 @@ struct ClassicSim {
     return workload.tasks.at(static_cast<std::size_t>(id));
   }
 
+  void register_probes() {
+    runtime::Monitor& mon = *params.monitor;
+    using runtime::ProbeKind;
+    mon.add_probe("queue.tasks.depth", ProbeKind::kLevel,
+                  [this] { return static_cast<double>(queue.approximate_visible()); });
+    mon.add_probe("queue.tasks.inflight", ProbeKind::kLevel,
+                  [this] { return static_cast<double>(queue.in_flight()); });
+    mon.add_probe("workers.busy", ProbeKind::kLevel,
+                  [this] { return static_cast<double>(busy); });
+    mon.add_probe("worker.utilization", ProbeKind::kLevel, [this] {
+      const int total = d.total_workers();
+      return total > 0 ? static_cast<double>(busy) / total : 0.0;
+    });
+    // Crashed/stalled workers count as idle — a dead worker failing to
+    // drain a visible backlog IS the degraded condition this watches.
+    mon.add_probe("workers.idle_with_backlog", ProbeKind::kLevel, [this] {
+      return queue.approximate_visible() > 0
+                 ? static_cast<double>(d.total_workers() - busy)
+                 : 0.0;
+    });
+    mon.add_probe("storage.bytes_per_sec", ProbeKind::kCumulative, [this] {
+      const auto m = store->meter();
+      return m.bytes_in + m.bytes_out;
+    });
+    mon.add_probe(
+        "cost.dollars_per_hour", ProbeKind::kCumulative,
+        [this] {
+          return fleet.amortized_cost(sim.now()) + queue.request_cost() +
+                 monitor.request_cost() + store->service_cost(sim.now());
+        },
+        3600.0);
+    if (!caches.empty()) {
+      mon.add_probe("cache.hit_rate", ProbeKind::kLevel, [this] {
+        std::uint64_t hits = 0, misses = 0;
+        for (const auto& cache : caches) {
+          hits += cache->hits();
+          misses += cache->misses();
+        }
+        const std::uint64_t lookups = hits + misses;
+        return lookups > 0 ? static_cast<double>(hits) / lookups : 0.0;
+      });
+    }
+  }
+
   void start() {
     populate();
     idle_interval.assign(static_cast<std::size_t>(d.total_workers()), params.poll_interval);
@@ -172,6 +229,12 @@ struct ClassicSim {
       // Stagger worker start-up slightly, as real instances boot unevenly.
       sim.after(worker_rng[static_cast<std::size_t>(w)].uniform(0.0, 1.0),
                 [this, w] { poll(w); });
+    }
+    if (params.monitor != nullptr) {
+      register_probes();
+      // Scheduled after the worker start events so the first tick sees a
+      // non-empty event queue and the chain takes hold.
+      sim.at(0.0, [this] { monitor_tick(sim, *params.monitor); });
     }
     sim.run();
     if (!done) makespan = sim.now();  // crashed workers may strand the job
@@ -181,6 +244,15 @@ struct ClassicSim {
 
   void poll(int w) {
     if (done) return;
+    if (w == params.stall_worker && params.stall_at >= 0.0 &&
+        sim.now() >= params.stall_at &&
+        sim.now() < params.stall_at + params.stall_duration) {
+      // Stalled (chaos injection): the worker sleeps through the window and
+      // resumes polling when it ends. Any backlog it would have drained
+      // stays visible meanwhile.
+      sim.at(params.stall_at + params.stall_duration, [this, w] { poll(w); });
+      return;
+    }
     sim.after(params.queue_op_latency, [this, w] {
       auto msg = queue.receive(params.visibility_timeout);
       auto& backoff = idle_interval[static_cast<std::size_t>(w)];
@@ -199,6 +271,7 @@ struct ClassicSim {
     auto& rng = worker_rng[static_cast<std::size_t>(w)];
     const classiccloud::TaskSpec spec = classiccloud::decode_task(msg.body());
     const SimTask& task = task_of(spec);
+    ++busy;
 
     // Shared dataset first: a block-cache hit is served from the worker's
     // disk and never touches the backend; a miss (or no cache) downloads it
@@ -225,12 +298,14 @@ struct ClassicSim {
       sim.after(ex, [this, w, msg, spec, &task, ex] {
         auto& wrng2 = worker_rng[static_cast<std::size_t>(w)];
         if (params.worker_crash_prob > 0.0 && wrng2.bernoulli(params.worker_crash_prob)) {
+          --busy;  // dead, not busy — shows up as idle-with-backlog
           return;  // worker dies: no upload, no delete — message resurfaces
         }
         // Same named site the real-thread worker fires — one FaultInjector
         // arming drives both execution modes.
         if (params.faults != nullptr &&
             params.faults->fire(classiccloud::sites::kAfterExecute, spec.task_id)) {
+          --busy;
           return;
         }
         store->begin_transfer();
@@ -262,6 +337,7 @@ struct ClassicSim {
           } else {
             ++duplicate_executions;
           }
+          --busy;
           poll(w);
         });
       });
@@ -331,11 +407,47 @@ struct MapReduceSim {
 
   int completed = 0;
   int duplicate_executions = 0;
+  int busy_slots = 0;  // slots with an attempt in flight
   bool finished = false;
   Seconds makespan = 0.0;
   ppc::SampleSet exec_times;
   std::vector<TaskTraceEntry> trace;
   std::vector<bool> node_dead;
+
+  void register_probes() {
+    runtime::Monitor& mon = *params.monitor;
+    using runtime::ProbeKind;
+    // The scheduler has no pending-count accessor; the backlog is derived
+    // driver-side. Speculative twin attempts make busy_slots overshoot the
+    // distinct-task in-flight count, hence the clamp.
+    mon.add_probe("queue.tasks.depth", ProbeKind::kLevel, [this] {
+      const int depth = static_cast<int>(workload.size()) - completed - busy_slots;
+      return static_cast<double>(std::max(0, depth));
+    });
+    mon.add_probe("queue.tasks.inflight", ProbeKind::kLevel,
+                  [this] { return static_cast<double>(busy_slots); });
+    mon.add_probe("workers.busy", ProbeKind::kLevel,
+                  [this] { return static_cast<double>(busy_slots); });
+    mon.add_probe("worker.utilization", ProbeKind::kLevel, [this] {
+      const int total = d.total_workers();
+      return total > 0 ? static_cast<double>(busy_slots) / total : 0.0;
+    });
+    // Slots on dead nodes count as idle: lost capacity against a visible
+    // backlog is exactly what the stall/degradation alarms watch.
+    mon.add_probe("workers.idle_with_backlog", ProbeKind::kLevel, [this] {
+      const int depth = static_cast<int>(workload.size()) - completed - busy_slots;
+      return depth > 0 ? static_cast<double>(d.total_workers() - busy_slots) : 0.0;
+    });
+    mon.add_probe("cost.dollars_per_hour", ProbeKind::kLevel, [this] {
+      return static_cast<double>(d.instances) * d.type.cost_per_hour;
+    });
+    if (stage_store != nullptr) {
+      mon.add_probe("storage.bytes_per_sec", ProbeKind::kCumulative, [this] {
+        const auto m = stage_store->meter();
+        return m.bytes_in + m.bytes_out;
+      });
+    }
+  }
 
   MapReduceSim(const Workload& w, const Deployment& dep, const ExecutionModel& m,
                const SimRunParams& p, ppc::Rng& rng)
@@ -411,6 +523,10 @@ struct MapReduceSim {
     } else {
       for (int node = 0; node < d.instances; ++node) launch_node(node);
     }
+    if (params.monitor != nullptr) {
+      register_probes();
+      sim.at(0.0, [this] { monitor_tick(sim, *params.monitor); });
+    }
     sim.run();
     if (!finished) makespan = sim.now();
   }
@@ -423,6 +539,7 @@ struct MapReduceSim {
       sim.after(params.heartbeat_interval, [this, node, slot] { request(node, slot); });
       return;
     }
+    ++busy_slots;
     auto& rng = slot_rng[static_cast<std::size_t>(slot)];
     const SimTask& task = workload.tasks.at(static_cast<std::size_t>(assignment->task_id));
     const Seconds read = hdfs.sample_read_time(task.input_size, assignment->data_local, rng);
@@ -434,6 +551,7 @@ struct MapReduceSim {
 
     sim.after(total, [this, node, slot, a = *assignment, ex, write] {
       auto& rng2 = slot_rng[static_cast<std::size_t>(slot)];
+      --busy_slots;
       if (node_dead[static_cast<std::size_t>(node)]) {
         // The node died while this attempt ran: the JobTracker times it out
         // and re-queues the task; this slot never asks for work again.
@@ -525,6 +643,8 @@ struct DryadSim {
   ppc::Rng stage_rng;
 
   int completed = 0;
+  int busy_slots = 0;
+  std::vector<int> node_busy;  // running vertices per node
   Seconds makespan = 0.0;
   ppc::SampleSet exec_times;
   std::vector<TaskTraceEntry> trace;
@@ -585,7 +705,48 @@ struct DryadSim {
     }
   }
 
+  void register_probes() {
+    runtime::Monitor& mon = *params.monitor;
+    using runtime::ProbeKind;
+    mon.add_probe("queue.tasks.depth", ProbeKind::kLevel, [this] {
+      std::size_t depth = 0;
+      for (const auto& q : node_queue) depth += q.size();
+      return static_cast<double>(depth);
+    });
+    mon.add_probe("queue.tasks.inflight", ProbeKind::kLevel,
+                  [this] { return static_cast<double>(busy_slots); });
+    mon.add_probe("workers.busy", ProbeKind::kLevel,
+                  [this] { return static_cast<double>(busy_slots); });
+    mon.add_probe("worker.utilization", ProbeKind::kLevel, [this] {
+      const int total = d.total_workers();
+      return total > 0 ? static_cast<double>(busy_slots) / total : 0.0;
+    });
+    // Static partitioning means a node that drained its own partition idles
+    // while *other* nodes still hold work — that is the paper's imbalance
+    // story, not a stall. A slot only counts here while its OWN node still
+    // has queued vertices it is failing to run.
+    mon.add_probe("workers.idle_with_backlog", ProbeKind::kLevel, [this] {
+      int idle = 0;
+      for (int node = 0; node < d.instances; ++node) {
+        if (!node_queue[static_cast<std::size_t>(node)].empty()) {
+          idle += d.workers_per_instance - node_busy[static_cast<std::size_t>(node)];
+        }
+      }
+      return static_cast<double>(idle);
+    });
+    mon.add_probe("cost.dollars_per_hour", ProbeKind::kLevel, [this] {
+      return static_cast<double>(d.instances) * d.type.cost_per_hour;
+    });
+    if (stage_store != nullptr) {
+      mon.add_probe("storage.bytes_per_sec", ProbeKind::kCumulative, [this] {
+        const auto m = stage_store->meter();
+        return m.bytes_in + m.bytes_out;
+      });
+    }
+  }
+
   void start() {
+    node_busy.assign(static_cast<std::size_t>(d.instances), 0);
     if (stage_store != nullptr) {
       // §2.3's "data partition and distribution programs", modelled against
       // the selected backend: each node pulls exactly its partitions' bytes
@@ -610,6 +771,10 @@ struct DryadSim {
     } else {
       for (int node = 0; node < d.instances; ++node) launch_node(node);
     }
+    if (params.monitor != nullptr) {
+      register_probes();
+      sim.at(0.0, [this] { monitor_tick(sim, *params.monitor); });
+    }
     sim.run();
   }
 
@@ -618,6 +783,8 @@ struct DryadSim {
     if (queue.empty()) return;  // this node is done; no stealing (static)
     const int task_id = queue.front();
     queue.pop_front();
+    ++busy_slots;
+    ++node_busy[static_cast<std::size_t>(node)];
     auto& rng = slot_rng[static_cast<std::size_t>(slot)];
     const SimTask& task = workload.tasks.at(static_cast<std::size_t>(task_id));
     (void)share.read(node, std::to_string(task_id), node);  // locality accounting
@@ -633,6 +800,8 @@ struct DryadSim {
       }
       exec_times.add(ex);
       ++completed;
+      --busy_slots;
+      --node_busy[static_cast<std::size_t>(node)];
       if (completed == static_cast<int>(workload.size())) makespan = sim.now();
       next(node, slot);
     });

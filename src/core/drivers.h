@@ -23,6 +23,7 @@
 #include "minihdfs/mini_hdfs.h"
 #include "runtime/fault_injector.h"
 #include "runtime/metrics.h"
+#include "runtime/monitor.h"
 #include "storage/block_cache.h"
 #include "storage/fs_backends.h"
 
@@ -108,6 +109,26 @@ struct SimRunParams {
   /// "<framework>.parallel_efficiency" gauges, exec-time histogram) via
   /// publish_run_metrics().
   runtime::MetricsRegistry* metrics = nullptr;
+  /// When set, the driver registers its continuous signals as probes —
+  /// queue.tasks.depth / queue.tasks.inflight, workers.busy,
+  /// worker.utilization, workers.idle_with_backlog, storage.bytes_per_sec,
+  /// cost.dollars_per_hour (and cache.hit_rate when the block cache is on) —
+  /// and ticks Monitor::sample_at on the *simulation* clock every
+  /// monitor->config().period sim-seconds. The tick chain is parasitic: it
+  /// reschedules only while other events are pending, so it never keeps a
+  /// finished (or stranded) run alive. Fully deterministic: the same seed
+  /// yields byte-identical Monitor::to_json() output.
+  runtime::Monitor* monitor = nullptr;
+
+  /// Classic Cloud stall injection (chaos scenarios): worker `stall_worker`
+  /// stops polling at sim time `stall_at` for `stall_duration` seconds
+  /// (disabled while stall_worker < 0 or stall_at < 0). The backlog it
+  /// should have drained stays visible in the queue, so the
+  /// workers.idle_with_backlog signal goes positive for the whole window —
+  /// which is what the stall alarm watches.
+  int stall_worker = -1;
+  Seconds stall_at = -1.0;
+  Seconds stall_duration = 0.0;
 };
 
 /// One task execution interval, for Gantt-style inspection and the DES

@@ -100,6 +100,20 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
   return {gauges_.begin(), gauges_.end()};
 }
 
+void MetricsRegistry::scrape(ScrapeBuffer& out) const {
+  out.counters.clear();
+  out.gauges.clear();
+  std::lock_guard lock(mu_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(std::string_view(name), counter->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, value] : gauges_) {
+    out.gauges.emplace_back(std::string_view(name), value);
+  }
+}
+
 std::vector<std::string> MetricsRegistry::histogram_names() const {
   std::lock_guard lock(mu_);
   std::vector<std::string> out;
@@ -145,6 +159,11 @@ std::string MetricsRegistry::to_json() const {
     if (s.count() > 0) {
       os << ", \"mean\": " << s.mean() << ", \"max\": " << s.max()
          << ", \"p50\": " << s.percentile(50.0) << ", \"p95\": " << s.percentile(95.0);
+    } else {
+      // Zero-sample histograms keep the full key schema (as nulls) so JSON
+      // consumers can address h.mean unconditionally instead of branching
+      // on which keys a registry happened to emit.
+      os << ", \"mean\": null, \"max\": null, \"p50\": null, \"p95\": null";
     }
     os << "}";
   }

@@ -92,6 +92,22 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, double>> gauges() const;
   std::vector<std::string> histogram_names() const;
 
+  /// Reusable scrape buffer for the monitoring hot path: the name fields
+  /// are string_views into the registry's own keys. Counters and histograms
+  /// are never erased and gauge map nodes are stable, so the views stay
+  /// valid for the registry's lifetime.
+  struct ScrapeBuffer {
+    std::vector<std::pair<std::string_view, std::int64_t>> counters;
+    std::vector<std::pair<std::string_view, double>> gauges;
+  };
+
+  /// Snapshots every counter and gauge in ONE lock pass into `out`,
+  /// clearing but not shrinking it — after the first call a steady-state
+  /// scrape allocates nothing (names are views, vectors keep their
+  /// capacity). This is what runtime::Monitor calls once per sample period;
+  /// see src/runtime/README.md for the thread-safety contract.
+  void scrape(ScrapeBuffer& out) const;
+
   /// Whole-registry snapshot as a JSON object — {"counters": {...},
   /// "gauges": {...}, "histograms": {name: {count, mean, max, p50, p95}}} —
   /// the artifact format the bench/CI jobs archive chaos and recovery

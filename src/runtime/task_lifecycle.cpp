@@ -129,6 +129,12 @@ void TaskLifecycle::poll_loop() {
   if (tr != nullptr) Tracer::bind_thread(id_);
   int idle_polls = 0;
   Seconds idle_since = -1.0;  // tracer-clock time this worker went idle
+  // Busy/idle level for the monitoring plane: "<id>.busy" is 1 while a
+  // delivery is being handled, 0 otherwise. A Monitor scraping the registry
+  // sums these into fleet utilization; only transitions write the gauge.
+  bool busy_gauge = false;
+  const std::string busy_name = scoped("busy");
+  metrics_->set_gauge(busy_name, 0.0);
   while (!stop_requested_.load()) {
     last_heartbeat_.store(ppc::monotonic_now());
     const bool tracing = tr != nullptr && tr->enabled();
@@ -137,11 +143,19 @@ void TaskLifecycle::poll_loop() {
     if (!message) {
       ++idle_polls;
       if (tracing && idle_since < 0.0) idle_since = poll_start;
+      if (busy_gauge) {
+        metrics_->set_gauge(busy_name, 0.0);
+        busy_gauge = false;
+      }
       if (config_.max_idle_polls >= 0 && idle_polls >= config_.max_idle_polls) break;
       sleep_for(config_.poll_interval);
       continue;
     }
     idle_polls = 0;
+    if (!busy_gauge) {
+      metrics_->set_gauge(busy_name, 1.0);
+      busy_gauge = true;
+    }
     if (tracing) {
       if (idle_since >= 0.0) {
         // One span covering the whole idle stretch, closed now that a
@@ -215,6 +229,7 @@ void TaskLifecycle::poll_loop() {
     if (tracing) Tracer::bind_thread_task({});
   }
   running_.store(false);
+  metrics_->set_gauge(busy_name, 0.0);  // covers crash/stop exits mid-task
   if (tr != nullptr) Tracer::clear_thread();
 }
 

@@ -1,0 +1,60 @@
+#include "runtime/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ppc::runtime {
+
+TimeSeries::TimeSeries(std::size_t capacity) : capacity_(capacity) {
+  PPC_REQUIRE(capacity_ >= 1, "time series capacity must be >= 1");
+  ring_.resize(capacity_);
+}
+
+void TimeSeries::add(Seconds time, double value) {
+  const std::size_t slot = (head_ + size_) % capacity_;
+  ring_[slot] = {time, value};
+  if (size_ < capacity_) {
+    ++size_;
+  } else {
+    head_ = (head_ + 1) % capacity_;  // overwrote the oldest sample
+  }
+  ++total_;
+}
+
+TimeSeries::Sample TimeSeries::at(std::size_t i) const {
+  PPC_REQUIRE(i < size_, "time series index out of range");
+  return ring_[(head_ + i) % capacity_];
+}
+
+TimeSeries::Sample TimeSeries::latest() const {
+  PPC_REQUIRE(size_ > 0, "latest() on empty time series");
+  return ring_[(head_ + size_ - 1) % capacity_];
+}
+
+WindowStats TimeSeries::window(std::size_t last_n) const {
+  WindowStats stats;
+  const std::size_t n = (last_n == 0 || last_n > size_) ? size_ : last_n;
+  if (n == 0) return stats;
+  std::vector<double> values;
+  values.reserve(n);
+  double sum = 0.0;
+  for (std::size_t i = size_ - n; i < size_; ++i) {
+    const double v = at(i).value;
+    values.push_back(v);
+    sum += v;
+  }
+  std::sort(values.begin(), values.end());
+  stats.count = n;
+  stats.min = values.front();
+  stats.max = values.back();
+  stats.mean = sum / static_cast<double>(n);
+  // Nearest-rank p95: the value at ceil(0.95 * n) in 1-based rank order.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(0.95 * static_cast<double>(n)));
+  stats.p95 = values[std::min(n, std::max<std::size_t>(rank, 1)) - 1];
+  return stats;
+}
+
+}  // namespace ppc::runtime

@@ -1,0 +1,77 @@
+// Bounded time-series storage for the monitoring plane.
+//
+// A TimeSeries is a fixed-capacity ring buffer of (timestamp, value)
+// samples: appending is O(1), the newest `capacity` samples are retained,
+// and older ones are evicted silently (total() keeps counting them). The
+// Monitor stores one series per watched signal — counters become *rate*
+// series (delta / sample period, tolerant of counter resets), gauges and
+// probes become *level* series — and computes windowed aggregates
+// (min/mean/max/p95 over the last N samples) on demand, which is what the
+// alarm rules and the ASCII dashboard read.
+//
+// Not thread-safe by itself: the Monitor serializes access (its scrape runs
+// either on the DES event loop or on its own sampler thread, never both).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ppc::runtime {
+
+/// Aggregates over a trailing window of samples. p95 is nearest-rank over
+/// the window's values (exact, like common/stats.h SampleSet).
+struct WindowStats {
+  std::size_t count = 0;
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+  double p95 = 0.0;
+};
+
+class TimeSeries {
+ public:
+  struct Sample {
+    Seconds time = 0.0;
+    double value = 0.0;
+  };
+
+  /// `capacity` is the number of retained samples (>= 1).
+  explicit TimeSeries(std::size_t capacity = 512);
+
+  /// Appends a sample. Timestamps must be non-decreasing (monitor scrapes
+  /// are clock-ordered); violating that only degrades window semantics, it
+  /// is not checked.
+  void add(Seconds time, double value);
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Retained samples (<= capacity).
+  std::size_t size() const { return size_; }
+
+  /// Samples ever added, including evicted ones.
+  std::uint64_t total() const { return total_; }
+
+  bool empty() const { return size_ == 0; }
+
+  /// i-th retained sample; 0 is the OLDEST retained, size()-1 the newest.
+  Sample at(std::size_t i) const;
+
+  /// Newest sample; must not be called on an empty series.
+  Sample latest() const;
+
+  /// Aggregates over the newest `last_n` retained samples (0 = all
+  /// retained). An empty series yields a zero WindowStats with count 0.
+  WindowStats window(std::size_t last_n = 0) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Sample> ring_;
+  std::size_t head_ = 0;  // index of the oldest retained sample
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ppc::runtime

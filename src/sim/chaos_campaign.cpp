@@ -18,6 +18,7 @@
 #include "minihdfs/mini_hdfs.h"
 #include "runtime/fault_injector.h"
 #include "runtime/metrics.h"
+#include "runtime/monitor.h"
 #include "runtime/tracer.h"
 #include "runtime/worker_supervisor.h"
 #include "sim/app_job.h"
@@ -446,7 +447,18 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
   chaos_ctx.report = &report;
   chaos_ctx.failures = &failures;
   chaos_ctx.label = "chaos";
+  std::unique_ptr<runtime::Monitor> monitor;
+  if (config.monitor_period > 0.0) {
+    runtime::MonitorConfig mc;
+    mc.period = config.monitor_period;
+    monitor = std::make_unique<runtime::Monitor>(*chaos_ctx.metrics, mc);
+    monitor->start();
+  }
   const Outputs chaos = runner(config, app, chaos_ctx);
+  if (monitor != nullptr) {
+    monitor->stop();
+    report.monitor_json = monitor->to_json();
+  }
   report.metrics_json = chaos_ctx.metrics->to_json();
   report.trace_json = tracer.to_chrome_json();
   report.trace_spans = tracer.completed_spans();

@@ -54,6 +54,12 @@ struct ChaosConfig {
   Seconds visibility_timeout = 1.5;
   /// Wall-clock budget per run; the campaign fails rather than hangs.
   Seconds run_timeout = 60.0;
+  /// > 0: attach a runtime::Monitor (own sampler thread, wall clock) to the
+  /// chaos run's registry at this period. Every worker-scoped counter
+  /// becomes a rate series and every gauge (per-worker busy, DLQ depth) a
+  /// level series; the dump lands in ChaosReport::monitor_json — the
+  /// artifact `ppcloud chaos --monitor-dir` writes.
+  Seconds monitor_period = 0.0;
 };
 
 struct ChaosReport {
@@ -86,6 +92,10 @@ struct ChaosReport {
   /// Full MetricsRegistry::to_json() snapshot of the chaos run — the
   /// artifact CI archives.
   std::string metrics_json;
+
+  /// Monitor::to_json() time-series dump of the chaos run; empty unless
+  /// ChaosConfig::monitor_period > 0.
+  std::string monitor_json;
 
   /// Chrome trace_event JSON of the chaos run (Tracer::to_chrome_json()):
   /// the per-task causal chain under fault injection. On a failing seed,

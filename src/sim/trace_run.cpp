@@ -15,6 +15,7 @@
 #include "dryad/runtime.h"
 #include "mapreduce/job.h"
 #include "minihdfs/mini_hdfs.h"
+#include "runtime/monitor.h"
 #include "sim/app_job.h"
 #include "storage/fs_backends.h"
 
@@ -23,6 +24,7 @@ namespace ppc::sim {
 namespace {
 
 void run_classiccloud(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer& tracer,
+         const std::shared_ptr<runtime::MetricsRegistry>& metrics,
                       TraceRunReport& report) {
   auto clock = std::make_shared<ppc::SystemClock>();
   const auto store =
@@ -41,6 +43,7 @@ void run_classiccloud(const TraceRunConfig& cfg, const AppJob& app, runtime::Tra
   classiccloud::WorkerConfig wc;
   wc.poll_interval = 0.001;
   wc.tracer = &tracer;
+  wc.metrics = metrics;
   wc.enable_cache = cfg.enable_cache;
   classiccloud::WorkerPool pool(*store, client.task_queue(), client.monitor_queue(), executor,
                                 wc, cfg.num_workers, "trace-cc-w");
@@ -61,6 +64,7 @@ void run_classiccloud(const TraceRunConfig& cfg, const AppJob& app, runtime::Tra
 }
 
 void run_azuremr(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer& tracer,
+         const std::shared_ptr<runtime::MetricsRegistry>& metrics,
                  TraceRunReport& report) {
   auto clock = std::make_shared<ppc::SystemClock>();
   const auto store =
@@ -72,6 +76,7 @@ void run_azuremr(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer& 
   azuremr::MrWorkerConfig wc;
   wc.poll_interval = 0.001;
   wc.tracer = &tracer;
+  wc.metrics = metrics;
   azuremr::AzureMapReduce mr(*store, queues, cfg.num_workers, wc);
   mr.supervisor_config.tracer = &tracer;
 
@@ -94,6 +99,7 @@ void run_azuremr(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer& 
 }
 
 void run_mapreduce(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer& tracer,
+         const std::shared_ptr<runtime::MetricsRegistry>& metrics,
                    TraceRunReport& report) {
   minihdfs::MiniHdfs hdfs(cfg.num_workers);
   std::vector<std::string> paths;
@@ -109,6 +115,7 @@ void run_mapreduce(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer
   // the dryad run of the same job.
   jc.slots_per_node = 1;
   jc.tracer = &tracer;
+  jc.metrics = metrics;
   mapreduce::LocalJobRunner runner(hdfs);
   const auto result = runner.run(
       paths,
@@ -122,6 +129,7 @@ void run_mapreduce(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer
 }
 
 void run_dryad(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer& tracer,
+         const std::shared_ptr<runtime::MetricsRegistry>& metrics,
                TraceRunReport& report) {
   dryad::FileShare share(cfg.num_workers);
   std::vector<std::string> names;
@@ -142,6 +150,7 @@ void run_dryad(const TraceRunConfig& cfg, const AppJob& app, runtime::Tracer& tr
   rc.num_nodes = cfg.num_workers;
   rc.slots_per_node = 1;
   rc.tracer = &tracer;
+  rc.metrics = metrics;
   dryad::DryadRuntime rt(rc);
   const auto fn = app.fn;
   const auto result = dryad_select(rt, share, table,
@@ -163,19 +172,31 @@ TraceRunReport run_traced_job(const TraceRunConfig& config) {
   const AppJob app = make_app_job(config.app, config.num_files, config.skew);
   runtime::Tracer tracer;
   tracer.enable();
+  auto metrics = std::make_shared<runtime::MetricsRegistry>();
+  std::unique_ptr<runtime::Monitor> monitor;
+  if (config.monitor_period > 0.0) {
+    runtime::MonitorConfig mc;
+    mc.period = config.monitor_period;
+    monitor = std::make_unique<runtime::Monitor>(*metrics, mc);
+    monitor->start();
+  }
 
   if (config.substrate == "classiccloud") {
-    run_classiccloud(config, app, tracer, report);
+    run_classiccloud(config, app, tracer, metrics, report);
   } else if (config.substrate == "azuremr") {
-    run_azuremr(config, app, tracer, report);
+    run_azuremr(config, app, tracer, metrics, report);
   } else if (config.substrate == "mapreduce") {
-    run_mapreduce(config, app, tracer, report);
+    run_mapreduce(config, app, tracer, metrics, report);
   } else if (config.substrate == "dryad") {
-    run_dryad(config, app, tracer, report);
+    run_dryad(config, app, tracer, metrics, report);
   } else {
     throw ppc::InvalidArgument("unknown trace substrate: " + config.substrate);
   }
 
+  if (monitor != nullptr) {
+    monitor->stop();
+    report.monitor_json = monitor->to_json();
+  }
   tracer.disable();
   report.spans = tracer.completed_spans();
   report.chrome_json = tracer.to_chrome_json();

@@ -47,6 +47,11 @@ struct TraceRunConfig {
   bool enable_cache = false;
   /// Wall-clock budget; the run fails rather than hangs.
   Seconds run_timeout = 60.0;
+  /// > 0: attach a runtime::Monitor (own sampler thread, wall clock) to a
+  /// registry shared by the run's engine — per-worker busy gauges and
+  /// engine counters become time series, dumped into
+  /// TraceRunReport::monitor_json (`ppcloud trace --monitor-dir`).
+  Seconds monitor_period = 0.0;
 };
 
 struct TraceRunReport {
@@ -64,6 +69,9 @@ struct TraceRunReport {
   /// Tracer::load_report() — per-worker busy / idle-tail + compute
   /// distribution.
   runtime::LoadReport load;
+
+  /// Monitor::to_json(); empty unless TraceRunConfig::monitor_period > 0.
+  std::string monitor_json;
 
   std::vector<std::string> failures;
 

@@ -47,15 +47,38 @@ TEST(MetricsGolden, PopulatedRegistrySortsKeysAndFormatsSections) {
   EXPECT_EQ(registry.to_json(), expected);
 }
 
-TEST(MetricsGolden, EmptyHistogramOmitsStats) {
+TEST(MetricsGolden, EmptyHistogramKeepsFullKeySchemaAsNulls) {
   MetricsRegistry registry;
   registry.histogram("never_recorded");
+  // A zero-sample histogram must still emit every stats key (as null) so a
+  // JSON consumer can address h.mean unconditionally.
   const std::string expected =
       "{\n"
       "  \"counters\": {},\n"
       "  \"gauges\": {},\n"
       "  \"histograms\": {\n"
-      "    \"never_recorded\": {\"count\": 0}\n"
+      "    \"never_recorded\": {\"count\": 0, \"mean\": null, \"max\": null, "
+      "\"p50\": null, \"p95\": null}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(registry.to_json(), expected);
+}
+
+TEST(MetricsGolden, PartialRegistryMixesEmptyAndPopulatedSections) {
+  // A registry where some sections are empty and a histogram has no samples
+  // yet — the shape CI sees when it scrapes mid-startup.
+  MetricsRegistry registry;
+  registry.counter("w0.messages_received").inc(2);
+  registry.histogram("compute_s");  // declared, never recorded
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"w0.messages_received\": 2\n"
+      "  },\n"
+      "  \"gauges\": {},\n"
+      "  \"histograms\": {\n"
+      "    \"compute_s\": {\"count\": 0, \"mean\": null, \"max\": null, "
+      "\"p50\": null, \"p95\": null}\n"
       "  }\n"
       "}\n";
   EXPECT_EQ(registry.to_json(), expected);

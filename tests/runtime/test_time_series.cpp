@@ -1,0 +1,183 @@
+// TimeSeries vs an independent reference model.
+//
+// The reference keeps EVERY sample in a flat vector and recomputes retained
+// views and window aggregates from scratch — no ring arithmetic, no shared
+// code with the implementation — so ring wraparound, eviction accounting,
+// and the nearest-rank percentile all get checked against first principles.
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "runtime/time_series.h"
+
+namespace ppc::runtime {
+namespace {
+
+// Unbounded mirror of a TimeSeries with capacity `capacity`.
+class ReferenceSeries {
+ public:
+  explicit ReferenceSeries(std::size_t capacity) : capacity_(capacity) {}
+
+  void add(double time, double value) { all_.push_back({time, value}); }
+
+  std::size_t size() const { return std::min(capacity_, all_.size()); }
+  std::uint64_t total() const { return all_.size(); }
+
+  // i-th retained sample, 0 = oldest retained.
+  std::pair<double, double> at(std::size_t i) const {
+    return all_[all_.size() - size() + i];
+  }
+
+  WindowStats window(std::size_t last_n) const {
+    WindowStats stats;
+    const std::size_t n =
+        (last_n == 0 || last_n > size()) ? size() : last_n;
+    if (n == 0) return stats;
+    std::vector<double> values;
+    for (std::size_t i = size() - n; i < size(); ++i) values.push_back(at(i).second);
+    std::sort(values.begin(), values.end());
+    stats.count = n;
+    stats.min = values.front();
+    stats.max = values.back();
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    stats.mean = sum / static_cast<double>(n);
+    // Nearest-rank: 1-based rank ceil(0.95 * n), clamped into [1, n].
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(n)));
+    rank = std::max<std::size_t>(1, std::min(rank, n));
+    stats.p95 = values[rank - 1];
+    return stats;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::pair<double, double>> all_;
+};
+
+void expect_same_stats(const WindowStats& got, const WindowStats& want) {
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_DOUBLE_EQ(got.min, want.min);
+  EXPECT_NEAR(got.mean, want.mean, 1e-9 * (1.0 + std::abs(want.mean)));
+  EXPECT_DOUBLE_EQ(got.max, want.max);
+  EXPECT_DOUBLE_EQ(got.p95, want.p95);
+}
+
+TEST(TimeSeries, EmptySeriesHasZeroWindow) {
+  TimeSeries ts(8);
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.size(), 0u);
+  EXPECT_EQ(ts.total(), 0u);
+  const WindowStats w = ts.window();
+  EXPECT_EQ(w.count, 0u);
+  EXPECT_EQ(w.mean, 0.0);
+}
+
+TEST(TimeSeries, CapacityMustBePositive) {
+  EXPECT_THROW(TimeSeries(0), ppc::InvalidArgument);
+}
+
+TEST(TimeSeries, SingleSampleIsItsOwnAggregate) {
+  TimeSeries ts(4);
+  ts.add(1.5, 42.0);
+  EXPECT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts.latest().time, 1.5);
+  EXPECT_EQ(ts.latest().value, 42.0);
+  const WindowStats w = ts.window();
+  EXPECT_EQ(w.count, 1u);
+  EXPECT_EQ(w.min, 42.0);
+  EXPECT_EQ(w.mean, 42.0);
+  EXPECT_EQ(w.max, 42.0);
+  EXPECT_EQ(w.p95, 42.0);
+}
+
+TEST(TimeSeries, WraparoundKeepsNewestCapacitySamples) {
+  TimeSeries ts(4);
+  for (int i = 0; i < 10; ++i) ts.add(i, 100.0 + i);
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_EQ(ts.total(), 10u);
+  // Retained must be samples 6..9, oldest first.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ts.at(i).time, 6.0 + static_cast<double>(i));
+    EXPECT_EQ(ts.at(i).value, 106.0 + static_cast<double>(i));
+  }
+  EXPECT_EQ(ts.latest().value, 109.0);
+  EXPECT_THROW(ts.at(4), ppc::InvalidArgument);
+}
+
+TEST(TimeSeries, CapacityOneAlwaysHoldsTheLatest) {
+  TimeSeries ts(1);
+  for (int i = 0; i < 7; ++i) {
+    ts.add(i, i * 10.0);
+    EXPECT_EQ(ts.size(), 1u);
+    EXPECT_EQ(ts.latest().value, i * 10.0);
+  }
+  EXPECT_EQ(ts.total(), 7u);
+}
+
+TEST(TimeSeries, WindowLargerThanRetainedClampsToAll) {
+  TimeSeries ts(8);
+  for (int i = 1; i <= 5; ++i) ts.add(i, i);
+  const WindowStats all = ts.window(0);
+  const WindowStats clamped = ts.window(100);
+  EXPECT_EQ(all.count, 5u);
+  EXPECT_EQ(clamped.count, 5u);
+  EXPECT_EQ(clamped.mean, 3.0);
+  EXPECT_EQ(clamped.p95, 5.0);
+}
+
+TEST(TimeSeries, P95IsNearestRank) {
+  // 1..100: rank ceil(95) = 95, so p95 is the value 95 exactly.
+  TimeSeries ts(128);
+  for (int i = 1; i <= 100; ++i) ts.add(i, i);
+  EXPECT_EQ(ts.window().p95, 95.0);
+  // Over the last 20 (81..100): rank ceil(19) = 19 -> value 99.
+  EXPECT_EQ(ts.window(20).p95, 99.0);
+}
+
+TEST(TimeSeries, RandomizedStreamsMatchReferenceModel) {
+  // Many (capacity, length) shapes, values drawn from mixed distributions
+  // (negatives, duplicates, large magnitudes). Checked after every append:
+  // retained contents, totals, latest, and window aggregates at several
+  // window sizes including ones straddling the wraparound point.
+  std::mt19937 rng(20100621);  // HPDC'10 vintage
+  std::uniform_real_distribution<double> value_dist(-1e6, 1e6);
+  std::uniform_int_distribution<int> small_dist(-3, 3);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t capacity = 1 + rng() % 17;
+    const std::size_t length = 1 + rng() % 100;
+    TimeSeries ts(capacity);
+    ReferenceSeries ref(capacity);
+    double t = 0.0;
+    for (std::size_t n = 0; n < length; ++n) {
+      t += 0.25;
+      const double v = (rng() % 3 == 0) ? static_cast<double>(small_dist(rng))
+                                        : value_dist(rng);
+      ts.add(t, v);
+      ref.add(t, v);
+
+      ASSERT_EQ(ts.size(), ref.size());
+      ASSERT_EQ(ts.total(), ref.total());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(ts.at(i).time, ref.at(i).first);
+        ASSERT_EQ(ts.at(i).value, ref.at(i).second);
+      }
+      ASSERT_EQ(ts.latest().value, ref.at(ref.size() - 1).second);
+
+      expect_same_stats(ts.window(0), ref.window(0));
+      expect_same_stats(ts.window(1), ref.window(1));
+      const std::size_t mid = 1 + rng() % (ref.size());
+      expect_same_stats(ts.window(mid), ref.window(mid));
+      expect_same_stats(ts.window(ref.size() + 5), ref.window(ref.size() + 5));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppc::runtime

@@ -44,6 +44,9 @@
 //     --trace-dir DIR                    on failure, write the chaos run's
 //                                        Chrome trace next to the
 //                                        reproducing-seed message
+//     --monitor-dir DIR                  attach a wall-clock Monitor to the
+//                                        chaos run and write its time-series
+//                                        JSON to DIR (period 0.05s)
 //   ppcloud trace [options]              run one traced job, print the
 //                                        per-worker load report + per-task
 //                                        summary table:
@@ -57,6 +60,32 @@
 //     --skew S                           per-file work skew (default 3.0)
 //     --out FILE                         write Chrome trace_event JSON for
 //                                        ui.perfetto.dev (single substrate)
+//     --monitor-dir DIR                  attach a wall-clock Monitor to the
+//                                        run and write its time-series JSON
+//                                        to DIR (period 0.05s)
+//   ppcloud monitor [options]            run one DES job per substrate with
+//                                        the time-series monitor attached to
+//                                        the *simulation* clock; prints the
+//                                        sparkline dashboard (queue depth,
+//                                        utilization, cost rate) and the
+//                                        alarm verdict. Deterministic: the
+//                                        same options give byte-identical
+//                                        --json output:
+//     --substrate classiccloud|azuremr|mapreduce|dryad|all   (default all)
+//     --app cap3|blast|gtm               (default cap3)
+//     --files N                          task count (default 32)
+//     --instances N --workers W          deployment (default 2 x 4)
+//     --skew S                           per-file work skew (default 2.0)
+//     --seed S                           RNG seed (default 42)
+//     --period S                         sample period, sim-seconds (def. 5)
+//     --alarm "RULE"                     alarm rule, parse_alarm grammar
+//                                        (e.g. "queue.tasks.depth > 100 for
+//                                        60s"); default: the stall rule
+//     --stall-worker W --stall-at T --stall-duration D
+//                                        park worker W at sim time T for D
+//                                        seconds (classiccloud/azuremr)
+//     --json PATH                        write Monitor JSON (single substr.)
+//     --prom PATH                        write Prometheus text exposition
 //
 // Exit status: 0 on success, 1 on bad usage or a failed run (a failed chaos
 // campaign prints the seed that reproduces it).
@@ -76,6 +105,7 @@
 #include "core/feature_matrix.h"
 #include "runtime/metrics.h"
 #include "sim/chaos_campaign.h"
+#include "sim/monitor_run.h"
 #include "sim/trace_run.h"
 #include "storage/storage_backend.h"
 
@@ -234,6 +264,8 @@ int cmd_chaos(const Options& opts) {
   base.storage = opt(opts, "storage", "object");
   base.enable_cache = opt(opts, "cache", "0") != "0";
   const bool print_json = opt(opts, "json", "0") != "0";
+  const std::string monitor_dir = opt(opts, "monitor-dir", "");
+  if (!monitor_dir.empty()) base.monitor_period = 0.05;
 
   const std::string substrate = opt(opts, "substrate", "all");
   std::vector<std::string> substrates;
@@ -252,6 +284,14 @@ int cmd_chaos(const Options& opts) {
     const sim::ChaosReport report = sim::run_chaos_campaign(config);
     std::fputs(report.to_text().c_str(), stdout);
     if (print_json) std::printf("%s\n", report.metrics_json.c_str());
+    if (!monitor_dir.empty() && !report.monitor_json.empty()) {
+      const std::string path = monitor_dir + "/chaos-monitor-" + s + ".json";
+      if (write_file(path, report.monitor_json)) {
+        std::printf("chaos-run monitor series: %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "ppcloud: could not write %s\n", path.c_str());
+      }
+    }
     if (!report.passed) {
       all_passed = false;
       std::printf("reproduce with: ppcloud chaos --seed %llu --substrate %s --app %s\n",
@@ -280,6 +320,8 @@ int cmd_trace(const Options& opts) {
   base.storage = opt(opts, "storage", "object");
   base.enable_cache = opt(opts, "cache", "0") != "0";
   const std::string out_path = opt(opts, "out", "");
+  const std::string monitor_dir = opt(opts, "monitor-dir", "");
+  if (!monitor_dir.empty()) base.monitor_period = 0.05;
 
   const std::string substrate = opt(opts, "substrate", "all");
   std::vector<std::string> substrates;
@@ -299,6 +341,15 @@ int cmd_trace(const Options& opts) {
     sim::TraceRunReport report = sim::run_traced_job(config);
     std::fputs(report.to_text().c_str(), stdout);
     if (!report.succeeded) all_ok = false;
+    if (!monitor_dir.empty() && !report.monitor_json.empty()) {
+      const std::string path = monitor_dir + "/trace-monitor-" + s + ".json";
+      if (write_file(path, report.monitor_json)) {
+        std::printf("trace-run monitor series: %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "ppcloud: could not write %s\n", path.c_str());
+        all_ok = false;
+      }
+    }
     if (!out_path.empty()) {
       if (write_file(out_path, report.chrome_json)) {
         std::printf("trace (%zu spans): %s\n", report.spans, out_path.c_str());
@@ -310,6 +361,51 @@ int cmd_trace(const Options& opts) {
     reports.push_back(std::move(report));
   }
   if (reports.size() > 1) std::fputs(sim::imbalance_comparison(reports).c_str(), stdout);
+  return all_ok ? 0 : 1;
+}
+
+int cmd_monitor(const Options& opts) {
+  sim::MonitorRunConfig base;
+  base.app = opt(opts, "app", "cap3");
+  base.num_files = opt_int(opts, "files", 32);
+  base.instances = opt_int(opts, "instances", 2);
+  base.workers_per_instance = opt_int(opts, "workers", 4);
+  base.skew = std::stod(opt(opts, "skew", "2.0"));
+  base.seed = static_cast<unsigned>(opt_int(opts, "seed", 42));
+  base.period = std::stod(opt(opts, "period", "5"));
+  base.stall_worker = opt_int(opts, "stall-worker", -1);
+  base.stall_at = std::stod(opt(opts, "stall-at", "-1"));
+  base.stall_duration = std::stod(opt(opts, "stall-duration", "0"));
+  if (opts.contains("alarm")) base.alarms = {opt(opts, "alarm", "")};
+  const std::string json_path = opt(opts, "json", "");
+  const std::string prom_path = opt(opts, "prom", "");
+
+  const std::string substrate = opt(opts, "substrate", "all");
+  std::vector<std::string> substrates;
+  if (substrate == "all") {
+    substrates = {"classiccloud", "azuremr", "mapreduce", "dryad"};
+  } else {
+    substrates = {substrate};
+  }
+  PPC_REQUIRE((json_path.empty() && prom_path.empty()) || substrates.size() == 1,
+              "--json/--prom need a single --substrate");
+
+  bool all_ok = true;
+  for (const std::string& s : substrates) {
+    sim::MonitorRunConfig config = base;
+    config.substrate = s;
+    const sim::MonitorRunReport report = sim::run_monitored_job(config);
+    std::fputs(report.to_text().c_str(), stdout);
+    if (report.completed != report.tasks) all_ok = false;
+    if (!json_path.empty() && !write_file(json_path, report.monitor_json)) {
+      std::fprintf(stderr, "ppcloud: could not write %s\n", json_path.c_str());
+      all_ok = false;
+    }
+    if (!prom_path.empty() && !write_file(prom_path, report.prometheus)) {
+      std::fprintf(stderr, "ppcloud: could not write %s\n", prom_path.c_str());
+      all_ok = false;
+    }
+  }
   return all_ok ? 0 : 1;
 }
 
@@ -367,7 +463,7 @@ int cmd_experiment(const std::string& id, const std::string& backend_name) {
 
 int usage() {
   std::fputs(
-      "usage: ppcloud <catalog|features|assemble|simulate|experiment|chaos|trace> [options]\n"
+      "usage: ppcloud <catalog|features|assemble|simulate|experiment|chaos|trace|monitor> [options]\n"
       "see the header comment of tools/ppcloud_cli.cpp or README.md for details\n",
       stderr);
   return 1;
@@ -388,6 +484,7 @@ int main(int argc, char** argv) {
     if (command == "assemble") return cmd_assemble(parse_options(argc, argv, 2));
     if (command == "chaos") return cmd_chaos(parse_options(argc, argv, 2));
     if (command == "trace") return cmd_trace(parse_options(argc, argv, 2));
+    if (command == "monitor") return cmd_monitor(parse_options(argc, argv, 2));
     if (command == "experiment") {
       if (argc < 3) return usage();
       return cmd_experiment(argv[2], argc >= 4 ? argv[3] : "object");
