@@ -248,47 +248,67 @@ KernelResult bench_blast() {
 // Substrate end-to-end micro workload
 // --------------------------------------------------------------------------
 
+// Substrate workload shape: big enough that throughput measures the control
+// plane (queue sharding, batched receive/delete), not thread start-up; the
+// shape constants are stamped into BENCH_micro.json's meta block.
+constexpr int kClassicTasks = 4096;
+constexpr int kClassicWorkers = 2;
+constexpr int kAzureMaps = 64;
+constexpr int kAzureReduces = 8;
+constexpr int kAzureWorkers = 8;
+constexpr int kReceiveBatch = 10;
+constexpr int kDeleteBatch = 10;
+constexpr int kQueueShards = 8;
+
 SubstrateResult bench_classiccloud() {
-  const int kTasks = 24;
   auto run_once = [&] {
     auto clock = std::make_shared<SystemClock>();
     blobstore::BlobStore store(clock);
-    cloudq::QueueService queues(clock);
+    cloudq::QueueConfig qc;
+    qc.shards = kQueueShards;
+    cloudq::QueueService queues(clock, qc);
     classiccloud::JobClient client(store, queues, "bench-job");
     std::vector<std::pair<std::string, std::string>> files;
-    for (int i = 0; i < kTasks; ++i) {
-      files.emplace_back("f" + std::to_string(i), std::string(4096, 'x'));
+    for (int i = 0; i < kClassicTasks; ++i) {
+      files.emplace_back("f" + std::to_string(i), std::string(256, 'x'));
     }
     client.submit(files);
     classiccloud::TaskExecutor executor =
         [](const classiccloud::TaskSpec&, const std::string& input) { return input; };
     classiccloud::WorkerConfig config;
     config.poll_interval = 0.0005;
+    config.receive_batch = kReceiveBatch;
+    config.delete_batch = kDeleteBatch;
     classiccloud::WorkerPool pool(store, client.task_queue(), client.monitor_queue(), executor,
-                                  config, 3);
+                                  config, kClassicWorkers);
     pool.start_all();
-    const bool done = client.wait_for_completion(30.0, 0.0005);
+    const bool done = client.wait_for_completion(60.0, 0.0005);
     pool.stop_all();
     pool.join_all();
     if (!done) std::fprintf(stderr, "classiccloud micro workload timed out\n");
   };
+  run_once();  // warm allocators / page in the task path before timing
   const double secs = min_seconds(3, run_once);
-  return {"classiccloud", kTasks, secs, kTasks / secs};
+  return {"classiccloud", kClassicTasks, secs, kClassicTasks / secs};
 }
 
 SubstrateResult bench_azuremr() {
-  const int kMaps = 4, kReduces = 2;
   auto run_once = [&] {
     auto clock = std::make_shared<SystemClock>();
     blobstore::BlobStore store(clock);
-    cloudq::QueueService queues(clock);
-    azuremr::AzureMapReduce mr(store, queues, 2);
+    cloudq::QueueConfig qc;
+    qc.shards = kQueueShards;
+    cloudq::QueueService queues(clock, qc);
+    azuremr::MrWorkerConfig config;
+    config.receive_batch = kReceiveBatch;
+    config.delete_batch = kDeleteBatch;
+    azuremr::AzureMapReduce mr(store, queues, kAzureWorkers, config);
     azuremr::JobSpec spec;
     spec.job_id = "bench-mr";
-    for (int i = 0; i < kMaps; ++i) {
-      spec.inputs.emplace_back("in" + std::to_string(i), std::string(4096, 'y'));
+    for (int i = 0; i < kAzureMaps; ++i) {
+      spec.inputs.emplace_back("in" + std::to_string(i), std::string(256, 'y'));
     }
-    spec.num_reduce_tasks = kReduces;
+    spec.num_reduce_tasks = kAzureReduces;
     spec.map = [](const std::string& name, const std::string& data, const std::string&) {
       return std::vector<azuremr::KeyValue>{{name, std::to_string(data.size())}};
     };
@@ -298,8 +318,9 @@ SubstrateResult bench_azuremr() {
     const auto result = mr.run(spec);
     if (!result.succeeded) std::fprintf(stderr, "azuremr micro workload failed\n");
   };
+  run_once();  // warm
   const double secs = min_seconds(3, run_once);
-  const int tasks = kMaps + kReduces;
+  const int tasks = kAzureMaps + kAzureReduces;
   return {"azuremr", tasks, secs, tasks / secs};
 }
 
@@ -551,6 +572,21 @@ TracingOverhead bench_tracing_overhead() {
 // JSON emit / baseline check
 // --------------------------------------------------------------------------
 
+/// `git rev-parse --short HEAD` of the enclosing checkout, "unknown"
+/// elsewhere — stamped into the meta block so a BENCH_micro.json can be
+/// traced back to the commit that produced it.
+std::string git_sha() {
+  std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {0};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, pipe);
+  const int status = ::pclose(pipe);
+  std::string sha(buf, n);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
+  if (status != 0 || sha.empty()) return "unknown";
+  return sha;
+}
+
 std::string to_json(const std::vector<KernelResult>& kernels,
                     const std::vector<SubstrateResult>& substrates,
                     const TracingOverhead& tracing, const StorageOverhead& storage_overhead,
@@ -558,7 +594,15 @@ std::string to_json(const std::vector<KernelResult>& kernels,
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(1);
-  os << "{\n  \"kernels\": [\n";
+  // The meta block deliberately has no "name" keys: parse_baseline_entries
+  // keys entries on "name", so metadata must stay invisible to it.
+  os << "{\n  \"meta\": {\"git_sha\": \"" << git_sha()
+     << "\", \"classiccloud_tasks\": " << kClassicTasks
+     << ", \"classiccloud_workers\": " << kClassicWorkers
+     << ", \"azuremr_maps\": " << kAzureMaps << ", \"azuremr_reduces\": " << kAzureReduces
+     << ", \"azuremr_workers\": " << kAzureWorkers
+     << ", \"receive_batch\": " << kReceiveBatch << ", \"delete_batch\": " << kDeleteBatch
+     << ", \"queue_shards\": " << kQueueShards << "},\n  \"kernels\": [\n";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     const auto& k = kernels[i];
     os << "    {\"name\": \"" << k.name << "\", \"ns_per_op\": " << k.ns_per_op

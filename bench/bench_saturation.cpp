@@ -1,0 +1,103 @@
+// Queue saturation sweep as a tracked benchmark: real threads drain a
+// sharded cloudq::MessageQueue through the batch APIs across a
+// (workers x shards) grid, emitting BENCH_saturation.json (the tasks/s-vs-
+// shards curve CI archives). `--check bench/saturation_baseline.json` gates
+// the sweep: peak throughput may not fall below half the checked-in
+// baseline's peak, and the batched rows must actually batch (occupancy
+// close to the request ceiling) — loose enough for shared-runner noise,
+// tight enough to catch a convoying lock or a de-batched hot path.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/saturation.h"
+
+namespace {
+
+std::string git_sha() {
+  std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {0};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, pipe);
+  const int status = ::pclose(pipe);
+  std::string sha(buf, n);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
+  if (status != 0 || sha.empty()) return "unknown";
+  return sha;
+}
+
+/// Reads the scalar after `"<key>": ` in a file this bench wrote earlier.
+double read_json_number(const std::string& text, const char* key, double fallback) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return fallback;
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output_path = "BENCH_saturation.json";
+  std::string baseline_path;
+  ppc::sim::SaturationConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tasks") == 0 && i + 1 < argc) {
+      config.tasks = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--check BASELINE.json] [--tasks N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const ppc::sim::SaturationReport report = ppc::sim::run_saturation_sweep(config);
+  std::fputs(report.to_text().c_str(), stderr);
+
+  std::ofstream out(output_path);
+  out << report.to_json(git_sha(), config);
+  out.close();
+  std::fprintf(stderr, "wrote %s\n", output_path.c_str());
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const double baseline_peak =
+        read_json_number(buf.str(), "peak_tasks_per_second", 0.0);
+    bool ok = true;
+    if (baseline_peak <= 0.0) {
+      std::fprintf(stderr, "NOTE: baseline has no peak_tasks_per_second; skipping peak gate\n");
+    } else if (report.peak_tasks_per_second < 0.5 * baseline_peak) {
+      std::fprintf(stderr, "FAIL: peak %.0f tasks/s is below half the baseline peak %.0f\n",
+                   report.peak_tasks_per_second, baseline_peak);
+      ok = false;
+    } else {
+      std::fprintf(stderr, "OK:   peak %.0f tasks/s vs baseline %.0f (gate: >= 0.5x)\n",
+                   report.peak_tasks_per_second, baseline_peak);
+    }
+    // Batched rows must move close to `batch` messages per request; a drop
+    // toward 1.0 means the batch path silently degraded to singles.
+    for (const auto& cell : report.cells) {
+      if (cell.batch <= 1) continue;
+      if (cell.batch_occupancy < 0.5 * cell.batch) {
+        std::fprintf(stderr, "FAIL: %s occupancy %.2f < half of batch %d\n",
+                     cell.name().c_str(), cell.batch_occupancy, cell.batch);
+        ok = false;
+      }
+    }
+    if (ok) std::fprintf(stderr, "OK:   batched rows hold >= 0.5x batch occupancy\n");
+    if (!ok) return 1;
+  }
+  return 0;
+}

@@ -18,11 +18,22 @@ int main(int argc, char** argv) {
     std::printf("-- storage backend: %s --\n", report.storage_backend.c_str());
 
     report.ec2.to_table().print();
-    std::printf("  (EC2 makespan: %s on 16 x HCXL)\n\n",
-                format_duration(report.ec2_makespan).c_str());
+    std::printf("  (EC2 makespan: %s on 16 x HCXL)\n", format_duration(report.ec2_makespan).c_str());
+    const auto& eb = report.ec2_queue_batching;
+    std::printf("  (queue batching: %llu requests vs %llu unbatched — $%.4f vs $%.4f, "
+                "%.1fx fewer requests)\n\n",
+                static_cast<unsigned long long>(eb.requests),
+                static_cast<unsigned long long>(eb.unbatched_requests), eb.cost,
+                eb.unbatched_cost, eb.request_reduction());
     report.azure.to_table().print();
-    std::printf("  (Azure makespan: %s on 128 x Small)\n\n",
+    std::printf("  (Azure makespan: %s on 128 x Small)\n",
                 format_duration(report.azure_makespan).c_str());
+    const auto& ab = report.azure_queue_batching;
+    std::printf("  (queue batching: %llu requests vs %llu unbatched — $%.4f vs $%.4f, "
+                "%.1fx fewer requests)\n\n",
+                static_cast<unsigned long long>(ab.requests),
+                static_cast<unsigned long long>(ab.unbatched_requests), ab.cost,
+                ab.unbatched_cost, ab.request_reduction());
 
     Table cluster("Owned cluster (32 node x 24 core, $500k/3y + $150k/y)");
     cluster.set_header({"Utilization", "Job cost $"});

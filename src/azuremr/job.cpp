@@ -43,11 +43,20 @@ std::int64_t sum_worker_counters(const runtime::MetricsRegistry& metrics,
 bool wait_for_tasks(cloudq::MessageQueue& monitor, const std::set<std::string>& expected,
                     std::set<std::string>& done, Seconds timeout) {
   ppc::SystemClock clock;
+  std::vector<cloudq::Message> records;
+  std::vector<std::string> receipts;
   while (clock.now() < timeout) {
-    while (auto message = monitor.receive(5.0)) {
-      const auto record = ppc::decode_kv(message->body());
-      if (record.contains("task")) done.insert(record.at("task"));
-      monitor.delete_message(message->receipt_handle);
+    // Batched drain: 10 records per receive and 10 acks per delete request.
+    records.clear();
+    while (monitor.receive_batch(cloudq::MessageQueue::kBatchLimit, 5.0, records) > 0) {
+      receipts.clear();
+      for (const cloudq::Message& message : records) {
+        const auto record = ppc::decode_kv(message.body());
+        if (record.contains("task")) done.insert(record.at("task"));
+        receipts.push_back(message.receipt_handle);
+      }
+      monitor.delete_batch(receipts);
+      records.clear();
     }
     bool all = true;
     for (const auto& id : expected) {

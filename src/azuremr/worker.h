@@ -31,6 +31,14 @@ inline const std::string kAfterReduce = "azuremr.after_reduce";
 
 struct MrWorkerConfig {
   Seconds poll_interval = 0.002;
+  /// Idle backoff cap; < 0 derives 8x poll_interval. See LifecycleConfig.
+  Seconds poll_interval_max = -1.0;
+  /// Messages fetched per receive request (1..10); the batch is worked
+  /// through sequentially, so visibility_timeout must cover the whole batch.
+  int receive_batch = 1;
+  /// Completed-task acks buffered into one DeleteMessageBatch request; 1
+  /// acks each task immediately. See LifecycleConfig::delete_batch.
+  int delete_batch = 1;
   Seconds visibility_timeout = 30.0;
   /// Backoff schedule for eventually-consistent blob reads and shuffle
   /// listings.

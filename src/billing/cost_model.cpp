@@ -44,6 +44,22 @@ Dollars OwnedClusterModel::job_cost(double core_hours, double utilization) const
   return core_hours * cost_per_core_hour(utilization);
 }
 
+Dollars queue_request_cost(std::uint64_t requests, Dollars per_10k_requests) {
+  PPC_REQUIRE(per_10k_requests >= 0.0, "per-request rate must be >= 0");
+  return static_cast<double>(requests) / 10000.0 * per_10k_requests;
+}
+
+QueueBatchingSavings queue_batching_savings(std::uint64_t requests,
+                                            std::uint64_t unbatched_requests,
+                                            Dollars per_10k_requests) {
+  QueueBatchingSavings s;
+  s.requests = requests;
+  s.unbatched_requests = unbatched_requests;
+  s.cost = queue_request_cost(requests, per_10k_requests);
+  s.unbatched_cost = queue_request_cost(unbatched_requests, per_10k_requests);
+  return s;
+}
+
 Dollars storage_cost(Bytes stored, double months, Dollars per_gb_month) {
   PPC_REQUIRE(months >= 0.0, "months must be >= 0");
   return to_gigabytes(stored) * months * per_gb_month;

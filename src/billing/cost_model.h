@@ -8,6 +8,7 @@
 //    3 years plus yearly maintenance, divided by utilized core-hours.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,36 @@ struct OwnedClusterModel {
   /// Cost attributed to a job consuming `core_hours` at `utilization`.
   Dollars job_cost(double core_hours, double utilization) const;
 };
+
+/// SQS-style per-request queue pricing (2010: $0.01 per 10,000 API
+/// requests). Takes a request count, not a message count — batch APIs move
+/// up to 10 messages per request, which is exactly the win this prices.
+Dollars queue_request_cost(std::uint64_t requests, Dollars per_10k_requests = 0.01);
+
+/// The batching win in dollars: what the run's queue traffic cost as issued
+/// versus what the same message volume would have cost one request per
+/// message (RequestMeter::total() vs RequestMeter::unbatched_total()).
+/// `saved()` can go slightly negative on an idle-heavy run: empty receives
+/// bill as requests but move no messages, so they count in the billed total
+/// only.
+struct QueueBatchingSavings {
+  std::uint64_t requests = 0;            // API requests actually billed
+  std::uint64_t unbatched_requests = 0;  // one-message-per-request equivalent
+  Dollars cost = 0.0;
+  Dollars unbatched_cost = 0.0;
+
+  Dollars saved() const { return unbatched_cost - cost; }
+  /// Request-count reduction factor (1.0 = no batching benefit).
+  double request_reduction() const {
+    return requests > 0 ? static_cast<double>(unbatched_requests) /
+                              static_cast<double>(requests)
+                        : 1.0;
+  }
+};
+
+QueueBatchingSavings queue_batching_savings(std::uint64_t requests,
+                                            std::uint64_t unbatched_requests,
+                                            Dollars per_10k_requests = 0.01);
 
 /// Cloud storage cost for retaining `stored` bytes for `months`.
 Dollars storage_cost(Bytes stored, double months, Dollars per_gb_month);

@@ -50,8 +50,18 @@ inline const std::string kAfterUpload = "classiccloud.after_upload";
 
 struct WorkerConfig {
   std::string bucket = "job";
-  /// Sleep between empty polls (real seconds — keep small in tests).
+  /// Tight polling interval and floor of the adaptive idle backoff (real
+  /// seconds — keep small in tests).
   Seconds poll_interval = 0.005;
+  /// Idle backoff cap; < 0 derives 8x poll_interval. See LifecycleConfig.
+  Seconds poll_interval_max = -1.0;
+  /// Messages fetched per receive request (1..10, SQS ReceiveMessage
+  /// MaxNumberOfMessages); the batch is worked through sequentially, so
+  /// visibility_timeout must cover the whole batch.
+  int receive_batch = 1;
+  /// Completed-task acks buffered into one DeleteMessageBatch request; 1
+  /// acks each task immediately. See LifecycleConfig::delete_batch.
+  int delete_batch = 1;
   /// Visibility timeout requested on receive. Must exceed the worst-case
   /// task duration or tasks will be double-processed (the paper tunes this
   /// per application).

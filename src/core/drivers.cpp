@@ -1,9 +1,9 @@
 #include "core/drivers.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <memory>
-#include <set>
 #include <string>
 
 #include "classiccloud/task.h"
@@ -109,7 +109,12 @@ struct ClassicSim {
   /// Per-worker shared-dataset caches; empty when the cache is disabled.
   std::vector<std::unique_ptr<storage::BlockCache>> caches;
 
-  std::set<std::string> completed;
+  /// Completion flags indexed by task id, plus the count — O(1) per
+  /// completion where a std::set of task-id strings cost a tree insert per
+  /// task (the difference between minutes and seconds at the million-task
+  /// campaign scale).
+  std::vector<std::uint8_t> completed;
+  std::size_t completed_count = 0;
   int duplicate_executions = 0;
   int busy = 0;  // workers currently in handle() (download..upload)
   bool done = false;
@@ -131,9 +136,15 @@ struct ClassicSim {
         queue("tasks", sim.clock(), p.queue, rng.split()),
         monitor("monitor", sim.clock(), p.queue, rng.split()),
         fleet(sim.clock()) {
+    PPC_REQUIRE(p.receive_batch >= 1 &&
+                    p.receive_batch <= static_cast<int>(cloudq::MessageQueue::kBatchLimit),
+                "receive_batch must be in [1, kBatchLimit]");
+    completed.assign(w.tasks.size(), 0);
     const int workers = d.total_workers();
     worker_rng.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i) worker_rng.push_back(rng.split());
+    prefetch.resize(static_cast<std::size_t>(workers));
+    acks.resize(static_cast<std::size_t>(workers));
     run_factor = params.provider_variability
                      ? m.sample_run_factor(d.type.provider, rng)
                      : 1.0;
@@ -198,6 +209,14 @@ struct ClassicSim {
                  ? static_cast<double>(d.total_workers() - busy)
                  : 0.0;
     });
+    // Queue API request rate (both queues; SQS bills per request) and how
+    // many messages each send/receive/delete request moved — a direct read
+    // on how well the batch APIs are being used (1.0 = unbatched chatter).
+    mon.add_probe("queue.api_calls", ProbeKind::kCumulative, [this] {
+      return static_cast<double>(queue.meter().total() + monitor.meter().total());
+    });
+    mon.add_probe("queue.batch_occupancy", ProbeKind::kLevel,
+                  [this] { return queue.meter().batch_occupancy(); });
     mon.add_probe("storage.bytes_per_sec", ProbeKind::kCumulative, [this] {
       const auto m = store->meter();
       return m.bytes_in + m.bytes_out;
@@ -241,6 +260,12 @@ struct ClassicSim {
   }
 
   std::vector<Seconds> idle_interval;  // per-worker empty-poll backoff
+  /// Per-worker batched deliveries awaiting processing (receive_batch > 1).
+  std::vector<std::deque<cloudq::Message>> prefetch;
+  /// Per-worker buffered completion receipts, flushed in DeleteMessageBatch
+  /// requests of up to kBatchLimit.
+  std::vector<std::vector<std::string>> acks;
+  std::vector<cloudq::Message> recv_buf;  // reused receive_batch scratch
 
   void poll(int w) {
     if (done) return;
@@ -254,17 +279,70 @@ struct ClassicSim {
       return;
     }
     sim.after(params.queue_op_latency, [this, w] {
-      auto msg = queue.receive(params.visibility_timeout);
       auto& backoff = idle_interval[static_cast<std::size_t>(w)];
-      if (!msg) {
+      if (params.receive_batch <= 1) {
+        auto msg = queue.receive(params.visibility_timeout);
+        if (!msg) {
+          if (done || queue.undeleted() == 0) return;
+          sim.after(backoff, [this, w] { poll(w); });
+          backoff = std::min(params.poll_interval_max, backoff * 2.0);
+          return;
+        }
+        backoff = params.poll_interval;  // reset on success
+        handle(w, *msg);
+        return;
+      }
+      recv_buf.clear();
+      if (queue.receive_batch(static_cast<std::size_t>(params.receive_batch),
+                              params.visibility_timeout, recv_buf) == 0) {
         if (done || queue.undeleted() == 0) return;
         sim.after(backoff, [this, w] { poll(w); });
         backoff = std::min(params.poll_interval_max, backoff * 2.0);
         return;
       }
-      backoff = params.poll_interval;  // reset on success
-      handle(w, *msg);
+      backoff = params.poll_interval;
+      auto& mine = prefetch[static_cast<std::size_t>(w)];
+      for (cloudq::Message& m : recv_buf) mine.push_back(std::move(m));
+      next_delivery(w);
     });
+  }
+
+  /// Works through the worker's prefetched batch; when it drains, flushes
+  /// the buffered acks and polls again. With receive_batch == 1 both buffers
+  /// are always empty and this is exactly the legacy poll-again step.
+  void next_delivery(int w) {
+    auto& mine = prefetch[static_cast<std::size_t>(w)];
+    if (done || mine.empty()) {
+      // Flush even when the job just finished: the final ack batch is what
+      // drains the queue to zero undeleted messages.
+      flush_acks(w);
+      if (!done) poll(w);
+      return;
+    }
+    const cloudq::Message msg = std::move(mine.front());
+    mine.pop_front();
+    handle(w, msg);
+  }
+
+  void flush_acks(int w) {
+    auto& pending = acks[static_cast<std::size_t>(w)];
+    if (pending.empty()) return;
+    queue.delete_batch(pending);
+    pending.clear();
+  }
+
+  /// Acks a completed task: immediately (legacy) or buffered into a batch.
+  /// A worker that crashes with buffered acks never flushes them — those
+  /// messages resurface and idempotent re-execution absorbs the duplicates,
+  /// the same story as a crash between upload and delete.
+  void ack(int w, const cloudq::Message& msg) {
+    if (params.receive_batch <= 1) {
+      queue.delete_message(msg.receipt_handle);
+      return;
+    }
+    auto& pending = acks[static_cast<std::size_t>(w)];
+    pending.push_back(msg.receipt_handle);
+    if (pending.size() >= cloudq::MessageQueue::kBatchLimit) flush_acks(w);
   }
 
   void handle(int w, const cloudq::Message& msg) {
@@ -319,9 +397,14 @@ struct ClassicSim {
           record.status = "done";
           record.duration = ex;
           monitor.send(classiccloud::encode_monitor(record));
-          queue.delete_message(msg.receipt_handle);
+          ack(w, msg);
 
-          const bool first = completed.insert(spec.task_id).second;
+          auto& flag = completed[static_cast<std::size_t>(task.id)];
+          const bool first = flag == 0;
+          if (first) {
+            flag = 1;
+            ++completed_count;
+          }
           if (params.record_trace) {
             // sim.now() is post-upload; the execution ended `ul` ago.
             const Seconds end = sim.now() - ul;
@@ -329,7 +412,7 @@ struct ClassicSim {
           }
           if (first) {
             exec_times.add(ex);
-            if (completed.size() == workload.size()) {
+            if (completed_count == workload.size()) {
               done = true;
               makespan = sim.now();
               fleet.terminate_all();
@@ -338,7 +421,7 @@ struct ClassicSim {
             ++duplicate_executions;
           }
           --busy;
-          poll(w);
+          next_delivery(w);
         });
       });
     });
@@ -361,13 +444,19 @@ RunResult run_classic_cloud_sim(const Workload& workload, const Deployment& depl
   r.deployment_label = deployment.label;
   r.makespan = cs.makespan;
   r.tasks = static_cast<int>(workload.size());
-  r.completed = static_cast<int>(cs.completed.size());
+  r.completed = static_cast<int>(cs.completed_count);
   r.duplicate_executions = cs.duplicate_executions;
   r.exec_times = cs.exec_times;
   r.trace = std::move(cs.trace);
   r.compute_cost_hour_units = cs.fleet.hourly_billed_cost(cs.makespan);
   r.compute_cost_amortized = cs.fleet.amortized_cost(cs.makespan);
   r.queue_request_cost = cs.queue.request_cost() + cs.monitor.request_cost();
+  const auto qm = cs.queue.meter();
+  const auto mm = cs.monitor.meter();
+  r.queue_api_requests = qm.total() + mm.total();
+  r.queue_unbatched_requests = qm.unbatched_total() + mm.unbatched_total();
+  r.queue_batch_occupancy = qm.batch_occupancy();
+  r.queue_undeleted_end = cs.queue.undeleted();
   const auto meter = cs.store->meter();
   r.bytes_in = meter.bytes_in;
   r.bytes_out = meter.bytes_out;

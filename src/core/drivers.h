@@ -11,6 +11,7 @@
 // dryad::PartitionedTable policies. Only the passage of time is simulated.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "blobstore/blob_store.h"
@@ -65,6 +66,13 @@ struct SimRunParams {
   /// Visibility timeout requested by workers. Must exceed the task length
   /// or duplicate executions appear (the ablation bench sweeps this).
   Seconds visibility_timeout = 7200.0;
+  /// Messages fetched per queue receive request (1..10, the SQS batch
+  /// limit). 1 keeps the legacy one-receive-per-poll loop (and its exact
+  /// random stream); > 1 prefetches a batch per poll, works through it, and
+  /// acks completions in DeleteMessageBatch requests — cutting API requests
+  /// (and request charges) by ~batch x at saturation. The visibility
+  /// timeout must cover the whole prefetched batch.
+  int receive_batch = 1;
 
   // -- MapReduce --
   minihdfs::HdfsConfig hdfs;
@@ -156,6 +164,16 @@ struct RunResult {
   Dollars compute_cost_hour_units = 0.0;
   Dollars compute_cost_amortized = 0.0;
   Dollars queue_request_cost = 0.0;
+  /// Queue API requests billed (task + monitor queues; Classic Cloud only)
+  /// and the one-message-per-request equivalent — the denominator of the
+  /// batching savings billing reports.
+  std::uint64_t queue_api_requests = 0;
+  std::uint64_t queue_unbatched_requests = 0;
+  /// Messages moved per send/receive/delete request (task queue).
+  double queue_batch_occupancy = 0.0;
+  /// Task-queue messages never deleted when the run ended (0 = drained; a
+  /// worker that crashed holding deliveries or buffered acks leaves some).
+  std::uint64_t queue_undeleted_end = 0;
   Bytes bytes_in = 0.0;   // into cloud storage
   Bytes bytes_out = 0.0;  // out of cloud storage
 

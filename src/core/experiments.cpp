@@ -253,6 +253,8 @@ Table4Report run_table4_cost_comparison(unsigned seed, storage::StorageKind back
     report.ec2_makespan = r.makespan;
     report.ec2.add("Compute Cost (hour units)", r.compute_cost_hour_units);
     report.ec2.add("Queue messages", r.queue_request_cost);
+    report.ec2_queue_batching =
+        billing::queue_batching_savings(r.queue_api_requests, r.queue_unbatched_requests);
     if (fs_backend) {
       // An FS data plane bills flat capacity plus server-hours instead of
       // per-GB transfer and per-request fees.
@@ -275,6 +277,8 @@ Table4Report run_table4_cost_comparison(unsigned seed, storage::StorageKind back
     report.azure_makespan = r.makespan;
     report.azure.add("Compute Cost (hour units)", r.compute_cost_hour_units);
     report.azure.add("Queue messages", r.queue_request_cost);
+    report.azure_queue_batching =
+        billing::queue_batching_savings(r.queue_api_requests, r.queue_unbatched_requests);
     if (fs_backend) {
       report.azure.add("FS storage (1 month)", billing::storage_cost(total_in, 1.0, 0.10));
       report.azure.add("FS servers", r.storage_service_cost);

@@ -88,6 +88,10 @@ std::vector<ScalingPoint> run_gtm_scaling_study(
 struct Table4Report {
   billing::CostReport ec2{"EC2 (16 x HCXL)"};
   billing::CostReport azure{"Azure (128 x Small)"};
+  /// The queue-batching win: the "Queue messages" line as billed (batch
+  /// APIs) vs what the same traffic costs one request per message.
+  billing::QueueBatchingSavings ec2_queue_batching;
+  billing::QueueBatchingSavings azure_queue_batching;
   /// (utilization, job cost) for the owned cluster at 80/70/60%.
   std::vector<std::pair<double, Dollars>> cluster_costs;
   std::string storage_backend = "object";

@@ -1,0 +1,68 @@
+// Adaptive idle-polling policy for queue-driven workers.
+//
+// A fixed poll interval forces a bad trade: tight polling burns receive
+// requests (SQS bills every empty receive) while a long interval adds that
+// much latency to every task start. The adaptive policy gets both ends:
+// while deliveries flow the worker polls at `min_interval`; every
+// consecutive empty poll multiplies the interval (up to `max_interval`),
+// and the first delivery collapses it back to `min_interval`. Jitter
+// decorrelates a fleet of workers so their empty polls don't arrive at the
+// service in lockstep.
+//
+// The policy object is pure state-machine — no clock, no sleeping — so the
+// lifecycle owns *when* to sleep and tests can drive it deterministically.
+#pragma once
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ppc::runtime {
+
+struct PollPolicy {
+  /// Interval while deliveries flow (and floor of the idle backoff).
+  Seconds min_interval = 0.005;
+  /// Idle backoff cap; <= min_interval degenerates to fixed polling.
+  Seconds max_interval = 0.04;
+  /// Idle growth factor per consecutive empty poll (>= 1).
+  double multiplier = 2.0;
+  /// Uniform jitter fraction: a computed interval i is drawn from
+  /// [i*(1-jitter), i*(1+jitter)). 0 disables jitter.
+  double jitter = 0.2;
+
+  static PollPolicy fixed(Seconds interval) { return {interval, interval, 1.0, 0.0}; }
+};
+
+class AdaptivePoll {
+ public:
+  explicit AdaptivePoll(PollPolicy policy) : policy_(policy), current_(policy.min_interval) {
+    if (policy_.max_interval < policy_.min_interval) policy_.max_interval = policy_.min_interval;
+    if (policy_.multiplier < 1.0) policy_.multiplier = 1.0;
+    if (policy_.jitter < 0.0) policy_.jitter = 0.0;
+  }
+
+  /// The sleep to take for this empty poll (jittered), then backs off the
+  /// interval for the next one.
+  Seconds next_idle_sleep(Rng& rng) {
+    Seconds sleep = current_;
+    if (policy_.jitter > 0.0) {
+      sleep *= rng.uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+    }
+    current_ = current_ * policy_.multiplier;
+    if (current_ > policy_.max_interval) current_ = policy_.max_interval;
+    return sleep;
+  }
+
+  /// A delivery arrived: collapse back to tight polling.
+  void on_delivery() { current_ = policy_.min_interval; }
+
+  /// The un-jittered interval the next empty poll would sleep.
+  Seconds current_interval() const { return current_; }
+
+  const PollPolicy& policy() const { return policy_; }
+
+ private:
+  PollPolicy policy_;
+  Seconds current_;
+};
+
+}  // namespace ppc::runtime

@@ -62,6 +62,20 @@ TaskLifecycle::TaskLifecycle(std::string id, std::shared_ptr<cloudq::MessageQueu
   PPC_REQUIRE(task_queue_ != nullptr, "task lifecycle needs a task queue");
   PPC_REQUIRE(handler_ != nullptr, "task lifecycle needs a handler");
   PPC_REQUIRE(config_.visibility_timeout > 0.0, "visibility timeout must be positive");
+  PPC_REQUIRE(config_.receive_batch >= 1 &&
+                  config_.receive_batch <= static_cast<int>(cloudq::MessageQueue::kBatchLimit),
+              "receive_batch must be in [1, MessageQueue::kBatchLimit]");
+  PPC_REQUIRE(config_.delete_batch >= 1, "delete_batch must be >= 1");
+}
+
+PollPolicy TaskLifecycle::poll_policy() const {
+  PollPolicy p;
+  p.min_interval = config_.poll_interval;
+  p.max_interval = config_.poll_interval_max < 0.0 ? 8.0 * config_.poll_interval
+                                                   : config_.poll_interval_max;
+  p.multiplier = config_.poll_multiplier;
+  p.jitter = config_.poll_jitter;
+  return p;
 }
 
 TaskLifecycle::~TaskLifecycle() {
@@ -135,102 +149,154 @@ void TaskLifecycle::poll_loop() {
   bool busy_gauge = false;
   const std::string busy_name = scoped("busy");
   metrics_->set_gauge(busy_name, 0.0);
-  while (!stop_requested_.load()) {
+  AdaptivePoll poll(poll_policy());
+  const std::size_t batch = static_cast<std::size_t>(config_.receive_batch);
+  std::vector<cloudq::Message> deliveries;  // reused envelope buffer across polls
+  deliveries.reserve(batch);
+  bool died = false;
+  while (!stop_requested_.load() && !died) {
     last_heartbeat_.store(ppc::monotonic_now());
     const bool tracing = tr != nullptr && tr->enabled();
     const Seconds poll_start = tracing ? tr->now() : 0.0;
-    auto message = task_queue_->receive(config_.visibility_timeout);
-    if (!message) {
+    deliveries.clear();
+    if (batch == 1) {
+      if (auto message = task_queue_->receive(config_.visibility_timeout)) {
+        deliveries.push_back(std::move(*message));
+      }
+    } else {
+      task_queue_->receive_batch(batch, config_.visibility_timeout, deliveries);
+    }
+    if (deliveries.empty()) {
       ++idle_polls;
+      // Idle is the natural flush point: no further completions are coming
+      // to fill the ack buffer.
+      flush_pending_deletes();
       if (tracing && idle_since < 0.0) idle_since = poll_start;
       if (busy_gauge) {
         metrics_->set_gauge(busy_name, 0.0);
         busy_gauge = false;
       }
       if (config_.max_idle_polls >= 0 && idle_polls >= config_.max_idle_polls) break;
-      sleep_for(config_.poll_interval);
+      sleep_for(poll.next_idle_sleep(rng_));
       continue;
     }
     idle_polls = 0;
+    poll.on_delivery();  // collapse the idle backoff to tight polling
     if (!busy_gauge) {
       metrics_->set_gauge(busy_name, 1.0);
       busy_gauge = true;
     }
-    if (tracing) {
-      if (idle_since >= 0.0) {
-        // One span covering the whole idle stretch, closed now that a
-        // message is in hand.
-        tr->span_from(idle_since, "queue.wait", "lifecycle", id_).close();
-        idle_since = -1.0;
+    if (tracing && idle_since >= 0.0) {
+      // One span covering the whole idle stretch, closed now that a
+      // message is in hand.
+      tr->span_from(idle_since, "queue.wait", "lifecycle", id_).close();
+      idle_since = -1.0;
+    }
+    for (cloudq::Message& message : deliveries) {
+      if (!handle_delivery(message, tr, tracing, poll_start)) {
+        died = true;  // crashed workers drop the rest of the batch (it stays hidden)
+        break;
       }
-      tr->span_from(poll_start, "dequeue", "lifecycle", id_, message->id).close();
-      Tracer::bind_thread_task(message->id);
+      if (stop_requested_.load()) break;  // unhandled messages resurface on timeout
     }
-    metrics_->counter(scoped(counters::kMessagesReceived)).inc();
-    if (message->receive_count > 1) {
-      metrics_->counter(scoped(counters::kRedeliveries)).inc();
-      if (tracing) {
-        tr->instant("redelivery", "lifecycle", id_, message->id,
-                    {{"receive_count", std::to_string(message->receive_count)}});
-      }
-    }
-    if (!message->intact()) {
-      // The payload failed its body checksum: this delivery was corrupted in
-      // flight. The stored message is fine — abandon and let a clean
-      // redelivery carry the real bytes.
-      metrics_->counter(scoped(counters::kCorruptDeliveries)).inc();
-      if (tracing) tr->instant("corrupt_delivery", "lifecycle", id_, message->id);
-      after_failed_delivery(*message);
-      if (tracing) Tracer::bind_thread_task({});
-      continue;
-    }
-
-    // Envelope span for this delivery: everything the handler does (child
-    // spans, service ops) nests inside it on this worker's track.
-    Span task_span = tracing ? tr->span("task", "lifecycle", id_, message->id) : Span{};
-    TaskContext ctx(*this, *message);
-    TaskOutcome outcome;
-    try {
-      outcome = handler_(ctx);
-    } catch (const std::exception& e) {
-      // Leave the message; it reappears after its visibility timeout.
-      metrics_->counter(scoped(counters::kExecutionsFailed)).inc();
-      PPC_WARN << "worker " << id_ << ": task failed: " << e.what();
-      outcome = TaskOutcome::kAbandoned;
-    }
-    last_heartbeat_.store(ppc::monotonic_now());
-
-    if (outcome == TaskOutcome::kCrashed) {
-      // The worker dies mid-task. The message it held stays invisible until
-      // its timeout lapses, then another worker picks it up. The envelope
-      // span is detached, not closed: a dead process cannot close its spans,
-      // so it stays open until the supervisor reaps it (abandoned=true).
-      task_span.arg("outcome", "crashed");
-      task_span.detach();
-      die("fault injection");
-      break;
-    }
-    if (outcome == TaskOutcome::kCompleted) {
-      // Delete only after completion — a stale receipt (someone else re-ran
-      // the task after a visibility timeout) just fails, and idempotent
-      // tasks make either outcome correct.
-      Span ack = tracing ? tr->span("ack.delete", "lifecycle", id_, message->id) : Span{};
-      const bool deleted = task_queue_->delete_message(message->receipt_handle);
-      ack.close();
-      metrics_->counter(scoped(counters::kTasksCompleted)).inc();
-      if (!deleted) metrics_->counter(scoped(counters::kDeletesFailed)).inc();
-      metrics_->emit({"task.completed", {{"worker", id_}, {"message", message->id}}});
-      task_span.arg("outcome", "completed");
-    } else if (outcome == TaskOutcome::kAbandoned) {
-      task_span.arg("outcome", "abandoned");
-      after_failed_delivery(*message);
-    }
-    task_span.close();
-    if (tracing) Tracer::bind_thread_task({});
   }
+  // A crashed worker cannot flush its buffered acks — those messages get
+  // redelivered and idempotency absorbs them. A clean exit acks what it owes.
+  if (!died) flush_pending_deletes();
   running_.store(false);
   metrics_->set_gauge(busy_name, 0.0);  // covers crash/stop exits mid-task
   if (tr != nullptr) Tracer::clear_thread();
+}
+
+bool TaskLifecycle::handle_delivery(cloudq::Message& message, Tracer* tr, bool tracing,
+                                    Seconds poll_start) {
+  if (tracing) {
+    tr->span_from(poll_start, "dequeue", "lifecycle", id_, message.id).close();
+    Tracer::bind_thread_task(message.id);
+  }
+  metrics_->counter(scoped(counters::kMessagesReceived)).inc();
+  if (message.receive_count > 1) {
+    metrics_->counter(scoped(counters::kRedeliveries)).inc();
+    if (tracing) {
+      tr->instant("redelivery", "lifecycle", id_, message.id,
+                  {{"receive_count", std::to_string(message.receive_count)}});
+    }
+  }
+  if (!message.intact()) {
+    // The payload failed its body checksum: this delivery was corrupted in
+    // flight. The stored message is fine — abandon and let a clean
+    // redelivery carry the real bytes.
+    metrics_->counter(scoped(counters::kCorruptDeliveries)).inc();
+    if (tracing) tr->instant("corrupt_delivery", "lifecycle", id_, message.id);
+    after_failed_delivery(message);
+    if (tracing) Tracer::bind_thread_task({});
+    return true;
+  }
+
+  // Envelope span for this delivery: everything the handler does (child
+  // spans, service ops) nests inside it on this worker's track.
+  Span task_span = tracing ? tr->span("task", "lifecycle", id_, message.id) : Span{};
+  TaskContext ctx(*this, message);
+  TaskOutcome outcome;
+  try {
+    outcome = handler_(ctx);
+  } catch (const std::exception& e) {
+    // Leave the message; it reappears after its visibility timeout.
+    metrics_->counter(scoped(counters::kExecutionsFailed)).inc();
+    PPC_WARN << "worker " << id_ << ": task failed: " << e.what();
+    outcome = TaskOutcome::kAbandoned;
+  }
+  last_heartbeat_.store(ppc::monotonic_now());
+
+  if (outcome == TaskOutcome::kCrashed) {
+    // The worker dies mid-task. The message it held stays invisible until
+    // its timeout lapses, then another worker picks it up. The envelope
+    // span is detached, not closed: a dead process cannot close its spans,
+    // so it stays open until the supervisor reaps it (abandoned=true).
+    task_span.arg("outcome", "crashed");
+    task_span.detach();
+    die("fault injection");
+    return false;
+  }
+  if (outcome == TaskOutcome::kCompleted) {
+    // Delete only after completion — a stale receipt (someone else re-ran
+    // the task after a visibility timeout) just fails, and idempotent
+    // tasks make either outcome correct.
+    if (config_.delete_batch <= 1) {
+      Span ack = tracing ? tr->span("ack.delete", "lifecycle", id_, message.id) : Span{};
+      const bool deleted = task_queue_->delete_message(message.receipt_handle);
+      ack.close();
+      if (!deleted) metrics_->counter(scoped(counters::kDeletesFailed)).inc();
+    } else {
+      pending_deletes_.push_back(message.receipt_handle);
+      if (pending_deletes_.size() >= static_cast<std::size_t>(config_.delete_batch)) {
+        flush_pending_deletes();
+      }
+    }
+    metrics_->counter(scoped(counters::kTasksCompleted)).inc();
+    metrics_->emit({"task.completed", {{"worker", id_}, {"message", message.id}}});
+    task_span.arg("outcome", "completed");
+  } else if (outcome == TaskOutcome::kAbandoned) {
+    task_span.arg("outcome", "abandoned");
+    after_failed_delivery(message);
+  }
+  task_span.close();
+  if (tracing) Tracer::bind_thread_task({});
+  return true;
+}
+
+void TaskLifecycle::flush_pending_deletes() {
+  if (pending_deletes_.empty()) return;
+  Tracer* tr = config_.tracer;
+  const bool tracing = tr != nullptr && tr->enabled();
+  Span ack = tracing ? tr->span("ack.delete", "lifecycle", id_) : Span{};
+  const std::size_t deleted = task_queue_->delete_batch(pending_deletes_);
+  ack.close();
+  if (deleted < pending_deletes_.size()) {
+    metrics_->counter(scoped(counters::kDeletesFailed))
+        .inc(static_cast<std::int64_t>(pending_deletes_.size() - deleted));
+  }
+  pending_deletes_.clear();
 }
 
 }  // namespace ppc::runtime

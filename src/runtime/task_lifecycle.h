@@ -22,9 +22,12 @@
 #include <string_view>
 #include <thread>
 
+#include <vector>
+
 #include "cloudq/message_queue.h"
 #include "runtime/fault_injector.h"
 #include "runtime/metrics.h"
+#include "runtime/poll_policy.h"
 #include "runtime/retry_policy.h"
 #include "runtime/tracer.h"
 #include "storage/storage_backend.h"
@@ -52,8 +55,32 @@ inline constexpr std::string_view kCorruptDeliveries = "corrupt_deliveries";
 }  // namespace counters
 
 struct LifecycleConfig {
-  /// Sleep between empty polls (real seconds — keep small in tests).
+  /// Tight polling interval: the sleep after an empty poll while deliveries
+  /// are flowing, and the floor of the idle backoff (real seconds — keep
+  /// small in tests).
   Seconds poll_interval = 0.005;
+  /// Idle backoff cap: consecutive empty polls grow the sleep by
+  /// poll_multiplier up to this; the next delivery collapses it back to
+  /// poll_interval. < 0 (the default) derives 8x poll_interval; any value
+  /// <= poll_interval pins the legacy fixed-interval polling.
+  Seconds poll_interval_max = -1.0;
+  /// Idle backoff growth factor per consecutive empty poll.
+  double poll_multiplier = 2.0;
+  /// Jitter fraction applied to every idle sleep (see PollPolicy::jitter),
+  /// decorrelating a fleet's empty polls.
+  double poll_jitter = 0.2;
+  /// Messages fetched per receive request, 1..MessageQueue::kBatchLimit
+  /// (SQS ReceiveMessage MaxNumberOfMessages). The batch is processed
+  /// sequentially by this worker, so visibility_timeout must cover the
+  /// whole batch, not one task.
+  int receive_batch = 1;
+  /// Completed-task acks buffered into one DeleteMessageBatch request.
+  /// 1 (the default) acks immediately after each task — the strict
+  /// delete-after-completion of §2.1.3. Larger values trade slightly later
+  /// acks (buffered acks flush when the buffer fills, on an empty poll, and
+  /// at loop exit — but are lost if the worker crashes, which redelivery +
+  /// idempotency absorb) for a ~10x cut in delete requests.
+  int delete_batch = 1;
   /// Visibility timeout requested on receive. Must exceed the worst-case
   /// task duration or tasks get double-processed.
   Seconds visibility_timeout = 30.0;
@@ -186,8 +213,20 @@ class TaskLifecycle {
   /// handler, which runs on that thread.
   Rng& rng() { return rng_; }
 
+  /// The effective adaptive-poll policy this lifecycle runs (config knobs
+  /// resolved: defaulted cap, clamped multiplier/jitter).
+  PollPolicy poll_policy() const;
+
  private:
   void poll_loop();
+
+  /// Runs one delivery through the handler and the ack path. Returns false
+  /// when the worker died (fault-injected crash) and the loop must exit.
+  bool handle_delivery(cloudq::Message& message, Tracer* tr, bool tracing, Seconds poll_start);
+
+  /// Sends the buffered completed-task acks as one DeleteMessageBatch.
+  void flush_pending_deletes();
+
   void die(const std::string& reason);
 
   /// Post-mortem of a delivery this worker gave up on: routes poison
@@ -203,6 +242,8 @@ class TaskLifecycle {
   std::shared_ptr<MetricsRegistry> metrics_;
   FaultInjector* faults_;
   Rng rng_;
+
+  std::vector<std::string> pending_deletes_;  // buffered acks (loop thread only)
 
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};

@@ -76,5 +76,35 @@ TEST(TransferCost, Table4Values) {
   EXPECT_THROW(transfer_cost(-1.0, 0.0, 0.1, 0.1), ppc::InvalidArgument);
 }
 
+TEST(QueueRequestCost, ScalesLinearlyAtThe2010SqsRate) {
+  // $0.01 per 10,000 requests.
+  EXPECT_NEAR(queue_request_cost(10000), 0.01, 1e-12);
+  EXPECT_NEAR(queue_request_cost(4000000), 4.00, 1e-9);
+  EXPECT_DOUBLE_EQ(queue_request_cost(0), 0.0);
+  EXPECT_THROW(queue_request_cost(100, -0.01), ppc::InvalidArgument);
+}
+
+TEST(QueueBatching, SavingsPriceTheRequestCountWin) {
+  // A perfectly batched million-task run: ~10x fewer billable requests.
+  const QueueBatchingSavings s = queue_batching_savings(400000, 4000000);
+  EXPECT_EQ(s.requests, 400000u);
+  EXPECT_EQ(s.unbatched_requests, 4000000u);
+  EXPECT_NEAR(s.cost, 0.40, 1e-9);
+  EXPECT_NEAR(s.unbatched_cost, 4.00, 1e-9);
+  EXPECT_NEAR(s.saved(), 3.60, 1e-9);
+  EXPECT_NEAR(s.request_reduction(), 10.0, 1e-12);
+}
+
+TEST(QueueBatching, IdleHeavyRunsMayCostMoreThanTheMessageCount) {
+  // Empty receives bill a request but move no messages, so total() can
+  // exceed unbatched_total() and saved() legitimately goes negative.
+  const QueueBatchingSavings s = queue_batching_savings(1200, 1000);
+  EXPECT_LT(s.saved(), 0.0);
+  EXPECT_LT(s.request_reduction(), 1.0);
+  // No traffic at all: the reduction degenerates to 1x, not a divide-by-0.
+  EXPECT_DOUBLE_EQ(queue_batching_savings(0, 0).request_reduction(), 1.0);
+  EXPECT_DOUBLE_EQ(queue_batching_savings(0, 0).saved(), 0.0);
+}
+
 }  // namespace
 }  // namespace ppc::billing

@@ -1,0 +1,68 @@
+// The adaptive idle-polling state machine: exponential backoff to a cap,
+// collapse on delivery, bounded jitter — driven deterministically (the
+// policy owns no clock).
+#include "runtime/poll_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppc::runtime {
+namespace {
+
+TEST(AdaptivePoll, BacksOffExponentiallyToTheCap) {
+  AdaptivePoll poll({/*min=*/0.001, /*max=*/0.008, /*multiplier=*/2.0, /*jitter=*/0.0});
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(poll.next_idle_sleep(rng), 0.001);
+  EXPECT_DOUBLE_EQ(poll.next_idle_sleep(rng), 0.002);
+  EXPECT_DOUBLE_EQ(poll.next_idle_sleep(rng), 0.004);
+  EXPECT_DOUBLE_EQ(poll.next_idle_sleep(rng), 0.008);
+  EXPECT_DOUBLE_EQ(poll.next_idle_sleep(rng), 0.008) << "pinned at the cap";
+}
+
+TEST(AdaptivePoll, DeliveryCollapsesBackToTightPolling) {
+  AdaptivePoll poll({0.001, 0.064, 2.0, 0.0});
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) poll.next_idle_sleep(rng);
+  EXPECT_DOUBLE_EQ(poll.current_interval(), 0.064);
+  poll.on_delivery();
+  EXPECT_DOUBLE_EQ(poll.current_interval(), 0.001);
+  EXPECT_DOUBLE_EQ(poll.next_idle_sleep(rng), 0.001);
+}
+
+TEST(AdaptivePoll, JitterStaysWithinTheConfiguredBand) {
+  AdaptivePoll poll({0.010, 0.010, 1.0, 0.2});  // fixed interval, jitter only
+  Rng rng(3);
+  double lo = 1e300, hi = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const Seconds sleep = poll.next_idle_sleep(rng);
+    lo = std::min(lo, sleep);
+    hi = std::max(hi, sleep);
+    EXPECT_GE(sleep, 0.008);
+    EXPECT_LT(sleep, 0.012);
+  }
+  // The band is actually exercised, not collapsed to its midpoint.
+  EXPECT_LT(lo, 0.009);
+  EXPECT_GT(hi, 0.011);
+}
+
+TEST(AdaptivePoll, FixedPolicyNeverBacksOff) {
+  AdaptivePoll poll(PollPolicy::fixed(0.005));
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(poll.next_idle_sleep(rng), 0.005);
+  }
+}
+
+TEST(AdaptivePoll, ClampsDegenerateConfigs) {
+  // max below min, shrinking multiplier, negative jitter: all clamp to a
+  // sane fixed policy instead of misbehaving.
+  AdaptivePoll poll({/*min=*/0.010, /*max=*/0.001, /*multiplier=*/0.5, /*jitter=*/-1.0});
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(poll.next_idle_sleep(rng), 0.010);
+  EXPECT_DOUBLE_EQ(poll.next_idle_sleep(rng), 0.010);
+  EXPECT_DOUBLE_EQ(poll.policy().max_interval, 0.010);
+}
+
+}  // namespace
+}  // namespace ppc::runtime

@@ -86,6 +86,29 @@
 //                                        seconds (classiccloud/azuremr)
 //     --json PATH                        write Monitor JSON (single substr.)
 //     --prom PATH                        write Prometheus text exposition
+//   ppcloud saturate [options]           real-thread queue saturation sweep:
+//                                        tasks/s vs workers vs shards through
+//                                        the batch APIs, plus an unbatched
+//                                        reference row per shard count:
+//     --tasks N                          messages per grid cell (def. 20000)
+//     --batch B                          messages per request, 1-10 (def. 10)
+//     --seed S                           RNG seed (default 42)
+//     --out FILE                         write the sweep JSON artifact
+//   ppcloud campaign [options]           end-to-end Cap3 campaign through the
+//                                        Classic Cloud DES driver with batched
+//                                        receives/acks and a sim-clock
+//                                        Monitor; PASS requires every task
+//                                        completed, queue drained, no alarm,
+//                                        wall budget met, and a byte-identical
+//                                        monitor series on re-run:
+//     --tasks N                          Cap3 files (default 1000000)
+//     --instances N --workers W          deployment (default 32 x 8)
+//     --receive-batch B --shards S       queue batching/sharding (def. 10, 8)
+//     --seed S                           RNG seed (default 42)
+//     --period S                         monitor period, sim-s (default 600)
+//     --wall-budget S                    real-seconds budget (default 300)
+//     --verify 0|1                       determinism re-run (default 1)
+//     --out FILE                         write the Monitor JSON artifact
 //
 // Exit status: 0 on success, 1 on bad usage or a failed run (a failed chaos
 // campaign prints the seed that reproduces it).
@@ -106,6 +129,7 @@
 #include "runtime/metrics.h"
 #include "sim/chaos_campaign.h"
 #include "sim/monitor_run.h"
+#include "sim/saturation.h"
 #include "sim/trace_run.h"
 #include "storage/storage_backend.h"
 
@@ -409,6 +433,52 @@ int cmd_monitor(const Options& opts) {
   return all_ok ? 0 : 1;
 }
 
+int cmd_saturate(const Options& opts) {
+  sim::SaturationConfig config;
+  config.tasks = opt_int(opts, "tasks", config.tasks);
+  config.batch = opt_int(opts, "batch", config.batch);
+  config.seed = static_cast<unsigned>(opt_int(opts, "seed", 42));
+  const std::string out_path = opt(opts, "out", "");
+
+  const sim::SaturationReport report = sim::run_saturation_sweep(config);
+  std::fputs(report.to_text().c_str(), stdout);
+  if (!out_path.empty()) {
+    if (write_file(out_path, report.to_json("unknown", config))) {
+      std::printf("sweep artifact: %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "ppcloud: could not write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_campaign(const Options& opts) {
+  sim::CampaignConfig config;
+  config.tasks = opt_int(opts, "tasks", config.tasks);
+  config.instances = opt_int(opts, "instances", config.instances);
+  config.workers_per_instance = opt_int(opts, "workers", config.workers_per_instance);
+  config.receive_batch = opt_int(opts, "receive-batch", config.receive_batch);
+  config.queue_shards = opt_int(opts, "shards", config.queue_shards);
+  config.seed = static_cast<unsigned>(opt_int(opts, "seed", 42));
+  config.monitor_period = std::stod(opt(opts, "period", "600"));
+  config.wall_budget = std::stod(opt(opts, "wall-budget", "300"));
+  config.verify_determinism = opt(opts, "verify", "1") != "0";
+  const std::string out_path = opt(opts, "out", "");
+
+  const sim::CampaignReport report = sim::run_million_task_campaign(config);
+  std::fputs(report.to_text().c_str(), stdout);
+  if (!out_path.empty()) {
+    if (write_file(out_path, report.monitor_json)) {
+      std::printf("campaign monitor series: %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "ppcloud: could not write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  return report.passed ? 0 : 1;
+}
+
 int cmd_experiment(const std::string& id, const std::string& backend_name) {
   const storage::StorageKind backend = storage::parse_storage_kind(backend_name);
   // Reuse the bench logic through the experiment API.
@@ -463,7 +533,8 @@ int cmd_experiment(const std::string& id, const std::string& backend_name) {
 
 int usage() {
   std::fputs(
-      "usage: ppcloud <catalog|features|assemble|simulate|experiment|chaos|trace|monitor> [options]\n"
+      "usage: ppcloud <catalog|features|assemble|simulate|experiment|chaos|trace|monitor|"
+      "saturate|campaign> [options]\n"
       "see the header comment of tools/ppcloud_cli.cpp or README.md for details\n",
       stderr);
   return 1;
@@ -485,6 +556,8 @@ int main(int argc, char** argv) {
     if (command == "chaos") return cmd_chaos(parse_options(argc, argv, 2));
     if (command == "trace") return cmd_trace(parse_options(argc, argv, 2));
     if (command == "monitor") return cmd_monitor(parse_options(argc, argv, 2));
+    if (command == "saturate") return cmd_saturate(parse_options(argc, argv, 2));
+    if (command == "campaign") return cmd_campaign(parse_options(argc, argv, 2));
     if (command == "experiment") {
       if (argc < 3) return usage();
       return cmd_experiment(argv[2], argc >= 4 ? argv[3] : "object");
