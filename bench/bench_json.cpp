@@ -21,6 +21,10 @@
 #include <vector>
 
 #include "apps/blast/aligner.h"
+#include "cloud/instance_types.h"
+#include "core/drivers.h"
+#include "core/exec_model.h"
+#include "core/workload.h"
 #include "apps/blast/db.h"
 #include "apps/blast/protein.h"
 #include "apps/gtm/matrix.h"
@@ -568,6 +572,58 @@ TracingOverhead bench_tracing_overhead() {
   return result;
 }
 
+struct ElasticComparison {
+  int tasks = 0;
+  int completed = 0;
+  std::uint64_t undeleted = 0;
+  std::int64_t revocations = 0;
+  double static_makespan = 0.0;   // sim-seconds
+  double elastic_makespan = 0.0;  // sim-seconds
+  double static_cost = 0.0;       // hour units, all on-demand
+  double elastic_cost = 0.0;      // hour units, half-spot
+};
+
+/// The elastic-fleet contract, bench-sized: the same Cap3 job through the
+/// static Classic Cloud DES driver and the autoscaled half-spot driver
+/// under one seeded revocation storm. DES time, so the row is exact and
+/// repeatable; --check gates semantics (all tasks complete, queue drained,
+/// autoscaled bill <= static bill), not wall time.
+ElasticComparison bench_elastic_fleet() {
+  using namespace ppc::core;
+  const int kInstances = 8, kWorkers = 8;
+  const Workload workload = make_cap3_workload(3000, 458);
+  const ExecutionModel model(AppKind::kCap3);
+  const Deployment deployment =
+      make_deployment(cloud::ec2_hcxl(), kInstances, kWorkers);
+
+  ElasticComparison result;
+  result.tasks = static_cast<int>(workload.size());
+
+  SimRunParams params;
+  params.seed = 42;
+  params.receive_batch = 10;
+  const RunResult stat = run_classic_cloud_sim(workload, deployment, model, params);
+  result.static_makespan = stat.makespan;
+  result.static_cost = stat.compute_cost_hour_units;
+
+  ElasticSimParams elastic;
+  elastic.autoscaler.min_instances = 2;
+  elastic.autoscaler.max_instances = kInstances;
+  elastic.autoscaler.step_out = 2;
+  elastic.storm_times = {0.4 * stat.makespan};
+  elastic.revocation_rate = 0.5;  // small spot pool; keep the storm visible
+  params.visibility_timeout = 1800.0;
+  ElasticRunStats stats;
+  const RunResult el =
+      run_elastic_classic_sim(workload, deployment, model, params, elastic, &stats);
+  result.completed = el.completed;
+  result.undeleted = el.queue_undeleted_end;
+  result.revocations = stats.revocations;
+  result.elastic_makespan = el.makespan;
+  result.elastic_cost = el.compute_cost_hour_units;
+  return result;
+}
+
 // --------------------------------------------------------------------------
 // JSON emit / baseline check
 // --------------------------------------------------------------------------
@@ -590,7 +646,8 @@ std::string git_sha() {
 std::string to_json(const std::vector<KernelResult>& kernels,
                     const std::vector<SubstrateResult>& substrates,
                     const TracingOverhead& tracing, const StorageOverhead& storage_overhead,
-                    const MonitorOverhead& monitor_overhead) {
+                    const MonitorOverhead& monitor_overhead,
+                    const ElasticComparison& elastic) {
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(1);
@@ -641,6 +698,16 @@ std::string to_json(const std::vector<KernelResult>& kernels,
      << ", \"monitored_seconds\": " << monitor_overhead.monitored_seconds << ", \"ratio\": ";
   os.precision(3);
   os << monitor_overhead.ratio;
+  os << "},\n  \"elastic_fleet\": {";
+  os << "\"tasks\": " << elastic.tasks << ", \"completed\": " << elastic.completed
+     << ", \"undeleted\": " << elastic.undeleted
+     << ", \"revocations\": " << elastic.revocations;
+  os.precision(0);
+  os << ", \"static_makespan_sim_s\": " << elastic.static_makespan
+     << ", \"elastic_makespan_sim_s\": " << elastic.elastic_makespan;
+  os.precision(2);
+  os << ", \"static_cost\": " << elastic.static_cost
+     << ", \"elastic_cost\": " << elastic.elastic_cost;
   os.precision(1);
   os << "}\n}\n";
   return os.str();
@@ -724,8 +791,16 @@ int main(int argc, char** argv) {
                monitor_overhead.ratio, monitor_overhead.plain_seconds,
                monitor_overhead.monitored_seconds);
 
+  const ElasticComparison elastic = bench_elastic_fleet();
+  std::fprintf(stderr,
+               "%-30s static $%.2f/%.0fs vs elastic $%.2f/%.0fs (%d/%d tasks, "
+               "%lld revocations)\n",
+               "elastic_fleet", elastic.static_cost, elastic.static_makespan,
+               elastic.elastic_cost, elastic.elastic_makespan, elastic.completed,
+               elastic.tasks, static_cast<long long>(elastic.revocations));
+
   const std::string json =
-      to_json(kernels, substrates, tracing, storage_overhead, monitor_overhead);
+      to_json(kernels, substrates, tracing, storage_overhead, monitor_overhead, elastic);
   std::ofstream out(output_path);
   out << json;
   out.close();
@@ -812,6 +887,21 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "OK:   100ms monitor scraping at %.3fx of unmonitored data plane\n",
                    monitor_overhead.ratio);
+    }
+    // The elastic row is gated on semantics, not a baseline: DES makes it
+    // exact, so any violation is a real regression in the elastic drivers.
+    if (elastic.completed != elastic.tasks || elastic.undeleted != 0) {
+      std::fprintf(stderr, "FAIL: elastic fleet lost work (%d/%d tasks, %llu undeleted)\n",
+                   elastic.completed, elastic.tasks,
+                   static_cast<unsigned long long>(elastic.undeleted));
+      ok = false;
+    } else if (elastic.elastic_cost > elastic.static_cost) {
+      std::fprintf(stderr, "FAIL: autoscaled run billed $%.2f, static fleet $%.2f\n",
+                   elastic.elastic_cost, elastic.static_cost);
+      ok = false;
+    } else {
+      std::fprintf(stderr, "OK:   autoscaled run bills $%.2f vs static $%.2f, no lost work\n",
+                   elastic.elastic_cost, elastic.static_cost);
     }
     if (!ok) return 1;
   }

@@ -1,0 +1,83 @@
+#include "cloud/autoscaler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ppc::cloud {
+
+Autoscaler::Autoscaler(AutoscalerConfig config) : config_(config) {
+  PPC_REQUIRE(config_.min_instances >= 1, "min_instances must be >= 1");
+  PPC_REQUIRE(config_.max_instances >= config_.min_instances,
+              "max_instances must be >= min_instances");
+  PPC_REQUIRE(config_.backlog_low >= 0.0 && config_.backlog_high > config_.backlog_low,
+              "hysteresis band needs backlog_high > backlog_low >= 0");
+  PPC_REQUIRE(config_.step_out >= 1, "step_out must be >= 1");
+  PPC_REQUIRE(config_.cooldown >= 0.0 && config_.hour_slack >= 0.0,
+              "cooldown and hour_slack must be non-negative");
+}
+
+int Autoscaler::budget_clamp(int want, const AutoscaleSignals& s) const {
+  if (config_.budget < 0.0 || s.cost_per_instance_hour <= 0.0) return want;
+  const Dollars headroom = config_.budget - s.spent;
+  if (headroom <= 0.0) return 0;
+  const int affordable = static_cast<int>(headroom / s.cost_per_instance_hour);
+  return std::min(want, affordable);
+}
+
+AutoscaleDecision Autoscaler::decide(const AutoscaleSignals& s) {
+  AutoscaleDecision d;
+  const int provisioned = s.running_instances + s.pending_instances;
+
+  // Refill below the floor first — lost capacity (a revocation storm) is
+  // replaced without waiting out the cooldown; a fleet under min_instances
+  // cannot drain its queue. The budget cap still applies.
+  if (provisioned < config_.min_instances) {
+    const int want = budget_clamp(config_.min_instances - provisioned, s);
+    if (want <= 0) {
+      d.reason = "budget-capped";
+      return d;
+    }
+    d.delta = want;
+    d.reason = "below-min";
+    ++scale_out_events_;
+    last_event_ = s.now;
+    return d;
+  }
+
+  if (last_event_ >= 0.0 && s.now - last_event_ < config_.cooldown) {
+    d.reason = "cooldown";
+    return d;
+  }
+
+  const int capacity = provisioned * std::max(1, s.workers_per_instance);
+  const double per_worker =
+      capacity > 0 ? s.queue_depth / capacity : s.queue_depth;
+
+  if (per_worker > config_.backlog_high && provisioned < config_.max_instances) {
+    const int want =
+        budget_clamp(std::min(config_.step_out, config_.max_instances - provisioned), s);
+    if (want <= 0) {
+      d.reason = "budget-capped";
+      return d;
+    }
+    d.delta = want;
+    d.reason = "scale-out";
+    ++scale_out_events_;
+    last_event_ = s.now;
+    return d;
+  }
+
+  if (per_worker < config_.backlog_low && provisioned > config_.min_instances &&
+      s.idle_workers > 0.0) {
+    d.delta = -1;
+    d.reason = "scale-in";
+    ++scale_in_events_;
+    last_event_ = s.now;
+    return d;
+  }
+
+  return d;
+}
+
+}  // namespace ppc::cloud

@@ -1,0 +1,104 @@
+// Hysteresis-and-cooldown autoscaling decisions for an elastic fleet.
+//
+// The Autoscaler is a pure decision object: the driver (DES or real-thread)
+// feeds it the Monitor's continuous signals — visible queue depth, idle
+// workers against that backlog, provisioned instance counts, spend so far —
+// and it answers "launch N", "drain one", or "hold". It never touches the
+// fleet itself, which keeps every decision unit-testable and the whole loop
+// deterministic under the simulation clock.
+//
+// Stability comes from three guards:
+//   * hysteresis — scale-out above `backlog_high` tasks per provisioned
+//     worker, scale-in only below `backlog_low` (a band, not a line, so the
+//     fleet cannot oscillate around a single threshold);
+//   * cooldown — at most one scale event per `cooldown` seconds, so the
+//     depth transient caused by the previous event settles before the next
+//     reading is trusted;
+//   * a budget cap — a scale-out is clamped so the committed spend (dollars
+//     billed so far plus one instance-hour per new instance) never exceeds
+//     `budget`.
+// The one exception is the min-instances floor: a fleet knocked below
+// `min_instances` (a revocation storm) is refilled immediately — cooldown
+// does not apply to replacing lost capacity, only the budget cap does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace ppc::cloud {
+
+struct AutoscalerConfig {
+  int min_instances = 1;
+  int max_instances = 8;
+  /// Scale out when visible backlog per provisioned worker exceeds this.
+  double backlog_high = 8.0;
+  /// Scale in only when it falls below this (hysteresis band with
+  /// backlog_high) AND workers are idle.
+  double backlog_low = 1.0;
+  /// Instances added per scale-out decision.
+  int step_out = 2;
+  /// Minimum seconds between scale events (except min-floor refills).
+  Seconds cooldown = 120.0;
+  /// Scale-in eligibility window: an instance is drained only within this
+  /// many seconds of its next billing-hour boundary (enforced by the
+  /// driver, which knows each instance's launch time).
+  Seconds hour_slack = 60.0;
+  /// Hard spend cap in dollars; < 0 = uncapped. Scale-outs (including
+  /// min-floor refills) are clamped so spend-so-far plus one instance-hour
+  /// per new instance stays within it.
+  Dollars budget = -1.0;
+};
+
+/// One reading of the signals decide() consumes. `pending_instances` are
+/// launched-but-booting; draining instances count in neither.
+struct AutoscaleSignals {
+  Seconds now = 0.0;
+  double queue_depth = 0.0;  // visible backlog (queue.tasks.depth)
+  double inflight = 0.0;
+  int running_instances = 0;
+  int pending_instances = 0;
+  int workers_per_instance = 1;
+  /// Workers polling but idle while the backlog is visible — the Monitor's
+  /// workers.idle_with_backlog signal.
+  double idle_workers = 0.0;
+  Dollars spent = 0.0;  // hour-unit bill so far
+  Dollars cost_per_instance_hour = 0.0;  // rate of the next instance
+};
+
+struct AutoscaleDecision {
+  /// > 0: launch this many; < 0: gracefully drain one; 0: hold.
+  int delta = 0;
+  /// "scale-out", "scale-in", "below-min", "hold", "cooldown",
+  /// "budget-capped".
+  const char* reason = "hold";
+};
+
+class Autoscaler {
+ public:
+  explicit Autoscaler(AutoscalerConfig config);
+
+  const AutoscalerConfig& config() const { return config_; }
+
+  /// The decision for one reading. Invariants (property-tested):
+  ///   * never scales in while backlog per worker >= backlog_low;
+  ///   * never scales the provisioned count outside [min, max];
+  ///   * never commits spend past the budget cap;
+  ///   * non-refill events are at least `cooldown` apart.
+  AutoscaleDecision decide(const AutoscaleSignals& signals);
+
+  std::int64_t scale_out_events() const { return scale_out_events_; }
+  std::int64_t scale_in_events() const { return scale_in_events_; }
+  std::int64_t scale_events() const { return scale_out_events_ + scale_in_events_; }
+
+ private:
+  int budget_clamp(int want, const AutoscaleSignals& s) const;
+
+  AutoscalerConfig config_;
+  Seconds last_event_ = -1.0;  // < 0 until the first event
+  std::int64_t scale_out_events_ = 0;
+  std::int64_t scale_in_events_ = 0;
+};
+
+}  // namespace ppc::cloud

@@ -1,0 +1,149 @@
+#include "cloud/elastic_fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ppc::cloud {
+
+const char* to_string(InstanceState s) {
+  switch (s) {
+    case InstanceState::kBooting:
+      return "booting";
+    case InstanceState::kRunning:
+      return "running";
+    case InstanceState::kDraining:
+      return "draining";
+    case InstanceState::kTerminated:
+      return "terminated";
+  }
+  return "?";
+}
+
+ElasticFleet::ElasticFleet(std::shared_ptr<const ppc::Clock> clock)
+    : clock_(clock), fleet_(std::move(clock)) {}
+
+std::vector<std::string> ElasticFleet::scale_out(const InstanceType& type, int count,
+                                                 bool spot_market, double spot_discount) {
+  const InstanceType& launched =
+      spot_market ? spot_variant(type, spot_discount) : type;
+  const std::vector<std::string> ids = fleet_.launch(launched, count);
+  for (const std::string& id : ids) {
+    ElasticInstance inst;
+    inst.id = id;
+    inst.spot = spot_market;
+    index_.emplace(id, instances_.size());
+    instances_.push_back(std::move(inst));
+  }
+  ++scale_out_events_;
+  return ids;
+}
+
+void ElasticFleet::mark_running(const std::string& id) {
+  ElasticInstance& inst = find(id);
+  PPC_REQUIRE(inst.state == InstanceState::kBooting,
+              "mark_running on a non-booting instance: " + id);
+  inst.state = InstanceState::kRunning;
+}
+
+void ElasticFleet::begin_drain(const std::string& id) {
+  ElasticInstance& inst = find(id);
+  PPC_REQUIRE(inst.state == InstanceState::kRunning,
+              "begin_drain on a non-running instance: " + id);
+  inst.state = InstanceState::kDraining;
+  inst.drain_started = clock_->now();
+  ++scale_in_events_;
+}
+
+void ElasticFleet::finish_drain(const std::string& id) {
+  ElasticInstance& inst = find(id);
+  PPC_REQUIRE(inst.state == InstanceState::kDraining,
+              "finish_drain on a non-draining instance: " + id);
+  fleet_.terminate(id);
+  inst.state = InstanceState::kTerminated;
+  inst.revoke_deadline = -1.0;
+  total_drain_seconds_ += clock_->now() - inst.drain_started;
+  ++drains_completed_;
+}
+
+Seconds ElasticFleet::revoke(const std::string& id, Seconds notice) {
+  ElasticInstance& inst = find(id);
+  PPC_REQUIRE(inst.spot, "revoke on a non-spot instance: " + id);
+  const Seconds now = clock_->now();
+  if (inst.state == InstanceState::kTerminated) return now;
+  ++revocations_;
+  inst.revoked = true;
+  if (notice <= 0.0) {
+    hard_kill(id);
+    return now;
+  }
+  if (inst.state != InstanceState::kDraining) {
+    // A revocation landing on an instance already draining for scale-in
+    // just adds the deadline; it is not a second scale-in event.
+    inst.state = InstanceState::kDraining;
+    inst.drain_started = now;
+  }
+  inst.revoke_deadline = now + notice;
+  return inst.revoke_deadline;
+}
+
+void ElasticFleet::hard_kill(const std::string& id) {
+  ElasticInstance& inst = find(id);
+  if (inst.state == InstanceState::kTerminated) return;
+  fleet_.terminate(id);
+  inst.state = InstanceState::kTerminated;
+  inst.revoke_deadline = -1.0;
+  ++hard_kills_;
+}
+
+void ElasticFleet::terminate_all() {
+  for (ElasticInstance& inst : instances_) {
+    if (inst.state == InstanceState::kTerminated) continue;
+    fleet_.terminate(inst.id);
+    inst.state = InstanceState::kTerminated;
+    inst.revoke_deadline = -1.0;
+  }
+}
+
+const ElasticInstance& ElasticFleet::info(const std::string& id) const {
+  const auto it = index_.find(id);
+  PPC_REQUIRE(it != index_.end(), "unknown elastic instance: " + id);
+  return instances_[it->second];
+}
+
+Seconds ElasticFleet::seconds_to_hour_boundary(const std::string& id, Seconds now) const {
+  const Seconds up = fleet_.info(id).uptime(now);
+  const Seconds into_hour = std::fmod(up, 3600.0);
+  return into_hour == 0.0 ? 0.0 : 3600.0 - into_hour;
+}
+
+int ElasticFleet::count_state(InstanceState s) const {
+  return static_cast<int>(std::count_if(
+      instances_.begin(), instances_.end(),
+      [s](const ElasticInstance& i) { return i.state == s; }));
+}
+
+int ElasticFleet::active_count() const {
+  return static_cast<int>(instances_.size()) - count_state(InstanceState::kTerminated);
+}
+
+int ElasticFleet::running_count() const { return count_state(InstanceState::kRunning); }
+int ElasticFleet::booting_count() const { return count_state(InstanceState::kBooting); }
+int ElasticFleet::draining_count() const { return count_state(InstanceState::kDraining); }
+
+int ElasticFleet::spot_running() const {
+  return static_cast<int>(std::count_if(
+      instances_.begin(), instances_.end(), [](const ElasticInstance& i) {
+        return i.spot && (i.state == InstanceState::kRunning ||
+                          i.state == InstanceState::kDraining);
+      }));
+}
+
+ElasticInstance& ElasticFleet::find(const std::string& id) {
+  const auto it = index_.find(id);
+  PPC_REQUIRE(it != index_.end(), "unknown elastic instance: " + id);
+  return instances_[it->second];
+}
+
+}  // namespace ppc::cloud

@@ -30,6 +30,7 @@ std::vector<std::string> Fleet::launch(const InstanceType& type, int count) {
     inst.id = type.name + "#" + std::to_string(next_id_++);
     inst.type = type;
     inst.launch_time = clock_->now();
+    index_.emplace(inst.id, instances_.size());
     instances_.push_back(inst);
     ids.push_back(instances_.back().id);
   }
@@ -38,7 +39,12 @@ std::vector<std::string> Fleet::launch(const InstanceType& type, int count) {
 
 void Fleet::terminate(const std::string& id) {
   Instance& inst = find(id);
-  PPC_REQUIRE(inst.running(), "instance already terminated: " + id);
+  if (!inst.running()) {
+    // A revocation racing a scale-in decision lands here; detect, meter,
+    // keep going — the first termination's billing stands.
+    ++stale_terminates_;
+    return;
+  }
   inst.terminate_time = clock_->now();
 }
 
@@ -53,6 +59,18 @@ std::size_t Fleet::running_count() const {
   return static_cast<std::size_t>(
       std::count_if(instances_.begin(), instances_.end(),
                     [](const Instance& i) { return i.running(); }));
+}
+
+std::size_t Fleet::running_spot_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(instances_.begin(), instances_.end(),
+                    [](const Instance& i) { return i.running() && i.type.spot; }));
+}
+
+const Instance& Fleet::info(const std::string& id) const {
+  const auto it = index_.find(id);
+  PPC_REQUIRE(it != index_.end(), "unknown instance: " + id);
+  return instances_[it->second];
 }
 
 int Fleet::total_cores() const {
@@ -79,11 +97,20 @@ Dollars Fleet::amortized_cost(Seconds now) const {
   return total;
 }
 
+Fleet::CostBreakdown Fleet::hourly_billed_breakdown(Seconds now) const {
+  CostBreakdown b;
+  for (const Instance& inst : instances_) {
+    const Dollars billed = inst.billed_hours(now) * inst.type.cost_per_hour;
+    (inst.type.spot ? b.spot : b.on_demand) += billed;
+    b.on_demand_equivalent += inst.billed_hours(now) * inst.type.undiscounted_rate();
+  }
+  return b;
+}
+
 Instance& Fleet::find(const std::string& id) {
-  const auto it = std::find_if(instances_.begin(), instances_.end(),
-                               [&id](const Instance& i) { return i.id == id; });
-  PPC_REQUIRE(it != instances_.end(), "unknown instance: " + id);
-  return *it;
+  const auto it = index_.find(id);
+  PPC_REQUIRE(it != index_.end(), "unknown instance: " + id);
+  return instances_[it->second];
 }
 
 }  // namespace ppc::cloud

@@ -10,8 +10,10 @@
 //     the hour does other useful work.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cloud/instance_types.h"
@@ -41,7 +43,10 @@ class Fleet {
   /// Launches `count` instances of `type`; returns their ids.
   std::vector<std::string> launch(const InstanceType& type, int count);
 
-  /// Terminates one instance; throws when unknown or already terminated.
+  /// Terminates one instance; throws when unknown. Terminating an already-
+  /// terminated instance is a metered detected no-op (`stale_terminates`),
+  /// mirroring the queue's stale deletes: a spot revocation racing a
+  /// scale-in decision must not abort the run.
   void terminate(const std::string& id);
 
   /// Terminates every running instance.
@@ -50,6 +55,14 @@ class Fleet {
   const std::vector<Instance>& instances() const { return instances_; }
   std::size_t size() const { return instances_.size(); }
   std::size_t running_count() const;
+  /// Running instances billing at a spot-market rate.
+  std::size_t running_spot_count() const;
+
+  /// Looks up one instance by id (O(1)); throws when unknown.
+  const Instance& info(const std::string& id) const;
+
+  /// Terminations suppressed because the instance was already terminated.
+  std::uint64_t stale_terminates() const { return stale_terminates_; }
 
   /// Total CPU cores across running instances.
   int total_cores() const;
@@ -61,11 +74,26 @@ class Fleet {
   /// Amortized compute cost: exact uptime fraction times hourly rate.
   Dollars amortized_cost(Seconds now) const;
 
+  /// The hour-unit bill split by market, plus the counterfactual all-on-
+  /// demand figure the spot-savings line item is measured against.
+  struct CostBreakdown {
+    Dollars on_demand = 0.0;
+    Dollars spot = 0.0;
+    Dollars on_demand_equivalent = 0.0;  // every hour billed at on-demand rates
+
+    Dollars total() const { return on_demand + spot; }
+    Dollars spot_savings() const { return on_demand_equivalent - total(); }
+  };
+  CostBreakdown hourly_billed_breakdown(Seconds now) const;
+
  private:
   Instance& find(const std::string& id);
 
   std::shared_ptr<const ppc::Clock> clock_;
   std::vector<Instance> instances_;
+  /// id -> index into instances_; keeps find() O(1) at elastic-fleet scale.
+  std::unordered_map<std::string, std::size_t> index_;
+  std::uint64_t stale_terminates_ = 0;
   int next_id_ = 1;
 };
 

@@ -39,12 +39,24 @@ struct InstanceType {
   int ec2_compute_units = 0;  // Table 1 column; 0 for Azure / bare metal
   bool is_64bit = true;
   double memory_bandwidth_gbps = 6.4;  // per instance, shared by its cores
+  /// Spot/preemptible market instance: same hardware at a discounted
+  /// `cost_per_hour`, revocable by the provider at any time (the elastic
+  /// fleet delivers revocations with a short notice window).
+  bool spot = false;
+  /// The on-demand rate the spot price was discounted from; 0 unless `spot`.
+  Dollars on_demand_cost_per_hour = 0.0;
 
   /// Memory per core in GB — the quantity §5.1/§6 reason about.
   double memory_per_core_gb() const { return memory_gb / cpu_cores; }
 
   /// Memory bandwidth available per busy core when `busy` cores are active.
   double bandwidth_per_busy_core(int busy) const;
+
+  /// The rate an on-demand instance of this hardware bills at — the
+  /// counterfactual side of the spot-savings line item.
+  Dollars undiscounted_rate() const {
+    return spot ? on_demand_cost_per_hour : cost_per_hour;
+  }
 };
 
 // --- Table 1: selected EC2 instance types ---
@@ -82,5 +94,15 @@ std::vector<InstanceType> azure_catalog();
 
 /// Looks up any catalog type by name; throws ppc::InvalidArgument if absent.
 const InstanceType& find_type(const std::string& name);
+
+/// Default spot discount: spot capacity clears at ~30% of the on-demand
+/// rate (the historical EC2 spot-market average for steady bids).
+inline constexpr double kDefaultSpotDiscount = 0.7;
+
+/// The spot-market variant of `on_demand`: identical hardware, name suffixed
+/// "-spot", `spot` set, billed at (1 - discount) x the on-demand rate.
+/// Throws for bare-metal types (no spot market) or discounts outside [0, 1).
+InstanceType spot_variant(const InstanceType& on_demand,
+                          double discount = kDefaultSpotDiscount);
 
 }  // namespace ppc::cloud

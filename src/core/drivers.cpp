@@ -5,9 +5,13 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 
 #include "classiccloud/task.h"
 #include "classiccloud/worker.h"
+#include "cloud/autoscaler.h"
+#include "cloud/elastic_fleet.h"
 #include "cloud/fleet.h"
 #include "common/error.h"
 #include "dryad/partitioned_table.h"
@@ -470,6 +474,623 @@ RunResult run_classic_cloud_sim(const Workload& workload, const Deployment& depl
   }
   finalize_metrics(r, workload, deployment, model);
   if (params.metrics != nullptr) publish_run_metrics(r, *params.metrics);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Elastic Classic Cloud
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// All state of one elastic Classic Cloud run. A separate struct from
+/// ClassicSim on purpose: the static driver's RNG split order is frozen by
+/// checked-in baselines, and the elastic control plane (boot events, dynamic
+/// worker spawning, revocation draws) needs streams of its own.
+struct ElasticSim {
+  sim::Simulator sim;
+  const Workload& workload;
+  const Deployment& d;
+  const ExecutionModel& model;
+  const SimRunParams& params;
+  const ElasticSimParams& ep;
+
+  std::unique_ptr<storage::StorageBackend> store;
+  cloudq::MessageQueue queue;
+  cloudq::MessageQueue monitorq;
+  cloud::ElasticFleet efleet;
+  cloud::Autoscaler scaler;
+  /// Control-plane stream: splits one child per spawned worker, in event
+  /// order — deterministic because the DES executes events deterministically.
+  ppc::Rng ctrl_rng;
+  /// Storm kill decisions, isolated so adding a storm does not perturb the
+  /// worker streams.
+  ppc::Rng storm_rng;
+  double run_factor = 1.0;
+
+  struct WorkerRec {
+    ppc::Rng rng;
+    Seconds backoff = 1.0;
+    std::deque<cloudq::Message> prefetch;
+    std::vector<std::string> acks;
+    std::string inst;  // hosting instance id
+    bool retired = false;
+  };
+  struct InstRec {
+    int live_workers = 0;
+    /// Terminated without notice; its workers' prefetched deliveries and
+    /// buffered acks died with it.
+    bool hard_dead = false;
+  };
+  std::vector<WorkerRec> workers;
+  std::unordered_map<std::string, InstRec> insts;  // never iterated
+  int total_launched = 0;
+  int spot_launched = 0;
+
+  std::vector<std::uint8_t> completed;
+  std::size_t completed_count = 0;
+  int duplicate_executions = 0;
+  int busy = 0;
+  int alive = 0;  // spawned and not retired
+  /// Every task has completed once. Not yet `done`: a hard-killed worker may
+  /// have taken buffered acks down with it, leaving completed-but-undeleted
+  /// messages invisible until the visibility timeout. The run stays up (and
+  /// the fleet keeps polling) until redelivery drains the queue to zero, so
+  /// no message is ever silently lost — it only becomes `done` then.
+  bool all_completed = false;
+  bool done = false;
+  Seconds makespan = 0.0;   // last first-completion (the deadline metric)
+  Seconds end_time = 0.0;   // queue drained, fleet terminated (billing)
+  ppc::SampleSet exec_times;
+  ElasticRunStats stats;
+  std::vector<cloudq::Message> recv_buf;
+  static constexpr const char* kBucket = "job";
+  static constexpr const char* kSharedKey = "shared/dataset";
+
+  ElasticSim(const Workload& w, const Deployment& dep, const ExecutionModel& m,
+             const SimRunParams& p, const ElasticSimParams& e, ppc::Rng& rng)
+      : workload(w),
+        d(dep),
+        model(m),
+        params(p),
+        ep(e),
+        store(storage::make_backend(p.storage, sim.clock(), rng.split(), backend_tuning(p))),
+        queue("tasks", sim.clock(), p.queue, rng.split()),
+        monitorq("monitor", sim.clock(), p.queue, rng.split()),
+        efleet(sim.clock()),
+        scaler(e.autoscaler),
+        ctrl_rng(rng.split()),
+        storm_rng(rng.split()) {
+    PPC_REQUIRE(p.receive_batch >= 1 &&
+                    p.receive_batch <= static_cast<int>(cloudq::MessageQueue::kBatchLimit),
+                "receive_batch must be in [1, kBatchLimit]");
+    PPC_REQUIRE(!p.enable_block_cache, "block cache not modelled for elastic fleets");
+    PPC_REQUIRE(ep.spot_fraction >= 0.0 && ep.spot_fraction <= 1.0,
+                "spot_fraction must be in [0, 1]");
+    PPC_REQUIRE(ep.revocation_rate >= 0.0 && ep.revocation_rate <= 1.0,
+                "revocation_rate must be in [0, 1]");
+    PPC_REQUIRE(ep.boot_time >= 0.0 && ep.revocation_notice >= 0.0,
+                "boot_time and revocation_notice must be non-negative");
+    PPC_REQUIRE(ep.autoscale_interval > 0.0, "autoscale_interval must be positive");
+    completed.assign(w.tasks.size(), 0);
+    run_factor = params.provider_variability
+                     ? m.sample_run_factor(d.type.provider, rng)
+                     : 1.0;
+  }
+
+  void populate() {
+    store->create_bucket(kBucket);
+    if (workload.shared_input_size > 0.0) {
+      store->put_logical(kBucket, kSharedKey, workload.shared_input_size);
+    }
+    std::vector<std::string> messages;
+    messages.reserve(workload.tasks.size());
+    for (const SimTask& t : workload.tasks) {
+      store->put_logical(kBucket, input_key(t), t.input_size);
+      classiccloud::TaskSpec spec;
+      spec.task_id = "t" + std::to_string(t.id);
+      spec.input_key = input_key(t);
+      spec.output_key = output_key(t);
+      if (workload.shared_input_size > 0.0) spec.shared_keys = {kSharedKey};
+      messages.push_back(classiccloud::encode_task(spec));
+    }
+    queue.send_batch(messages);
+  }
+
+  const SimTask& task_of(const classiccloud::TaskSpec& spec) const {
+    const int id = std::stoi(spec.task_id.substr(1));
+    return workload.tasks.at(static_cast<std::size_t>(id));
+  }
+
+  bool hard_dead(int w) const { return insts.at(workers[static_cast<std::size_t>(w)].inst).hard_dead; }
+  bool draining(int w) const {
+    return efleet.state(workers[static_cast<std::size_t>(w)].inst) ==
+           cloud::InstanceState::kDraining;
+  }
+
+  // -- fleet control ----------------------------------------------------
+
+  void launch_instances(int count, bool allow_spot) {
+    // Keep the launched mix at ep.spot_fraction; deterministic, no RNG.
+    int n_spot = 0;
+    if (allow_spot) {
+      for (int i = 0; i < count; ++i) {
+        if (spot_launched + n_spot + 1 <=
+            ep.spot_fraction * (total_launched + i + 1)) {
+          ++n_spot;
+        }
+      }
+    }
+    std::vector<std::string> ids;
+    if (count - n_spot > 0) {
+      auto v = efleet.scale_out(d.type, count - n_spot, /*spot_market=*/false);
+      ids.insert(ids.end(), v.begin(), v.end());
+    }
+    if (n_spot > 0) {
+      auto v = efleet.scale_out(d.type, n_spot, /*spot_market=*/true, ep.spot_discount);
+      ids.insert(ids.end(), v.begin(), v.end());
+    }
+    total_launched += count;
+    spot_launched += n_spot;
+    for (const std::string& id : ids) {
+      insts.emplace(id, InstRec{});
+      sim.after(ep.boot_time, [this, id] { on_boot(id); });
+    }
+    stats.peak_instances = std::max(stats.peak_instances, efleet.active_count());
+  }
+
+  void on_boot(const std::string& id) {
+    if (efleet.state(id) != cloud::InstanceState::kBooting) return;
+    efleet.mark_running(id);
+    InstRec& ir = insts.at(id);
+    for (int k = 0; k < d.workers_per_instance; ++k) {
+      const int w = static_cast<int>(workers.size());
+      WorkerRec rec;
+      rec.rng = ctrl_rng.split();
+      rec.backoff = params.poll_interval;
+      rec.inst = id;
+      workers.push_back(std::move(rec));
+      ++ir.live_workers;
+      ++alive;
+      // Stagger like real instances booting unevenly.
+      sim.after(workers[static_cast<std::size_t>(w)].rng.uniform(0.0, 1.0),
+                [this, w] { poll(w); });
+    }
+  }
+
+  void do_revoke(const std::string& id, Seconds notice) {
+    const Seconds deadline = efleet.revoke(id, notice);
+    if (efleet.state(id) == cloud::InstanceState::kTerminated) {
+      insts.at(id).hard_dead = true;  // no-notice kill
+      return;
+    }
+    if (insts.at(id).live_workers == 0) {
+      // Nothing to drain (workers already crashed away): gone immediately.
+      efleet.finish_drain(id);
+      return;
+    }
+    sim.at(deadline, [this, id] {
+      if (efleet.state(id) == cloud::InstanceState::kTerminated) return;  // drained in time
+      efleet.hard_kill(id);
+      insts.at(id).hard_dead = true;
+    });
+  }
+
+  void storm() {
+    if (done) return;
+    // Correlated revocation: the provider reclaims a slice of the spot pool
+    // in one sweep. Victims are chosen before any state flips so the draw
+    // sequence only depends on the fleet at storm time.
+    std::vector<std::string> victims;
+    for (const auto& ei : efleet.elastic_instances()) {
+      if (!ei.spot || ei.state != cloud::InstanceState::kRunning) continue;
+      if (storm_rng.bernoulli(ep.revocation_rate)) victims.push_back(ei.id);
+    }
+    for (const std::string& id : victims) do_revoke(id, ep.revocation_notice);
+  }
+
+  void fire_revocations() {
+    if (params.faults == nullptr) return;
+    for (const auto& ei : efleet.elastic_instances()) {
+      if (!ei.spot || ei.state != cloud::InstanceState::kRunning) continue;
+      const Seconds notice =
+          params.faults->fire_revocation(cloud::sites::kSpotRevoke, ei.id);
+      if (notice >= 0.0) do_revoke(ei.id, notice);
+    }
+  }
+
+  void drain_one() {
+    // Scale-in only at a billing-hour boundary: among running instances
+    // within hour_slack of their next boundary, drain the closest. Nobody
+    // eligible = hold (the decision was made; the drain waits for a cheaper
+    // moment).
+    const Seconds now = sim.now();
+    std::string victim;
+    Seconds best = scaler.config().hour_slack;
+    for (const auto& ei : efleet.elastic_instances()) {
+      if (ei.state != cloud::InstanceState::kRunning) continue;
+      const Seconds to_boundary = efleet.seconds_to_hour_boundary(ei.id, now);
+      if (to_boundary <= scaler.config().hour_slack &&
+          (victim.empty() || to_boundary < best)) {
+        victim = ei.id;
+        best = to_boundary;
+      }
+    }
+    if (victim.empty()) return;
+    efleet.begin_drain(victim);
+    if (insts.at(victim).live_workers == 0) efleet.finish_drain(victim);
+  }
+
+  void decide() {
+    cloud::AutoscaleSignals s;
+    s.now = sim.now();
+    s.queue_depth = static_cast<double>(queue.approximate_visible());
+    s.inflight = static_cast<double>(queue.in_flight());
+    s.running_instances = efleet.running_count();
+    s.pending_instances = efleet.booting_count();
+    s.workers_per_instance = d.workers_per_instance;
+    // Ungated by backlog: near the end of the queue (and through the
+    // post-completion drain tail, where leftovers are invisible) idle
+    // workers are what lets the scale-in path hand instances back before
+    // they bill another hour.
+    s.idle_workers = std::max(0, alive - busy);
+    s.spent = efleet.fleet().hourly_billed_cost(s.now);
+    s.cost_per_instance_hour = d.type.cost_per_hour;
+    const cloud::AutoscaleDecision dec = scaler.decide(s);
+    if (dec.delta > 0) {
+      // Min-floor refills replace revoked capacity with on-demand: refilling
+      // a storm's losses from the same spot pool invites the next storm.
+      const bool refill = std::string_view(dec.reason) == "below-min";
+      launch_instances(dec.delta, /*allow_spot=*/!refill);
+    } else if (dec.delta < 0) {
+      drain_one();
+    }
+  }
+
+  void autoscale_tick() {
+    if (!done) {
+      fire_revocations();
+      decide();
+    }
+    stats.fleet_size_series.push_back(
+        {sim.now(), efleet.active_count(), efleet.spot_running()});
+    stats.peak_instances = std::max(stats.peak_instances, efleet.active_count());
+    if (done) return;
+    // Parasitic like the monitor tick, with one extension: while undeleted
+    // work remains AND the fleet still exists, the tick keeps itself alive so
+    // a below-min refill can rebuild a storm-gutted fleet. A run with no
+    // fleet left and no events is stranded and must end.
+    if (sim.events_pending() > 0 ||
+        (queue.undeleted() > 0 && efleet.active_count() > 0)) {
+      sim.after(ep.autoscale_interval, [this] { autoscale_tick(); });
+    }
+  }
+
+  // -- worker lifecycle -------------------------------------------------
+
+  /// Ends the run once the last task is done AND the queue is fully
+  /// drained; called wherever a delete could have removed the last message.
+  void maybe_finish() {
+    if (done || !all_completed) return;
+    if (queue.undeleted() != 0) return;
+    done = true;
+    efleet.terminate_all();
+  }
+
+  void flush_acks(int w) {
+    auto& pending = workers[static_cast<std::size_t>(w)].acks;
+    if (pending.empty()) return;
+    queue.delete_batch(pending);
+    pending.clear();
+    maybe_finish();
+  }
+
+  void ack(int w, const cloudq::Message& msg) {
+    if (params.receive_batch <= 1) {
+      queue.delete_message(msg.receipt_handle);
+      maybe_finish();
+      return;
+    }
+    auto& pending = workers[static_cast<std::size_t>(w)].acks;
+    pending.push_back(msg.receipt_handle);
+    if (pending.size() >= cloudq::MessageQueue::kBatchLimit) flush_acks(w);
+  }
+
+  /// Retires one worker. A clean retirement (graceful drain, natural
+  /// end-of-queue exit) releases unstarted prefetched deliveries back to the
+  /// queue for immediate redelivery and flushes buffered acks; a hard one
+  /// (instance reclaimed, worker crash) loses both — redelivery plus
+  /// idempotent re-execution absorb the damage. The last worker off a
+  /// draining healthy instance completes the drain.
+  void drop_worker(int w, bool clean) {
+    WorkerRec& rec = workers[static_cast<std::size_t>(w)];
+    if (rec.retired) return;
+    if (clean) {
+      for (const cloudq::Message& m : rec.prefetch) {
+        queue.change_visibility(m.receipt_handle, 0.0);
+      }
+      rec.prefetch.clear();
+      flush_acks(w);
+    } else {
+      rec.prefetch.clear();
+      rec.acks.clear();
+    }
+    rec.retired = true;
+    --alive;
+    InstRec& ir = insts.at(rec.inst);
+    --ir.live_workers;
+    if (ir.live_workers == 0 && !ir.hard_dead &&
+        efleet.state(rec.inst) == cloud::InstanceState::kDraining) {
+      efleet.finish_drain(rec.inst);
+    }
+  }
+
+  void poll(int w) {
+    if (done) return;
+    if (workers[static_cast<std::size_t>(w)].retired) return;
+    if (hard_dead(w)) {
+      drop_worker(w, /*clean=*/false);
+      return;
+    }
+    if (draining(w)) {
+      drop_worker(w, /*clean=*/true);
+      return;
+    }
+    sim.after(params.queue_op_latency, [this, w] {
+      WorkerRec& rec = workers[static_cast<std::size_t>(w)];
+      if (rec.retired) return;
+      if (hard_dead(w)) {
+        drop_worker(w, /*clean=*/false);
+        return;
+      }
+      if (draining(w)) {  // drain began during the round trip
+        drop_worker(w, /*clean=*/true);
+        return;
+      }
+      recv_buf.clear();
+      if (queue.receive_batch(static_cast<std::size_t>(params.receive_batch),
+                              params.visibility_timeout, recv_buf) == 0) {
+        if (done || queue.undeleted() == 0) {
+          drop_worker(w, /*clean=*/true);
+          return;
+        }
+        sim.after(rec.backoff, [this, w] { poll(w); });
+        rec.backoff = std::min(params.poll_interval_max, rec.backoff * 2.0);
+        return;
+      }
+      rec.backoff = params.poll_interval;
+      for (cloudq::Message& m : recv_buf) rec.prefetch.push_back(std::move(m));
+      next_delivery(w);
+    });
+  }
+
+  void next_delivery(int w) {
+    WorkerRec& rec = workers[static_cast<std::size_t>(w)];
+    if (rec.retired) return;
+    if (hard_dead(w)) {
+      drop_worker(w, /*clean=*/false);
+      return;
+    }
+    if (!done && draining(w)) {
+      drop_worker(w, /*clean=*/true);
+      return;
+    }
+    if (done || rec.prefetch.empty()) {
+      flush_acks(w);
+      if (!done) poll(w);
+      return;
+    }
+    const cloudq::Message msg = std::move(rec.prefetch.front());
+    rec.prefetch.pop_front();
+    handle(w, msg);
+  }
+
+  void handle(int w, const cloudq::Message& msg) {
+    auto& rng = workers[static_cast<std::size_t>(w)].rng;
+    const classiccloud::TaskSpec spec = classiccloud::decode_task(msg.body());
+    const SimTask& task = task_of(spec);
+    ++busy;
+
+    Bytes download = task.input_size;
+    for (const std::string& key : spec.shared_keys) {
+      (void)store->get(kBucket, key);  // meters the repeated download
+      download += workload.shared_input_size;
+    }
+
+    store->begin_transfer();
+    const Seconds dl = store->sample_get_time(download, rng);
+    sim.after(dl, [this, w, msg, spec, &task] {
+      store->end_transfer();  // pair before any abandonment check
+      if (hard_dead(w)) {
+        --busy;  // reclaimed mid-download; message resurfaces on timeout
+        drop_worker(w, /*clean=*/false);
+        return;
+      }
+      auto& wrng = workers[static_cast<std::size_t>(w)].rng;
+      (void)store->get(kBucket, spec.input_key);
+      Seconds ex = model.sample(task, d, wrng) * run_factor;
+      ex = with_straggler(ex, params, wrng);
+      sim.after(ex, [this, w, msg, spec, &task, ex] {
+        if (hard_dead(w)) {
+          --busy;  // reclaimed mid-execute
+          drop_worker(w, /*clean=*/false);
+          return;
+        }
+        auto& wrng2 = workers[static_cast<std::size_t>(w)].rng;
+        if (params.worker_crash_prob > 0.0 &&
+            wrng2.bernoulli(params.worker_crash_prob)) {
+          --busy;
+          drop_worker(w, /*clean=*/false);  // worker dies; instance survives
+          return;
+        }
+        if (params.faults != nullptr &&
+            params.faults->fire(classiccloud::sites::kAfterExecute, spec.task_id)) {
+          --busy;
+          drop_worker(w, /*clean=*/false);
+          return;
+        }
+        store->begin_transfer();
+        const Seconds ul = store->sample_put_time(task.output_size, wrng2);
+        sim.after(ul, [this, w, msg, spec, &task, ex] {
+          store->end_transfer();
+          if (hard_dead(w)) {
+            --busy;  // reclaimed before the upload landed
+            drop_worker(w, /*clean=*/false);
+            return;
+          }
+          store->put_logical(kBucket, spec.output_key, task.output_size);
+          classiccloud::MonitorRecord record;
+          record.task_id = spec.task_id;
+          record.worker_id = "w" + std::to_string(w);
+          record.status = "done";
+          record.duration = ex;
+          monitorq.send(classiccloud::encode_monitor(record));
+          ack(w, msg);
+
+          auto& flag = completed[static_cast<std::size_t>(task.id)];
+          const bool first = flag == 0;
+          if (first) {
+            flag = 1;
+            ++completed_count;
+            exec_times.add(ex);
+            if (completed_count == workload.size()) {
+              all_completed = true;
+              makespan = sim.now();
+              maybe_finish();  // no-op if buffered acks are still pending
+            }
+          } else {
+            ++duplicate_executions;
+          }
+          --busy;
+          next_delivery(w);
+        });
+      });
+    });
+  }
+
+  // -- probes -----------------------------------------------------------
+
+  void register_probes() {
+    runtime::Monitor& mon = *params.monitor;
+    using runtime::ProbeKind;
+    mon.add_probe("queue.tasks.depth", ProbeKind::kLevel,
+                  [this] { return static_cast<double>(queue.approximate_visible()); });
+    mon.add_probe("queue.tasks.inflight", ProbeKind::kLevel,
+                  [this] { return static_cast<double>(queue.in_flight()); });
+    mon.add_probe("workers.busy", ProbeKind::kLevel,
+                  [this] { return static_cast<double>(busy); });
+    mon.add_probe("worker.utilization", ProbeKind::kLevel, [this] {
+      return alive > 0 ? static_cast<double>(busy) / alive : 0.0;
+    });
+    mon.add_probe("workers.idle_with_backlog", ProbeKind::kLevel, [this] {
+      return queue.approximate_visible() > 0
+                 ? static_cast<double>(std::max(0, alive - busy))
+                 : 0.0;
+    });
+    mon.add_probe("queue.api_calls", ProbeKind::kCumulative, [this] {
+      return static_cast<double>(queue.meter().total() + monitorq.meter().total());
+    });
+    mon.add_probe("queue.batch_occupancy", ProbeKind::kLevel,
+                  [this] { return queue.meter().batch_occupancy(); });
+    mon.add_probe("storage.bytes_per_sec", ProbeKind::kCumulative, [this] {
+      const auto m = store->meter();
+      return m.bytes_in + m.bytes_out;
+    });
+    mon.add_probe(
+        "cost.dollars_per_hour", ProbeKind::kCumulative,
+        [this] {
+          return efleet.fleet().amortized_cost(sim.now()) + queue.request_cost() +
+                 monitorq.request_cost() + store->service_cost(sim.now());
+        },
+        3600.0);
+    // Elasticity signals (the §14 design doc's probe set).
+    mon.add_probe("fleet.size", ProbeKind::kLevel,
+                  [this] { return static_cast<double>(efleet.active_count()); });
+    mon.add_probe("fleet.spot_running", ProbeKind::kLevel,
+                  [this] { return static_cast<double>(efleet.spot_running()); });
+    mon.add_probe("spot.revocations", ProbeKind::kCumulative,
+                  [this] { return static_cast<double>(efleet.revocations()); });
+    mon.add_probe("fleet.drain_seconds", ProbeKind::kLevel,
+                  [this] { return efleet.total_drain_seconds(); });
+    // Scale-event rate, watched by the default fleet.thrash alarm. The
+    // hysteresis band plus cooldown keep the steady-state rate an order of
+    // magnitude under the alarm threshold.
+    mon.add_probe("fleet.scale_events.rate", ProbeKind::kCumulative,
+                  [this] { return static_cast<double>(efleet.scale_events()); });
+  }
+
+  void start() {
+    populate();
+    launch_instances(scaler.config().min_instances, /*allow_spot=*/true);
+    for (const Seconds t : ep.storm_times) {
+      sim.at(t, [this] { storm(); });
+    }
+    sim.at(0.0, [this] { autoscale_tick(); });
+    if (params.monitor != nullptr) {
+      register_probes();
+      sim.at(0.0, [this] { monitor_tick(sim, *params.monitor); });
+    }
+    sim.run();
+    if (!done) makespan = sim.now();  // stranded (fleet gone, work left)
+    end_time = sim.now();
+  }
+};
+
+}  // namespace
+
+RunResult run_elastic_classic_sim(const Workload& workload, const Deployment& deployment,
+                                  const ExecutionModel& model, const SimRunParams& params,
+                                  const ElasticSimParams& elastic, ElasticRunStats* stats) {
+  PPC_REQUIRE(!workload.tasks.empty(), "empty workload");
+  ppc::Rng rng(params.seed);
+  ElasticSim es(workload, deployment, model, params, elastic, rng);
+  es.start();
+
+  RunResult r;
+  r.framework = deployment.type.provider == cloud::Provider::kWindowsAzure
+                    ? "ElasticCloud-Azure"
+                    : "ElasticCloud-EC2";
+  r.deployment_label = deployment.label;
+  r.makespan = es.makespan;
+  r.tasks = static_cast<int>(workload.size());
+  r.completed = static_cast<int>(es.completed_count);
+  r.duplicate_executions = es.duplicate_executions;
+  r.exec_times = es.exec_times;
+  const cloud::Fleet& fleet = es.efleet.fleet();
+  // Billed at end_time, not makespan: the post-completion drain tail (the
+  // fleet redelivering acks a hard kill destroyed) is real rented time.
+  r.compute_cost_hour_units = fleet.hourly_billed_cost(es.end_time);
+  r.compute_cost_amortized = fleet.amortized_cost(es.end_time);
+  r.queue_request_cost = es.queue.request_cost() + es.monitorq.request_cost();
+  const auto qm = es.queue.meter();
+  const auto mm = es.monitorq.meter();
+  r.queue_api_requests = qm.total() + mm.total();
+  r.queue_unbatched_requests = qm.unbatched_total() + mm.unbatched_total();
+  r.queue_batch_occupancy = qm.batch_occupancy();
+  r.queue_undeleted_end = es.queue.undeleted();
+  const auto meter = es.store->meter();
+  r.bytes_in = meter.bytes_in;
+  r.bytes_out = meter.bytes_out;
+  r.storage_backend = storage::to_string(es.store->kind());
+  r.storage_service_cost = es.store->service_cost(es.end_time);
+  r.storage_heads = meter.heads;
+  finalize_metrics(r, workload, deployment, model);
+  if (params.metrics != nullptr) publish_run_metrics(r, *params.metrics);
+
+  if (stats != nullptr) {
+    *stats = std::move(es.stats);
+    stats->scale_out_events = es.efleet.scale_out_events();
+    stats->scale_in_events = es.efleet.scale_in_events();
+    stats->revocations = es.efleet.revocations();
+    stats->hard_kills = es.efleet.hard_kills();
+    stats->drains_completed = es.efleet.drains_completed();
+    stats->total_drain_seconds = es.efleet.total_drain_seconds();
+    stats->stale_terminates = fleet.stale_terminates();
+    const cloud::Fleet::CostBreakdown b = fleet.hourly_billed_breakdown(es.end_time);
+    stats->cost_on_demand = b.on_demand;
+    stats->cost_spot = b.spot;
+    stats->cost_on_demand_equivalent = b.on_demand_equivalent;
+  }
   return r;
 }
 

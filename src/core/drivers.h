@@ -15,6 +15,7 @@
 #include <string>
 
 #include "blobstore/blob_store.h"
+#include "cloud/autoscaler.h"
 #include "cloudq/message_queue.h"
 #include "common/stats.h"
 #include "core/exec_model.h"
@@ -206,6 +207,70 @@ struct RunResult {
 /// provider): queue-scheduled independent workers over blob storage.
 RunResult run_classic_cloud_sim(const Workload& workload, const Deployment& deployment,
                                 const ExecutionModel& model, const SimRunParams& params);
+
+/// Elastic-fleet knobs for run_elastic_classic_sim. The deployment's
+/// `instances` field is reinterpreted as the Equation-1 core budget (set it
+/// to autoscaler.max_instances); the actual fleet size is the Autoscaler's
+/// business, starting from min_instances.
+struct ElasticSimParams {
+  cloud::AutoscalerConfig autoscaler;
+  /// Target fraction of launched instances placed on the spot market.
+  /// Min-floor refills after revocations always launch on-demand.
+  double spot_fraction = 0.5;
+  double spot_discount = cloud::kDefaultSpotDiscount;
+  /// Sim seconds from scale-out to the instance's workers polling.
+  Seconds boot_time = 60.0;
+  /// Autoscaler decision (and revocation-site firing) period.
+  Seconds autoscale_interval = 30.0;
+  /// Notice window of storm revocations (0 = hard kills, no notice).
+  Seconds revocation_notice = 90.0;
+  /// Sim times of correlated revocation storms: at each, every running spot
+  /// instance is revoked with probability `revocation_rate`.
+  std::vector<Seconds> storm_times;
+  double revocation_rate = 0.2;
+};
+
+/// One autoscale-tick observation of the fleet, for the size-vs-time
+/// artifact the elasticity-smoke CI job uploads.
+struct FleetSizePoint {
+  Seconds t = 0.0;
+  int active = 0;  // booting + running + draining
+  int spot = 0;    // spot instances up (running or draining)
+};
+
+/// Elasticity telemetry of one run, alongside the shared RunResult.
+struct ElasticRunStats {
+  int peak_instances = 0;
+  std::int64_t scale_out_events = 0;
+  std::int64_t scale_in_events = 0;
+  std::int64_t revocations = 0;
+  std::int64_t hard_kills = 0;
+  std::int64_t drains_completed = 0;
+  Seconds total_drain_seconds = 0.0;
+  std::uint64_t stale_terminates = 0;
+  /// Hour-unit bill split by market (Fleet::CostBreakdown views).
+  Dollars cost_on_demand = 0.0;
+  Dollars cost_spot = 0.0;
+  Dollars cost_on_demand_equivalent = 0.0;
+  std::vector<FleetSizePoint> fleet_size_series;
+
+  Dollars spot_savings() const {
+    return cost_on_demand_equivalent - (cost_on_demand + cost_spot);
+  }
+};
+
+/// Classic Cloud data plane (queue + blob storage) driven by an autoscaled
+/// ElasticFleet: scale-out on backlog, billing-boundary scale-in after a
+/// graceful drain, spot instances revocable via FaultPlan::revoke_spot rules
+/// at cloud::sites::kSpotRevoke and via seeded storms. Registers the classic
+/// probes plus fleet.size / fleet.spot_running / spot.revocations /
+/// fleet.drain_seconds / fleet.scale_events.rate when params.monitor is set.
+/// The worker block cache is not modelled for elastic fleets
+/// (params.enable_block_cache must be off).
+RunResult run_elastic_classic_sim(const Workload& workload, const Deployment& deployment,
+                                  const ExecutionModel& model, const SimRunParams& params,
+                                  const ElasticSimParams& elastic,
+                                  ElasticRunStats* stats = nullptr);
 
 /// Hadoop-analog: HDFS-resident inputs, locality-aware dynamic global-queue
 /// scheduling, speculative execution.

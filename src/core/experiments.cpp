@@ -306,6 +306,33 @@ Table4Report run_table4_cost_comparison(unsigned seed, storage::StorageKind back
   return report;
 }
 
+std::vector<DeadlineSweepRow> run_table4_deadline_sweep(
+    const std::vector<Seconds>& deadlines) {
+  const Workload workload = make_cap3_workload(/*files=*/4096, /*reads_per_file=*/458);
+  const ExecutionModel model(AppKind::kCap3);
+  Seconds t1 = 0.0;
+  for (const SimTask& t : workload.tasks) {
+    t1 += model.expected_sequential(t, cloud::ec2_hcxl());
+  }
+  const std::vector<cloud::InstanceType> catalog = {
+      cloud::ec2_large(), cloud::ec2_hcxl(), cloud::ec2_hm4xl(),
+      cloud::azure_small(), cloud::azure_large()};
+
+  std::vector<DeadlineSweepRow> rows;
+  for (Seconds deadline : deadlines) {
+    DeadlineSweepRow row;
+    row.deadline = deadline;
+    cloud::PolicyRequest request;
+    request.t1_seconds = t1;
+    request.deadline = deadline;
+    row.on_demand = cloud::SchedulerPolicy(request).cheapest(catalog);
+    request.spot_fraction = 0.5;
+    row.half_spot = cloud::SchedulerPolicy(request).cheapest(catalog);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 VariabilityReport run_sustained_variability_study(unsigned seed, int samples) {
   PPC_REQUIRE(samples >= 2, "need at least two samples");
   // Repeat a fixed Cap3 computation at "different times of day" (different

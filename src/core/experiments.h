@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "billing/cost_model.h"
+#include "cloud/scheduler_policy.h"
 #include "core/drivers.h"
 
 namespace ppc::core {
@@ -105,6 +106,26 @@ struct Table4Report {
 /// metered server-hours for the job.
 Table4Report run_table4_cost_comparison(
     unsigned seed = 42, storage::StorageKind backend = storage::StorageKind::kObject);
+
+// --- Table 4 extension: the cheapest config meeting deadline D ---
+
+/// One deadline's winners from the SchedulerPolicy catalog sweep: the
+/// all-on-demand plan next to the half-spot plan (kDefaultSpotDiscount),
+/// so the table shows what the spot market is worth at each deadline.
+struct DeadlineSweepRow {
+  Seconds deadline = 0.0;
+  cloud::FleetPlan on_demand;
+  cloud::FleetPlan half_spot;
+};
+
+/// Sweeps "cheapest config meeting deadline D" for the Table 4 job (4096
+/// Cap3 files) over the paper's rentable catalog (EC2 Large/HCXL/HM4XL,
+/// Azure Small/Large). T1 is the job's modelled sequential work on one
+/// EC2-HCXL core. Tight deadlines can be infeasible for every type; such
+/// rows carry infeasible plans with the blocking constraint in `note`.
+std::vector<DeadlineSweepRow> run_table4_deadline_sweep(
+    const std::vector<Seconds>& deadlines = {3600.0, 7200.0, 14400.0, 28800.0,
+                                             57600.0});
 
 // --- §3: sustained performance variability ---
 

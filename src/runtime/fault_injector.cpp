@@ -93,9 +93,13 @@ FaultInjector::Outcome FaultInjector::evaluate_locked(Site& s, const std::string
   // armed rule wins) so a single firing stays interpretable.
   for (ArmedRule& ar : s.rules) {
     const FaultAction action = ar.rule.action;
-    // Crash rules only make sense at lifecycle sites; corrupt rules only at
-    // service operations that carry a payload. Mismatched rules stay armed.
-    if (action == FaultAction::kCrash && service_op) continue;
+    // Crash and revocation rules only make sense at lifecycle sites;
+    // corrupt rules only at service operations that carry a payload.
+    // Mismatched rules stay armed.
+    if ((action == FaultAction::kCrash || action == FaultAction::kRevokeSpot) &&
+        service_op) {
+      continue;
+    }
     if (action == FaultAction::kCorrupt && !service_op) continue;
     if (ar.remaining_budget == 0) continue;
     const bool terminal_taken = out.error || out.crash || out.corrupt;
@@ -125,6 +129,14 @@ FaultInjector::Outcome FaultInjector::evaluate_locked(Site& s, const std::string
         out.corrupt = true;
         out.corrupt_salt = s.rng.next_u64();
         break;
+      case FaultAction::kRevokeSpot:
+        // A revocation whose notice is not honoured is a crash; drivers that
+        // drain within the notice window suppress the kill themselves.
+        out.crash = true;
+        out.revoke = true;
+        out.revoke_notice = ar.rule.delay;
+        ++s.revocations;
+        break;
     }
   }
   if (out.crash) ++s.crashes;
@@ -143,6 +155,16 @@ bool FaultInjector::fire(const std::string& site, const std::string& key) {
                         (key.empty() ? "" : " (" + key + ")") + ": " + out.error_what);
   }
   return out.crash;
+}
+
+Seconds FaultInjector::fire_revocation(const std::string& site, const std::string& key) {
+  Outcome out;
+  {
+    std::lock_guard lock(mu_);
+    out = evaluate_locked(sites_[site], key, /*service_op=*/false);
+  }
+  if (out.sleep > 0.0) sleep_for(out.sleep);
+  return out.revoke ? out.revoke_notice : -1.0;
 }
 
 ppc::FaultDecision FaultInjector::on_operation(const std::string& site,
@@ -207,6 +229,11 @@ std::int64_t FaultInjector::corruptions_injected(const std::string& site) const 
   return site_stat_locked(site, &Site::corruptions);
 }
 
+std::int64_t FaultInjector::revocations(const std::string& site) const {
+  std::lock_guard lock(mu_);
+  return site_stat_locked(site, &Site::revocations);
+}
+
 std::int64_t FaultInjector::total_crashes() const {
   std::lock_guard lock(mu_);
   return total_stat_locked(&Site::crashes);
@@ -225,6 +252,11 @@ std::int64_t FaultInjector::total_errors() const {
 std::int64_t FaultInjector::total_corruptions() const {
   std::lock_guard lock(mu_);
   return total_stat_locked(&Site::corruptions);
+}
+
+std::int64_t FaultInjector::total_revocations() const {
+  std::lock_guard lock(mu_);
+  return total_stat_locked(&Site::revocations);
 }
 
 }  // namespace ppc::runtime

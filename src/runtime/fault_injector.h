@@ -99,6 +99,13 @@ class FaultInjector : public ppc::FaultHook {
   ppc::FaultDecision on_operation(const std::string& site, const std::string& key,
                                   ppc::PayloadRef* payload) override;
 
+  /// Fires a spot-revocation site (key = instance id). Returns the notice
+  /// window of the revoke_spot rule that fired (0 = hard kill, no notice),
+  /// or a negative value when none did. Via fire(), a revoke_spot rule
+  /// behaves as a crash — the firing worker dies — so chaos sites script
+  /// revocation-shaped kills without an elastic driver.
+  Seconds fire_revocation(const std::string& site, const std::string& key = "");
+
   // -- observability --------------------------------------------------
 
   /// Times the site has fired (armed or not).
@@ -111,12 +118,17 @@ class FaultInjector : public ppc::FaultHook {
   std::int64_t errors_injected(const std::string& site) const;
   std::int64_t corruptions_injected(const std::string& site) const;
 
+  /// Spot revocations this site has triggered. A revocation also counts as
+  /// a crash when its notice is ignored — the kill is the crash.
+  std::int64_t revocations(const std::string& site) const;
+
   /// Crashes across all sites.
   std::int64_t total_crashes() const;
 
   std::int64_t total_delays() const;
   std::int64_t total_errors() const;
   std::int64_t total_corruptions() const;
+  std::int64_t total_revocations() const;
 
  private:
   struct ArmedRule {
@@ -140,6 +152,7 @@ class FaultInjector : public ppc::FaultHook {
     std::int64_t delays = 0;
     std::int64_t errors = 0;
     std::int64_t corruptions = 0;
+    std::int64_t revocations = 0;
   };
 
   /// What one firing should do; computed under the lock, applied outside it.
@@ -150,6 +163,8 @@ class FaultInjector : public ppc::FaultHook {
     bool crash = false;
     bool corrupt = false;
     std::uint64_t corrupt_salt = 0;  // picks the flipped bit
+    bool revoke = false;
+    Seconds revoke_notice = 0.0;
   };
 
   /// Evaluates legacy armings + plan rules for one firing. `service_op`

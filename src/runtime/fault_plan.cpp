@@ -18,6 +18,8 @@ const char* fault_action_name(FaultAction action) {
       return "error";
     case FaultAction::kCorrupt:
       return "corrupt";
+    case FaultAction::kRevokeSpot:
+      return "revoke_spot";
   }
   return "?";
 }
@@ -65,6 +67,15 @@ FaultPlan& FaultPlan::corrupt(const std::string& site, int budget, double probab
   return *this;
 }
 
+FaultPlan& FaultPlan::revoke_spot(const std::string& site, int budget, double probability,
+                                  Seconds notice, int skip_first) {
+  PPC_REQUIRE(notice >= 0.0, "revocation notice must be non-negative");
+  rules.push_back(
+      make_rule(site, FaultAction::kRevokeSpot, probability, budget, skip_first));
+  rules.back().delay = notice;
+  return *this;
+}
+
 std::string FaultPlan::summary() const {
   std::ostringstream os;
   os << "fault plan seed=" << seed << " rules=" << rules.size() << "\n";
@@ -78,6 +89,8 @@ std::string FaultPlan::summary() const {
     os << " @ " << r.site << " (p=" << format_fixed(r.probability, 2);
     if (r.skip_first > 0) os << ", skip " << r.skip_first;
     if (r.action == FaultAction::kDelay) os << ", " << format_fixed(r.delay, 3) << "s";
+    if (r.action == FaultAction::kRevokeSpot)
+      os << ", notice " << format_fixed(r.delay, 0) << "s";
     os << ")\n";
   }
   return os.str();

@@ -7,10 +7,12 @@
 // each rule names a site, one of the four fault actions the paper's
 // fault-tolerance story must survive —
 //
-//   crash    the worker dies at the site (lifecycle sites only);
-//   delay    the operation stalls for a fixed duration (straggler model);
-//   error    the operation reports failure (lost response, 5xx);
-//   corrupt  the delivered payload is bit-flipped (detected via checksums);
+//   crash        the worker dies at the site (lifecycle sites only);
+//   delay        the operation stalls for a fixed duration (straggler model);
+//   error        the operation reports failure (lost response, 5xx);
+//   corrupt      the delivered payload is bit-flipped (detected via checksums);
+//   revoke_spot  the provider reclaims the spot instance hosting the site,
+//                with `delay` seconds of notice (0 = no notice, hard kill);
 //
 // — plus a probability, a firing budget, and an optional skip count. Arming
 // a plan gives every site its own RNG stream derived deterministically from
@@ -26,7 +28,7 @@
 
 namespace ppc::runtime {
 
-enum class FaultAction { kCrash, kDelay, kError, kCorrupt };
+enum class FaultAction { kCrash, kDelay, kError, kCorrupt, kRevokeSpot };
 
 const char* fault_action_name(FaultAction action);
 
@@ -62,6 +64,11 @@ struct FaultPlan {
                    int budget = 1, double probability = 1.0, int skip_first = 0);
   FaultPlan& corrupt(const std::string& site, int budget = 1, double probability = 1.0,
                      int skip_first = 0);
+  /// Spot revocation: at the revocation site the hosting instance gets
+  /// `notice` seconds to drain before the hard kill (rides the `delay`
+  /// field). budget > 1 with probability < 1 scripts a correlated storm.
+  FaultPlan& revoke_spot(const std::string& site, int budget = 1, double probability = 1.0,
+                         Seconds notice = 0.0, int skip_first = 0);
 
   /// One line per rule, for campaign logs ("crash x1 @ site (p=1.00)").
   std::string summary() const;

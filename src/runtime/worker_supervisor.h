@@ -24,6 +24,13 @@
 //   supervisor.restarts          crashed/stalled workers replaced
 //   supervisor.gave_up           slots abandoned after max restarts
 //   supervisor.recovery_seconds  histogram: death detected -> replacement up
+//   supervisor.drains            slots retired cleanly via drain_slot()
+//
+// Elastic scale-in drains through the same machinery: drain_slot() asks one
+// worker to finish its in-flight task and exit. A worker that honours the
+// request (exits without crashing) is metered as a drain and its slot stays
+// empty; one hard-killed mid-drain (a spot revocation whose notice expired)
+// is indistinguishable from any other crash and takes the restart path.
 #pragma once
 
 #include <atomic>
@@ -98,8 +105,15 @@ class WorkerSupervisor {
   /// Workers currently believed alive (running and not crashed).
   int alive_workers() const;
 
+  /// Starts a graceful drain of slot `slot_index`: the worker is asked to
+  /// stop (finish the in-flight task, flush, exit) and the slot is not
+  /// refilled after a clean exit. No-op on a slot already draining or given
+  /// up. A crash mid-drain re-enters the normal restart path.
+  void drain_slot(int slot_index);
+
   std::int64_t restarts() const { return metrics_->counter_value("supervisor.restarts"); }
   std::int64_t gave_up() const { return metrics_->counter_value("supervisor.gave_up"); }
+  std::int64_t drains() const { return metrics_->counter_value("supervisor.drains"); }
 
   MetricsRegistry& metrics() const { return *metrics_; }
   std::shared_ptr<MetricsRegistry> metrics_ptr() const { return metrics_; }
@@ -111,6 +125,10 @@ class WorkerSupervisor {
     int incarnation = 0;
     int restarts_done = 0;
     bool gave_up = false;
+    /// drain_slot() asked this worker to finish up and exit.
+    bool draining = false;
+    /// The drain completed cleanly; the slot stays empty.
+    bool drained = false;
     /// monotonic_now() when the current worker was found dead; < 0 = alive.
     Seconds died_at = -1.0;
     /// Earliest monotonic_now() at which the replacement may start.

@@ -114,6 +114,20 @@ runtime::FaultPlan make_plan(const ChaosConfig& cfg) {
         break;
     }
   }
+
+  // Storm rules go AFTER the sampled extras so arming a storm never shifts
+  // the extras' RNG stream — a seed's base plan is the same with the storm
+  // on or off.
+  if (cfg.revocation_storm) {
+    const std::string storm_site =
+        cfg.substrate == "classiccloud" ? classiccloud::sites::kAfterReceive
+        : cfg.substrate == "azuremr"    ? azuremr::sites::kAfterMap
+                                        : mapreduce::sites::kMapAttempt;
+    // The budget (2 kills) bounds the storm; the per-firing probability only
+    // spreads the kills across workers. On a 4-task job a 0.5 coin can miss
+    // every firing and void the coverage check, so storms fire near-surely.
+    plan.revoke_spot(storm_site, /*budget=*/2, /*probability=*/0.9);
+  }
   return plan;
 }
 
@@ -152,6 +166,7 @@ void harvest_faults(RunContext& ctx) {
   ctx.report->delays = ctx.faults->total_delays();
   ctx.report->errors = ctx.faults->total_errors();
   ctx.report->corruptions = ctx.faults->total_corruptions();
+  ctx.report->spot_revocations = ctx.faults->total_revocations();
   ctx.faults->reset();
 }
 
@@ -356,8 +371,9 @@ Outputs run_mapreduce(const ChaosConfig& cfg, const AppJob& app, RunContext& ctx
   jc.num_nodes = cfg.num_workers;
   jc.slots_per_node = 2;
   // Room for every guaranteed attempt-level fault to land on one unlucky
-  // task without failing the job.
-  jc.scheduler.max_attempts = 6;
+  // task without failing the job (plus the storm's two revocations, which
+  // burn attempts at the same site).
+  jc.scheduler.max_attempts = cfg.revocation_storm ? 8 : 6;
   jc.faults = ctx.faults;
   jc.metrics = ctx.metrics;
   jc.tracer = ctx.tracer;
@@ -411,7 +427,14 @@ void compare_outputs(const Outputs& baseline, const Outputs& chaos,
 
 }  // namespace
 
-ChaosReport run_chaos_campaign(const ChaosConfig& config) {
+ChaosReport run_chaos_campaign(const ChaosConfig& config_in) {
+  ChaosConfig config = config_in;
+  if (config.revocation_storm) {
+    // Two storm revocations can land on the same unlucky task on top of the
+    // plan's guaranteed crash; give the redrive budget room so only the
+    // poison sentinel dead-letters.
+    config.max_receive_count = std::max(config.max_receive_count, 7);
+  }
   ChaosReport report;
   report.seed = config.seed;
   report.substrate = config.substrate;
@@ -470,10 +493,22 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
   if (report.crashes < 1) failures.push_back("plan injected no crash");
   if (report.delays < 1) failures.push_back("plan injected no delay");
   if (report.errors < 1) failures.push_back("plan injected no error");
+  if (config.revocation_storm && report.spot_revocations < 1) {
+    failures.push_back("revocation storm revoked nothing");
+  }
   const bool queue_substrate = config.substrate != "mapreduce";
   if (queue_substrate) {
     if (report.corruptions < 1) failures.push_back("plan injected no corruption");
-    if (report.poison_tasks < 1) failures.push_back("no poison task was dead-lettered");
+    // The sentinel must end up dead-lettered. Normally the worker that burns
+    // its last permitted delivery parks it (poison_tasks); under a
+    // revocation storm a kill can steal that final delivery, in which case
+    // the queue's redrive sweep dead-letters it instead — either route
+    // satisfies "poison never redelivers forever", so storm runs accept a
+    // bare DLQ entry.
+    if (report.poison_tasks < 1 &&
+        !(config.revocation_storm && report.dlq_entries >= 1)) {
+      failures.push_back("no poison task was dead-lettered");
+    }
     if (report.dlq_entries < 1) failures.push_back("dead-letter queue stayed empty");
   }
 
@@ -496,7 +531,8 @@ std::string ChaosReport::to_text() const {
   }
   out += "  injected: crashes=" + std::to_string(crashes) +
          " delays=" + std::to_string(delays) + " errors=" + std::to_string(errors) +
-         " corruptions=" + std::to_string(corruptions) + "\n";
+         " corruptions=" + std::to_string(corruptions) +
+         " spot_revocations=" + std::to_string(spot_revocations) + "\n";
   out += "  absorbed: redeliveries=" + std::to_string(redeliveries) +
          " deletes_failed=" + std::to_string(deletes_failed) +
          " stale_deletes=" + std::to_string(stale_deletes) +

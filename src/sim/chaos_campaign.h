@@ -54,6 +54,15 @@ struct ChaosConfig {
   Seconds visibility_timeout = 1.5;
   /// Wall-clock budget per run; the campaign fails rather than hangs.
   Seconds run_timeout = 60.0;
+  /// Arm a correlated spot-revocation storm on top of the sampled plan:
+  /// revoke_spot rules (budget 2, p=0.9) at the substrate's worker lifecycle
+  /// site. The real-thread substrates have no drain protocol, so storm
+  /// revocations land as hard kills — the campaign asserts the existing
+  /// crash machinery (redelivery, idempotent re-execution, DLQ) absorbs
+  /// them byte-identically; the notice-respecting drain path is the DES
+  /// elastic driver's and the WorkerSupervisor tests' business. Storm runs
+  /// get extra redelivery headroom (max_receive_count / map attempts).
+  bool revocation_storm = false;
   /// > 0: attach a runtime::Monitor (own sampler thread, wall clock) to the
   /// chaos run's registry at this period. Every worker-scoped counter
   /// becomes a rate series and every gauge (per-worker busy, DLQ depth) a
@@ -77,6 +86,9 @@ struct ChaosReport {
   std::int64_t delays = 0;
   std::int64_t errors = 0;
   std::int64_t corruptions = 0;
+  /// Spot revocations fired by the storm rules (also counted in `crashes`:
+  /// a no-notice revocation IS a crash as far as the worker is concerned).
+  std::int64_t spot_revocations = 0;
 
   // What the substrate absorbed.
   std::int64_t redeliveries = 0;        // at-least-once retries observed

@@ -50,7 +50,15 @@ std::vector<std::string> default_alarm_rules() {
   // Sustain (45s) is many sample periods and far beyond any fault-free idle
   // sliver (poll latency, start-up stagger), but well inside a real stall
   // window — flapping just under it never fires.
-  return {"stall: workers.idle_with_backlog > 0.5 for 45s"};
+  //
+  // The thrash rule watches the elastic drivers' fleet.scale_events.rate
+  // probe: a well-hysteresed autoscaler (cooldown 120s) tops out around one
+  // scale event per minute (~0.017/s) even during ramp-up or a post-storm
+  // refill, so a sustained 0.05/s means the scale-out/scale-in thresholds
+  // overlap and the fleet is oscillating. Alarms on absent series never
+  // fire, so the rule is inert for static-fleet runs.
+  return {"stall: workers.idle_with_backlog > 0.5 for 45s",
+          "fleet.thrash: fleet.scale_events.rate > 0.05 for 60s"};
 }
 
 MonitorRunReport run_monitored_job(const MonitorRunConfig& config) {

@@ -72,9 +72,11 @@ struct MonitorRunReport {
   std::string to_text() const;
 };
 
-/// The out-of-the-box alarm set: currently the worker-stall rule
-/// "stall: workers.idle_with_backlog > 0.5 for 45s". Exposed so docs and
-/// tests quote the real thing.
+/// The out-of-the-box alarm set: the worker-stall rule
+/// "stall: workers.idle_with_backlog > 0.5 for 45s" and the autoscaler
+/// oscillation rule "fleet.thrash: fleet.scale_events.rate > 0.05 for 60s"
+/// (inert unless an elastic driver registers the fleet probes). Exposed so
+/// docs and tests quote the real thing.
 std::vector<std::string> default_alarm_rules();
 
 /// Runs one monitored job. Throws InvalidArgument on unknown

@@ -1,0 +1,218 @@
+#include "cloud/autoscaler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ppc::cloud {
+namespace {
+
+AutoscaleSignals signals(Seconds now, double depth, int running, int pending,
+                         int workers, double idle) {
+  AutoscaleSignals s;
+  s.now = now;
+  s.queue_depth = depth;
+  s.running_instances = running;
+  s.pending_instances = pending;
+  s.workers_per_instance = workers;
+  s.idle_workers = idle;
+  return s;
+}
+
+TEST(AutoscalerTest, ScaleOutAboveHighWater) {
+  AutoscalerConfig cfg;
+  cfg.min_instances = 1;
+  cfg.max_instances = 8;
+  cfg.backlog_high = 8.0;
+  cfg.step_out = 2;
+  Autoscaler as(cfg);
+
+  // 2 instances x 8 workers = 16 workers; depth 200 -> 12.5 per worker.
+  const auto d = as.decide(signals(0.0, 200.0, 2, 0, 8, 0.0));
+  EXPECT_EQ(d.delta, 2);
+  EXPECT_STREQ(d.reason, "scale-out");
+  EXPECT_EQ(as.scale_out_events(), 1);
+}
+
+TEST(AutoscalerTest, HoldInsideHysteresisBand) {
+  AutoscalerConfig cfg;
+  cfg.backlog_low = 1.0;
+  cfg.backlog_high = 8.0;
+  Autoscaler as(cfg);
+  // 4 per worker: above low, below high -> hold even with idle workers.
+  const auto d = as.decide(signals(0.0, 64.0, 2, 0, 8, 3.0));
+  EXPECT_EQ(d.delta, 0);
+  EXPECT_STREQ(d.reason, "hold");
+}
+
+TEST(AutoscalerTest, ScaleInNeedsLowBacklogAndIdleWorkers) {
+  AutoscalerConfig cfg;
+  cfg.min_instances = 1;
+  cfg.backlog_low = 1.0;
+  Autoscaler as(cfg);
+  // Low backlog but nobody idle: hold.
+  EXPECT_EQ(as.decide(signals(0.0, 2.0, 4, 0, 8, 0.0)).delta, 0);
+  // Low backlog with idle workers: drain one.
+  const auto d = as.decide(signals(10.0, 2.0, 4, 0, 8, 5.0));
+  EXPECT_EQ(d.delta, -1);
+  EXPECT_STREQ(d.reason, "scale-in");
+}
+
+TEST(AutoscalerTest, CooldownSuppressesBackToBackEvents) {
+  AutoscalerConfig cfg;
+  cfg.cooldown = 120.0;
+  cfg.max_instances = 16;
+  Autoscaler as(cfg);
+  EXPECT_GT(as.decide(signals(0.0, 1000.0, 2, 0, 8, 0.0)).delta, 0);
+  const auto d = as.decide(signals(60.0, 1000.0, 4, 0, 8, 0.0));
+  EXPECT_EQ(d.delta, 0);
+  EXPECT_STREQ(d.reason, "cooldown");
+  EXPECT_GT(as.decide(signals(121.0, 1000.0, 4, 0, 8, 0.0)).delta, 0);
+}
+
+TEST(AutoscalerTest, BelowMinRefillIgnoresCooldown) {
+  AutoscalerConfig cfg;
+  cfg.min_instances = 4;
+  cfg.max_instances = 16;
+  cfg.cooldown = 600.0;
+  Autoscaler as(cfg);
+  EXPECT_GT(as.decide(signals(0.0, 10000.0, 4, 0, 8, 0.0)).delta, 0);
+  // A storm knocks the fleet to 1 an instant later: refilled immediately.
+  const auto d = as.decide(signals(1.0, 10000.0, 1, 0, 8, 0.0));
+  EXPECT_EQ(d.delta, 3);
+  EXPECT_STREQ(d.reason, "below-min");
+}
+
+TEST(AutoscalerTest, BudgetClampsScaleOut) {
+  AutoscalerConfig cfg;
+  cfg.max_instances = 16;
+  cfg.step_out = 4;
+  cfg.budget = 10.0;
+  Autoscaler as(cfg);
+  auto s = signals(0.0, 10000.0, 2, 0, 8, 0.0);
+  s.spent = 9.0;
+  s.cost_per_instance_hour = 0.68;
+  // Headroom $1 buys one $0.68 instance-hour, not four.
+  const auto d = as.decide(s);
+  EXPECT_EQ(d.delta, 1);
+
+  s.now = 1000.0;
+  s.spent = 10.0;
+  const auto capped = as.decide(s);
+  EXPECT_EQ(capped.delta, 0);
+  EXPECT_STREQ(capped.reason, "budget-capped");
+}
+
+TEST(AutoscalerTest, NeverScalesPastMax) {
+  AutoscalerConfig cfg;
+  cfg.max_instances = 4;
+  cfg.step_out = 3;
+  Autoscaler as(cfg);
+  const auto d = as.decide(signals(0.0, 10000.0, 3, 0, 8, 0.0));
+  EXPECT_EQ(d.delta, 1);  // clamped to max - provisioned
+  EXPECT_EQ(as.decide(signals(500.0, 10000.0, 4, 0, 8, 0.0)).delta, 0);
+}
+
+// The ISSUE's hysteresis/cooldown property sweep: 1000 seeds of randomized
+// configs driven through randomized signal streams, asserting the decide()
+// invariants documented in autoscaler.h on every step.
+TEST(AutoscalerPropertyTest, InvariantsHoldAcross1000Seeds) {
+  constexpr int kSeeds = 1000;
+  constexpr int kSteps = 120;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+
+    AutoscalerConfig cfg;
+    cfg.min_instances = static_cast<int>(rng.uniform_int(1, 4));
+    cfg.max_instances = cfg.min_instances + static_cast<int>(rng.uniform_int(0, 12));
+    cfg.backlog_low = rng.uniform(0.0, 2.0);
+    cfg.backlog_high = cfg.backlog_low + rng.uniform(0.5, 10.0);
+    cfg.step_out = static_cast<int>(rng.uniform_int(1, 4));
+    cfg.cooldown = rng.uniform(0.0, 300.0);
+    cfg.budget = rng.bernoulli(0.5) ? -1.0 : rng.uniform(5.0, 200.0);
+    Autoscaler as(cfg);
+
+    const int workers = static_cast<int>(rng.uniform_int(1, 8));
+    const Dollars rate = rng.uniform(0.1, 2.0);
+    int running = cfg.min_instances;
+    int pending = 0;
+    Seconds now = 0.0;
+    Seconds last_event = -1.0;
+    Dollars spent = 0.0;
+
+    for (int step = 0; step < kSteps; ++step) {
+      now += rng.uniform(1.0, 90.0);
+      // Occasionally a revocation storm guts the fleet.
+      if (rng.bernoulli(0.1) && running > 0) {
+        running = std::max(0, running - static_cast<int>(rng.uniform_int(1, 3)));
+      }
+      // Booting instances come up.
+      if (pending > 0 && rng.bernoulli(0.7)) {
+        running += pending;
+        pending = 0;
+      }
+      const int provisioned = running + pending;
+      AutoscaleSignals s = signals(
+          now, rng.uniform(0.0, 2.0 * cfg.backlog_high * workers * (provisioned + 1)),
+          running, pending, workers, rng.uniform(0.0, workers));
+      s.spent = spent;
+      s.cost_per_instance_hour = rate;
+
+      const AutoscaleDecision d = as.decide(s);
+      const std::string ctx = "seed " + std::to_string(seed) + " step " +
+                              std::to_string(step) + " reason " + d.reason;
+
+      const int capacity = provisioned * workers;
+      const double per_worker =
+          capacity > 0 ? s.queue_depth / capacity : s.queue_depth;
+
+      if (d.delta < 0) {
+        // Invariant: never drain while the backlog is at/above the low-water
+        // mark, never below min, never without an idle worker.
+        EXPECT_LT(per_worker, cfg.backlog_low) << ctx;
+        EXPECT_GT(provisioned, cfg.min_instances) << ctx;
+        EXPECT_GT(s.idle_workers, 0.0) << ctx;
+        EXPECT_EQ(d.delta, -1) << ctx;
+      }
+      if (d.delta > 0) {
+        // Invariant: scale-out never pushes provisioned past max (a
+        // below-min refill tops out at min <= max).
+        EXPECT_LE(provisioned + d.delta, cfg.max_instances) << ctx;
+        if (cfg.budget >= 0.0) {
+          EXPECT_LE(spent + d.delta * rate, cfg.budget + 1e-9) << ctx;
+        }
+      }
+      if (d.delta != 0 && std::strcmp(d.reason, "below-min") != 0) {
+        // Invariant: non-refill events are at least `cooldown` apart.
+        if (last_event >= 0.0) {
+          EXPECT_GE(now - last_event, cfg.cooldown) << ctx;
+        }
+      }
+      if (d.delta != 0) last_event = now;
+
+      // Apply the decision so the stream explores the whole state space.
+      if (d.delta > 0) {
+        pending += d.delta;
+        spent += d.delta * rate;
+      } else if (d.delta < 0 && running > 0) {
+        --running;
+      }
+      EXPECT_LE(running + pending, cfg.max_instances) << ctx;
+    }
+  }
+}
+
+TEST(AutoscalerTest, RejectsInvertedHysteresisBand) {
+  AutoscalerConfig cfg;
+  cfg.backlog_low = 8.0;
+  cfg.backlog_high = 2.0;
+  EXPECT_THROW(Autoscaler{cfg}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppc::cloud

@@ -75,10 +75,20 @@ TEST_F(FleetTest, TerminateStopsAccrual) {
   EXPECT_EQ(fleet_.total_cores(), 0);
 }
 
-TEST_F(FleetTest, DoubleTerminateThrows) {
+TEST_F(FleetTest, DoubleTerminateIsMeteredNoOp) {
+  // Mirrors the queue's stale-delete semantics: an autoscaler and a
+  // revocation racing to terminate the same instance is normal cloud
+  // weather, detected and counted rather than thrown.
   const auto ids = fleet_.launch(ec2_large(), 1);
+  clock_->advance(100.0);
   fleet_.terminate(ids[0]);
-  EXPECT_THROW(fleet_.terminate(ids[0]), InvalidArgument);
+  const Dollars at_termination = fleet_.hourly_billed_cost(clock_->now());
+  EXPECT_EQ(fleet_.stale_terminates(), 0u);
+  clock_->advance(5000.0);
+  fleet_.terminate(ids[0]);
+  EXPECT_EQ(fleet_.stale_terminates(), 1u);
+  // The no-op must not re-terminate (and so re-price) the instance.
+  EXPECT_DOUBLE_EQ(fleet_.hourly_billed_cost(clock_->now()), at_termination);
 }
 
 TEST_F(FleetTest, UnknownInstanceThrows) {

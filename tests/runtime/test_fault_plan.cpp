@@ -177,6 +177,66 @@ TEST(FaultPlan, PerSiteStreamsAreIndependentOfOtherSites) {
   EXPECT_EQ(x_decisions(false), x_decisions(true));
 }
 
+TEST(FaultPlan, RevokeSpotBuilderCarriesTheNoticeWindow) {
+  FaultPlan plan;
+  plan.revoke_spot("cloud.fleet.revoke_spot", /*budget=*/2, /*probability=*/0.5,
+                   /*notice=*/90.0);
+  ASSERT_EQ(plan.rules.size(), 1u);
+  EXPECT_EQ(plan.rules[0].action, FaultAction::kRevokeSpot);
+  EXPECT_EQ(plan.rules[0].budget, 2);
+  EXPECT_DOUBLE_EQ(plan.rules[0].probability, 0.5);
+  EXPECT_DOUBLE_EQ(plan.rules[0].delay, 90.0);  // notice rides the delay field
+  const std::string s = plan.summary();
+  EXPECT_NE(s.find("revoke_spot"), std::string::npos);
+  EXPECT_NE(s.find("notice 90s"), std::string::npos);
+}
+
+TEST(FaultPlan, RevokeSpotRejectsNegativeNotice) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.revoke_spot("s", 1, 1.0, /*notice=*/-1.0), InvalidArgument);
+}
+
+TEST(FaultPlan, FireRevocationReturnsTheNoticeWindow) {
+  FaultPlan plan;
+  plan.revoke_spot("fleet.revoke", /*budget=*/1, /*probability=*/1.0, /*notice=*/60.0);
+  FaultInjector faults;
+  faults.arm_plan(plan);
+  EXPECT_DOUBLE_EQ(faults.fire_revocation("fleet.revoke", "i-1"), 60.0);
+  EXPECT_EQ(faults.total_revocations(), 1);
+  // An unhonoured revocation is a crash as far as the worker is concerned.
+  EXPECT_EQ(faults.total_crashes(), 1);
+  // Budget spent: the next firing revokes nothing.
+  EXPECT_LT(faults.fire_revocation("fleet.revoke", "i-2"), 0.0);
+  EXPECT_EQ(faults.total_revocations(), 1);
+}
+
+TEST(FaultPlan, RevokeSpotViaFireKillsTheWorker) {
+  // Chaos sites without an elastic driver script revocation-shaped kills
+  // through plain fire(): a revoke_spot rule behaves as a crash there.
+  FaultPlan plan;
+  plan.revoke_spot("w.map_attempt", /*budget=*/1, /*probability=*/1.0, /*notice=*/0.0);
+  FaultInjector faults;
+  faults.arm_plan(plan);
+  EXPECT_TRUE(faults.fire("w.map_attempt", "t1"));
+  EXPECT_EQ(faults.total_revocations(), 1);
+  EXPECT_FALSE(faults.fire("w.map_attempt", "t2"));
+}
+
+TEST(FaultPlan, RevokeSpotIgnoresServiceOperations) {
+  // A storage/queue operation cannot lose its instance: revoke rules stay
+  // armed but inert on the hook surface, live on the lifecycle surface.
+  FaultPlan plan;
+  plan.revoke_spot("q.receive", /*budget=*/-1, /*probability=*/1.0, /*notice=*/30.0);
+  FaultInjector faults;
+  faults.arm_plan(plan);
+  PayloadRef no_payload(nullptr);
+  const FaultDecision d = faults.on_operation("q.receive", "m", &no_payload);
+  EXPECT_FALSE(d.fail);
+  EXPECT_EQ(faults.total_revocations(), 0);
+  EXPECT_DOUBLE_EQ(faults.fire_revocation("q.receive", "i"), 30.0);
+  EXPECT_EQ(faults.total_revocations(), 1);
+}
+
 TEST(FaultPlan, ResetDisarmsPlanRules) {
   FaultPlan plan;
   plan.error("s", "e", /*budget=*/-1);

@@ -1,0 +1,59 @@
+// The elastic-fleet acceptance campaign at test scale: the autoscaled,
+// half-spot fleet under revocation storms must finish every task, drain the
+// queue to zero, meet the deadline, undercut the static fleet's bill, keep
+// the default alarms (including fleet.thrash) quiet, and reproduce a
+// byte-identical Monitor series on a rerun.
+#include "sim/autoscale_run.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ppc::sim {
+namespace {
+
+TEST(AutoscaleCampaign, SmallCampaignPassesEveryGate) {
+  AutoscaleCampaignConfig config;
+  config.tasks = 3000;
+  config.instances = 8;
+  config.storms = 2;
+  config.revocation_rate = 0.5;  // small spot pool; keep the storm visible
+  config.verify_determinism = true;
+  const AutoscaleReport report = run_autoscale_campaign(config);
+
+  EXPECT_TRUE(report.passed) << report.to_text();
+  EXPECT_EQ(report.completed, config.tasks);
+  EXPECT_EQ(report.queue_undeleted_end, 0u);
+  EXPECT_LE(report.makespan_elastic, report.deadline);
+  EXPECT_LT(report.cost_elastic, report.cost_static);
+  EXPECT_GE(report.elastic.revocations, 1);
+  EXPECT_TRUE(report.deterministic);
+
+  // The no-thrash satellite: hysteresis + cooldown keep the steady-state
+  // scale-event rate under the fleet.thrash alarm threshold, and supervision
+  // keeps the stall rule quiet — no alarm may fire.
+  EXPECT_FALSE(report.alarm_fired);
+
+  // The artifacts `ppcloud autoscale` writes are well-formed.
+  EXPECT_GT(report.monitor_samples, 0u);
+  EXPECT_NE(report.monitor_json.find("fleet.size"), std::string::npos);
+  const std::string csv = report.fleet_series_csv();
+  EXPECT_EQ(csv.rfind("t,active,spot\n", 0), 0u) << csv.substr(0, 40);
+  EXPECT_GT(csv.size(), std::string("t,active,spot\n").size());
+  EXPECT_NE(report.to_text().find("PASS"), std::string::npos);
+}
+
+TEST(AutoscaleCampaign, ImpossibleDeadlineFailsTheCampaign) {
+  AutoscaleCampaignConfig config;
+  config.tasks = 200;
+  config.instances = 4;
+  config.storms = 0;
+  config.deadline = 1.0;  // nothing finishes 200 Cap3 tasks in one second
+  config.verify_determinism = false;
+  const AutoscaleReport report = run_autoscale_campaign(config);
+  EXPECT_FALSE(report.passed);
+  EXPECT_FALSE(report.failures.empty());
+}
+
+}  // namespace
+}  // namespace ppc::sim

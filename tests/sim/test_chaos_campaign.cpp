@@ -51,6 +51,38 @@ INSTANTIATE_TEST_SUITE_P(Substrates, ChaosCampaign,
                            return info.param;
                          });
 
+// ISSUE 9: revocation storms must leave the determinism story intact.
+// `passed` requires the chaos run's outputs to be byte-identical to the
+// fault-free baseline AND the storm to have revoked at least one worker, so
+// this sweep (seeds 1-3 on every substrate) is the "storms don't break
+// determinism or lose work" acceptance gate.
+class RevocationStorm
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {};
+
+TEST_P(RevocationStorm, ByteIdenticalOutputsUnderStorm) {
+  ChaosConfig config;
+  config.substrate = std::get<0>(GetParam());
+  config.seed = std::get<1>(GetParam());
+  config.revocation_storm = true;
+  const ChaosReport report = run_chaos_campaign(config);
+  EXPECT_TRUE(report.passed) << report.to_text();
+  EXPECT_GE(report.spot_revocations, 1);
+  // A no-notice revocation is a crash to the worker: the kill shows up in
+  // the crash totals and the redelivery machinery absorbs it.
+  EXPECT_GE(report.crashes, report.spot_revocations);
+  EXPECT_NE(report.plan_summary.find("revoke_spot"), std::string::npos)
+      << report.plan_summary;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RevocationStorm,
+    ::testing::Combine(::testing::Values("classiccloud", "azuremr", "mapreduce"),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::uint64_t>>& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
 TEST(ChaosCampaignConfig, UnknownSubstrateThrows) {
   ChaosConfig config;
   config.substrate = "telepathy";

@@ -109,6 +109,37 @@
 //     --wall-budget S                    real-seconds budget (default 300)
 //     --verify 0|1                       determinism re-run (default 1)
 //     --out FILE                         write the Monitor JSON artifact
+//   ppcloud autoscale [options]          elastic-fleet campaign: a deadline/
+//                                        budget SchedulerPolicy sizes the
+//                                        cheapest static on-demand comparator,
+//                                        then the Autoscaler runs the same job
+//                                        on a half-spot fleet under seeded
+//                                        revocation storms; PASS requires zero
+//                                        lost tasks, deadline met, the elastic
+//                                        bill under the static one, real spot
+//                                        savings, quiet alarms, and a byte-
+//                                        identical monitor series on re-run:
+//     --tasks N                          Cap3 files (default 100000)
+//     --instances N --workers W          reference fleet, also the elastic
+//                                        max (default 32 x 8 EC2-HCXL)
+//     --deadline S                       sim-seconds; -1 derives 1.25x the
+//                                        reference estimate (default -1)
+//     --budget D                         Autoscaler spend cap; -1 = uncapped
+//     --spot-fraction F                  target spot share (default 0.5)
+//     --storms N                         revocation storms (default 2)
+//     --revocation-rate P                per-spot-instance storm kill
+//                                        probability (default 0.2)
+//     --revocation-notice S              drain notice, 0 = hard kill (def. 90)
+//     --receive-batch B --shards S       queue batching/sharding (def. 10, 8)
+//     --seed S --period S                RNG seed, monitor period
+//     --wall-budget S --verify 0|1       like campaign
+//     --check 0|1                        nonzero exit on FAIL (default 1)
+//     --out FILE                         write the Monitor JSON artifact
+//     --fleet-csv FILE                   write fleet-size-vs-time CSV
+//
+// `ppcloud chaos` additionally takes --revocation-storm 0|1: arm correlated
+// spot-revocation rules on top of the sampled plan (absorbed as crashes by
+// the real-thread substrates; extra redelivery headroom is applied).
 //
 // Exit status: 0 on success, 1 on bad usage or a failed run (a failed chaos
 // campaign prints the seed that reproduces it).
@@ -127,6 +158,7 @@
 #include "core/experiments.h"
 #include "core/feature_matrix.h"
 #include "runtime/metrics.h"
+#include "sim/autoscale_run.h"
 #include "sim/chaos_campaign.h"
 #include "sim/monitor_run.h"
 #include "sim/saturation.h"
@@ -287,6 +319,7 @@ int cmd_chaos(const Options& opts) {
   base.num_workers = opt_int(opts, "workers", 3);
   base.storage = opt(opts, "storage", "object");
   base.enable_cache = opt(opts, "cache", "0") != "0";
+  base.revocation_storm = opt(opts, "revocation-storm", "0") != "0";
   const bool print_json = opt(opts, "json", "0") != "0";
   const std::string monitor_dir = opt(opts, "monitor-dir", "");
   if (!monitor_dir.empty()) base.monitor_period = 0.05;
@@ -318,9 +351,10 @@ int cmd_chaos(const Options& opts) {
     }
     if (!report.passed) {
       all_passed = false;
-      std::printf("reproduce with: ppcloud chaos --seed %llu --substrate %s --app %s\n",
+      std::printf("reproduce with: ppcloud chaos --seed %llu --substrate %s --app %s%s\n",
                   static_cast<unsigned long long>(report.seed), s.c_str(),
-                  base.app.c_str());
+                  base.app.c_str(),
+                  base.revocation_storm ? " --revocation-storm 1" : "");
       if (!trace_dir.empty() && !report.trace_json.empty()) {
         const std::string path = trace_dir + "/chaos-trace-" + s + "-seed" +
                                  std::to_string(report.seed) + ".json";
@@ -453,6 +487,48 @@ int cmd_saturate(const Options& opts) {
   return 0;
 }
 
+int cmd_autoscale(const Options& opts) {
+  sim::AutoscaleCampaignConfig config;
+  config.tasks = opt_int(opts, "tasks", config.tasks);
+  config.instances = opt_int(opts, "instances", config.instances);
+  config.workers_per_instance = opt_int(opts, "workers", config.workers_per_instance);
+  config.receive_batch = opt_int(opts, "receive-batch", config.receive_batch);
+  config.queue_shards = opt_int(opts, "shards", config.queue_shards);
+  config.seed = static_cast<unsigned>(opt_int(opts, "seed", 42));
+  config.deadline = std::stod(opt(opts, "deadline", "-1"));
+  config.budget = std::stod(opt(opts, "budget", "-1"));
+  config.spot_fraction = std::stod(opt(opts, "spot-fraction", "0.5"));
+  config.storms = opt_int(opts, "storms", config.storms);
+  config.revocation_rate = std::stod(opt(opts, "revocation-rate", "0.2"));
+  config.revocation_notice = std::stod(opt(opts, "revocation-notice", "90"));
+  config.monitor_period = std::stod(opt(opts, "period", "600"));
+  config.wall_budget = std::stod(opt(opts, "wall-budget", "300"));
+  config.verify_determinism = opt(opts, "verify", "1") != "0";
+  const bool check = opt(opts, "check", "1") != "0";
+  const std::string out_path = opt(opts, "out", "");
+  const std::string csv_path = opt(opts, "fleet-csv", "");
+
+  const sim::AutoscaleReport report = sim::run_autoscale_campaign(config);
+  std::fputs(report.to_text().c_str(), stdout);
+  if (!out_path.empty()) {
+    if (write_file(out_path, report.monitor_json)) {
+      std::printf("autoscale monitor series: %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "ppcloud: could not write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  if (!csv_path.empty()) {
+    if (write_file(csv_path, report.fleet_series_csv())) {
+      std::printf("fleet size series: %s\n", csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "ppcloud: could not write %s\n", csv_path.c_str());
+      return 1;
+    }
+  }
+  return (report.passed || !check) ? 0 : 1;
+}
+
 int cmd_campaign(const Options& opts) {
   sim::CampaignConfig config;
   config.tasks = opt_int(opts, "tasks", config.tasks);
@@ -489,6 +565,25 @@ int cmd_experiment(const std::string& id, const std::string& backend_name) {
     report.azure.to_table().print();
     for (const auto& [util, cost] : report.cluster_costs) {
       std::printf("owned cluster @ %2.0f%%: $%.2f\n", util * 100, cost);
+    }
+    return 0;
+  }
+  if (id == "table4-deadline") {
+    std::printf("cheapest config meeting deadline D (4096 Cap3 files; spot discount %.0f%%)\n",
+                cloud::kDefaultSpotDiscount * 100);
+    for (const auto& row : run_table4_deadline_sweep()) {
+      auto describe = [](const cloud::FleetPlan& p) {
+        if (!p.feasible) return std::string("infeasible (") + p.note + ")";
+        std::string s = std::to_string(p.instances) + " x " + p.type.name;
+        if (p.spot_instances > 0) {
+          s += " (" + std::to_string(p.spot_instances) + " spot)";
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), ", est $%.2f in %.0fs", p.est_cost, p.est_makespan);
+        return s + buf;
+      };
+      std::printf("D=%6.0fs  on-demand: %-44s  half-spot: %s\n", row.deadline,
+                  describe(row.on_demand).c_str(), describe(row.half_spot).c_str());
     }
     return 0;
   }
@@ -534,7 +629,7 @@ int cmd_experiment(const std::string& id, const std::string& backend_name) {
 int usage() {
   std::fputs(
       "usage: ppcloud <catalog|features|assemble|simulate|experiment|chaos|trace|monitor|"
-      "saturate|campaign> [options]\n"
+      "saturate|campaign|autoscale> [options]\n"
       "see the header comment of tools/ppcloud_cli.cpp or README.md for details\n",
       stderr);
   return 1;
@@ -558,6 +653,7 @@ int main(int argc, char** argv) {
     if (command == "monitor") return cmd_monitor(parse_options(argc, argv, 2));
     if (command == "saturate") return cmd_saturate(parse_options(argc, argv, 2));
     if (command == "campaign") return cmd_campaign(parse_options(argc, argv, 2));
+    if (command == "autoscale") return cmd_autoscale(parse_options(argc, argv, 2));
     if (command == "experiment") {
       if (argc < 3) return usage();
       return cmd_experiment(argv[2], argc >= 4 ? argv[3] : "object");
