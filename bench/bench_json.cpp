@@ -34,6 +34,9 @@
 #include "azuremr/runtime.h"
 #include "common/clock.h"
 #include "common/rng.h"
+#include "mapreduce/shuffle.h"
+#include "mapreduce/shuffle_job.h"
+#include "minihdfs/mini_hdfs.h"
 #include "runtime/metrics.h"
 #include "runtime/monitor.h"
 #include "runtime/tracer.h"
@@ -572,6 +575,109 @@ TracingOverhead bench_tracing_overhead() {
   return result;
 }
 
+// --------------------------------------------------------------------------
+// Shuffle rows
+// --------------------------------------------------------------------------
+
+/// External-sort throughput in records/s under a budget that forces a
+/// multi-run k-way merge — the reduce side's hot loop.
+SubstrateResult bench_external_sort() {
+  const int kRecords = 50000;
+  std::vector<mapreduce::ShuffleRecord> records;
+  records.reserve(kRecords);
+  Rng rng(0x50B7);
+  for (std::uint32_t i = 0; i < kRecords; ++i) {
+    mapreduce::ShuffleRecord r;
+    r.key = "key-" + std::to_string(rng.uniform_int(0, 999));
+    r.value = "v" + std::to_string(i);
+    r.map_id = static_cast<std::uint32_t>(i % 8);
+    r.seq = i;
+    records.push_back(std::move(r));
+  }
+  const double secs = min_seconds(3, [&records] {
+    blobstore::BlobStore store(std::make_shared<SystemClock>());
+    // ~1/8 of the input per run: an 8-way merge plus the final buffer.
+    mapreduce::ExternalSorter sorter(store, "shuffle", "bench/r0",
+                                     /*budget=*/220.0 * 1024, {});
+    for (const auto& r : records) sorter.add(r);
+    std::size_t groups = 0;
+    sorter.for_each_group(
+        [&groups](const std::string&, const std::vector<std::string>&) { ++groups; });
+    if (groups == 0) std::abort();  // keep the work observable
+  });
+  return {"shuffle_external_sort_50k", kRecords, secs, kRecords / secs};
+}
+
+struct ShuffleBench {
+  SubstrateResult pipeline;            // records/s through map+shuffle+reduce
+  double shuffle_bytes_per_second = 0.0;
+  double spill_amplification = 0.0;    // shuffle-store bytes written / map output bytes
+  bool completed = false;
+};
+
+/// Full-pipeline shuffle throughput: a synthetic keyed workload through the
+/// real-thread ShuffleJobRunner with budgets tight enough that both sides
+/// spill. Spill amplification = (map spills + sort runs) / map output — 1.0
+/// means the external sort never touched storage.
+ShuffleBench bench_shuffle_pipeline() {
+  const int kFiles = 8;
+  const int kRecordsPerFile = 2000;
+  minihdfs::MiniHdfs hdfs(4);
+  std::vector<std::string> paths;
+  Rng rng(0x5AFE);
+  for (int f = 0; f < kFiles; ++f) {
+    std::ostringstream text;
+    for (int i = 0; i < kRecordsPerFile; ++i) {
+      text << "key-" << rng.uniform_int(0, 499) << " ";
+    }
+    const std::string path = "/bench/in-" + std::to_string(f) + ".txt";
+    hdfs.write(path, text.str());
+    paths.push_back(path);
+  }
+  const auto map_fn = [](const mapreduce::FileRecord&, const std::string& contents,
+                         const mapreduce::EmitFn& emit) {
+    std::istringstream in(contents);
+    std::string word;
+    std::uint32_t seq = 0;
+    while (in >> word) emit(word, "p" + std::to_string(seq++));
+  };
+  const auto reduce_fn = [](const std::string&, const std::vector<std::string>& values) {
+    return std::to_string(values.size());
+  };
+
+  ShuffleBench bench;
+  const int kTotal = kFiles * kRecordsPerFile;
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    mapreduce::ShuffleJobConfig config;
+    config.num_nodes = 4;
+    config.slots_per_node = 2;
+    config.num_reducers = 4;
+    config.job_name = "bench-" + std::to_string(rep);
+    config.output_dir = "/bench/out-" + std::to_string(rep);
+    config.map_spill_budget = 64.0 * 1024;
+    config.sort_memory_budget = 96.0 * 1024;
+    mapreduce::ShuffleJobRunner runner(hdfs);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = runner.run(paths, map_fn, reduce_fn, config);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (!result.succeeded) return bench;  // completed stays false -> gate fails
+    if (secs < best) {
+      best = secs;
+      bench.shuffle_bytes_per_second = result.shuffle.fetched_bytes / secs;
+      bench.spill_amplification =
+          result.shuffle.map_output_bytes > 0.0
+              ? (result.shuffle.map_spill_bytes + result.shuffle.sort_run_bytes) /
+                    result.shuffle.map_output_bytes
+              : 0.0;
+    }
+  }
+  bench.completed = true;
+  bench.pipeline = {"shuffle_pipeline_8x2000", kTotal, best, kTotal / best};
+  return bench;
+}
+
 struct ElasticComparison {
   int tasks = 0;
   int completed = 0;
@@ -646,7 +752,7 @@ std::string git_sha() {
 std::string to_json(const std::vector<KernelResult>& kernels,
                     const std::vector<SubstrateResult>& substrates,
                     const TracingOverhead& tracing, const StorageOverhead& storage_overhead,
-                    const MonitorOverhead& monitor_overhead,
+                    const MonitorOverhead& monitor_overhead, const ShuffleBench& shuffle,
                     const ElasticComparison& elastic) {
   std::ostringstream os;
   os.setf(std::ios::fixed);
@@ -698,6 +804,12 @@ std::string to_json(const std::vector<KernelResult>& kernels,
      << ", \"monitored_seconds\": " << monitor_overhead.monitored_seconds << ", \"ratio\": ";
   os.precision(3);
   os << monitor_overhead.ratio;
+  os << "},\n  \"shuffle\": {";
+  os.precision(0);
+  os << "\"bytes_per_second\": " << shuffle.shuffle_bytes_per_second;
+  os.precision(3);
+  os << ", \"spill_amplification\": " << shuffle.spill_amplification
+     << ", \"completed\": " << (shuffle.completed ? "true" : "false");
   os << "},\n  \"elastic_fleet\": {";
   os << "\"tasks\": " << elastic.tasks << ", \"completed\": " << elastic.completed
      << ", \"undeleted\": " << elastic.undeleted
@@ -774,10 +886,15 @@ int main(int argc, char** argv) {
   substrates.push_back(bench_block_cache(/*hot=*/true));
   substrates.push_back(bench_block_cache(/*hot=*/false));
   substrates.push_back(bench_metrics_scrape());
+  substrates.push_back(bench_external_sort());
+  const ShuffleBench shuffle = bench_shuffle_pipeline();
+  substrates.push_back(shuffle.pipeline);
   for (const auto& s : substrates) {
     std::fprintf(stderr, "%-30s %8.1f tasks/s (%d tasks in %.4fs)\n", s.name.c_str(),
                  s.tasks_per_second, s.tasks, s.seconds);
   }
+  std::fprintf(stderr, "%-30s %8.0f bytes/s, %.3fx spill amplification\n", "shuffle_data_plane",
+               shuffle.shuffle_bytes_per_second, shuffle.spill_amplification);
 
   const TracingOverhead tracing = bench_tracing_overhead();
   std::fprintf(stderr, "%-30s %8.3fx (plain %.4fs, traced-off %.4fs)\n", "tracing_off_overhead",
@@ -799,8 +916,8 @@ int main(int argc, char** argv) {
                elastic.elastic_cost, elastic.elastic_makespan, elastic.completed,
                elastic.tasks, static_cast<long long>(elastic.revocations));
 
-  const std::string json =
-      to_json(kernels, substrates, tracing, storage_overhead, monitor_overhead, elastic);
+  const std::string json = to_json(kernels, substrates, tracing, storage_overhead,
+                                   monitor_overhead, shuffle, elastic);
   std::ofstream out(output_path);
   out << json;
   out.close();
@@ -838,7 +955,8 @@ int main(int argc, char** argv) {
     // different hardware, so holding new runs to them would be meaningless.
     const auto baseline_secs = parse_baseline_entries(buf.str(), "seconds");
     for (const auto& s : substrates) {
-      if (s.name.rfind("storage_", 0) != 0 && s.name.rfind("block_cache_", 0) != 0) {
+      if (s.name.rfind("storage_", 0) != 0 && s.name.rfind("block_cache_", 0) != 0 &&
+          s.name.rfind("shuffle_", 0) != 0) {
         continue;
       }
       const auto it = baseline_secs.find(s.name);
@@ -887,6 +1005,21 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "OK:   100ms monitor scraping at %.3fx of unmonitored data plane\n",
                    monitor_overhead.ratio);
+    }
+    // The shuffle pipeline is gated on semantics: the job must complete and
+    // spill amplification must be a sane ratio (>= 1: map output is written
+    // at least once; the configured tight budgets force sort runs, but the
+    // gate only rejects nonsense, not hardware-dependent magnitudes).
+    if (!shuffle.completed) {
+      std::fprintf(stderr, "FAIL: shuffle pipeline bench did not complete\n");
+      ok = false;
+    } else if (shuffle.spill_amplification < 1.0 - 1e-9) {
+      std::fprintf(stderr, "FAIL: shuffle spill amplification %.3f < 1.0 (accounting bug?)\n",
+                   shuffle.spill_amplification);
+      ok = false;
+    } else {
+      std::fprintf(stderr, "OK:   shuffle pipeline %.0f bytes/s, %.3fx spill amplification\n",
+                   shuffle.shuffle_bytes_per_second, shuffle.spill_amplification);
     }
     // The elastic row is gated on semantics, not a baseline: DES makes it
     // exact, so any violation is a real regression in the elastic drivers.

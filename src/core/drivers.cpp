@@ -81,6 +81,14 @@ void publish_run_metrics(const RunResult& result, runtime::MetricsRegistry& metr
     metrics.counter(prefix + "cache_misses").inc(static_cast<std::int64_t>(result.cache_misses));
     metrics.set_gauge(prefix + "cache_bytes_saved", result.cache_bytes_saved);
   }
+  if (result.reduce_tasks > 0) {
+    metrics.counter(prefix + "reduce_tasks").inc(result.reduce_tasks);
+    metrics.counter(prefix + "reduce_completed").inc(result.reduce_completed);
+    metrics.counter(prefix + "shuffle_fetches")
+        .inc(static_cast<std::int64_t>(result.shuffle_fetches));
+    metrics.counter(prefix + "shuffle_merge_spills").inc(result.shuffle_merge_spills);
+    metrics.set_gauge(prefix + "shuffle_bytes", result.shuffle_bytes);
+  }
   auto& histogram = metrics.histogram(prefix + "task_exec_seconds");
   for (double x : result.exec_times.samples()) histogram.record(x);
   metrics.emit({"run.finished",
@@ -1124,6 +1132,18 @@ struct MapReduceSim {
   std::vector<TaskTraceEntry> trace;
   std::vector<bool> node_dead;
 
+  // Shuffle state (params.num_reducers > 0). Reducers pull their partition
+  // from the node that ran each map task, so the map phase records the
+  // committing node per task.
+  std::unique_ptr<mapreduce::TaskScheduler> reduce_scheduler;
+  std::vector<int> map_node;
+  Bytes shuffle_bytes_moved = 0.0;
+  std::uint64_t shuffle_fetches = 0;
+  std::uint64_t shuffle_local_fetches = 0;
+  int inflight_fetches = 0;
+  int shuffle_merge_spills = 0;
+  int reduce_completed = 0;
+
   void register_probes() {
     runtime::Monitor& mon = *params.monitor;
     using runtime::ProbeKind;
@@ -1157,6 +1177,15 @@ struct MapReduceSim {
         return m.bytes_in + m.bytes_out;
       });
     }
+    if (params.num_reducers > 0) {
+      // The shuffle is the run's dominant network phase: a cumulative probe
+      // turns bytes-moved into the bytes/s rate series, and the in-flight
+      // fetch level shows reducer fan-in saturating the fabric.
+      mon.add_probe("shuffle.bytes", ProbeKind::kCumulative,
+                    [this] { return static_cast<double>(shuffle_bytes_moved); });
+      mon.add_probe("shuffle.inflight_fetches", ProbeKind::kLevel,
+                    [this] { return static_cast<double>(inflight_fetches); });
+    }
   }
 
   MapReduceSim(const Workload& w, const Deployment& dep, const ExecutionModel& m,
@@ -1183,6 +1212,25 @@ struct MapReduceSim {
       tasks.push_back(std::move(info));
     }
     scheduler = std::make_unique<mapreduce::TaskScheduler>(std::move(tasks), p.scheduler);
+    if (p.num_reducers > 0) {
+      map_node.assign(w.tasks.size(), 0);
+      std::vector<mapreduce::TaskInfo> reduce_tasks;
+      reduce_tasks.reserve(static_cast<std::size_t>(p.num_reducers));
+      for (int r = 0; r < p.num_reducers; ++r) {
+        mapreduce::TaskInfo info;
+        info.task_id = r;
+        info.name = "part-" + std::to_string(r);
+        // Reduce input: one R-th of every map task's shuffled output.
+        Bytes partition = 0.0;
+        for (const SimTask& t : w.tasks) {
+          partition += t.input_size * p.shuffle_output_ratio / p.num_reducers;
+        }
+        info.size = partition;
+        reduce_tasks.push_back(std::move(info));
+      }
+      reduce_scheduler =
+          std::make_unique<mapreduce::TaskScheduler>(std::move(reduce_tasks), p.scheduler);
+    }
     if (params.stage_inputs) {
       // Extra splits sit after every baseline draw, so runs without staging
       // consume the identical random stream as before.
@@ -1241,9 +1289,27 @@ struct MapReduceSim {
     if (!finished) makespan = sim.now();
   }
 
+  /// The run is over when the map phase is done and — when a reduce phase
+  /// exists and the maps all succeeded — the reduce phase is done too.
+  void maybe_finish() {
+    if (finished || !scheduler->job_done()) return;
+    if (reduce_scheduler != nullptr && scheduler->job_succeeded() &&
+        !reduce_scheduler->job_done()) {
+      return;
+    }
+    finished = true;
+    makespan = sim.now();
+  }
+
   void request(int node, int slot) {
     if (node_dead[static_cast<std::size_t>(node)]) return;  // instance is gone
-    if (scheduler->job_done()) return;
+    if (scheduler->job_done()) {
+      // Map phase over: slots roll into the reduce phase (if any).
+      if (reduce_scheduler != nullptr && scheduler->job_succeeded()) {
+        reduce_request(node, slot);
+      }
+      return;
+    }
     const auto assignment = scheduler->next_task(node, sim.now());
     if (!assignment) {
       sim.after(params.heartbeat_interval, [this, node, slot] { request(node, slot); });
@@ -1266,10 +1332,7 @@ struct MapReduceSim {
         // The node died while this attempt ran: the JobTracker times it out
         // and re-queues the task; this slot never asks for work again.
         scheduler->report_failed(a, sim.now());
-        if (scheduler->job_done() && !finished) {
-          finished = true;
-          makespan = sim.now();
-        }
+        maybe_finish();
         return;
       }
       if (params.task_failure_prob > 0.0 && rng2.bernoulli(params.task_failure_prob)) {
@@ -1283,15 +1346,103 @@ struct MapReduceSim {
         if (first) {
           exec_times.add(ex);
           ++completed;
+          // Shuffle locality: the committing attempt's node serves this map
+          // task's spills to every reducer.
+          if (reduce_scheduler != nullptr) {
+            map_node[static_cast<std::size_t>(a.task_id)] = node;
+          }
         } else {
           ++duplicate_executions;
         }
       }
-      if (scheduler->job_done() && !finished) {
-        finished = true;
-        makespan = sim.now();
-      }
+      maybe_finish();
       request(node, slot);
+    });
+  }
+
+  // ------------------------------------------------------------ shuffle ---
+  // One reduce attempt: serial fetch chain over every map output (the
+  // single-threaded copier), then merge/sort (plus a disk round trip when
+  // the partition overflows the sort budget), then the part-file write.
+
+  struct ReduceAttempt {
+    mapreduce::Assignment a;
+    std::size_t next_map = 0;
+    Bytes partition_bytes = 0.0;
+  };
+
+  void reduce_request(int node, int slot) {
+    if (node_dead[static_cast<std::size_t>(node)]) return;
+    if (reduce_scheduler->job_done()) return;
+    const auto assignment = reduce_scheduler->next_task(node, sim.now());
+    if (!assignment) {
+      sim.after(params.heartbeat_interval, [this, node, slot] { reduce_request(node, slot); });
+      return;
+    }
+    ++busy_slots;
+    auto state = std::make_shared<ReduceAttempt>();
+    state->a = *assignment;
+    sim.after(params.task_startup_overhead,
+              [this, node, slot, state] { fetch_next(node, slot, state); });
+  }
+
+  void fetch_next(int node, int slot, const std::shared_ptr<ReduceAttempt>& state) {
+    if (node_dead[static_cast<std::size_t>(node)]) {
+      --busy_slots;
+      reduce_scheduler->report_failed(state->a, sim.now());
+      maybe_finish();
+      return;
+    }
+    if (state->next_map == workload.tasks.size()) {
+      merge_and_reduce(node, slot, state);
+      return;
+    }
+    auto& rng = slot_rng[static_cast<std::size_t>(slot)];
+    const SimTask& mt = workload.tasks[state->next_map];
+    const Bytes bytes =
+        mt.input_size * params.shuffle_output_ratio / static_cast<double>(params.num_reducers);
+    const bool local = map_node[state->next_map] == node;
+    const Seconds t = hdfs.sample_read_time(bytes, local, rng);
+    ++inflight_fetches;
+    sim.after(t, [this, node, slot, state, bytes, local] {
+      --inflight_fetches;
+      shuffle_bytes_moved += bytes;
+      ++shuffle_fetches;
+      if (local) ++shuffle_local_fetches;
+      state->partition_bytes += bytes;
+      ++state->next_map;
+      fetch_next(node, slot, state);
+    });
+  }
+
+  void merge_and_reduce(int node, int slot, const std::shared_ptr<ReduceAttempt>& state) {
+    auto& rng = slot_rng[static_cast<std::size_t>(slot)];
+    const Bytes pb = state->partition_bytes;
+    Seconds merge =
+        params.shuffle_sort_bandwidth > 0.0 ? pb / params.shuffle_sort_bandwidth : 0.0;
+    if (params.reduce_sort_budget > 0.0 && pb > params.reduce_sort_budget) {
+      // Overflow: sorted runs round-trip local disk (written once, read
+      // back by the k-way merge).
+      merge += 2.0 * hdfs.sample_read_time(pb, /*local=*/true, rng);
+      ++shuffle_merge_spills;
+    }
+    // The reduced part file is a digest of the partition, HDFS-local.
+    const Seconds write = hdfs.sample_read_time(pb * 0.1, /*local=*/true, rng);
+    sim.after(merge + write, [this, node, slot, state] {
+      --busy_slots;
+      if (node_dead[static_cast<std::size_t>(node)]) {
+        reduce_scheduler->report_failed(state->a, sim.now());
+        maybe_finish();
+        return;
+      }
+      const bool first = reduce_scheduler->report_completed(state->a, sim.now());
+      if (first) {
+        ++reduce_completed;
+      } else {
+        ++duplicate_executions;
+      }
+      maybe_finish();
+      reduce_request(node, slot);
     });
   }
 };
@@ -1317,6 +1468,15 @@ RunResult run_mapreduce_sim(const Workload& workload, const Deployment& deployme
   r.scheduler_stats = ms.scheduler->stats();
   r.local_reads = static_cast<std::uint64_t>(r.scheduler_stats.local_assignments);
   r.remote_reads = static_cast<std::uint64_t>(r.scheduler_stats.remote_assignments);
+  if (ms.reduce_scheduler != nullptr) {
+    r.reduce_tasks = params.num_reducers;
+    r.reduce_completed = ms.reduce_completed;
+    r.reduce_scheduler_stats = ms.reduce_scheduler->stats();
+    r.shuffle_bytes = ms.shuffle_bytes_moved;
+    r.shuffle_fetches = ms.shuffle_fetches;
+    r.shuffle_local_fetches = ms.shuffle_local_fetches;
+    r.shuffle_merge_spills = ms.shuffle_merge_spills;
+  }
   if (ms.stage_store != nullptr) {
     const auto meter = ms.stage_store->meter();
     r.bytes_in = meter.bytes_in;

@@ -82,6 +82,21 @@ struct SimRunParams {
   Seconds heartbeat_interval = 3.0;
   /// Per-attempt launch overhead (task JVM start in Hadoop 0.20).
   Seconds task_startup_overhead = 1.0;
+  /// Reduce tasks appended after the map phase (0 = map-only — the paper's
+  /// pleasingly-parallel jobs and every checked-in baseline). With reducers,
+  /// each map task's output is hash-partitioned R ways; every reducer pulls
+  /// its partition from every mapper over the HDFS network model (local
+  /// when the reducer lands on the node that ran the map), external-sorts
+  /// it, and commits one part file — shuffle as the dominant network load.
+  int num_reducers = 0;
+  /// Map output bytes as a fraction of map input bytes (shuffle volume).
+  double shuffle_output_ratio = 1.0;
+  /// Reduce-side in-memory sort budget; a partition larger than this pays
+  /// an extra spill-and-merge pass over local disk (0 = always fits).
+  Bytes reduce_sort_budget = 64.0 * 1024 * 1024;
+  /// Merge + reduce throughput of one reduce slot (bytes/s of sorted
+  /// partition processed).
+  double shuffle_sort_bandwidth = 200.0 * 1024 * 1024;
 
   // -- Dryad --
   dryad::FileShareConfig share;
@@ -193,6 +208,15 @@ struct RunResult {
   mapreduce::TaskScheduler::Stats scheduler_stats;  // MapReduce only
   std::uint64_t local_reads = 0;
   std::uint64_t remote_reads = 0;
+
+  // Shuffle (MapReduce with SimRunParams::num_reducers > 0; zero otherwise).
+  Bytes shuffle_bytes = 0.0;           // bytes moved mapper → reducer
+  std::uint64_t shuffle_fetches = 0;   // one per (map, reduce) pair served
+  std::uint64_t shuffle_local_fetches = 0;  // served from the mapper's node
+  int shuffle_merge_spills = 0;        // partitions that overflowed the sort budget
+  int reduce_tasks = 0;
+  int reduce_completed = 0;
+  mapreduce::TaskScheduler::Stats reduce_scheduler_stats;
 
   // Metrics of §3, filled by finalize_metrics().
   Seconds t1_seconds = 0.0;           // best sequential time (Equation 1's T1)

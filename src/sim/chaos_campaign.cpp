@@ -20,8 +20,10 @@
 #include "runtime/metrics.h"
 #include "runtime/monitor.h"
 #include "runtime/tracer.h"
+#include "mapreduce/shuffle_job.h"
 #include "runtime/worker_supervisor.h"
 #include "sim/app_job.h"
+#include "sim/shuffle_run.h"
 #include "storage/fs_backends.h"
 
 namespace ppc::sim {
@@ -81,6 +83,28 @@ runtime::FaultPlan make_plan(const ChaosConfig& cfg) {
             {bget, FaultAction::kError},
             {blist, FaultAction::kError},
             {azuremr::sites::kAfterReduce, FaultAction::kCrash}};
+  } else if (cfg.substrate == "mapreduce" && is_shuffle_app(cfg.app)) {
+    // Full-pipeline chaos: faults land on every shuffle stage. The crash in
+    // the kMapRegister window leaves durable-but-unregistered spills (the
+    // map-output-loss shape), the fetch/spill errors burn attempts on both
+    // sides, and the corrupt rule on the shuffle bucket's gets exercises
+    // checksum detection + redrive.
+    const std::string mapsite = mapreduce::sites::kMapAttempt;
+    const std::string spill = mapreduce::sites::kSpill;
+    const std::string fetch = mapreduce::sites::kFetch;
+    const std::string reg = mapreduce::sites::kMapRegister;
+    const std::string red = mapreduce::sites::kReduceAttempt;
+    const std::string bget = "blobstore.shuffle.get";
+    plan.crash(mapsite);
+    plan.crash(reg);
+    plan.crash(red);
+    plan.delay(fetch, 0.005, 3);
+    plan.error(spill, "injected spill failure", 1);
+    plan.error(fetch, "injected fetch failure", 1);
+    plan.corrupt(bget, 2);
+    menu = {{fetch, FaultAction::kDelay},  {fetch, FaultAction::kError},
+            {spill, FaultAction::kError},  {mapsite, FaultAction::kCrash},
+            {red, FaultAction::kCrash},    {bget, FaultAction::kCorrupt}};
   } else if (cfg.substrate == "mapreduce") {
     const std::string site = mapreduce::sites::kMapAttempt;
     plan.crash(site);
@@ -401,6 +425,56 @@ Outputs run_mapreduce(const ChaosConfig& cfg, const AppJob& app, RunContext& ctx
   return outputs;
 }
 
+/// Full-pipeline chaos run: ShuffleJobRunner over a shuffle workload
+/// (histogram / dedup). Outputs are the job's canonical key → reduced-value
+/// map, so compare_outputs asserts byte-identical groups AND zero lost
+/// groups in one pass. Tight spill/sort budgets force multi-spill map
+/// outputs and external-sort runs, so the spill/fetch fault sites actually
+/// sit on the hot path.
+Outputs run_mapreduce_shuffle(const ChaosConfig& cfg, const ShuffleAppJob& app,
+                              RunContext& ctx) {
+  const bool chaos = ctx.faults != nullptr;
+  minihdfs::MiniHdfs hdfs(cfg.num_workers);
+  std::vector<std::string> paths;
+  for (const auto& [name, data] : app.files) {
+    const std::string path = "/in/" + name;
+    hdfs.write(path, data);
+    paths.push_back(path);
+  }
+  if (chaos) ctx.faults->arm_plan(*ctx.plan);
+
+  mapreduce::ShuffleJobConfig jc;
+  jc.num_nodes = cfg.num_workers;
+  jc.slots_per_node = 2;
+  jc.num_reducers = 3;
+  jc.job_name = "chaos-" + cfg.app;
+  jc.map_spill_budget = 2.0 * 1024;
+  jc.sort_memory_budget = 4.0 * 1024;
+  // Attempt headroom mirrors run_mapreduce: every guaranteed fault can land
+  // on one unlucky task (map or reduce) without failing the job.
+  jc.scheduler.max_attempts = cfg.revocation_storm ? 8 : 6;
+  jc.reduce_scheduler.max_attempts = cfg.revocation_storm ? 8 : 6;
+  jc.faults = ctx.faults;
+  jc.metrics = ctx.metrics;
+  jc.tracer = ctx.tracer;
+  mapreduce::ShuffleJobRunner runner(hdfs);
+  const auto result = runner.run(paths, app.map, app.reduce, jc);
+  if (!result.succeeded) fail(ctx, "mapreduce shuffle job failed");
+  harvest_faults(ctx);
+  if (chaos) {
+    std::int64_t failed_attempts = 0;
+    for (const auto& attempt : result.map_attempts) {
+      if (!attempt.succeeded) ++failed_attempts;
+    }
+    for (const auto& attempt : result.reduce_attempts) {
+      if (!attempt.succeeded) ++failed_attempts;
+    }
+    ctx.report->redeliveries = failed_attempts;
+    ctx.report->corrupt_deliveries = result.shuffle.corrupt_fetches;
+  }
+  return mapreduce::canonical_reduced_output(result, hdfs);
+}
+
 using RunnerFn = Outputs (*)(const ChaosConfig&, const AppJob&, RunContext&);
 
 RunnerFn pick_runner(const std::string& substrate) {
@@ -440,8 +514,19 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config_in) {
   report.substrate = config.substrate;
   report.app = config.app;
 
-  const RunnerFn runner = pick_runner(config.substrate);
-  const AppJob app = make_app_job(config.app, config.num_files);
+  std::function<Outputs(RunContext&)> run_fn;
+  if (is_shuffle_app(config.app)) {
+    if (config.substrate != "mapreduce") {
+      throw ppc::InvalidArgument("shuffle app '" + config.app +
+                                 "' runs on the mapreduce substrate only");
+    }
+    auto app = std::make_shared<ShuffleAppJob>(make_shuffle_app(config.app, config.num_files));
+    run_fn = [&config, app](RunContext& ctx) { return run_mapreduce_shuffle(config, *app, ctx); };
+  } else {
+    const RunnerFn runner = pick_runner(config.substrate);
+    auto app = std::make_shared<AppJob>(make_app_job(config.app, config.num_files));
+    run_fn = [&config, app, runner](RunContext& ctx) { return runner(config, *app, ctx); };
+  }
   const runtime::FaultPlan plan = make_plan(config);
   report.plan_summary = plan.summary();
 
@@ -452,7 +537,7 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config_in) {
   baseline_ctx.report = &report;
   baseline_ctx.failures = &failures;
   baseline_ctx.label = "baseline";
-  const Outputs baseline = runner(config, app, baseline_ctx);
+  const Outputs baseline = run_fn(baseline_ctx);
   if (!failures.empty()) {
     // A broken baseline means the campaign cannot judge anything.
     report.failures = std::move(failures);
@@ -477,7 +562,7 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config_in) {
     monitor = std::make_unique<runtime::Monitor>(*chaos_ctx.metrics, mc);
     monitor->start();
   }
-  const Outputs chaos = runner(config, app, chaos_ctx);
+  const Outputs chaos = run_fn(chaos_ctx);
   if (monitor != nullptr) {
     monitor->stop();
     report.monitor_json = monitor->to_json();
@@ -497,8 +582,12 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config_in) {
     failures.push_back("revocation storm revoked nothing");
   }
   const bool queue_substrate = config.substrate != "mapreduce";
+  // Shuffle runs arm corruption on the shuffle bucket's gets (checksum
+  // detection is under test); queue substrates arm it on deliveries/blobs.
+  if ((queue_substrate || is_shuffle_app(config.app)) && report.corruptions < 1) {
+    failures.push_back("plan injected no corruption");
+  }
   if (queue_substrate) {
-    if (report.corruptions < 1) failures.push_back("plan injected no corruption");
     // The sentinel must end up dead-lettered. Normally the worker that burns
     // its last permitted delivery parks it (poison_tasks); under a
     // revocation storm a kill can steal that final delivery, in which case

@@ -32,7 +32,11 @@ struct ChaosConfig {
   std::uint64_t seed = 42;
   /// "classiccloud", "azuremr", or "mapreduce".
   std::string substrate = "classiccloud";
-  /// "cap3", "blast", or "gtm".
+  /// "cap3", "blast", or "gtm" — or a full-pipeline shuffle workload
+  /// ("histogram", "dedup"), which runs on the mapreduce substrate only and
+  /// chases faults through partition → spill → fetch → external sort →
+  /// reduce (outputs compared as the canonical key → reduced-value map, so
+  /// a lost group fails the campaign).
   std::string app = "cap3";
   /// Storage backend behind the blob-backed substrates ("object",
   /// "sharedfs", "parallelfs"). FaultHook sites are shared across backends,

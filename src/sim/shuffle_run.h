@@ -1,0 +1,89 @@
+// Shuffle workloads and the `ppcloud shuffle` run harness.
+//
+// Two biomedical workloads exercise the full MapReduce pipeline — the first
+// group-by shapes this repo can express (the map-only substrates of the
+// paper cannot):
+//  * "histogram" — BLAST hit histogram: map searches each query against the
+//    shared database and emits (best-hit subject, query id); reduce counts
+//    the queries landing on each database sequence. The per-subject hit
+//    histogram is §5's result table, computed as a real group-by instead of
+//    a post-processing script.
+//  * "dedup" — sequence dedup: reads are keyed by their exact sequence;
+//    reduce keeps the first occurrence as the canonical representative and
+//    counts the copies — a shuffle join of every input file against itself.
+//
+// Input generation is seeded, so one seed defines one job corpus; the
+// harness runs the job on the real-thread engine and (optionally) verifies
+// the determinism contract by re-running with a different cluster shape and
+// comparing canonical output bytes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mapreduce/shuffle_job.h"
+
+namespace ppc::sim {
+
+/// A shuffle campaign's workload: seeded input files plus the user map and
+/// reduce functions.
+struct ShuffleAppJob {
+  std::vector<std::pair<std::string, std::string>> files;
+  mapreduce::MapKvFn map;
+  mapreduce::ReduceFn reduce;
+};
+
+/// Builds the "histogram" or "dedup" workload over `num_files` input files.
+/// One (app, num_files, seed) triple is one job corpus — byte-identical
+/// across every run that compares against another. Throws InvalidArgument
+/// on an unknown app.
+ShuffleAppJob make_shuffle_app(const std::string& app, int num_files,
+                               std::uint64_t seed = 0xC0FFEE);
+
+inline bool is_shuffle_app(const std::string& app) {
+  return app == "histogram" || app == "dedup";
+}
+
+struct ShuffleRunConfig {
+  std::string app = "histogram";
+  std::uint64_t seed = 1;  // input-corpus seed
+  int num_files = 6;
+  int num_nodes = 3;
+  int slots_per_node = 2;
+  int num_reducers = 3;
+  Bytes map_spill_budget = 8.0 * 1024;   // small: real jobs here are small
+  Bytes sort_memory_budget = 32.0 * 1024;
+  /// Re-run the job with a different cluster shape (nodes/slots/reducer
+  /// budget) and assert canonical output bytes are identical.
+  bool verify_determinism = false;
+  /// > 0: attach a tracer and keep the Chrome JSON in the report.
+  bool trace = false;
+  runtime::FaultInjector* faults = nullptr;
+  std::shared_ptr<runtime::MetricsRegistry> metrics;
+};
+
+struct ShuffleRunReport {
+  bool succeeded = false;
+  std::string app;
+  std::uint64_t seed = 0;
+  int maps = 0;
+  int reducers = 0;
+  std::size_t groups = 0;           // distinct keys in the canonical output
+  std::string canonical;            // encode_canonical() bytes
+  bool determinism_verified = false;
+  bool determinism_ok = false;
+  mapreduce::ShuffleStats shuffle;
+  mapreduce::TaskScheduler::Stats map_stats;
+  mapreduce::TaskScheduler::Stats reduce_stats;
+  Seconds elapsed = 0.0;
+  std::string trace_json;           // empty unless config.trace
+  std::size_t trace_spans = 0;
+
+  std::string to_text() const;
+};
+
+/// Runs one shuffle job on the real-thread engine (fresh MiniHdfs staged
+/// with the seeded corpus). Throws on configuration errors.
+ShuffleRunReport run_shuffle_job(const ShuffleRunConfig& config);
+
+}  // namespace ppc::sim

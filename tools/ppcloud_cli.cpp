@@ -36,7 +36,12 @@
 //                                        must match byte for byte:
 //     --seed N                           fault-schedule seed (default 42)
 //     --substrate classiccloud|azuremr|mapreduce|all   (default all)
-//     --app cap3|blast|gtm               (default cap3)
+//     --app cap3|blast|gtm               (default cap3); also
+//            histogram|dedup             full-shuffle workloads (mapreduce
+//                                        substrate only)
+//     --shuffle 1                        shorthand: app=histogram,
+//                                        substrate=mapreduce — chase faults
+//                                        through spill/fetch/sort/reduce
 //     --storage object|sharedfs|parallelfs  data plane (default object)
 //     --cache 1                          worker block cache (classiccloud)
 //     --files N --workers W              job size (default 4 x 3)
@@ -47,6 +52,19 @@
 //     --monitor-dir DIR                  attach a wall-clock Monitor to the
 //                                        chaos run and write its time-series
 //                                        JSON to DIR (period 0.05s)
+//   ppcloud shuffle [options]            run a full MapReduce shuffle job
+//                                        (partition → spill → fetch →
+//                                        external sort → reduce) on the
+//                                        real-thread engine, print the
+//                                        shuffle report:
+//     --app histogram|dedup              BLAST hit histogram / sequence
+//                                        dedup (default histogram)
+//     --seed S                           input-corpus seed (default 1)
+//     --files N --nodes W --slots K      job size (default 6 x 3 x 2)
+//     --reducers R                       reduce partitions (default 3)
+//     --verify 1                         re-run on a different cluster shape
+//                                        and require byte-identical output
+//     --trace-dir DIR                    write the run's Chrome trace JSON
 //   ppcloud trace [options]              run one traced job, print the
 //                                        per-worker load report + per-task
 //                                        summary table:
@@ -162,6 +180,7 @@
 #include "sim/chaos_campaign.h"
 #include "sim/monitor_run.h"
 #include "sim/saturation.h"
+#include "sim/shuffle_run.h"
 #include "sim/trace_run.h"
 #include "storage/storage_backend.h"
 
@@ -324,9 +343,17 @@ int cmd_chaos(const Options& opts) {
   const std::string monitor_dir = opt(opts, "monitor-dir", "");
   if (!monitor_dir.empty()) base.monitor_period = 0.05;
 
+  // --shuffle 1: chase faults through the full shuffle pipeline instead of
+  // the map-only corpus. Shuffle apps only exist on the mapreduce substrate.
+  if (opt(opts, "shuffle", "0") != "0" && !sim::is_shuffle_app(base.app)) {
+    base.app = "histogram";
+  }
+
   const std::string substrate = opt(opts, "substrate", "all");
   std::vector<std::string> substrates;
-  if (substrate == "all") {
+  if (sim::is_shuffle_app(base.app)) {
+    substrates = {"mapreduce"};
+  } else if (substrate == "all") {
     substrates = {"classiccloud", "azuremr", "mapreduce"};
   } else {
     substrates = {substrate};
@@ -367,6 +394,38 @@ int cmd_chaos(const Options& opts) {
     }
   }
   return all_passed ? 0 : 1;
+}
+
+int cmd_shuffle(const Options& opts) {
+  sim::ShuffleRunConfig config;
+  config.app = opt(opts, "app", "histogram");
+  config.seed = static_cast<std::uint64_t>(std::stoull(opt(opts, "seed", "1")));
+  config.num_files = opt_int(opts, "files", 6);
+  config.num_nodes = opt_int(opts, "nodes", 3);
+  config.slots_per_node = opt_int(opts, "slots", 2);
+  config.num_reducers = opt_int(opts, "reducers", 3);
+  config.verify_determinism = opt(opts, "verify", "0") != "0";
+  const std::string trace_dir = opt(opts, "trace-dir", "");
+  config.trace = !trace_dir.empty();
+
+  const sim::ShuffleRunReport report = sim::run_shuffle_job(config);
+  std::fputs(report.to_text().c_str(), stdout);
+  if (!trace_dir.empty() && !report.trace_json.empty()) {
+    const std::string path = trace_dir + "/shuffle-trace-" + config.app + "-seed" +
+                             std::to_string(config.seed) + ".json";
+    if (write_file(path, report.trace_json)) {
+      std::printf("shuffle trace (%zu spans): %s\n", report.trace_spans, path.c_str());
+    } else {
+      std::fprintf(stderr, "ppcloud: could not write %s\n", path.c_str());
+    }
+  }
+  if (!report.succeeded) return 1;
+  if (report.determinism_verified && !report.determinism_ok) {
+    std::printf("reproduce with: ppcloud shuffle --app %s --seed %llu --verify 1\n",
+                config.app.c_str(), static_cast<unsigned long long>(config.seed));
+    return 1;
+  }
+  return 0;
 }
 
 int cmd_trace(const Options& opts) {
@@ -628,8 +687,8 @@ int cmd_experiment(const std::string& id, const std::string& backend_name) {
 
 int usage() {
   std::fputs(
-      "usage: ppcloud <catalog|features|assemble|simulate|experiment|chaos|trace|monitor|"
-      "saturate|campaign|autoscale> [options]\n"
+      "usage: ppcloud <catalog|features|assemble|simulate|experiment|chaos|shuffle|trace|"
+      "monitor|saturate|campaign|autoscale> [options]\n"
       "see the header comment of tools/ppcloud_cli.cpp or README.md for details\n",
       stderr);
   return 1;
@@ -649,6 +708,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(parse_options(argc, argv, 2));
     if (command == "assemble") return cmd_assemble(parse_options(argc, argv, 2));
     if (command == "chaos") return cmd_chaos(parse_options(argc, argv, 2));
+    if (command == "shuffle") return cmd_shuffle(parse_options(argc, argv, 2));
     if (command == "trace") return cmd_trace(parse_options(argc, argv, 2));
     if (command == "monitor") return cmd_monitor(parse_options(argc, argv, 2));
     if (command == "saturate") return cmd_saturate(parse_options(argc, argv, 2));
